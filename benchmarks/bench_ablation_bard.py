@@ -1,0 +1,43 @@
+"""Ablation: Bard vs Schweitzer vs exact MVA on a reference network.
+
+The paper adopts Bard's approximation for its closed-form simplicity and
+accepts its known pessimism (Section 4).  This ablation quantifies that
+trade on a closed network of the all-to-all's size, timing all three
+solvers and checking the error ordering the literature predicts:
+exact = 0, Schweitzer small, Bard larger but vanishing with population.
+"""
+
+import pytest
+
+from repro.mva.amva import bard_amva, schweitzer_amva
+from repro.mva.exact import exact_mva
+
+DEMANDS = [200.0, 200.0, 40.0]  # request handler, reply handler, wire
+POPULATION = 32
+THINK = 1000.0  # the computation phase
+
+
+def test_exact_mva_speed(benchmark):
+    result = benchmark(exact_mva, DEMANDS, POPULATION, THINK)
+    assert result.throughput > 0
+
+
+def test_bard_amva_speed(benchmark):
+    result = benchmark(bard_amva, DEMANDS, POPULATION, THINK)
+    assert result.converged
+
+
+def test_schweitzer_amva_speed(benchmark):
+    result = benchmark(schweitzer_amva, DEMANDS, POPULATION, THINK)
+    assert result.converged
+
+
+def test_error_ordering():
+    exact = exact_mva(DEMANDS, POPULATION, THINK).throughput
+    bard = bard_amva(DEMANDS, POPULATION, THINK).throughput
+    schweitzer = schweitzer_amva(DEMANDS, POPULATION, THINK).throughput
+    bard_err = abs(bard - exact) / exact
+    schweitzer_err = abs(schweitzer - exact) / exact
+    assert schweitzer_err <= bard_err
+    assert bard <= exact  # Bard is pessimistic on throughput
+    assert bard_err < 0.05  # and the error is small at P=32

@@ -1,0 +1,64 @@
+"""Ablation: barrier resynchronisation of regular all-to-all patterns.
+
+Regenerates the introduction's CM-5 narrative quantitatively: a
+perfectly interleaved permutation schedule stays contention-free only
+while the machine is variance-free; handler variability randomises it
+(Brewer & Kuszmaul), and per-phase barriers buy the schedule back at
+the price of barrier latency (the LogP paper's remark).
+"""
+
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.params import MachineParams
+from repro.sim.machine import MachineConfig
+from repro.workloads.barrier import run_barrier_alltoall
+
+P, ST, SO, W = 16, 40.0, 200.0, 400.0
+
+
+def config(cv2: float) -> MachineConfig:
+    return MachineConfig(processors=P, latency=ST, handler_time=SO,
+                         handler_cv2=cv2, seed=5)
+
+
+@pytest.fixture(scope="module")
+def drifted():
+    return run_barrier_alltoall(config(1.0), work=W, phases=150,
+                                use_barriers=False)
+
+
+@pytest.fixture(scope="module")
+def resynced():
+    return run_barrier_alltoall(config(1.0), work=W, phases=150,
+                                use_barriers=True)
+
+
+def test_barrier_alltoall_cost(benchmark):
+    measurement = benchmark.pedantic(
+        run_barrier_alltoall,
+        kwargs={"config": config(1.0), "work": W, "phases": 80,
+                "use_barriers": True},
+        iterations=1,
+        rounds=3,
+    )
+    assert measurement.cycles_measured > 0
+
+
+def test_drift_reaches_lopc_regime(drifted):
+    machine = MachineParams(latency=ST, handler_time=SO, processors=P,
+                            handler_cv2=1.0)
+    lopc = AllToAllModel(machine).solve_work(W)
+    # The drifted schedule lands within 15% of the random-traffic model.
+    assert drifted.response_time == pytest.approx(lopc.response_time,
+                                                  rel=0.15)
+
+
+def test_barriers_recover_contention(drifted, resynced):
+    assert resynced.total_contention < 0.6 * drifted.total_contention
+
+
+def test_deterministic_schedule_needs_no_barriers():
+    m = run_barrier_alltoall(config(0.0), work=W, phases=80,
+                             use_barriers=False)
+    assert abs(m.total_contention) < 1.0

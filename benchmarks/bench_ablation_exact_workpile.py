@@ -1,0 +1,68 @@
+"""Ablation: the workpile against *exact* MVA (exponential handlers).
+
+With exponential handler times the workpile is a product-form closed
+network -- ``Pc`` customers cycling through a think stage
+(``Z = W + 2 St + So``) and ``Ps`` identical FCFS servers visited with
+probability ``1/Ps`` -- so exact MVA gives the true steady state.
+Three-way comparison: exact MVA vs the paper's Bard-based closed form
+vs the simulator, isolating exactly how much accuracy Bard trades for
+its closed form (paper Section 4's design decision).
+"""
+
+import pytest
+
+from repro.core.client_server import ClientServerModel
+from repro.core.params import MachineParams
+from repro.mva.exact import exact_mva
+from repro.sim.machine import MachineConfig
+from repro.workloads.workpile import run_workpile
+
+P, ST, SO, W = 32, 10.0, 131.0, 250.0
+
+
+def exact_workpile_throughput(servers: int) -> float:
+    clients = P - servers
+    demands = [SO / servers] * servers  # visit 1/Ps, service So
+    think = W + 2 * ST + SO  # client work + wires + reply handler
+    return exact_mva(demands, clients, think_time=think).throughput
+
+
+@pytest.fixture(scope="module")
+def three_way():
+    machine = MachineParams(latency=ST, handler_time=SO, processors=P,
+                            handler_cv2=1.0)
+    model = ClientServerModel(machine, work=W)
+    config = MachineConfig(processors=P, latency=ST, handler_time=SO,
+                           handler_cv2=1.0, seed=31)
+    rows = []
+    for servers in (2, 4, 8, 16):
+        rows.append(
+            {
+                "servers": servers,
+                "exact": exact_workpile_throughput(servers),
+                "bard": model.solve(servers).throughput,
+                "sim": run_workpile(config, servers=servers, work=W,
+                                    chunks=700).throughput,
+            }
+        )
+    return rows
+
+
+def test_exact_workpile_solver_cost(benchmark):
+    x = benchmark(exact_workpile_throughput, 8)
+    assert x > 0
+
+
+def test_exact_mva_matches_simulator(three_way):
+    """Product-form theory vs the event-driven machine: < ~4%."""
+    for row in three_way:
+        err = abs(row["exact"] - row["sim"]) / row["sim"]
+        assert err < 0.04, row
+
+
+def test_bard_is_the_pessimistic_one(three_way):
+    """Bard under-predicts throughput relative to exact MVA everywhere."""
+    for row in three_way:
+        assert row["bard"] <= row["exact"] + 1e-9
+        gap = (row["exact"] - row["bard"]) / row["exact"]
+        assert gap < 0.06  # the price of the closed form

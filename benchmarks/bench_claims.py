@@ -1,0 +1,18 @@
+"""Benchmark: re-measure the paper's accuracy claims end to end."""
+
+import pytest
+
+from repro.experiments import claims
+
+
+@pytest.fixture(scope="module")
+def result():
+    return claims.run(cycles=300)
+
+
+def test_claims(benchmark, result):
+    benchmark.pedantic(
+        claims.run, kwargs={"cycles": 120}, iterations=1, rounds=3
+    )
+    assert result.all_checks_passed, [str(c) for c in result.checks]
+    assert len(result.rows) == 7

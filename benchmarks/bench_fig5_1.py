@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 5-1 (contention fraction vs C^2).
+
+Model-only sweep: 9 C^2 points x 4 handler occupancies = 36 AMVA solves.
+"""
+
+from repro.experiments import fig5_1
+
+
+def test_fig_5_1(benchmark):
+    result = benchmark(fig5_1.run)
+    assert result.all_checks_passed, [str(c) for c in result.checks]
+    assert len(result.rows) == 9
+    # The figure's defining shape: at every C^2, the So=1024 curve sits
+    # above the So=128 curve.
+    for row in result.rows:
+        assert row["handler 1024"] > row["handler 128"]

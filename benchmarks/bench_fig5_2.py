@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 5-2 (all-to-all response time vs W).
+
+The full paper sweep: 11 work values, each with a 32-node simulation,
+plus bounds and the LoPC numerical solution.  This is the reproduction's
+headline figure; the assertions re-verify the Eq. 5.12 bracket and the
+paper's error bands at benchmark scale.
+"""
+
+import pytest
+
+from repro.experiments import fig5_2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_2.run(cycles=250)
+
+
+def test_fig_5_2(benchmark, result):
+    # Time a reduced rerun (the full run is validated via `result`).
+    benchmark.pedantic(
+        fig5_2.run,
+        kwargs={"works": (2, 256, 2048), "cycles": 150},
+        iterations=1,
+        rounds=3,
+    )
+    assert result.all_checks_passed, [str(c) for c in result.checks]
+    assert len(result.rows) == 11
+
+
+def test_fig_5_2_shape(result):
+    """The figure's visual: all four series monotone increasing in W,
+    simulator hugging the LoPC curve, inside the bounds."""
+    for series in ("lower bound (LogP)", "LoPC", "upper bound", "simulator"):
+        values = [row[series] for row in result.rows]
+        assert values == sorted(values)
+    for row in result.rows:
+        assert row["lower bound (LogP)"] < row["simulator"]
+        assert abs(row["LoPC err %"]) <= 8.0

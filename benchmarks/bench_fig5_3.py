@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5-3 (components of contention vs W)."""
+
+import pytest
+
+from repro.experiments import fig5_3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_3.run(cycles=250)
+
+
+def test_fig_5_3(benchmark, result):
+    benchmark.pedantic(
+        fig5_3.run,
+        kwargs={"works": (2, 256, 2048), "cycles": 150},
+        iterations=1,
+        rounds=3,
+    )
+    assert result.all_checks_passed, [str(c) for c in result.checks]
+
+
+def test_fig_5_3_component_shapes(result):
+    """Thread contention grows with W; handler queueing shrinks."""
+    thread = [row["thread sim"] for row in result.rows]
+    request = [row["request sim"] for row in result.rows]
+    assert thread[-1] > thread[0]
+    assert request[-1] < request[0]
+    # Model and simulation agree on the dominant component at each end.
+    first, last = result.rows[0], result.rows[-1]
+    assert first["request model"] > first["reply model"]
+    assert last["thread model"] > last["request model"]

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 6-2 (workpile throughput vs servers).
+
+The full sweep simulates all 31 splits of a 32-node machine; the
+benchmark times a reduced sweep and the assertions verify the full
+figure's shape: unimodal curve, Eq. 6.8 optimum on the peak, LoPC
+conservative by <= ~3%, LogP bounds optimistic.
+"""
+
+import pytest
+
+from repro.experiments import fig6_2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig6_2.run(chunks=200)
+
+
+def test_fig_6_2(benchmark, result):
+    benchmark.pedantic(
+        fig6_2.run,
+        kwargs={"servers": (4, 8, 16), "chunks": 120},
+        iterations=1,
+        rounds=3,
+    )
+    assert result.all_checks_passed, [str(c) for c in result.checks]
+    assert len(result.rows) == 31
+
+
+def test_fig_6_2_shape(result):
+    xs = [row["simulator X"] for row in result.rows]
+    peak = xs.index(max(xs))
+    assert 3 <= result.rows[peak]["Ps"] <= 14
+    # Model curve peaks at the same place +- 1 server.
+    ms = [row["LoPC X"] for row in result.rows]
+    model_peak = ms.index(max(ms))
+    assert abs(model_peak - peak) <= 1

@@ -1,0 +1,57 @@
+"""Benchmark: analytical solver costs.
+
+LoPC's pitch is that the model is cheap enough to use inside design
+loops ("simple and computationally efficient", Chapter 1).  These
+benches quantify the cost of every solver in the family.
+"""
+
+import math
+
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.general import GeneralLoPCModel
+from repro.core.nonblocking import NonBlockingModel
+from repro.core.params import MachineParams
+from repro.core.rule_of_thumb import solve_recursion
+
+MACHINE = MachineParams(latency=40.0, handler_time=200.0, processors=32,
+                        handler_cv2=0.0)
+
+
+def test_alltoall_solve(benchmark):
+    model = AllToAllModel(MACHINE)
+    solution = benchmark(model.solve_work, 512.0)
+    assert solution.response_time > 0
+
+
+def test_scalar_recursion_solve(benchmark):
+    r = benchmark(solve_recursion, 512.0, 40.0, 200.0, 0.0)
+    assert r > 0
+
+
+def test_client_server_full_curve(benchmark):
+    model = ClientServerModel(MACHINE, work=250.0)
+    curve = benchmark(model.throughput_curve)
+    assert len(curve) == 31
+
+
+def test_general_model_32_nodes(benchmark):
+    model = GeneralLoPCModel.homogeneous_alltoall(MACHINE, 512.0)
+    solution = benchmark(model.solve)
+    assert solution.system_throughput > 0
+
+
+def test_general_model_256_nodes(benchmark):
+    machine = MachineParams(latency=40.0, handler_time=200.0,
+                            processors=256, handler_cv2=0.0)
+    model = GeneralLoPCModel.homogeneous_alltoall(machine, 512.0)
+    solution = benchmark(model.solve)
+    assert solution.system_throughput > 0
+
+
+def test_nonblocking_solve(benchmark):
+    model = NonBlockingModel(MACHINE, window=4)
+    solution = benchmark(model.solve, 800.0)
+    assert math.isfinite(solution.cycle_time)

@@ -1,0 +1,35 @@
+"""Benchmark: raw simulator throughput (events/second) and scaling.
+
+Not a paper figure, but the substrate cost that gates every simulated
+experiment: event rate of the engine + node model on the all-to-all
+workload, across machine sizes.
+"""
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.alltoall import AllToAllWorkload
+
+
+def run_machine(processors: int, cycles: int) -> int:
+    config = MachineConfig(processors=processors, latency=40.0,
+                           handler_time=200.0, handler_cv2=0.0, seed=1)
+    machine = Machine(config)
+    AllToAllWorkload(work=200.0, cycles=cycles).install(machine)
+    machine.run_to_completion()
+    return machine.sim.events_processed
+
+
+@pytest.mark.parametrize("processors", [8, 32, 128])
+def test_event_rate(benchmark, processors):
+    events = benchmark(run_machine, processors, 100)
+    # 5 events per compute/request cycle: request arrival, request
+    # handler end, reply arrival, reply handler end, compute end
+    # (sends are immediate, not events).
+    assert processors * 100 * 4 <= events <= processors * 100 * 8
+
+
+def test_events_scale_linearly_with_cycles():
+    e1 = run_machine(16, 50)
+    e2 = run_machine(16, 100)
+    assert e2 == pytest.approx(2 * e1, rel=0.15)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 3.1 (parameter mapping)."""
+
+from repro.experiments import table3_1
+
+
+def test_table_3_1(benchmark):
+    result = benchmark(table3_1.run)
+    assert result.all_checks_passed
+    assert len(result.rows) == 5

@@ -1,0 +1,9 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (or an
+ablation of a design choice the paper calls out) under pytest-benchmark
+timing.  The *data* produced is also sanity-checked, so
+``pytest benchmarks/ --benchmark-only`` doubles as a full reproduction
+run: timings tell you the harness cost, the assertions tell you the
+paper's shapes still hold at benchmark scale.
+"""

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Irregular communication: a radix-sort histogram exchange.
+
+Dusseau's LogP analysis of sorting algorithms (cited in the paper's
+introduction) found LogP underestimated the irregular key-exchange
+phases and "attributed the difference to contention" -- the observation
+that motivated LoPC.  This example builds that phase as a *real
+program* on the simulated machine: every node scatters key-count
+updates to bucket owners chosen by the keys' hash, using blocking
+increments; the handler actually adds into the owner's counter array,
+and the final histogram is verified.
+
+Because destinations are data-dependent (hashes), the traffic is
+exactly the homogeneous irregular pattern of the paper's Section 5, so
+LoPC should predict the phase's runtime where LogP cannot.
+
+Run:  python examples/histogram_sort.py
+"""
+
+import numpy as np
+
+from repro import AllToAllModel, LogPModel, MachineParams
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.threads import Compute, Send, Wait
+
+COUNTS = "hist.counts"
+ACKED = "hist.acked"
+WORK_PER_KEY = 40.0  # local cycles to classify one key
+
+
+def _ack(node, msg):
+    node.memory[ACKED] = True
+    node.notify()
+
+
+def _increment(node, msg):
+    bucket, amount = msg.payload
+    node.memory[COUNTS][bucket] += amount
+    node.send(msg.source, _ack, kind="reply")
+
+
+def main() -> None:
+    p, keys_per_node, buckets_per_node = 16, 96, 4
+    machine = MachineParams(latency=40.0, handler_time=150.0, processors=p,
+                            handler_cv2=0.0)
+    config = MachineConfig.from_machine_params(machine, seed=11)
+
+    rng = np.random.default_rng(7)
+    all_keys = rng.integers(0, p * buckets_per_node,
+                            size=(p, keys_per_node))
+
+    def body_for(node_keys):
+        def body(node):
+            for key in node_keys:
+                yield Compute(WORK_PER_KEY)
+                owner = int(key) // buckets_per_node
+                bucket = int(key)
+                if owner == node.id:  # local bucket: no message
+                    node.memory[COUNTS][bucket] += 1
+                    continue
+                node.memory[ACKED] = False
+                yield Send(owner, _increment, kind="request",
+                           payload=(bucket, 1))
+                yield Wait(lambda n: n.memory[ACKED], label="await-ack")
+
+        return body
+
+    sim_machine = Machine(config)
+    for node in sim_machine.nodes:
+        node.memory[COUNTS] = np.zeros(p * buckets_per_node, dtype=int)
+    sim_machine.install_threads(
+        [body_for(all_keys[i]) for i in range(p)]
+    )
+    sim_machine.run_to_completion()
+
+    # Verify the distributed histogram.
+    merged = np.zeros(p * buckets_per_node, dtype=int)
+    for node in sim_machine.nodes:
+        merged += node.memory[COUNTS]
+    expected = np.bincount(all_keys.ravel(),
+                           minlength=p * buckets_per_node)
+    assert np.array_equal(merged, expected), "histogram mismatch!"
+    print(f"Histogram over {p * keys_per_node} keys verified: "
+          f"{merged.sum()} counts in {p * buckets_per_node} buckets.\n")
+
+    # Model the phase.  Remote fraction of keys ~ (P-1)/P; W per remote
+    # request = work per key / remote fraction.
+    remote_fraction = (p - 1) / p
+    remote_keys = keys_per_node * remote_fraction
+    work_per_request = WORK_PER_KEY / remote_fraction
+    lopc = AllToAllModel(machine).solve_work(work_per_request)
+    logp = LogPModel(machine).cycle_time(work_per_request)
+    predicted_lopc = remote_keys * lopc.response_time
+    predicted_logp = remote_keys * logp
+    measured = sim_machine.sim.now
+
+    print(f"Measured phase time:   {measured:10.0f} cycles")
+    print(f"LoPC prediction:       {predicted_lopc:10.0f} "
+          f"({100 * (predicted_lopc / measured - 1):+.1f}%)")
+    print(f"LogP prediction:       {predicted_logp:10.0f} "
+          f"({100 * (predicted_logp / measured - 1):+.1f}%)")
+    print("\nReading: hash-driven destinations make the exchange "
+          "irregular; LogP misses the queueing at hot buckets while "
+          "LoPC's contention term covers it -- Dusseau's observation, "
+          "reproduced.")
+
+
+if __name__ == "__main__":
+    main()

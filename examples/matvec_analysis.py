@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Section 3's worked example: parameterising a matrix-vector multiply.
+
+The paper derives the LoPC work parameter for an ``N x N`` matvec with a
+cyclically distributed matrix and put+ack communication:
+``W = N * t_madd / (P - 1)``.  This example:
+
+* runs the *actual program* on the simulated active-message machine
+  (the put handlers really store ``y_i`` into remote memory; the result
+  is verified against ``A @ x``);
+* compares the measured put-cycle time against the LoPC and LogP
+  predictions built from the Section 3 parameterisation;
+* demonstrates the Brewer/Kuszmaul self-synchronisation effect the
+  paper's introduction cites: the deterministic cyclic put order is
+  nearly contention-free on a variance-free machine, while a randomised
+  put order restores the irregular arrivals LoPC models.
+
+Run:  python examples/matvec_analysis.py
+"""
+
+from repro import AllToAllModel, LogPModel, MachineParams
+from repro.sim.machine import MachineConfig
+from repro.workloads.matvec import run_matvec
+
+
+def main() -> None:
+    machine = MachineParams(latency=10.0, handler_time=100.0, processors=8,
+                            handler_cv2=0.0)
+    config = MachineConfig.from_machine_params(machine, seed=42)
+    size = 64
+    madd = 2.0  # cycles per multiply-add
+
+    print(f"y = A x with N={size}, P={machine.processors}, "
+          f"t_madd={madd:g} cycles, put+ack communication\n")
+
+    for randomize in (False, True):
+        result = run_matvec(config, size=size, madd_cycles=madd,
+                            randomize_order=randomize)
+        algo = result.algorithm
+        lopc = AllToAllModel(machine).solve(algo)
+        logp = LogPModel(machine).solve(algo)
+        order = "randomised" if randomize else "cyclic (paper's order)"
+        print(f"--- put order: {order} ---")
+        print(f"  numerically correct:   {result.correct} "
+              f"(max |error| = {result.max_abs_error:.2e})")
+        print(f"  LoPC parameters:       W = {algo.work:.1f} cycles/put, "
+              f"n = {algo.requests} puts/node")
+        print(f"  measured put cycle:    {result.response_time:8.1f}")
+        print(f"  LogP prediction:       {logp.response_time:8.1f}  "
+              f"({100 * (logp.response_time / result.response_time - 1):+.1f}%)")
+        print(f"  LoPC prediction:       {lopc.response_time:8.1f}  "
+              f"({100 * (lopc.response_time / result.response_time - 1):+.1f}%)")
+        print(f"  total runtime:         {result.runtime:8.0f} cycles "
+              f"(LoPC predicts {lopc.runtime(algo.requests):.0f})")
+        print()
+
+    print("Reading: with the deterministic cyclic order the machine")
+    print("self-synchronises (the CM-5 effect) and even LogP is close;")
+    print("randomising the put order makes arrivals irregular, LogP")
+    print("underpredicts, and LoPC's contention term is needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (no `wheel` package in this env)."""
+
+from setuptools import setup
+
+setup()

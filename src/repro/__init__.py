@@ -1,0 +1,73 @@
+"""repro -- reproduction of *LoPC: Modeling Contention in Parallel Algorithms*.
+
+LoPC (Frank, PPoPP 1997 / MIT MS thesis 1996) extends the LogP model of
+parallel computation with a contention term ``C`` computed by approximate
+mean value analysis, for active-message machines where message handlers
+interrupt the computation thread and queue in a hardware FIFO.
+
+Package layout
+--------------
+``repro.core``
+    The LoPC model family: homogeneous all-to-all (Section 5),
+    client-server workpile (Chapter 6), the general Appendix-A model,
+    the shared-memory (protocol-processor) variant, the rule-of-thumb
+    bounds, the non-blocking extension, and the contention-free LogP
+    baseline.
+``repro.mva``
+    Mean-value-analysis substrate: Little's law, residual life, Bard's
+    approximation, the BKT priority approximation, exact and approximate
+    MVA for closed networks.
+``repro.sim``
+    Event-driven simulator of the paper's machine model (the validation
+    substrate that stands in for MIT Alewife).
+``repro.workloads``
+    Paired model/simulation workload builders: all-to-all, workpile,
+    matrix-vector multiply, visit-matrix patterns.
+``repro.experiments``
+    One runner per table/figure in the paper's evaluation, plus the
+    accuracy-claims checks.
+``repro.validation``
+    Model-vs-simulation comparison utilities.
+
+Quick start
+-----------
+>>> from repro import MachineParams, AllToAllModel
+>>> machine = MachineParams(latency=40, handler_time=200, processors=32,
+...                         handler_cv2=0.0)
+>>> solution = AllToAllModel(machine).solve_work(1024.0)
+>>> round(solution.response_time, 1)  # doctest: +SKIP
+1510.3
+"""
+
+from repro.core import (
+    AlgorithmParams,
+    AllToAllModel,
+    ClientServerModel,
+    GeneralLoPCModel,
+    LoPCParams,
+    LogPModel,
+    MachineParams,
+    ModelSolution,
+    NonBlockingModel,
+    SharedMemoryModel,
+    contention_bounds,
+    rule_of_thumb_response,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmParams",
+    "AllToAllModel",
+    "ClientServerModel",
+    "GeneralLoPCModel",
+    "LoPCParams",
+    "LogPModel",
+    "MachineParams",
+    "ModelSolution",
+    "NonBlockingModel",
+    "SharedMemoryModel",
+    "__version__",
+    "contention_bounds",
+    "rule_of_thumb_response",
+]

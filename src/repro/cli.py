@@ -1,0 +1,129 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    lopc-repro list
+    lopc-repro run fig-5.2 [--out results/] [--fast]
+    lopc-repro run-all [--out results/] [--fast]
+
+``--fast`` shrinks simulation lengths (for smoke testing); published
+numbers should use the defaults.  With ``--out``, each experiment writes
+``<id>.txt`` (ASCII table) and ``<id>.csv`` next to the printed output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    format_table,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.common import ExperimentResult, to_csv
+
+__all__ = ["main"]
+
+_FAST_OVERRIDES: dict[str, dict[str, object]] = {
+    "fig-5.2": {"cycles": 120, "works": (2, 32, 256, 1024)},
+    "fig-5.3": {"cycles": 120, "works": (2, 32, 256, 1024)},
+    "fig-6.2": {"chunks": 120, "servers": (2, 4, 8, 12, 16, 24)},
+    "claims": {"cycles": 150},
+    "cm5-drift": {"phases": 80},
+}
+
+
+def _write_outputs(result: ExperimentResult, out_dir: Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = result.experiment_id.replace(".", "_")
+    (out_dir / f"{stem}.txt").write_text(format_table(result) + "\n")
+    (out_dir / f"{stem}.csv").write_text(to_csv(result))
+
+
+#: Chartable experiments and their series (figure-shaped results only).
+_CHARTS: dict[str, tuple[str, tuple[str, ...]]] = {
+    "fig-5.1": ("C2", ()),  # all handler columns
+    "fig-5.2": ("W", ("lower bound (LogP)", "LoPC", "upper bound",
+                      "simulator")),
+    "fig-5.3": ("W", ("total model", "total sim")),
+    "fig-6.2": ("Ps", ("simulator X", "LoPC X")),
+}
+
+
+def _run_one(
+    experiment_id: str, fast: bool, out: Path | None, chart: bool = False
+) -> bool:
+    kwargs = _FAST_OVERRIDES.get(experiment_id, {}) if fast else {}
+    start = time.perf_counter()
+    result = get_experiment(experiment_id)(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(format_table(result))
+    if chart and experiment_id in _CHARTS:
+        from repro.experiments.charts import chart_experiment
+
+        x_col, series = _CHARTS[experiment_id]
+        print()
+        print(chart_experiment(result, x_column=x_col,
+                               series_columns=list(series) or None))
+    print(f"\n({experiment_id} completed in {elapsed:.1f}s)\n")
+    if out is not None:
+        _write_outputs(result, out)
+    return result.all_checks_passed
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="lopc-repro",
+        description=(
+            "Reproduce the tables and figures of 'LoPC: Modeling "
+            "Contention in Parallel Algorithms' (Frank, PPoPP 1997)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment id (see `list`)")
+    run_p.add_argument("--out", type=Path, default=None,
+                       help="directory for .txt/.csv outputs")
+    run_p.add_argument("--fast", action="store_true",
+                       help="smaller simulations (smoke test)")
+    run_p.add_argument("--chart", action="store_true",
+                       help="render figure experiments as ASCII charts")
+
+    all_p = sub.add_parser("run-all", help="run every experiment")
+    all_p.add_argument("--out", type=Path, default=None)
+    all_p.add_argument("--fast", action="store_true")
+    all_p.add_argument("--chart", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        ok = _run_one(args.experiment, args.fast, args.out, args.chart)
+        return 0 if ok else 1
+
+    if args.command == "run-all":
+        all_ok = True
+        for experiment_id in list_experiments():
+            ok = _run_one(experiment_id, args.fast, args.out, args.chart)
+            all_ok &= ok
+        print("all shape checks passed" if all_ok
+              else "SOME SHAPE CHECKS FAILED")
+        return 0 if all_ok else 1
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The LoPC model family -- the paper's primary contribution.
+
+Modules
+-------
+:mod:`repro.core.params`
+    LoPC / LogP parameterisation (paper Section 3, Table 3.1).
+:mod:`repro.core.results`
+    The :class:`~repro.core.results.ModelSolution` record shared by every
+    analytical model and by the simulator's measurements.
+:mod:`repro.core.logp`
+    Contention-free LogP-style baseline (the model LoPC is compared
+    against throughout the evaluation).
+:mod:`repro.core.alltoall`
+    Homogeneous all-to-all AMVA model (paper Sections 5.1-5.2).
+:mod:`repro.core.rule_of_thumb`
+    The recursion ``F[R]`` and the bracketing bounds of Eq. 5.11/5.12.
+:mod:`repro.core.client_server`
+    Client-server workpile model and optimal server allocation (Ch. 6).
+:mod:`repro.core.general`
+    The general LoPC model of Appendix A (heterogeneous threads, visit
+    matrices, multi-hop requests).
+:mod:`repro.core.shared_memory`
+    Protocol-processor (shared-memory) variant: ``Rw = W``.
+:mod:`repro.core.nonblocking`
+    Future-work extension (Ch. 7): non-blocking requests with k
+    outstanding messages, in the style of Heidelberger & Trivedi.
+:mod:`repro.core.solver`
+    Damped fixed-point iteration and scalar bracketing used by all of the
+    above.
+"""
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.general import GeneralLoPCModel, ThreadClass
+from repro.core.logp import LogPModel
+from repro.core.nonblocking import NonBlockingModel
+from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
+from repro.core.results import ModelSolution
+from repro.core.rule_of_thumb import (
+    contention_bounds,
+    fixed_point_recursion,
+    rule_of_thumb_response,
+    solve_recursion,
+    upper_bound_constant,
+)
+from repro.core.scaling import (
+    AlgorithmSpec,
+    crossover,
+    matvec_spec,
+    optimal_processors,
+    runtime_curve,
+    speedup_curve,
+)
+from repro.core.shared_memory import SharedMemoryModel
+from repro.core.solver import FixedPointResult, solve_fixed_point
+
+__all__ = [
+    "AlgorithmParams",
+    "AlgorithmSpec",
+    "AllToAllModel",
+    "ClientServerModel",
+    "FixedPointResult",
+    "GeneralLoPCModel",
+    "LoPCParams",
+    "LogPModel",
+    "MachineParams",
+    "ModelSolution",
+    "NonBlockingModel",
+    "SharedMemoryModel",
+    "ThreadClass",
+    "contention_bounds",
+    "crossover",
+    "fixed_point_recursion",
+    "matvec_spec",
+    "optimal_processors",
+    "rule_of_thumb_response",
+    "runtime_curve",
+    "solve_fixed_point",
+    "solve_recursion",
+    "speedup_curve",
+    "upper_bound_constant",
+]

@@ -1,0 +1,173 @@
+"""Homogeneous all-to-all LoPC model (paper Sections 5.1-5.2).
+
+Machine model: ``P`` nodes, one computation thread each.  A thread works
+``W`` cycles on average, then issues a blocking request to a uniformly
+random *other* node and spins until the reply handler unblocks it.
+Requests and replies each take ``St`` in the wire and ``So`` at the
+destination CPU; handlers are atomic and FIFO-queued.
+
+The model is the following AMVA system (paper equation numbers)::
+
+    X  = P / R                                   (5.1)
+    V  = 1 / P                                   (5.2)
+    Qk = V X Rk          for k in {q, y}         (5.3)
+    Uk = V X So                                  (5.4)
+    Rq = So (1 + Qq + Qy + (C2-1)/2 (Uq + Uy))   (5.5) / (5.9)
+    Ry = So (1 + Qq       + (C2-1)/2  Uq      )  (5.6) / (5.10)
+    Rw = (W + So Qq) / (1 - Uq)                  (5.7, BKT)
+    R  = Rw + 2 St + Rq + Ry                     (4.1)
+
+Notes
+-----
+* ``V = 1/P`` is exact for uniform-random destinations: each of ``P``
+  threads spreads its requests over the ``P - 1`` other nodes, so node
+  ``k`` receives ``(P-1) * (X/P) / (P-1) = X/P``.
+* The ``C^2`` corrections come from residual-life arithmetic
+  (:mod:`repro.mva.residual`); they vanish at ``C^2 = 1`` (exponential).
+* ``Rw`` has *no* ``C^2`` correction: the thread resumes exactly at a
+  handler-completion epoch and therefore observes full service times of
+  any request handlers still queued (paper Section 5.2).
+* The shared-memory (protocol-processor) variant replaces (5.7) by
+  ``Rw = W``: handlers run on dedicated hardware and never interrupt the
+  computation thread, but still contend with each other.
+
+The same fixed point can be reached through the scalar recursion ``F[R]``
+of Eq. 5.11 (see :mod:`repro.core.rule_of_thumb`); the two solution paths
+agree to solver tolerance and are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
+from repro.core.results import ModelSolution
+from repro.core.solver import solve_fixed_point
+from repro.mva.bkt import bkt_residence_time
+from repro.mva.residual import residual_correction
+
+__all__ = ["AllToAllModel"]
+
+
+@dataclass(frozen=True)
+class AllToAllModel:
+    """LoPC model of homogeneous all-to-all blocking request/reply traffic.
+
+    Parameters
+    ----------
+    machine:
+        Architectural parameters ``(St, So, P, C^2)``.
+    protocol_processor:
+        If True, model a shared-memory style node where handlers run on a
+        dedicated protocol processor (``Rw = W``); request and reply
+        handlers still queue against each other for the protocol
+        processor (paper Section 5.1, "Modeling Shared Memory").
+    damping, tol, max_iter:
+        Fixed-point solver controls (see :func:`repro.core.solver.solve_fixed_point`).
+    """
+
+    machine: MachineParams
+    protocol_processor: bool = False
+    damping: float = 0.5
+    tol: float = 1e-12
+    max_iter: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.machine.gap != 0.0:
+            raise ValueError(
+                "LoPC assumes balanced network bandwidth (gap g = 0); "
+                f"got gap={self.machine.gap!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def _map(self, work: float) -> "np.ufunc":
+        """The AMVA update map on the state vector ``[Rw, Rq, Ry]``."""
+        m = self.machine
+        so = m.handler_time
+        st = m.latency
+        cv2 = m.handler_cv2
+
+        def update(state: np.ndarray) -> np.ndarray:
+            rw, rq, ry = state
+            r = rw + 2.0 * st + rq + ry  # Eq. 4.1
+            lam = 1.0 / r  # per-node arrival rate V*X = (1/P)(P/R)
+            uq = lam * so  # Eq. 5.4
+            uy = lam * so
+            qq = lam * rq  # Eq. 5.3
+            qy = lam * ry
+            new_rq = so * (
+                1.0
+                + qq
+                + qy
+                + residual_correction(uq, cv2)
+                + residual_correction(uy, cv2)
+            )  # Eq. 5.9
+            new_ry = so * (1.0 + qq + residual_correction(uq, cv2))  # Eq. 5.10
+            if self.protocol_processor:
+                new_rw = work  # shared-memory variant
+            else:
+                new_rw = bkt_residence_time(work, so, qq, uq)  # Eq. 5.7
+            return np.array([new_rw, new_rq, new_ry])
+
+        return update
+
+    def solve(self, algorithm: AlgorithmParams) -> ModelSolution:
+        """Solve the AMVA system for the given algorithmic parameters."""
+        m = self.machine
+        work = algorithm.work
+        # Contention-free starting point: [W, So, So].
+        initial = np.array([work, m.handler_time, m.handler_time])
+        result = solve_fixed_point(
+            self._map(work),
+            initial,
+            damping=self.damping,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
+        rw, rq, ry = result.value
+        r = rw + 2.0 * m.latency + rq + ry
+        lam = 1.0 / r
+        return ModelSolution(
+            response_time=r,
+            compute_residence=rw,
+            request_residence=rq,
+            reply_residence=ry,
+            throughput=m.processors / r,  # Eq. 5.1
+            request_queue=lam * rq,
+            reply_queue=lam * ry,
+            request_utilization=lam * m.handler_time,
+            reply_utilization=lam * m.handler_time,
+            work=work,
+            latency=m.latency,
+            handler_time=m.handler_time,
+            meta={
+                "model": "lopc-alltoall",
+                "protocol_processor": self.protocol_processor,
+                "iterations": result.iterations,
+                "residual": result.residual,
+                "cv2": m.handler_cv2,
+            },
+        )
+
+    def solve_work(self, work: float) -> ModelSolution:
+        """Shorthand: solve for a bare ``W`` value."""
+        return self.solve(AlgorithmParams(work=work))
+
+    def solve_params(self, params: LoPCParams) -> ModelSolution:
+        """Solve for a complete :class:`LoPCParams`."""
+        if params.machine != self.machine:
+            raise ValueError(
+                "params.machine does not match this model's machine; "
+                "construct an AllToAllModel with the same MachineParams"
+            )
+        return self.solve(params.algorithm)
+
+    def runtime(self, algorithm: AlgorithmParams) -> float:
+        """Total application runtime ``n * R`` including contention."""
+        return algorithm.requests * self.solve(algorithm).response_time
+
+    def contention_fraction(self, work: float) -> float:
+        """Fraction of the cycle spent on contention (Figure 5-1)."""
+        return self.solve_work(work).contention_fraction

@@ -1,0 +1,253 @@
+"""Client-server workpile LoPC model (paper Chapter 6).
+
+The machine's ``P`` nodes are split into ``Pc`` clients, which do the
+actual work, and ``Ps = P - Pc`` servers, which hand out chunks of work.
+Each client repeats: process a chunk (``W`` cycles), then make a blocking
+request to a uniformly random server for the next chunk.  Server threads
+never compute and never initiate requests, so:
+
+* client nodes receive no request handlers -- the client thread's
+  residence is exactly ``W`` and its reply handler costs exactly ``So``;
+* server nodes receive no reply handlers -- only request handlers contend.
+
+The model for a given split (all by Little + Bard, equation numbers from
+the paper)::
+
+    X  = Pc / R                                  (6.2)
+    Us = (X / Ps) So                             (6.4)
+    Qs = (X / Ps) Rs                             (6.1, general form)
+    Rs = So (1 + Qs + (C2-1)/2 Us)               (6.5, general Qs)
+    R  = W + 2 St + Rs + So                      (6.7)
+
+**Optimal allocation.**  At the throughput-maximising split the mean
+number of customers per server is exactly 1 (the paper's exchange
+argument), which collapses the system to closed form::
+
+    Rs* = So (1 + sqrt((C2+1)/2))                          (6.6)
+    Ps* = P Rs* / (R + Rs*)
+        = P (1 + sqrt(2(C2+1))/2) So
+          / (W + 2 St + (3 + sqrt(2(C2+1))) So)            (6.8)
+
+Figure 6-2 plots the AMVA throughput curve against simulation for
+``Ps = 1..31`` with the Eq. 6.8 optimum marked, plus the optimistic
+LogP-style bounds ``X <= Ps/So`` and ``X <= Pc/(W + 2St + 2So)``
+(:meth:`repro.core.logp.LogPModel.workpile_bound`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.params import MachineParams
+from repro.core.solver import solve_fixed_point
+from repro.mva.residual import residual_correction
+
+__all__ = ["ClientServerModel", "WorkpileSolution"]
+
+
+@dataclass(frozen=True)
+class WorkpileSolution:
+    """Steady-state solution of the workpile model for one (Ps, Pc) split.
+
+    Attributes
+    ----------
+    servers, clients:
+        The node split ``Ps`` / ``Pc``.
+    throughput:
+        ``X`` -- chunks processed per cycle, system-wide.
+    response_time:
+        ``R`` -- mean time per chunk at a client (work + round trip).
+    server_residence:
+        ``Rs`` -- response time of a request at a server (service +
+        queueing).
+    server_queue:
+        ``Qs`` -- mean customers at each server (including in service).
+    server_utilization:
+        ``Us`` -- fraction of server time spent in request handlers.
+    work, latency, handler_time:
+        The parameters the solution was computed for.
+    meta:
+        Solver provenance.
+    """
+
+    servers: int
+    clients: int
+    throughput: float
+    response_time: float
+    server_residence: float
+    server_queue: float
+    server_utilization: float
+    work: float
+    latency: float
+    handler_time: float
+    meta: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    @property
+    def X(self) -> float:  # noqa: N802 - paper notation
+        return self.throughput
+
+    @property
+    def R(self) -> float:  # noqa: N802 - paper notation
+        return self.response_time
+
+    @property
+    def Rs(self) -> float:  # noqa: N802 - paper notation
+        return self.server_residence
+
+    @property
+    def server_contention(self) -> float:
+        """Queueing delay at the server, ``Rs - So``."""
+        return self.server_residence - self.handler_time
+
+    @property
+    def contention_free_cycle(self) -> float:
+        """``W + 2 St + 2 So`` -- chunk cycle with an idle server."""
+        return self.work + 2.0 * self.latency + 2.0 * self.handler_time
+
+    def cycle_identity_error(self) -> float:
+        """Absolute error in ``R - (W + 2 St + Rs + So)`` (Eq. 6.7)."""
+        reconstructed = (
+            self.work
+            + 2.0 * self.latency
+            + self.server_residence
+            + self.handler_time
+        )
+        return abs(self.response_time - reconstructed)
+
+
+@dataclass(frozen=True)
+class ClientServerModel:
+    """LoPC workpile model: throughput curves and optimal server counts.
+
+    Parameters
+    ----------
+    machine:
+        Architectural parameters ``(St, So, P, C^2)``.
+    work:
+        ``W`` -- mean client computation per chunk, in cycles.
+    """
+
+    machine: MachineParams
+    work: float
+    damping: float = 0.5
+    tol: float = 1e-12
+    max_iter: int = 50_000
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError(f"work must be >= 0, got {self.work!r}")
+        if self.machine.gap != 0.0:
+            raise ValueError(
+                "LoPC assumes balanced network bandwidth (gap g = 0); "
+                f"got gap={self.machine.gap!r}"
+            )
+
+    def _check_split(self, servers: int) -> int:
+        if int(servers) != servers:
+            raise ValueError(f"servers must be an integer, got {servers!r}")
+        servers = int(servers)
+        if not 1 <= servers <= self.machine.processors - 1:
+            raise ValueError(
+                f"servers must lie in [1, P-1] = [1, "
+                f"{self.machine.processors - 1}], got {servers}"
+            )
+        return servers
+
+    # ------------------------------------------------------------------
+    def solve(self, servers: int) -> WorkpileSolution:
+        """Solve the AMVA system for a split with ``servers`` server nodes."""
+        servers = self._check_split(servers)
+        m = self.machine
+        clients = m.processors - servers
+        so, st, cv2, w = m.handler_time, m.latency, m.handler_cv2, self.work
+
+        def update(state: np.ndarray) -> np.ndarray:
+            (rs,) = state
+            r = w + 2.0 * st + rs + so  # Eq. 6.7
+            lam = clients / r / servers  # per-server arrival rate X/Ps
+            us = lam * so  # Eq. 6.4
+            qs = lam * rs  # Eq. 6.1 general form
+            new_rs = so * (1.0 + qs + residual_correction(us, cv2))  # Eq. 6.5
+            return np.array([new_rs])
+
+        result = solve_fixed_point(
+            update,
+            np.array([so]),
+            damping=self.damping,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
+        (rs,) = result.value
+        r = w + 2.0 * st + rs + so
+        x = clients / r  # Eq. 6.2
+        lam = x / servers
+        return WorkpileSolution(
+            servers=servers,
+            clients=clients,
+            throughput=x,
+            response_time=r,
+            server_residence=rs,
+            server_queue=lam * rs,
+            server_utilization=lam * so,
+            work=w,
+            latency=st,
+            handler_time=so,
+            meta={
+                "model": "lopc-workpile",
+                "iterations": result.iterations,
+                "residual": result.residual,
+                "cv2": cv2,
+            },
+        )
+
+    def throughput(self, servers: int) -> float:
+        """System throughput ``X`` for a given split (chunks/cycle)."""
+        return self.solve(servers).throughput
+
+    def throughput_curve(
+        self, servers: Sequence[int] | None = None
+    ) -> list[WorkpileSolution]:
+        """Solve every split (default ``Ps = 1 .. P-1``) -- Figure 6-2."""
+        if servers is None:
+            servers = range(1, self.machine.processors)
+        return [self.solve(ps) for ps in servers]
+
+    # ------------------------------------------------------------------
+    # Closed forms (Eqs. 6.6 and 6.8)
+    # ------------------------------------------------------------------
+    def optimal_server_residence(self) -> float:
+        """``Rs* = So (1 + sqrt((C^2+1)/2))`` -- Eq. 6.6.
+
+        The server response time at the throughput-optimal split, where
+        the mean queue per server is exactly 1.
+        """
+        cv2 = self.machine.handler_cv2
+        return self.machine.handler_time * (1.0 + math.sqrt((cv2 + 1.0) / 2.0))
+
+    def optimal_servers_exact(self) -> float:
+        """The (continuous) optimal server count ``Ps*`` -- Eq. 6.8."""
+        m = self.machine
+        rs = self.optimal_server_residence()
+        r = self.work + 2.0 * m.latency + rs + m.handler_time  # Eq. 6.7
+        return m.processors * rs / (r + rs)  # Eq. 6.3
+
+    def optimal_servers(self) -> int:
+        """Best integer split: round Eq. 6.8 and confirm against neighbours.
+
+        The closed form is continuous; the discrete optimum is one of the
+        two adjacent integers, so evaluate both (clamped to ``[1, P-1]``)
+        and return the higher-throughput one.
+        """
+        exact = self.optimal_servers_exact()
+        lo = max(1, min(self.machine.processors - 1, math.floor(exact)))
+        hi = max(1, min(self.machine.processors - 1, math.ceil(exact)))
+        candidates = sorted({lo, hi})
+        return max(candidates, key=self.throughput)
+
+    def optimal_throughput_closed_form(self) -> float:
+        """Throughput at the Eq. 6.8 optimum via ``X = Ps*/Rs*`` (Eq. 6.1)."""
+        return self.optimal_servers_exact() / self.optimal_server_residence()

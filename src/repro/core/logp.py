@@ -1,0 +1,123 @@
+"""Contention-free LogP-style baseline model.
+
+LogP (Culler et al., PPoPP 1993) charges each message a fixed overhead and
+latency but makes *no* prediction about contention.  Applied naively to
+the LoPC machine model (interrupt-driven active messages, blocking
+request/reply cycles), a LogP-style analysis predicts a cycle of::
+
+    R0 = W + St + So + St + So  =  W + 2*St + 2*So
+
+This is exactly the lower bound of the paper's Eq. 5.12 and the
+"contention free model" of Section 5.3, whose error the paper quantifies:
+it under-predicts the all-to-all run time by up to 37 % at ``W = 0`` and
+still ~13 % at ``W = 1024`` because its absolute error stays ~ one handler
+time while the cycle grows.
+
+For the client-server workpile (Figure 6-2's dotted lines) the LogP view
+yields two *optimistic* throughput bounds::
+
+    X <= Ps / So                      (server saturation)
+    X <= Pc / (W + 2*St + 2*So)       (clients never wait at the server)
+
+Both are provided here so the evaluation code has a single place to get
+"what LogP would say".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
+from repro.core.results import ModelSolution
+
+__all__ = ["LogPModel"]
+
+
+@dataclass(frozen=True)
+class LogPModel:
+    """The contention-free baseline the paper compares LoPC against.
+
+    Parameters
+    ----------
+    machine:
+        Architectural parameters (``L = St``, ``o = So``, ``P``).
+    """
+
+    machine: MachineParams
+
+    def cycle_time(self, work: float) -> float:
+        """Contention-free compute/request cycle ``W + 2 St + 2 So``."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work!r}")
+        return work + 2.0 * self.machine.latency + 2.0 * self.machine.handler_time
+
+    def solve(self, algorithm: AlgorithmParams) -> ModelSolution:
+        """Predict the cycle assuming zero contention everywhere.
+
+        Utilisations are still reported (they follow from throughput by
+        Little's result and do not require a contention model); queue
+        lengths are the utilisations themselves (no waiting).
+        """
+        m = self.machine
+        w = algorithm.work
+        r = self.cycle_time(w)
+        x = m.processors / r  # Eq. 5.1 applied to the contention-free cycle
+        per_node = x / m.processors
+        uq = per_node * m.handler_time
+        uy = per_node * m.handler_time
+        return ModelSolution(
+            response_time=r,
+            compute_residence=w,
+            request_residence=m.handler_time,
+            reply_residence=m.handler_time,
+            throughput=x,
+            request_queue=uq,
+            reply_queue=uy,
+            request_utilization=uq,
+            reply_utilization=uy,
+            work=w,
+            latency=m.latency,
+            handler_time=m.handler_time,
+            meta={"model": "logp-contention-free"},
+        )
+
+    def solve_params(self, params: LoPCParams) -> ModelSolution:
+        """Convenience overload taking a full :class:`LoPCParams`."""
+        if params.machine != self.machine:
+            raise ValueError(
+                "params.machine does not match this model's machine; "
+                "construct a LogPModel with the same MachineParams"
+            )
+        return self.solve(params.algorithm)
+
+    def runtime(self, algorithm: AlgorithmParams) -> float:
+        """Total predicted runtime ``n * R0``."""
+        return algorithm.requests * self.cycle_time(algorithm.work)
+
+    # ------------------------------------------------------------------
+    # Workpile throughput bounds (Figure 6-2 dotted lines)
+    # ------------------------------------------------------------------
+    def workpile_server_bound(self, servers: int) -> float:
+        """Server-saturation throughput bound ``X <= Ps / So``."""
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers!r}")
+        return servers / self.machine.handler_time
+
+    def workpile_client_bound(self, clients: int, work: float) -> float:
+        """No-contention client throughput bound ``X <= Pc / (W+2St+2So)``."""
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients!r}")
+        return clients / self.cycle_time(work)
+
+    def workpile_bound(self, servers: int, work: float) -> float:
+        """The binding LogP bound for a ``(Ps, Pc = P - Ps)`` split."""
+        clients = self.machine.processors - servers
+        if clients < 1:
+            raise ValueError(
+                f"split leaves no clients: P={self.machine.processors}, "
+                f"servers={servers}"
+            )
+        return min(
+            self.workpile_server_bound(servers),
+            self.workpile_client_bound(clients, work),
+        )

@@ -1,0 +1,222 @@
+"""Non-blocking requests: the paper's future-work extension (Chapter 7).
+
+The thesis closes by proposing to extend LoPC to *non-blocking* requests
+"using a technique pioneered by Heidelberger and Trivedi" (queueing models
+for asynchronous tasks).  This module implements that extension for the
+homogeneous all-to-all pattern with a send window of ``k`` outstanding
+requests per thread:
+
+* the thread computes ``W`` cycles, issues a request, and continues
+  immediately *unless* ``k`` requests are already in flight, in which
+  case it stalls until a reply retires one;
+* because the thread keeps running while replies arrive, *both* request
+  and reply handlers now interrupt it, and several replies may queue at a
+  node simultaneously (the blocking model's "only one reply can queue"
+  simplification no longer applies).
+
+Model (homogeneous, per node; ``x`` = thread request rate)::
+
+    Uq = x So           Uy = x So
+    Qq = x Rq           Qy = x Ry
+    Rq = So (1 + Qq + Qy + (C2-1)/2 (Uq + Uy))       as Eq. 5.9
+    Ry = So (1 + Qq + Qy + (C2-1)/2 (Uq + Uy))       replies queue freely
+    Rw = (W + So (Qq + Qy)) / (1 - Uq - Uy)          BKT, both classes
+    T  = 2 St + Rq + Ry                              round-trip residue
+    cycle = max(Rw, T / k)                           window law
+    x  = 1 / cycle
+
+The *window law* comes from the issue-time recurrence: issue ``i`` must
+wait for the reply of issue ``i - k`` (window) and for its own compute
+(``t_i >= t_{i-1} + Rw``), so the steady-state inter-issue time is
+``max(Rw, T/k)``.  Note ``k = 1`` here is *not* the Chapter 4/5 blocking
+model: a window-1 thread still overlaps its compute with the round trip
+(it waits before the *next* send, not after its own), so its cycle is
+``max(Rw, T)`` rather than ``Rw + T``.  As ``k -> oo`` the thread is
+compute-bound at ``cycle = Rw``.  The crossover ``k* = T / Rw`` is the
+bandwidth-delay product.  Validated against the simulator's non-blocking
+workload in the integration tests and ``examples/nonblocking_study.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.params import MachineParams
+from repro.core.solver import solve_scalar_fixed_point
+from repro.mva.residual import residual_correction
+
+__all__ = ["NonBlockingModel", "NonBlockingSolution"]
+
+
+@dataclass(frozen=True)
+class NonBlockingSolution:
+    """Steady-state solution for the non-blocking all-to-all extension.
+
+    Attributes
+    ----------
+    cycle_time:
+        Mean time between successive request issues by one thread.
+    throughput:
+        System-wide request rate ``P / cycle_time``.
+    round_trip:
+        Mean request round trip ``2 St + Rq + Ry`` (latency of one
+        request, which no longer bounds the issue rate once ``k`` covers
+        the bandwidth-delay product).
+    compute_residence, request_residence, reply_residence:
+        ``Rw``, ``Rq``, ``Ry`` as in the blocking model.
+    window:
+        The outstanding-request limit ``k`` (``math.inf`` for unbounded).
+    compute_bound:
+        True when the window no longer limits throughput
+        (``cycle_time == Rw``).
+    """
+
+    cycle_time: float
+    throughput: float
+    round_trip: float
+    compute_residence: float
+    request_residence: float
+    reply_residence: float
+    request_utilization: float
+    reply_utilization: float
+    window: float
+    work: float
+    latency: float
+    handler_time: float
+    meta: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    @property
+    def compute_bound(self) -> bool:
+        return math.isclose(self.cycle_time, self.compute_residence,
+                            rel_tol=1e-9)
+
+    @property
+    def overlap_speedup(self) -> float:
+        """Speedup over the blocking cycle ``Rw + round_trip``."""
+        return (self.compute_residence + self.round_trip) / self.cycle_time
+
+
+@dataclass(frozen=True)
+class NonBlockingModel:
+    """LoPC extension for k-outstanding non-blocking all-to-all traffic.
+
+    Parameters
+    ----------
+    machine:
+        Architectural parameters ``(St, So, P, C^2)``.
+    window:
+        Maximum outstanding requests per thread, ``k >= 1``;
+        ``math.inf`` for unbounded pipelining.
+    """
+
+    machine: MachineParams
+    window: float = math.inf
+    damping: float = 0.5
+    tol: float = 1e-12
+    max_iter: int = 50_000
+
+    def __post_init__(self) -> None:
+        if not (self.window >= 1):
+            raise ValueError(f"window must be >= 1, got {self.window!r}")
+
+    def _components(self, work: float, cycle: float) -> tuple[float, float, float]:
+        """``(Rw, Rq, Ry)`` implied by a candidate cycle time.
+
+        Given the issue rate ``x = 1/cycle``, the handler equations are
+        *linear*: request and reply handlers obey the same equation (both
+        queue freely), so ``Rq = Ry = r`` with::
+
+            r = So (1 + 2 x r + (C2-1) x So)   =>
+            r = So (1 + (C2-1) x So) / (1 - 2 x So)
+
+        and the BKT thread residence follows directly.  Requires
+        ``2 x So < 1`` (handler load below saturation).
+        """
+        m = self.machine
+        so, cv2 = m.handler_time, m.handler_cv2
+        x = 1.0 / cycle
+        load = 2.0 * x * so
+        if load >= 1.0:
+            raise ValueError(
+                f"cycle {cycle!r} implies handler load {load:.3f} >= 1"
+            )
+        u = x * so
+        r = so * (1.0 + 2.0 * residual_correction(u, cv2)) / (1.0 - load)
+        rw = (work + so * (2.0 * x * r)) / (1.0 - load)
+        return rw, r, r
+
+    def solve(self, work: float) -> NonBlockingSolution:
+        """Solve the windowed non-blocking system for work ``W``.
+
+        The cycle map ``g(c) = max(Rw(c), T(c)/k)`` is strictly decreasing
+        in ``c`` (longer cycles mean lighter load), so the fixed point is
+        found by Brent bracketing just above the saturation cycle
+        ``2 So`` (where each node spends its whole cycle in the two
+        handlers every issue generates).
+
+        Raises
+        ------
+        ValueError
+            If the offered load saturates the nodes (``W <= 2 So`` with an
+            unbounded window -- a finite window always self-limits).
+        """
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work!r}")
+        m = self.machine
+        so, st, k = m.handler_time, m.latency, self.window
+        if math.isinf(k) and work <= 2.0 * so:
+            raise ValueError(
+                "unbounded non-blocking traffic saturates the node: need "
+                f"W > 2 So, got W={work!r}, So={so!r}"
+            )
+
+        def cycle_map(c: float) -> float:
+            rw, rq, ry = self._components(work, c)
+            if math.isfinite(k):
+                return max(rw, (2.0 * st + rq + ry) / k)
+            return rw
+
+        lower = 2.0 * so * (1.0 + 1e-9) + 1e-12
+        upper = work + 4.0 * st + 8.0 * so + 2.0 * so * (
+            k if math.isfinite(k) else 1.0
+        )
+        cycle = solve_scalar_fixed_point(
+            cycle_map, lower, max(upper, lower * 2.0), tol=self.tol
+        )
+        rw, rq, ry = self._components(work, cycle)
+        round_trip = 2.0 * st + rq + ry
+        x = 1.0 / cycle
+        return NonBlockingSolution(
+            cycle_time=cycle,
+            throughput=m.processors * x,
+            round_trip=round_trip,
+            compute_residence=rw,
+            request_residence=rq,
+            reply_residence=ry,
+            request_utilization=x * so,
+            reply_utilization=x * so,
+            window=k,
+            work=work,
+            latency=st,
+            handler_time=so,
+            meta={"model": "lopc-nonblocking", "cv2": m.handler_cv2},
+        )
+
+    def critical_window(self, work: float) -> float:
+        """The window ``k* = round_trip / Rw`` where throughput saturates.
+
+        Below ``k*`` the thread stalls on the window (cycle ``T/k``);
+        above it the thread is compute-bound and extra outstanding
+        requests buy nothing.  ``k* <= 1`` means even a window of one
+        never stalls (the round trip hides entirely under the compute).
+        """
+        unbounded = NonBlockingModel(
+            machine=self.machine,
+            window=math.inf,
+            damping=self.damping,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        ).solve(work)
+        return unbounded.round_trip / unbounded.compute_residence

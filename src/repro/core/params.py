@@ -1,0 +1,246 @@
+"""Parameterisation of the LoPC model (paper Section 3, Table 3.1).
+
+LoPC is parameterised *exactly like LogP*: an architectural
+characterisation plus an algorithmic characterisation.
+
+Architectural parameters (Table 3.1)::
+
+    LoPC   LogP   Description
+    ----   ----   -------------------------------------------------------
+    St     L      Average wire time (latency) in the interconnect
+    So     o      Average cost of message dispatch (interrupt + handler)
+    --     g      Peak processor-to-network bandwidth gap (LoPC: assumed 0)
+    P      P      Number of processors
+    C2     --     Variability of message processing time (optional;
+                  squared coefficient of variation, default 1 = exponential)
+
+Algorithmic parameters::
+
+    W      average computation time between blocking requests (= m/n for
+           an algorithm doing m cycles of arithmetic and n requests)
+    n      total number of requests issued by each node
+
+This module provides frozen dataclasses for both, the LogP <-> LoPC
+mapping, and the rendering of Table 3.1 used by the ``table-3.1``
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+__all__ = [
+    "AlgorithmParams",
+    "LoPCParams",
+    "MachineParams",
+    "architectural_parameter_table",
+]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Architectural parameters of the LoPC model.
+
+    Attributes
+    ----------
+    latency:
+        ``St`` -- mean one-way wire time in the interconnect, in cycles.
+        Corresponds exactly to LogP's ``L``.  Excludes all processing cost.
+    handler_time:
+        ``So`` -- mean cost of dispatching one message: taking the
+        interrupt plus running the (request or reply) handler.
+        Corresponds approximately to LogP's ``o``, but LoPC assumes an
+        interrupt model with cheap sends rather than LogP's polling model.
+    processors:
+        ``P`` -- number of processing nodes (>= 2: a node cannot make a
+        remote request to itself).
+    handler_cv2:
+        ``C^2`` -- squared coefficient of variation of handler service
+        time.  ``1`` (default) models exponential handlers as in classical
+        MVA; ``0`` models the near-deterministic short handlers the paper
+        argues are typical.
+    gap:
+        LogP's ``g`` (inverse peak bandwidth).  LoPC assumes balanced
+        network interfaces, i.e. ``gap = 0``; a non-zero value is stored
+        for LogP bookkeeping but rejected by the contention solvers.
+    """
+
+    latency: float
+    handler_time: float
+    processors: int
+    handler_cv2: float = 1.0
+    gap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency (St) must be >= 0, got {self.latency!r}")
+        if self.handler_time <= 0:
+            raise ValueError(
+                f"handler_time (So) must be > 0, got {self.handler_time!r}"
+            )
+        if int(self.processors) != self.processors or self.processors < 2:
+            raise ValueError(
+                f"processors (P) must be an integer >= 2, got {self.processors!r}"
+            )
+        if self.handler_cv2 < 0:
+            raise ValueError(
+                f"handler_cv2 (C^2) must be >= 0, got {self.handler_cv2!r}"
+            )
+        if self.gap < 0:
+            raise ValueError(f"gap (g) must be >= 0, got {self.gap!r}")
+
+    # Convenience aliases matching the paper's symbols -------------------
+
+    @property
+    def St(self) -> float:  # noqa: N802 - paper notation
+        """Paper symbol for :attr:`latency`."""
+        return self.latency
+
+    @property
+    def So(self) -> float:  # noqa: N802 - paper notation
+        """Paper symbol for :attr:`handler_time`."""
+        return self.handler_time
+
+    @property
+    def P(self) -> int:  # noqa: N802 - paper notation
+        """Paper symbol for :attr:`processors`."""
+        return int(self.processors)
+
+    @property
+    def cv2(self) -> float:
+        """Paper symbol ``C^2`` for :attr:`handler_cv2`."""
+        return self.handler_cv2
+
+    def with_cv2(self, cv2: float) -> "MachineParams":
+        """Return a copy with a different handler variability."""
+        return replace(self, handler_cv2=cv2)
+
+    @classmethod
+    def from_logp(
+        cls,
+        L: float,  # noqa: N803 - paper notation
+        o: float,
+        P: int,  # noqa: N803 - paper notation
+        g: float = 0.0,
+        handler_cv2: float = 1.0,
+    ) -> "MachineParams":
+        """Build LoPC machine parameters from a LogP characterisation.
+
+        ``St = L``, ``So = o`` and ``P = P`` (Table 3.1); ``g`` is carried
+        along but LoPC assumes balanced bandwidth (``g = 0``).
+        """
+        return cls(
+            latency=L, handler_time=o, processors=P, handler_cv2=handler_cv2, gap=g
+        )
+
+    def to_logp(self) -> dict[str, float]:
+        """The LogP view of these parameters (Table 3.1, right column)."""
+        return {"L": self.latency, "o": self.handler_time, "g": self.gap,
+                "P": float(self.processors)}
+
+
+@dataclass(frozen=True)
+class AlgorithmParams:
+    """Algorithmic characterisation shared by LogP and LoPC.
+
+    Attributes
+    ----------
+    work:
+        ``W`` -- mean computation time between blocking requests, in
+        cycles.  Derived as total arithmetic per node over total requests
+        per node, ``W = m / n`` (Section 3's matrix-vector example).
+    requests:
+        ``n`` -- total number of requests issued by each node.  Used only
+        to scale the per-cycle response time ``R`` to a total runtime
+        ``n * R``; the steady-state solution itself depends only on ``W``.
+    """
+
+    work: float
+    requests: int = 1
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError(f"work (W) must be >= 0, got {self.work!r}")
+        if int(self.requests) != self.requests or self.requests < 1:
+            raise ValueError(
+                f"requests (n) must be an integer >= 1, got {self.requests!r}"
+            )
+
+    @property
+    def W(self) -> float:  # noqa: N802 - paper notation
+        """Paper symbol for :attr:`work`."""
+        return self.work
+
+    @property
+    def n(self) -> int:
+        """Paper symbol for :attr:`requests`."""
+        return int(self.requests)
+
+    @classmethod
+    def from_operation_counts(cls, arithmetic: float, messages: int,
+                              cycles_per_op: float = 1.0) -> "AlgorithmParams":
+        """Characterise an algorithm from raw operation counts.
+
+        Parameters
+        ----------
+        arithmetic:
+            Total arithmetic operations ``m`` per node.
+        messages:
+            Total blocking requests ``n`` per node.
+        cycles_per_op:
+            Cost of one arithmetic operation in cycles.
+
+        Returns ``W = m * cycles_per_op / n`` with ``n`` requests -- the
+        derivation of Section 3.
+        """
+        if messages < 1:
+            raise ValueError(f"messages must be >= 1, got {messages!r}")
+        if arithmetic < 0:
+            raise ValueError(f"arithmetic must be >= 0, got {arithmetic!r}")
+        if cycles_per_op <= 0:
+            raise ValueError(f"cycles_per_op must be > 0, got {cycles_per_op!r}")
+        return cls(work=arithmetic * cycles_per_op / messages, requests=messages)
+
+
+@dataclass(frozen=True)
+class LoPCParams:
+    """A complete LoPC parameterisation: machine + algorithm."""
+
+    machine: MachineParams
+    algorithm: AlgorithmParams
+
+    @property
+    def contention_free_cycle(self) -> float:
+        """``W + 2*St + 2*So`` -- the no-contention compute/request cycle."""
+        return (
+            self.algorithm.work
+            + 2.0 * self.machine.latency
+            + 2.0 * self.machine.handler_time
+        )
+
+    def __iter__(self) -> Iterator[float]:
+        """Iterate ``(W, St, So, P, C^2)`` -- handy for table rows."""
+        yield self.algorithm.work
+        yield self.machine.latency
+        yield self.machine.handler_time
+        yield float(self.machine.processors)
+        yield self.machine.handler_cv2
+
+
+_TABLE_3_1 = (
+    ("St", "L", "Average wire time (latency) in the interconnect"),
+    ("So", "o", "Average cost of message dispatch"),
+    ("-", "g", "Peak processor to network bandwidth"),
+    ("P", "P", "Number of processors"),
+    ("C2", "-", "Variability in message processing time (optional)"),
+)
+
+
+def architectural_parameter_table() -> tuple[tuple[str, str, str], ...]:
+    """Rows of Table 3.1: ``(LoPC symbol, LogP symbol, description)``.
+
+    Returned as data (not a formatted string) so the experiment runner and
+    docs render it consistently.
+    """
+    return _TABLE_3_1

@@ -1,0 +1,185 @@
+"""Solution records shared by the analytical models and the simulator.
+
+Both the AMVA solvers and the event-driven simulator decompose a
+compute/request cycle exactly as the paper's Figure 4-3/4-4::
+
+    R = Rw + St + Rq + St + Ry
+
+so a single record type can hold either a model prediction or a simulator
+measurement, and the validation code can compare them term by term (that
+per-component comparison *is* Figure 5-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Mapping
+
+__all__ = ["ModelSolution"]
+
+
+@dataclass(frozen=True)
+class ModelSolution:
+    """Steady-state solution of one LoPC analysis (or one measurement).
+
+    All times are in processor cycles; throughput is requests per cycle
+    (system-wide).  Notation follows the paper's Table 4.1.
+
+    Attributes
+    ----------
+    response_time:
+        ``R`` -- mean duration of a complete compute/request cycle.
+    compute_residence:
+        ``Rw`` -- residence time of the computation thread per cycle,
+        including interference from higher-priority request handlers.
+    request_residence:
+        ``Rq`` -- response time of a request handler at the destination
+        (service plus queueing).
+    reply_residence:
+        ``Ry`` -- response time of the reply handler back at the home node.
+    throughput:
+        ``X`` -- system-wide request completion rate.
+    request_queue:
+        ``Qq`` -- mean number of request handlers queued (incl. in
+        service) at a node.
+    reply_queue:
+        ``Qy`` -- mean number of reply handlers queued at a node.
+    request_utilization:
+        ``Uq`` -- fraction of node time spent in request handlers.
+    reply_utilization:
+        ``Uy`` -- fraction of node time spent in reply handlers.
+    work:
+        ``W`` -- the algorithmic work parameter the solution was computed
+        for (kept so contention components are self-describing).
+    latency:
+        ``St`` -- the wire-time parameter used.
+    handler_time:
+        ``So`` -- the handler-cost parameter used.
+    meta:
+        Free-form provenance (solver iterations, seed, samples, ...).
+    """
+
+    response_time: float
+    compute_residence: float
+    request_residence: float
+    reply_residence: float
+    throughput: float
+    request_queue: float
+    reply_queue: float
+    request_utilization: float
+    reply_utilization: float
+    work: float
+    latency: float
+    handler_time: float
+    meta: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------------
+    # Paper-notation aliases
+    # ------------------------------------------------------------------
+    @property
+    def R(self) -> float:  # noqa: N802
+        return self.response_time
+
+    @property
+    def Rw(self) -> float:  # noqa: N802
+        return self.compute_residence
+
+    @property
+    def Rq(self) -> float:  # noqa: N802
+        return self.request_residence
+
+    @property
+    def Ry(self) -> float:  # noqa: N802
+        return self.reply_residence
+
+    @property
+    def X(self) -> float:  # noqa: N802
+        return self.throughput
+
+    # ------------------------------------------------------------------
+    # Contention decomposition (Figure 5-3)
+    # ------------------------------------------------------------------
+    @property
+    def contention_free_cycle(self) -> float:
+        """``W + 2 St + 2 So`` -- the cycle with all contention removed."""
+        return self.work + 2.0 * self.latency + 2.0 * self.handler_time
+
+    @property
+    def total_contention(self) -> float:
+        """``C = R - (W + 2 St + 2 So)`` -- LoPC's headline quantity."""
+        return self.response_time - self.contention_free_cycle
+
+    @property
+    def compute_contention(self) -> float:
+        """``Rw - W`` -- thread delay from handler interference (BKT)."""
+        return self.compute_residence - self.work
+
+    @property
+    def request_contention(self) -> float:
+        """``Rq - So`` -- request handler queueing delay."""
+        return self.request_residence - self.handler_time
+
+    @property
+    def reply_contention(self) -> float:
+        """``Ry - So`` -- reply handler queueing delay."""
+        return self.reply_residence - self.handler_time
+
+    @property
+    def contention_fraction(self) -> float:
+        """Fraction of the cycle spent on contention (Figure 5-1 y-axis)."""
+        if self.response_time <= 0:
+            return 0.0
+        return self.total_contention / self.response_time
+
+    def runtime(self, requests: int) -> float:
+        """Total application runtime ``n * R`` for ``n`` requests per node."""
+        if requests < 0:
+            raise ValueError(f"requests must be >= 0, got {requests!r}")
+        return requests * self.response_time
+
+    # ------------------------------------------------------------------
+    # Consistency and comparison helpers
+    # ------------------------------------------------------------------
+    def cycle_identity_error(self) -> float:
+        """Absolute error in ``R - (Rw + 2 St + Rq + Ry)``.
+
+        Zero (to rounding) for any well-formed solution or measurement;
+        exposed so tests can assert the Figure 4-3 decomposition holds.
+        """
+        reconstructed = (
+            self.compute_residence
+            + 2.0 * self.latency
+            + self.request_residence
+            + self.reply_residence
+        )
+        return abs(self.response_time - reconstructed)
+
+    def relative_error_to(self, reference: "ModelSolution") -> float:
+        """Signed relative error of this solution's ``R`` vs a reference.
+
+        Positive means this solution is *pessimistic* (predicts a larger
+        response time than the reference) -- the sign convention used in
+        the paper's accuracy claims.
+        """
+        if reference.response_time <= 0:
+            raise ValueError("reference response_time must be > 0")
+        return (
+            self.response_time - reference.response_time
+        ) / reference.response_time
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict of all numeric fields plus derived components."""
+        out: dict[str, float] = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "meta"
+        }
+        out.update(
+            total_contention=self.total_contention,
+            compute_contention=self.compute_contention,
+            request_contention=self.request_contention,
+            reply_contention=self.reply_contention,
+            contention_fraction=self.contention_fraction,
+            contention_free_cycle=self.contention_free_cycle,
+        )
+        return out

@@ -1,0 +1,173 @@
+"""The recursion ``F[R]`` and the rule-of-thumb bounds (paper Section 5.3).
+
+Instead of numerically iterating the full AMVA system, the paper
+eliminates the inner unknowns of the homogeneous all-to-all model
+analytically: given a candidate ``R``, the per-node arrival rate is
+``1/R`` and the handler equations (5.9)/(5.10) become a *linear* system in
+``(Rq, Ry)``.  Substituting the solution back into Eq. 4.1 defines a
+scalar recursion ``F[R]`` (Eq. 5.11) whose fixed point ``R*`` is the LoPC
+solution.
+
+Writing ``u = So/R`` and ``a = (C^2 - 1)/2``, the elimination gives::
+
+    Ry (1 - u - u^2) = So (1 + a u + a u^2)
+    Rq               = Ry (1 + u) + a So u
+    Rw               = (W + u Rq) / (1 - u)
+    F[R]             = Rw + 2 St + Rq + Ry
+
+(for ``C^2 = 1`` the ``a`` terms vanish and this is the quartic the paper
+mentions; for ``C^2 = 0``, ``a = -1/2`` reproduces the printed Eq. 5.11).
+
+Properties proved/used in the paper and verified in our test suite:
+
+* ``F`` is continuous and strictly decreasing for ``R`` above the
+  contention-free cycle, and ``F[R] -> W + 2 St + 2 So`` as ``R -> oo``;
+  hence a unique stable fixed point ``R* > W + 2 St + 2 So``.
+* For ``C^2 = 0``: ``F[W + 2 St + 3.46 So] < W + 2 St + 3.46 So``, so::
+
+      W + 2 St + 2 So  <  R*  <=  W + 2 St + 3.46 So          (Eq. 5.12)
+
+  -- total contention is bounded by ~1.46 handler times, and to first
+  approximation equals *one extra handler* (the rule of thumb).
+* The technique generalises to arbitrary ``C^2``; only the constant
+  changes.  :func:`upper_bound_constant` computes the tight constant
+  ``kappa(C^2)`` as the worst-case fixed point at ``W = St = 0``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.params import MachineParams
+from repro.core.solver import solve_scalar_fixed_point
+
+__all__ = [
+    "contention_bounds",
+    "fixed_point_recursion",
+    "rule_of_thumb_response",
+    "solve_recursion",
+    "upper_bound_constant",
+]
+
+#: The constant the paper reports for C^2 = 0 in Eq. 5.12.
+PAPER_UPPER_CONSTANT_CV2_0 = 3.46
+
+
+def fixed_point_recursion(
+    response: float,
+    work: float,
+    latency: float,
+    handler_time: float,
+    cv2: float = 0.0,
+) -> float:
+    """Evaluate ``F[R]`` (Eq. 5.11, generalised to arbitrary ``C^2``).
+
+    Parameters
+    ----------
+    response:
+        Candidate total response time ``R``; must exceed ``handler_time``
+        (utilisation ``So/R`` must be < 1) and in practice should be at or
+        above the contention-free cycle.
+    work, latency, handler_time, cv2:
+        ``W``, ``St``, ``So`` and ``C^2``.
+
+    Returns
+    -------
+    ``F[R] = Rw(R) + 2 St + Rq(R) + Ry(R)``.
+    """
+    if handler_time <= 0:
+        raise ValueError(f"handler_time must be > 0, got {handler_time!r}")
+    if work < 0 or latency < 0 or cv2 < 0:
+        raise ValueError(
+            f"work, latency, cv2 must be >= 0, got {(work, latency, cv2)!r}"
+        )
+    so = handler_time
+    if response <= so:
+        raise ValueError(
+            f"response {response!r} must exceed handler_time {so!r} "
+            "(otherwise handler utilisation >= 1)"
+        )
+    u = so / response
+    a = 0.5 * (cv2 - 1.0)
+    denom = 1.0 - u - u * u
+    if denom <= 0.0:
+        raise ValueError(
+            f"response {response!r} too small: handler queues diverge "
+            f"(1 - u - u^2 = {denom!r} <= 0)"
+        )
+    ry = so * (1.0 + a * u + a * u * u) / denom
+    rq = ry * (1.0 + u) + a * so * u
+    rw = (work + u * rq) / (1.0 - u)
+    return rw + 2.0 * latency + rq + ry
+
+
+@lru_cache(maxsize=256)
+def upper_bound_constant(cv2: float = 0.0) -> float:
+    """Tight upper-bound constant ``kappa(C^2)`` for Eq. 5.12.
+
+    ``R* <= W + 2 St + kappa * So`` for all ``W, St >= 0``.  The supremum
+    of ``(R* - W - 2 St)/So`` is approached at ``W = St = 0`` (contention
+    falls as work or latency grows because handler utilisation drops), so
+    ``kappa`` is the fixed point of ``F`` with ``W = St = 0, So = 1``.
+
+    For ``C^2 = 0`` this evaluates to ~3.457, matching the paper's 3.46.
+    """
+    if cv2 < 0:
+        raise ValueError(f"cv2 must be >= 0, got {cv2!r}")
+    return solve_recursion(work=0.0, latency=0.0, handler_time=1.0, cv2=cv2)
+
+
+def solve_recursion(
+    work: float,
+    latency: float,
+    handler_time: float,
+    cv2: float = 0.0,
+    tol: float = 1e-12,
+) -> float:
+    """Fixed point ``R*`` of ``F[R]`` by Brent bracketing.
+
+    The bracket starts at the contention-free cycle (where ``F >= R``) and
+    a generous multiple of the handler time above it (where ``F < R``
+    because ``F`` decreases towards the contention-free cycle).
+    """
+    lower = work + 2.0 * latency + 2.0 * handler_time
+    # F is decreasing with limit `lower`; any sufficiently large upper end
+    # works.  6*So covers every C^2 <= ~4; solve_scalar_fixed_point expands
+    # the bracket automatically beyond that.
+    upper = lower + 6.0 * handler_time * max(1.0, cv2)
+    eps = 1e-9 * max(1.0, lower)
+    return solve_scalar_fixed_point(
+        lambda r: fixed_point_recursion(r, work, latency, handler_time, cv2),
+        lower + eps,
+        upper,
+        tol=tol,
+    )
+
+
+def contention_bounds(
+    machine: MachineParams, work: float
+) -> tuple[float, float]:
+    """The Eq. 5.12 bracket ``(W + 2St + 2So, W + 2St + kappa(C^2) So)``.
+
+    The lower bound is the contention-free cycle; the upper bound uses the
+    tight constant from :func:`upper_bound_constant` (3.46 for ``C^2 = 0``,
+    as printed in the paper).
+    """
+    if work < 0:
+        raise ValueError(f"work must be >= 0, got {work!r}")
+    base = work + 2.0 * machine.latency
+    lower = base + 2.0 * machine.handler_time
+    upper = base + upper_bound_constant(machine.handler_cv2) * machine.handler_time
+    return lower, upper
+
+
+def rule_of_thumb_response(machine: MachineParams, work: float) -> float:
+    """The paper's rule of thumb: contention ~= one extra handler.
+
+    ``R ~= W + 2 St + 3 So`` -- a zero-computation estimate sitting inside
+    the Eq. 5.12 bracket, accurate enough for back-of-envelope algorithm
+    comparison in the homogeneous case.
+    """
+    if work < 0:
+        raise ValueError(f"work must be >= 0, got {work!r}")
+    return work + 2.0 * machine.latency + 3.0 * machine.handler_time

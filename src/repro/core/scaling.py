@@ -1,0 +1,195 @@
+"""Algorithm-design analysis: the use case LoPC is built for.
+
+The paper's pitch (Chapter 1) is that algorithm designers need a cost
+model that is "simple to use" yet accounts for first-order system
+overheads *including contention*.  This module packages that workflow:
+
+* describe an algorithm as a function ``P -> AlgorithmParams`` (total
+  arithmetic and message counts usually depend on the machine size);
+* get runtime / speedup / efficiency curves under any of the models
+  (LogP baseline vs LoPC with contention);
+* locate the processor count where scaling stops paying
+  (:func:`optimal_processors`) and where one algorithm overtakes
+  another (:func:`crossover`).
+
+The matvec builder reproduces Section 3's example end to end: with
+cyclic distribution, ``W(P) = N * t_madd / (P - 1)`` shrinks as the
+machine grows, so per-message contention grows -- LogP keeps promising
+speedup after LoPC (correctly) says communication has taken over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.logp import LogPModel
+from repro.core.params import AlgorithmParams, MachineParams
+
+__all__ = [
+    "AlgorithmSpec",
+    "ScalingPoint",
+    "crossover",
+    "matvec_spec",
+    "optimal_processors",
+    "runtime_curve",
+    "speedup_curve",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A parallel algorithm, characterised per machine size.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    params_for:
+        Function mapping a processor count ``P`` to the LogP/LoPC
+        algorithmic characterisation on that machine.
+    serial_time:
+        Total single-processor runtime in cycles (for speedup curves).
+    """
+
+    name: str
+    params_for: Callable[[int], AlgorithmParams]
+    serial_time: float
+
+    def __post_init__(self) -> None:
+        if self.serial_time <= 0:
+            raise ValueError(
+                f"serial_time must be > 0, got {self.serial_time!r}"
+            )
+
+
+def matvec_spec(size: int, madd_cycles: float = 1.0) -> AlgorithmSpec:
+    """Section 3's matrix-vector multiply as an :class:`AlgorithmSpec`.
+
+    Per node on ``P`` processors: ``m = (N/P) N`` multiply-adds and
+    ``n = (N/P)(P-1)`` blocking puts, so ``W = N t_madd / (P-1)``.
+    Serial time is ``N^2 t_madd`` (no communication).
+    """
+    if size < 2:
+        raise ValueError(f"size must be >= 2, got {size!r}")
+    if madd_cycles <= 0:
+        raise ValueError(f"madd_cycles must be > 0, got {madd_cycles!r}")
+
+    def params_for(p: int) -> AlgorithmParams:
+        rows = size / p
+        return AlgorithmParams.from_operation_counts(
+            arithmetic=rows * size,
+            messages=max(1, round(rows * (p - 1))),
+            cycles_per_op=madd_cycles,
+        )
+
+    return AlgorithmSpec(
+        name=f"matvec-{size}",
+        params_for=params_for,
+        serial_time=size * size * madd_cycles,
+    )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One machine size on a scaling curve."""
+
+    processors: int
+    work: float  # W(P)
+    requests: int  # n(P)
+    cycle_time: float  # R(P) under the chosen model
+    runtime: float  # n(P) * R(P)
+    speedup: float
+    efficiency: float
+    meta: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+
+def _model_cycle(
+    machine: MachineParams, algorithm: AlgorithmParams, model: str
+) -> float:
+    if model == "lopc":
+        return AllToAllModel(machine).solve(algorithm).response_time
+    if model == "logp":
+        return LogPModel(machine).cycle_time(algorithm.work)
+    raise ValueError(f"unknown model {model!r}; use 'lopc' or 'logp'")
+
+
+def runtime_curve(
+    spec: AlgorithmSpec,
+    machine: MachineParams,
+    processor_counts: Sequence[int],
+    model: str = "lopc",
+) -> list[ScalingPoint]:
+    """Predicted runtime/speedup of ``spec`` across machine sizes.
+
+    ``machine.processors`` is overridden by each entry of
+    ``processor_counts``; all other machine parameters are held fixed.
+    """
+    points: list[ScalingPoint] = []
+    for p in processor_counts:
+        if p < 2:
+            raise ValueError(f"processor counts must be >= 2, got {p!r}")
+        sized = replace(machine, processors=p)
+        algorithm = spec.params_for(p)
+        cycle = _model_cycle(sized, algorithm, model)
+        runtime = algorithm.requests * cycle
+        speedup = spec.serial_time / runtime
+        points.append(
+            ScalingPoint(
+                processors=p,
+                work=algorithm.work,
+                requests=algorithm.requests,
+                cycle_time=cycle,
+                runtime=runtime,
+                speedup=speedup,
+                efficiency=speedup / p,
+                meta={"model": model, "algorithm": spec.name},
+            )
+        )
+    return points
+
+
+def speedup_curve(
+    spec: AlgorithmSpec,
+    machine: MachineParams,
+    processor_counts: Sequence[int],
+    model: str = "lopc",
+) -> list[tuple[int, float]]:
+    """Shorthand: ``(P, speedup)`` pairs."""
+    return [
+        (pt.processors, pt.speedup)
+        for pt in runtime_curve(spec, machine, processor_counts, model)
+    ]
+
+
+def optimal_processors(
+    spec: AlgorithmSpec,
+    machine: MachineParams,
+    processor_counts: Sequence[int],
+    model: str = "lopc",
+) -> ScalingPoint:
+    """The machine size with the smallest predicted runtime."""
+    curve = runtime_curve(spec, machine, processor_counts, model)
+    return min(curve, key=lambda pt: pt.runtime)
+
+
+def crossover(
+    spec_a: AlgorithmSpec,
+    spec_b: AlgorithmSpec,
+    machine: MachineParams,
+    processor_counts: Sequence[int],
+    model: str = "lopc",
+) -> int | None:
+    """First machine size at which ``spec_b`` beats ``spec_a``.
+
+    Returns None if ``spec_b`` never wins in the range.  The classic
+    model-driven design question ("which algorithm, at what scale?")
+    the LogP/LoPC line of work exists to answer.
+    """
+    curve_a = runtime_curve(spec_a, machine, processor_counts, model)
+    curve_b = runtime_curve(spec_b, machine, processor_counts, model)
+    for pa, pb in zip(curve_a, curve_b):
+        if pb.runtime < pa.runtime:
+            return pb.processors
+    return None

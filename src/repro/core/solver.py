@@ -1,0 +1,163 @@
+"""Fixed-point machinery shared by the LoPC model solvers.
+
+The LoPC equations form a small non-linear system (a quartic in the
+homogeneous all-to-all case -- paper Section 5.3).  The paper suggests
+"us[ing] an equation solver to find a numerical solution"; we provide two
+reproducible numerical strategies:
+
+* :func:`solve_fixed_point` -- damped successive substitution on a vector
+  map ``x -> f(x)``.  All the LoPC response-time maps are contractions for
+  feasible parameters once mildly damped, and this method needs nothing
+  but the map itself (works for the heterogeneous Appendix-A model).
+* :func:`solve_scalar_fixed_point` -- Brent bracketing on ``g(R) = F[R] - R``
+  for scalar recursions like Eq. 5.11 where a bracket is known
+  analytically.
+
+Both return diagnostics so callers (and tests) can verify convergence
+instead of silently accepting a bad point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+__all__ = ["FixedPointResult", "solve_fixed_point", "solve_scalar_fixed_point"]
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when an iterative solve fails to reach tolerance."""
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a damped fixed-point iteration.
+
+    Attributes
+    ----------
+    value:
+        The converged point (1-D :class:`numpy.ndarray`).
+    iterations:
+        Number of iterations performed.
+    residual:
+        Final infinity-norm of ``f(x) - x``.
+    converged:
+        Whether ``residual <= tol`` was reached within ``max_iter``.
+    """
+
+    value: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+
+
+def solve_fixed_point(
+    func: Callable[[np.ndarray], np.ndarray],
+    initial: Sequence[float] | np.ndarray,
+    *,
+    damping: float = 0.5,
+    tol: float = 1e-10,
+    max_iter: int = 20_000,
+    raise_on_failure: bool = True,
+) -> FixedPointResult:
+    """Solve ``x = f(x)`` by damped successive substitution.
+
+    The update is ``x <- (1 - damping) * x + damping * f(x)``; ``damping=1``
+    is plain substitution.  Convergence is declared when the infinity norm
+    of ``f(x) - x`` relative to ``max(1, |x|)`` drops below ``tol``.
+
+    Parameters
+    ----------
+    func:
+        The map.  Must accept and return arrays of the same shape as
+        ``initial`` and be finite on the iterates.
+    initial:
+        Starting point (e.g. the contention-free response times).
+    damping:
+        Step fraction in (0, 1].
+    tol, max_iter:
+        Convergence tolerance / iteration cap.
+    raise_on_failure:
+        If True (default), raise :class:`ConvergenceError` when the cap is
+        hit; otherwise return a result with ``converged=False``.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping!r}")
+    if tol <= 0:
+        raise ValueError(f"tol must be > 0, got {tol!r}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter!r}")
+
+    x = np.atleast_1d(np.asarray(initial, dtype=float)).copy()
+    if x.ndim != 1:
+        raise ValueError("initial must be scalar or 1-D")
+
+    residual = float("inf")
+    for iteration in range(1, max_iter + 1):
+        fx = np.atleast_1d(np.asarray(func(x), dtype=float))
+        if fx.shape != x.shape:
+            raise ValueError(
+                f"func returned shape {fx.shape}, expected {x.shape}"
+            )
+        if not np.all(np.isfinite(fx)):
+            raise ConvergenceError(
+                f"fixed-point map produced non-finite values at iteration "
+                f"{iteration}: {fx!r}"
+            )
+        scale = np.maximum(1.0, np.abs(x))
+        residual = float(np.max(np.abs(fx - x) / scale))
+        x = (1.0 - damping) * x + damping * fx
+        if residual <= tol:
+            return FixedPointResult(x, iteration, residual, True)
+
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"fixed point not reached after {max_iter} iterations "
+            f"(residual {residual:.3e} > tol {tol:.3e})"
+        )
+    return FixedPointResult(x, max_iter, residual, False)
+
+
+def solve_scalar_fixed_point(
+    func: Callable[[float], float],
+    lower: float,
+    upper: float,
+    *,
+    tol: float = 1e-12,
+    expand: float = 2.0,
+    max_expansions: int = 64,
+) -> float:
+    """Solve ``R = F[R]`` for a scalar decreasing recursion by bracketing.
+
+    Brent's method is applied to ``g(R) = F[R] - R`` on ``[lower, upper]``.
+    If the bracket does not straddle a root (``g`` same sign at both ends),
+    the upper end is geometrically expanded up to ``max_expansions`` times
+    -- useful because the analytical upper bound of Eq. 5.12 is only proven
+    for particular ``C^2``.
+
+    Returns the root ``R*``.
+    """
+    if lower >= upper:
+        raise ValueError(f"need lower < upper, got [{lower!r}, {upper!r}]")
+    g = lambda r: func(r) - r
+    g_low = g(lower)
+    if g_low == 0.0:
+        return lower
+    if g_low < 0.0:
+        # F decreasing => g decreasing; g(lower) < 0 means the fixed point
+        # is below `lower`, which for LoPC means no contention: clamp.
+        return lower
+    g_up = g(upper)
+    expansions = 0
+    while g_up > 0.0 and expansions < max_expansions:
+        upper = lower + (upper - lower) * expand
+        g_up = g(upper)
+        expansions += 1
+    if g_up > 0.0:
+        raise ConvergenceError(
+            f"could not bracket fixed point: g({upper!r}) = {g_up!r} > 0"
+        )
+    return float(brentq(g, lower, upper, xtol=tol, rtol=8.881784197001252e-16))

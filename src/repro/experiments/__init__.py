@@ -1,0 +1,62 @@
+"""Experiment runners: one per table/figure in the paper's evaluation.
+
+Each runner returns an :class:`~repro.experiments.common.ExperimentResult`
+holding the rows/series the paper reports, plus automated shape checks
+(who wins, by what factor, where the optimum falls).  The CLI
+(:mod:`repro.cli`) renders them as ASCII tables and CSV.
+
+Registry
+--------
+``table-3.1``  Architectural parameter mapping (LoPC vs LogP).
+``fig-5.1``    Contention fraction vs handler C^2 (model).
+``fig-5.2``    All-to-all response time vs W: bounds + LoPC + simulator.
+``fig-5.3``    Contention components vs W: LoPC vs simulator.
+``fig-6.2``    Workpile throughput vs server count: LoPC + simulator +
+               Eq. 6.8 optimum + LogP bounds.
+``claims``     The paper's accuracy claims, measured on this
+               reproduction.
+``cm5-drift``  The introduction's CM-5 story: schedule drift under
+               variance and barrier resynchronisation.
+``fig-4.2``    The blocking-request timeline, regenerated from a traced
+               simulation (exactness proof of the timing model).
+``holt-occupancy``  The Holt et al. occupancy-vs-latency study via the
+               shared-memory variant.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    format_table,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments import (
+    claims,
+    drift,
+    fig4_timeline,
+    fig5_1,
+    fig5_2,
+    fig5_3,
+    fig6_2,
+    holt_occupancy,
+    table3_1,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "claims",
+    "drift",
+    "fig4_timeline",
+    "fig5_1",
+    "fig5_2",
+    "fig5_3",
+    "fig6_2",
+    "format_table",
+    "get_experiment",
+    "holt_occupancy",
+    "list_experiments",
+    "run_experiment",
+    "table3_1",
+]

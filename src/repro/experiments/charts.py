@@ -1,0 +1,143 @@
+"""Terminal-friendly charts for the regenerated figures.
+
+The paper's evaluation artifacts are *figures*; this module renders an
+:class:`~repro.experiments.common.ExperimentResult`'s series as an
+ASCII line/scatter chart so ``lopc-repro run fig-5.2 --chart`` shows
+the bounds/model/simulator curves the way the paper's Figure 5-2 does,
+without any plotting dependency.
+
+One glyph per series, plotted over a shared y-range; collisions render
+the later series' glyph.  The x-axis uses the row order of the
+experiment (the paper's figures are swept in that order), with labels
+from the chosen x column.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ascii_chart", "chart_experiment"]
+
+_GLYPHS = "o+x*#@%&"
+
+
+def ascii_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Render named series as an ASCII chart.
+
+    Parameters
+    ----------
+    x_labels:
+        One label per data point (shown on the bottom axis, thinned to
+        fit).
+    series:
+        Mapping of series name to y values; every series must have
+        ``len(x_labels)`` points.  NaNs are skipped.
+    width, height:
+        Plot area size in characters (excluding axes).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_labels)
+    if n < 2:
+        raise ValueError("need at least two data points")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {n} x labels"
+            )
+    if width < 10 or height < 4:
+        raise ValueError("chart too small to render")
+
+    finite = [
+        y
+        for ys in series.values()
+        for y in ys
+        if isinstance(y, (int, float)) and math.isfinite(y)
+    ]
+    if not finite:
+        raise ValueError("no finite data to plot")
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for i, y in enumerate(ys):
+            if not (isinstance(y, (int, float)) and math.isfinite(y)):
+                continue
+            col = round(i * (width - 1) / (n - 1))
+            row = round((hi - y) / (hi - lo) * (height - 1))
+            grid[row][col] = glyph
+
+    y_width = max(len(f"{v:g}") for v in (lo, hi)) + 1
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:g}".rjust(y_width)
+        elif r == height - 1:
+            label = f"{lo:g}".rjust(y_width)
+        else:
+            label = " " * y_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * y_width + " +" + "-" * width)
+
+    # Thinned x labels.
+    first, last = str(x_labels[0]), str(x_labels[-1])
+    gap = width - len(first) - len(last)
+    if gap >= 1:
+        lines.append(" " * (y_width + 2) + first + " " * gap + last)
+
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result: ExperimentResult,
+    x_column: str | None = None,
+    series_columns: Sequence[str] | None = None,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """Chart an experiment's numeric columns against its first column.
+
+    ``x_column`` defaults to the experiment's first column;
+    ``series_columns`` defaults to every other column whose values are
+    all numeric.
+    """
+    columns = list(result.columns)
+    if x_column is None:
+        x_column = columns[0]
+    if x_column not in columns:
+        raise ValueError(f"unknown x column {x_column!r}")
+    if series_columns is None:
+        series_columns = [
+            c
+            for c in columns
+            if c != x_column
+            and all(
+                isinstance(row.get(c), (int, float)) for row in result.rows
+            )
+        ]
+    if not series_columns:
+        raise ValueError("no numeric series columns to chart")
+    x_labels = [row.get(x_column) for row in result.rows]
+    series = {
+        c: [float(row.get(c, math.nan)) for row in result.rows]
+        for c in series_columns
+    }
+    header = f"{result.experiment_id}: {result.title}"
+    return header + "\n" + ascii_chart(x_labels, series, width, height)

@@ -1,0 +1,172 @@
+"""Shared experiment infrastructure: results, registry, table rendering.
+
+An experiment produces tabular data (the paper's figure series / table
+rows) plus *shape checks* -- automated assertions about the qualitative
+result the paper reports (bounds bracket the measurement, the optimum
+falls where Eq. 6.8 says, errors stay within the claimed bands).  The
+checks make "did the reproduction hold?" a boolean, not a judgement call.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "format_table",
+    "get_experiment",
+    "list_experiments",
+    "register",
+    "run_experiment",
+    "to_csv",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One automated qualitative check on an experiment's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The data behind one regenerated table/figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"fig-5.2"``.
+    title:
+        Human-readable description (matches the paper's caption).
+    parameters:
+        The configuration used (machine + workload + sampling).
+    columns:
+        Column order for rendering.
+    rows:
+        One mapping per table row / x-axis point.
+    checks:
+        Shape checks evaluated on the data.
+    notes:
+        Free-form commentary (substitutions, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    parameters: Mapping[str, object]
+    columns: Sequence[str]
+    rows: Sequence[Mapping[str, object]]
+    checks: Sequence[ShapeCheck] = field(default_factory=tuple)
+    notes: Sequence[str] = field(default_factory=tuple)
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.5f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an ASCII table."""
+    cols = list(result.columns)
+    header = [str(c) for c in cols]
+    body = [[_fmt(row.get(c, "")) for c in cols] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(cols))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        "",
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        sep,
+    ]
+    for r in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    if result.parameters:
+        lines.append("")
+        lines.append(
+            "parameters: "
+            + ", ".join(f"{k}={_fmt(v)}" for k, v in result.parameters.items())
+        )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    if result.checks:
+        lines.append("")
+        for check in result.checks:
+            lines.append(str(check))
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render the rows as CSV (columns in declared order)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(result.columns),
+                            extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({k: row.get(k, "") for k in result.columns})
+    return buf.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(
+    experiment_id: str,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Decorator adding a runner to the experiment registry."""
+
+    def deco(func: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"experiment {experiment_id!r} already registered")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return deco
+
+
+def list_experiments() -> list[str]:
+    """Registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
+    """Look up and run an experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)

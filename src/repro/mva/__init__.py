@@ -1,0 +1,67 @@
+"""Mean Value Analysis (MVA) substrate for the LoPC model.
+
+The LoPC model (Frank, PPoPP 1997) is built on approximate mean value
+analysis of a closed queueing network.  This subpackage provides the
+queueing-theoretic primitives the model composes:
+
+* :mod:`repro.mva.littles_law` -- Little's result ``N = X * R`` in all three
+  rearrangements, with validation.
+* :mod:`repro.mva.residual` -- residual-life arithmetic for service-time
+  distributions of arbitrary squared coefficient of variation (paper
+  Eq. 5.8).
+* :mod:`repro.mva.bard` -- Bard's approximation to the Arrival Theorem
+  (queue length seen at arrival ~= steady-state queue length).
+* :mod:`repro.mva.bkt` -- the BKT preempt-resume priority approximation
+  (paper Eq. 5.7) and the simpler shadow-server alternative.
+* :mod:`repro.mva.exact` -- exact MVA for closed single-class product-form
+  networks (validation reference for the approximate machinery).
+* :mod:`repro.mva.amva` -- generic approximate MVA (Bard / Schweitzer)
+  iteration for closed networks.
+"""
+
+from repro.mva.bard import arrival_queue_bard, arrival_queue_exact_mva
+from repro.mva.bkt import (
+    bkt_residence_time,
+    shadow_server_residence_time,
+)
+from repro.mva.chandy_lakshmi import (
+    chandy_lakshmi_residence,
+    solve_alltoall_cl,
+)
+from repro.mva.exact import ExactMVAResult, exact_mva
+from repro.mva.multiclass import MultiClassMVAResult, multiclass_mva
+from repro.mva.amva import AMVAResult, schweitzer_amva, bard_amva
+from repro.mva.littles_law import (
+    customers_from_throughput,
+    response_from_customers,
+    throughput_from_customers,
+    utilization,
+)
+from repro.mva.residual import (
+    mean_residual_life,
+    queue_delay,
+    residual_correction,
+)
+
+__all__ = [
+    "AMVAResult",
+    "ExactMVAResult",
+    "MultiClassMVAResult",
+    "arrival_queue_bard",
+    "arrival_queue_exact_mva",
+    "bard_amva",
+    "bkt_residence_time",
+    "chandy_lakshmi_residence",
+    "customers_from_throughput",
+    "exact_mva",
+    "mean_residual_life",
+    "multiclass_mva",
+    "queue_delay",
+    "residual_correction",
+    "response_from_customers",
+    "schweitzer_amva",
+    "shadow_server_residence_time",
+    "solve_alltoall_cl",
+    "throughput_from_customers",
+    "utilization",
+]

@@ -1,0 +1,72 @@
+"""Bard's approximation to the Arrival Theorem.
+
+The Arrival Theorem (Lavenberg & Reiser 1980; Sevcik & Mitrani 1981) states
+that in a closed product-form queueing network with ``N`` customers, the
+queue-length distribution observed by a customer *arriving* at a service
+centre equals the steady-state distribution of the same network with
+``N - 1`` customers::
+
+    A_k(N) = Q_k(N - 1)
+
+Exact MVA exploits this recursively (see :mod:`repro.mva.exact`), but the
+recursion on ``N`` is exactly what makes closed-form analysis unwieldy.
+Bard (1979) proposed the approximation::
+
+    A_k(N) ~= Q_k(N)
+
+i.e. the arriving customer sees the steady-state queue of the *full*
+network.  This slightly over-estimates queue lengths and response times
+(and under-estimates throughput) because it lets a customer "see itself" in
+the queue; the error vanishes as ``N`` grows.  The paper (Section 4) adopts
+Bard's approximation precisely because its simplicity yields closed-form
+rules of thumb; the known pessimism is visible in Figure 5-3 where LoPC
+over-predicts reply-handler queueing at ``W = 0``.
+
+This module packages both forms so model code and tests can name the
+approximation explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["arrival_queue_bard", "arrival_queue_exact_mva"]
+
+
+def arrival_queue_bard(steady_state_queue: float) -> float:
+    """Queue length seen at arrival under Bard's approximation.
+
+    ``A_k(N) ~= Q_k(N)`` -- the identity function, named so call sites
+    document which approximation the surrounding equations assume.
+    """
+    if steady_state_queue < 0:
+        raise ValueError(
+            f"steady_state_queue must be >= 0, got {steady_state_queue!r}"
+        )
+    return steady_state_queue
+
+
+def arrival_queue_exact_mva(
+    queue_with_population: Callable[[int], float], population: int
+) -> float:
+    """Queue length seen at arrival under the exact Arrival Theorem.
+
+    Parameters
+    ----------
+    queue_with_population:
+        Function mapping a population ``n`` to the steady-state mean queue
+        length ``Q_k(n)`` of the network with ``n`` customers.
+    population:
+        Total population ``N`` of the network the arriving customer
+        belongs to (>= 1).
+
+    Returns
+    -------
+    ``Q_k(N - 1)``, the exact arrival-instant mean queue length.
+    """
+    if population < 1:
+        raise ValueError(f"population must be >= 1, got {population!r}")
+    queue = queue_with_population(population - 1)
+    if queue < 0:
+        raise ValueError(f"queue_with_population returned negative value {queue!r}")
+    return queue

@@ -1,0 +1,151 @@
+"""Chandy--Lakshmi priority approximation (the road not taken).
+
+Section 5.1: "We are unable to use the Chandy-Lakshmi priority
+approximation, which is often more accurate than BKT, because it
+requires information about queue lengths in a system with P - 1
+customers" -- exactly the recursion Bard's approximation removes.
+
+This module implements that alternative anyway, so the trade-off the
+paper asserts can be measured (see ``benchmarks/bench_ablation_cl.py``):
+the thread's residence time is computed from the queue statistics of a
+*reduced* system holding one fewer customer, restoring the Arrival
+Theorem for the low-priority class::
+
+    Rw_CL = (W + So * Qq^{P-1}) / (1 - Uq^{P-1})
+
+where the ``P-1``-customer statistics come from solving the homogeneous
+all-to-all AMVA system with its per-node arrival rate scaled by
+``(P-1)/P`` (one fewer thread spread over the same ``P`` nodes).  The
+handler equations of the full system are unchanged.
+
+The cost is what the paper implies: a second fixed-point solve and the
+loss of the closed-form rule of thumb.  The benefit, measured in the
+ablation, is a slightly less pessimistic ``Rw`` at small ``W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import MachineParams
+from repro.core.results import ModelSolution
+from repro.core.solver import solve_fixed_point
+from repro.mva.bkt import bkt_residence_time
+from repro.mva.residual import residual_correction
+
+__all__ = ["chandy_lakshmi_residence", "solve_alltoall_cl"]
+
+
+def chandy_lakshmi_residence(
+    work: float,
+    handler_time: float,
+    reduced_queue: float,
+    reduced_utilization: float,
+) -> float:
+    """Thread residence from reduced-system (``N-1``) statistics.
+
+    Structurally the BKT formula, but its queue/utilisation inputs must
+    come from the system with one fewer customer (the caller's burden --
+    that is the whole difference between the approximations).
+    """
+    return bkt_residence_time(
+        work, handler_time, reduced_queue, reduced_utilization
+    )
+
+
+@dataclass(frozen=True)
+class _ReducedStats:
+    queue: float  # Qq of the (P-1)-customer system
+    utilization: float  # Uq of the (P-1)-customer system
+
+
+def _solve_reduced(machine: MachineParams, work: float,
+                   damping: float, tol: float, max_iter: int) -> _ReducedStats:
+    """Homogeneous all-to-all with P-1 customers on P nodes."""
+    so, st, cv2 = machine.handler_time, machine.latency, machine.handler_cv2
+    factor = (machine.processors - 1) / machine.processors
+
+    def update(state: np.ndarray) -> np.ndarray:
+        rw, rq, ry = state
+        r = rw + 2.0 * st + rq + ry
+        lam = factor / r  # per-node arrival rate with one fewer thread
+        uq = uy = lam * so
+        qq, qy = lam * rq, lam * ry
+        new_rq = so * (1 + qq + qy + residual_correction(uq, cv2)
+                       + residual_correction(uy, cv2))
+        new_ry = so * (1 + qq + residual_correction(uq, cv2))
+        new_rw = bkt_residence_time(work, so, qq, uq)
+        return np.array([new_rw, new_rq, new_ry])
+
+    result = solve_fixed_point(
+        update, np.array([work, so, so]), damping=damping, tol=tol,
+        max_iter=max_iter,
+    )
+    rw, rq, ry = result.value
+    r = rw + 2.0 * st + rq + ry
+    lam = factor / r
+    return _ReducedStats(queue=lam * rq, utilization=lam * so)
+
+
+def solve_alltoall_cl(
+    machine: MachineParams,
+    work: float,
+    damping: float = 0.5,
+    tol: float = 1e-12,
+    max_iter: int = 50_000,
+) -> ModelSolution:
+    """Homogeneous all-to-all with the Chandy--Lakshmi thread residence.
+
+    Handler response times use the standard full-population Bard
+    equations (5.9)/(5.10); only ``Rw`` switches to reduced-system
+    inputs.  Returns the same :class:`ModelSolution` record as
+    :class:`repro.core.alltoall.AllToAllModel` for direct comparison.
+    """
+    if work < 0:
+        raise ValueError(f"work must be >= 0, got {work!r}")
+    reduced = _solve_reduced(machine, work, damping, tol, max_iter)
+    so, st, cv2 = machine.handler_time, machine.latency, machine.handler_cv2
+
+    def update(state: np.ndarray) -> np.ndarray:
+        rw, rq, ry = state
+        r = rw + 2.0 * st + rq + ry
+        lam = 1.0 / r
+        uq = uy = lam * so
+        qq, qy = lam * rq, lam * ry
+        new_rq = so * (1 + qq + qy + residual_correction(uq, cv2)
+                       + residual_correction(uy, cv2))
+        new_ry = so * (1 + qq + residual_correction(uq, cv2))
+        new_rw = chandy_lakshmi_residence(
+            work, so, reduced.queue, reduced.utilization
+        )
+        return np.array([new_rw, new_rq, new_ry])
+
+    result = solve_fixed_point(
+        update, np.array([work, so, so]), damping=damping, tol=tol,
+        max_iter=max_iter,
+    )
+    rw, rq, ry = result.value
+    r = rw + 2.0 * st + rq + ry
+    lam = 1.0 / r
+    return ModelSolution(
+        response_time=r,
+        compute_residence=rw,
+        request_residence=rq,
+        reply_residence=ry,
+        throughput=machine.processors / r,
+        request_queue=lam * rq,
+        reply_queue=lam * ry,
+        request_utilization=lam * so,
+        reply_utilization=lam * so,
+        work=work,
+        latency=st,
+        handler_time=so,
+        meta={
+            "model": "lopc-alltoall-chandy-lakshmi",
+            "iterations": result.iterations,
+            "reduced_queue": reduced.queue,
+            "reduced_utilization": reduced.utilization,
+        },
+    )

@@ -1,0 +1,143 @@
+"""Exact Mean Value Analysis for closed single-class product-form networks.
+
+This is the textbook recursion (Reiser & Lavenberg 1980; Lazowska et al.
+1984, which the paper cites as its notational source).  It serves two
+purposes in this reproduction:
+
+1. A *validation reference* for the approximate machinery: Bard/Schweitzer
+   AMVA (:mod:`repro.mva.amva`) must converge to values close to the exact
+   recursion, and exactly match it as the population grows.
+2. A worked example of the Arrival Theorem that
+   :func:`repro.mva.bard.arrival_queue_exact_mva` formalises.
+
+The network model: ``K`` service centres, each either a ``"queueing"``
+centre (FCFS/PS single server) or a ``"delay"`` centre (infinite server,
+pure latency -- the interconnect in LoPC is exactly such a centre), plus an
+optional think time ``Z``.  A single customer class of ``N`` customers
+cycles through the centres with service demands ``D_k = V_k * S_k``.
+
+Recursion, for ``n = 1 .. N``::
+
+    R_k(n) = D_k * (1 + Q_k(n-1))     queueing centre   (Arrival Theorem)
+    R_k(n) = D_k                      delay centre
+    X(n)   = n / (Z + sum_k R_k(n))   Little on the whole cycle
+    Q_k(n) = X(n) * R_k(n)            Little per centre
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ExactMVAResult", "exact_mva"]
+
+_CENTER_KINDS = ("queueing", "delay")
+
+
+@dataclass(frozen=True)
+class ExactMVAResult:
+    """Solution of a closed single-class network by exact MVA.
+
+    Attributes
+    ----------
+    population:
+        Number of customers ``N`` the network was solved for.
+    throughput:
+        System throughput ``X(N)`` (cycles per unit time).
+    response_times:
+        Per-centre residence times ``R_k(N)``.
+    queue_lengths:
+        Per-centre mean customer counts ``Q_k(N)``.
+    utilizations:
+        Per-centre utilisations ``U_k = X * D_k`` (meaningful for queueing
+        centres; for delay centres it is the mean number in service).
+    cycle_time:
+        Total cycle time ``Z + sum_k R_k``.
+    queue_history:
+        ``queue_history[n]`` holds ``Q_k(n)`` for populations ``0 .. N`` --
+        exposed so tests can exercise the exact Arrival Theorem.
+    """
+
+    population: int
+    throughput: float
+    response_times: np.ndarray
+    queue_lengths: np.ndarray
+    utilizations: np.ndarray
+    cycle_time: float
+    queue_history: np.ndarray = field(repr=False)
+
+
+def exact_mva(
+    demands: Sequence[float],
+    population: int,
+    think_time: float = 0.0,
+    kinds: Sequence[str] | None = None,
+) -> ExactMVAResult:
+    """Solve a closed single-class product-form network exactly.
+
+    Parameters
+    ----------
+    demands:
+        Service demand ``D_k`` per centre (visit ratio times service time).
+    population:
+        Customer count ``N >= 0``.
+    think_time:
+        Pure delay ``Z`` per cycle outside the centres (>= 0).
+    kinds:
+        Per-centre kind, each ``"queueing"`` (default) or ``"delay"``.
+
+    Raises
+    ------
+    ValueError
+        On negative demands, bad kinds, or negative population.
+    """
+    demand_arr = np.asarray(list(demands), dtype=float)
+    if demand_arr.ndim != 1 or demand_arr.size == 0:
+        raise ValueError("demands must be a non-empty 1-D sequence")
+    if np.any(demand_arr < 0):
+        raise ValueError(f"demands must be >= 0, got {demand_arr!r}")
+    if population < 0:
+        raise ValueError(f"population must be >= 0, got {population!r}")
+    if think_time < 0:
+        raise ValueError(f"think_time must be >= 0, got {think_time!r}")
+
+    n_centers = demand_arr.size
+    if kinds is None:
+        kinds = ["queueing"] * n_centers
+    kinds = list(kinds)
+    if len(kinds) != n_centers:
+        raise ValueError(
+            f"kinds has {len(kinds)} entries for {n_centers} centres"
+        )
+    for kind in kinds:
+        if kind not in _CENTER_KINDS:
+            raise ValueError(f"unknown centre kind {kind!r}; use {_CENTER_KINDS}")
+    is_queueing = np.array([k == "queueing" for k in kinds])
+
+    queue_history = np.zeros((population + 1, n_centers), dtype=float)
+    responses = demand_arr.copy()
+    throughput = 0.0
+
+    for n in range(1, population + 1):
+        prev_q = queue_history[n - 1]
+        responses = np.where(
+            is_queueing, demand_arr * (1.0 + prev_q), demand_arr
+        )
+        total = think_time + float(responses.sum())
+        throughput = n / total if total > 0 else float("inf")
+        queue_history[n] = throughput * responses
+
+    queues = queue_history[population]
+    cycle_time = think_time + float(responses.sum()) if population > 0 else think_time
+    utilizations = throughput * demand_arr
+    return ExactMVAResult(
+        population=population,
+        throughput=throughput,
+        response_times=responses if population > 0 else demand_arr.copy(),
+        queue_lengths=queues,
+        utilizations=utilizations,
+        cycle_time=cycle_time,
+        queue_history=queue_history,
+    )

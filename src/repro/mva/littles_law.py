@@ -1,0 +1,84 @@
+"""Little's result: ``N = X * R``.
+
+Little's result states that for *any* stable queueing system -- regardless
+of scheduling discipline, service-time distribution, or arrival process --
+the time-average number of customers ``N`` equals the throughput ``X``
+times the mean residence time ``R``.
+
+The LoPC model uses Little's result pervasively (paper Sections 4-6 and
+Appendix A):
+
+* system throughput from population and cycle time, ``X = P / R``
+  (Eq. 5.1, A.1);
+* mean queue length at a node from per-node throughput and response time,
+  ``Q_k = V X R_k`` (Eq. 5.3, A.5, A.6);
+* utilisation of a node by a handler class, ``U_k = V X S_o``
+  (Eq. 5.4, A.3, A.4);
+* queue length per server in the workpile analysis, ``Q_s = (X/P_s) R_s``
+  (Eq. 6.1).
+
+These helpers exist so the model code reads like the paper's equations and
+so the relationships can be property-tested in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "customers_from_throughput",
+    "response_from_customers",
+    "throughput_from_customers",
+    "utilization",
+]
+
+
+def _check_nonnegative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def _check_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def customers_from_throughput(throughput: float, response_time: float) -> float:
+    """Mean customer count ``N = X * R``.
+
+    Parameters
+    ----------
+    throughput:
+        Mean completion rate ``X`` (customers per unit time), >= 0.
+    response_time:
+        Mean residence time ``R`` per customer, >= 0.
+    """
+    _check_nonnegative("throughput", throughput)
+    _check_nonnegative("response_time", response_time)
+    return throughput * response_time
+
+
+def throughput_from_customers(customers: float, response_time: float) -> float:
+    """Throughput ``X = N / R`` (Eq. 5.1 uses this with ``N = P``)."""
+    _check_nonnegative("customers", customers)
+    _check_positive("response_time", response_time)
+    return customers / response_time
+
+
+def response_from_customers(customers: float, throughput: float) -> float:
+    """Mean residence time ``R = N / X``."""
+    _check_nonnegative("customers", customers)
+    _check_positive("throughput", throughput)
+    return customers / throughput
+
+
+def utilization(arrival_rate: float, service_time: float) -> float:
+    """Utilisation ``U = lambda * S`` of a single server.
+
+    This is Little's result applied to the *service position only*: the mean
+    number of customers in service equals the arrival rate times the mean
+    service demand.  The paper uses this as ``U_k = V X S_o`` (Eq. 5.4).
+
+    The result is not clamped; callers detect saturation via ``U >= 1``.
+    """
+    _check_nonnegative("arrival_rate", arrival_rate)
+    _check_nonnegative("service_time", service_time)
+    return arrival_rate * service_time

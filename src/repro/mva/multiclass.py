@@ -1,0 +1,170 @@
+"""Exact MVA for closed *multi-class* product-form networks.
+
+The single-class recursion (:mod:`repro.mva.exact`) extends to ``C``
+customer classes with population vector ``N = (N_1, ..., N_C)``,
+per-class demands ``D_{c,k}`` and think times ``Z_c`` (Reiser &
+Lavenberg 1980).  For every population vector ``n <= N`` (component
+wise), with ``e_c`` the unit vector of class ``c``::
+
+    R_{c,k}(n) = D_{c,k} * (1 + Q_k(n - e_c))    queueing centre
+    R_{c,k}(n) = D_{c,k}                          delay centre
+    X_c(n)     = n_c / (Z_c + sum_k R_{c,k}(n))
+    Q_k(n)     = sum_c X_c(n) * R_{c,k}(n)
+
+Cost is ``prod_c (N_c + 1)`` lattice points -- fine for the validation
+cases this library needs (e.g. a workpile with two client classes of
+different chunk sizes, which is product-form when handlers are
+exponential and therefore provides *ground truth* for the heterogeneous
+Appendix-A LoPC model).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["MultiClassMVAResult", "multiclass_mva"]
+
+_CENTER_KINDS = ("queueing", "delay")
+
+
+@dataclass(frozen=True)
+class MultiClassMVAResult:
+    """Solution at the full population vector.
+
+    Attributes
+    ----------
+    populations:
+        The class populations ``(N_1, ..., N_C)``.
+    throughputs:
+        Per-class throughput ``X_c``.
+    response_times:
+        ``R[c, k]`` per class and centre.
+    queue_lengths:
+        ``Q_k`` total mean customers per centre.
+    class_queue_lengths:
+        ``Q[c, k]`` per class and centre (``X_c * R_{c,k}``).
+    cycle_times:
+        Per-class total cycle ``Z_c + sum_k R_{c,k}``.
+    """
+
+    populations: tuple[int, ...]
+    throughputs: np.ndarray
+    response_times: np.ndarray
+    queue_lengths: np.ndarray
+    class_queue_lengths: np.ndarray
+    cycle_times: np.ndarray
+
+
+def multiclass_mva(
+    demands: Sequence[Sequence[float]],
+    populations: Sequence[int],
+    think_times: Sequence[float] | None = None,
+    kinds: Sequence[str] | None = None,
+) -> MultiClassMVAResult:
+    """Solve a closed multi-class product-form network exactly.
+
+    Parameters
+    ----------
+    demands:
+        ``C x K`` matrix of per-class service demands ``D_{c,k}``.
+    populations:
+        Class populations ``N_c >= 0``.
+    think_times:
+        Per-class think time ``Z_c`` (default 0).
+    kinds:
+        Per-centre kind (``"queueing"`` default, or ``"delay"``).
+
+    Notes
+    -----
+    Runtime and memory are ``O(K * prod(N_c + 1))``; intended for the
+    modest populations used in validation, not capacity planning.
+    """
+    demand_arr = np.asarray(demands, dtype=float)
+    if demand_arr.ndim != 2 or demand_arr.size == 0:
+        raise ValueError("demands must be a non-empty C x K matrix")
+    if np.any(demand_arr < 0):
+        raise ValueError("demands must be >= 0")
+    n_classes, n_centers = demand_arr.shape
+
+    pops = tuple(int(n) for n in populations)
+    if len(pops) != n_classes:
+        raise ValueError(
+            f"populations has {len(pops)} entries for {n_classes} classes"
+        )
+    if any(n < 0 for n in pops):
+        raise ValueError("populations must be >= 0")
+    total_points = int(np.prod([n + 1 for n in pops]))
+    if total_points > 2_000_000:
+        raise ValueError(
+            f"population lattice has {total_points} points; this exact "
+            "solver is meant for validation-sized problems"
+        )
+
+    if think_times is None:
+        think = np.zeros(n_classes)
+    else:
+        think = np.asarray(think_times, dtype=float)
+        if think.shape != (n_classes,):
+            raise ValueError(
+                f"think_times must have length {n_classes}, got {think.shape}"
+            )
+        if np.any(think < 0):
+            raise ValueError("think_times must be >= 0")
+
+    if kinds is None:
+        kinds = ["queueing"] * n_centers
+    kinds = list(kinds)
+    if len(kinds) != n_centers:
+        raise ValueError(f"kinds has {len(kinds)} entries for {n_centers} centres")
+    for kind in kinds:
+        if kind not in _CENTER_KINDS:
+            raise ValueError(f"unknown centre kind {kind!r}; use {_CENTER_KINDS}")
+    is_queueing = np.array([k == "queueing" for k in kinds])
+
+    # Iterate the lattice in order of total population so that n - e_c is
+    # always already solved.  Store Q_k(n) per lattice point.
+    queue_store: dict[tuple[int, ...], np.ndarray] = {
+        tuple([0] * n_classes): np.zeros(n_centers)
+    }
+
+    responses = np.zeros((n_classes, n_centers))
+    throughputs = np.zeros(n_classes)
+
+    lattice = sorted(
+        itertools.product(*(range(n + 1) for n in pops)), key=sum
+    )
+    for point in lattice:
+        if sum(point) == 0:
+            continue
+        responses_at = np.zeros((n_classes, n_centers))
+        x_at = np.zeros(n_classes)
+        for c in range(n_classes):
+            if point[c] == 0:
+                continue
+            prev = list(point)
+            prev[c] -= 1
+            q_prev = queue_store[tuple(prev)]
+            responses_at[c] = np.where(
+                is_queueing, demand_arr[c] * (1.0 + q_prev), demand_arr[c]
+            )
+            denom = think[c] + responses_at[c].sum()
+            x_at[c] = point[c] / denom if denom > 0 else np.inf
+        queue_store[point] = (x_at[:, None] * responses_at).sum(axis=0)
+        if point == pops:
+            responses = responses_at
+            throughputs = x_at
+
+    full = tuple(pops)
+    class_queues = throughputs[:, None] * responses
+    return MultiClassMVAResult(
+        populations=full,
+        throughputs=throughputs,
+        response_times=responses,
+        queue_lengths=queue_store[full],
+        class_queue_lengths=class_queues,
+        cycle_times=think + responses.sum(axis=1),
+    )

@@ -1,0 +1,83 @@
+"""Residual-life arithmetic for service distributions of arbitrary ``C^2``.
+
+The default LoPC model assumes exponentially distributed handler service
+times (``C^2 = 1``).  Section 5.2 of the paper extends the model to
+arbitrary squared coefficients of variation: when a message arrives at a
+node whose handler is busy (probability = utilisation ``U``), the arriving
+message waits for the *residual life* of the handler in service, which for
+a distribution with mean ``S`` and squared coefficient of variation ``C^2``
+is::
+
+    E[residual] = (1 + C^2) / 2 * S
+
+A message arriving at node ``k`` is delayed by the residual life of the
+handler in service plus the *full* service time of every other queued
+handler.  Writing the steady-state handler count as ``Q_k`` (which includes
+the one in service, with probability ``U_k``), the expected delay is
+(paper Eq. 5.8)::
+
+    S * (Q_k - U_k) + (1 + C^2)/2 * S * U_k  =  S * (Q_k + (C^2 - 1)/2 * U_k)
+
+so the whole C^2 extension enters the response-time equations through the
+additive correction ``(C^2 - 1)/2 * U_k`` -- positive for hyper-exponential
+handlers, zero for exponential, ``-U_k/2`` for deterministic handlers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mean_residual_life", "residual_correction", "queue_delay"]
+
+
+def mean_residual_life(service_time: float, cv2: float) -> float:
+    """Mean remaining service seen by a random arrival: ``(1 + C^2)/2 * S``.
+
+    Parameters
+    ----------
+    service_time:
+        Mean service time ``S`` (>= 0).
+    cv2:
+        Squared coefficient of variation ``C^2 = Var[S]/E[S]^2`` (>= 0).
+        ``0`` = deterministic (residual ``S/2``); ``1`` = exponential
+        (residual ``S``, memorylessness).
+    """
+    if service_time < 0:
+        raise ValueError(f"service_time must be >= 0, got {service_time!r}")
+    if cv2 < 0:
+        raise ValueError(f"cv2 must be >= 0, got {cv2!r}")
+    return 0.5 * (1.0 + cv2) * service_time
+
+
+def residual_correction(utilization: float, cv2: float) -> float:
+    """The additive queue-length correction ``(C^2 - 1)/2 * U`` of Eq. 5.8.
+
+    Added to the steady-state queue length before multiplying by the mean
+    service time, this converts "every queued customer costs a full service
+    time" into "the customer in service costs only its residual life".
+    """
+    if cv2 < 0:
+        raise ValueError(f"cv2 must be >= 0, got {cv2!r}")
+    if utilization < 0:
+        raise ValueError(f"utilization must be >= 0, got {utilization!r}")
+    return 0.5 * (cv2 - 1.0) * utilization
+
+
+def queue_delay(
+    service_time: float, queue_length: float, utilization: float, cv2: float
+) -> float:
+    """Expected delay behind queued handlers (Eq. 5.8).
+
+    ``S * (Q + (C^2 - 1)/2 * U)`` -- the full service time of every queued
+    handler with the in-service one discounted to its residual life.
+
+    Notes
+    -----
+    ``queue_length`` is the steady-state mean *including* the customer in
+    service; with Bard's approximation it also stands in for the queue
+    length observed at arrival instants (see :mod:`repro.mva.bard`).
+    """
+    if queue_length < 0:
+        raise ValueError(f"queue_length must be >= 0, got {queue_length!r}")
+    delay = service_time * (queue_length + residual_correction(utilization, cv2))
+    # With C^2 = 0 and U > Q the correction could in principle go negative;
+    # physically the delay is never below zero.
+    return max(delay, 0.0)

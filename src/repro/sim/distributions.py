@@ -1,0 +1,257 @@
+"""Service-time distributions parameterised by mean and squared CV.
+
+The LoPC model's only distributional knob is ``C^2``, the squared
+coefficient of variation of handler service time (paper Section 5.2, the
+optional fifth parameter of Table 3.1).  The simulator therefore needs a
+family of non-negative distributions indexed by ``(mean, C^2)``:
+
+* ``C^2 = 0``  -- :class:`Constant` (the paper's "short instruction
+  streams with low variability");
+* ``C^2 = 1``  -- :class:`Exponential` (the classical MVA default);
+* ``0 < C^2 < 1`` -- :class:`Gamma` with shape ``1/C^2`` (Erlang-like);
+* ``C^2 > 1``  -- :class:`Gamma` with shape ``< 1``, or the two-phase
+  balanced-means :class:`HyperExponential` often used in queueing
+  studies;
+* :class:`Uniform` -- ``C^2 = 1/3`` when spanning ``[0, 2*mean]``; the
+  "Uniform Service Time Distributions" of the paper's Section 5.2 title.
+
+:func:`from_mean_cv2` picks the canonical member for an arbitrary
+``C^2 >= 0``.  All sampling goes through a caller-provided
+:class:`numpy.random.Generator` so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "Constant",
+    "Exponential",
+    "Gamma",
+    "HyperExponential",
+    "ServiceDistribution",
+    "Uniform",
+    "from_mean_cv2",
+]
+
+
+class ServiceDistribution(ABC):
+    """A non-negative random service requirement with known mean and C^2."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @property
+    @abstractmethod
+    def cv2(self) -> float:
+        """Squared coefficient of variation ``Var/Mean^2``."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value (>= 0)."""
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` values (vectorised where the subclass allows)."""
+        return np.array([self.sample(rng) for _ in range(size)])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(mean={self.mean:g}, cv2={self.cv2:g})"
+        )
+
+
+def _check_mean(mean: float) -> float:
+    if mean < 0:
+        raise ValueError(f"mean must be >= 0, got {mean!r}")
+    return float(mean)
+
+
+class Constant(ServiceDistribution):
+    """Deterministic service time: ``C^2 = 0``."""
+
+    def __init__(self, value: float) -> None:
+        self._value = _check_mean(value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def cv2(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._value
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self._value)
+
+
+class Exponential(ServiceDistribution):
+    """Exponential service time: ``C^2 = 1`` (memoryless)."""
+
+    def __init__(self, mean: float) -> None:
+        self._mean = _check_mean(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def cv2(self) -> float:
+        return 1.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._mean == 0.0:
+            return 0.0
+        return float(rng.exponential(self._mean))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self._mean == 0.0:
+            return np.zeros(size)
+        return rng.exponential(self._mean, size=size)
+
+
+class Uniform(ServiceDistribution):
+    """Uniform on ``[low, high]``; ``C^2 = (high-low)^2 / (3 (high+low)^2)``.
+
+    ``Uniform.spanning(mean)`` gives the ``[0, 2*mean]`` form with
+    ``C^2 = 1/3``.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(
+                f"need 0 <= low <= high, got low={low!r}, high={high!r}"
+            )
+        self._low = float(low)
+        self._high = float(high)
+
+    @classmethod
+    def spanning(cls, mean: float) -> "Uniform":
+        """Uniform on ``[0, 2*mean]`` -- the max-spread uniform for a mean."""
+        _check_mean(mean)
+        return cls(0.0, 2.0 * mean)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self._low + self._high)
+
+    @property
+    def cv2(self) -> float:
+        if self.mean == 0.0:
+            return 0.0
+        var = (self._high - self._low) ** 2 / 12.0
+        return var / self.mean**2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self._low, self._high))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self._low, self._high, size=size)
+
+
+class Gamma(ServiceDistribution):
+    """Gamma distribution with given mean and C^2 (shape ``k = 1/C^2``).
+
+    Covers the whole ``C^2 > 0`` range: Erlang-like for ``C^2 < 1``,
+    exponential at ``C^2 = 1``, heavy-tailed-ish for ``C^2 > 1``.
+    """
+
+    def __init__(self, mean: float, cv2: float) -> None:
+        self._mean = _check_mean(mean)
+        if cv2 <= 0:
+            raise ValueError(
+                f"Gamma requires cv2 > 0 (use Constant for cv2=0), got {cv2!r}"
+            )
+        self._cv2 = float(cv2)
+        self._shape = 1.0 / self._cv2
+        self._scale = self._mean * self._cv2
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def cv2(self) -> float:
+        return self._cv2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._mean == 0.0:
+            return 0.0
+        return float(rng.gamma(self._shape, self._scale))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self._mean == 0.0:
+            return np.zeros(size)
+        return rng.gamma(self._shape, self._scale, size=size)
+
+
+class HyperExponential(ServiceDistribution):
+    """Two-phase hyper-exponential with balanced means; ``C^2 > 1``.
+
+    With probability ``p`` draw Exp(mean ``m1``), else Exp(mean ``m2``),
+    with ``p m1 = (1-p) m2`` (the standard "balanced means" construction)
+    chosen to hit a target ``(mean, C^2)``.
+    """
+
+    def __init__(self, mean: float, cv2: float) -> None:
+        self._mean = _check_mean(mean)
+        if cv2 <= 1.0:
+            raise ValueError(
+                f"HyperExponential requires cv2 > 1, got {cv2!r}"
+            )
+        self._cv2 = float(cv2)
+        # Balanced means: p = (1 + sqrt((C2-1)/(C2+1)))/2
+        ratio = math.sqrt((self._cv2 - 1.0) / (self._cv2 + 1.0))
+        self._p = 0.5 * (1.0 + ratio)
+        self._m1 = self._mean / (2.0 * self._p)
+        self._m2 = self._mean / (2.0 * (1.0 - self._p))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def cv2(self) -> float:
+        return self._cv2
+
+    @property
+    def branch_probability(self) -> float:
+        """Probability of the fast branch."""
+        return self._p
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self._mean == 0.0:
+            return 0.0
+        m = self._m1 if rng.random() < self._p else self._m2
+        return float(rng.exponential(m))
+
+    def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self._mean == 0.0:
+            return np.zeros(size)
+        fast = rng.random(size) < self._p
+        means = np.where(fast, self._m1, self._m2)
+        return rng.exponential(1.0, size=size) * means
+
+
+def from_mean_cv2(mean: float, cv2: float) -> ServiceDistribution:
+    """Canonical distribution for a ``(mean, C^2)`` pair.
+
+    ``C^2 = 0`` -> Constant; ``C^2 = 1`` -> Exponential; otherwise Gamma.
+    This mirrors the model's residual-life treatment, which depends on the
+    distribution only through its first two moments.
+    """
+    _check_mean(mean)
+    if cv2 < 0:
+        raise ValueError(f"cv2 must be >= 0, got {cv2!r}")
+    if cv2 == 0.0 or mean == 0.0:
+        return Constant(mean)
+    if cv2 == 1.0:
+        return Exponential(mean)
+    return Gamma(mean, cv2)

@@ -1,0 +1,152 @@
+"""Discrete-event simulation core: clock, event queue, run loop.
+
+A deliberately small engine in the classic style: a binary heap of
+``(time, sequence, callback)`` entries.  The sequence number makes event
+ordering *deterministic* for simultaneous events (FIFO in scheduling
+order), which matters both for reproducibility and for the machine
+semantics (e.g. a handler-completion event scheduled before a message
+arrival at the same instant runs first).
+
+Cancellation is lazy: :meth:`Simulator.schedule` returns an
+:class:`EventHandle`; cancelling marks the handle and the run loop skips
+it when popped.  This is how the node model implements preempt-resume
+computation (the pending completion event of an interrupted computation
+is cancelled and a new one scheduled at resume).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the run loop will skip it."""
+        self.cancelled = True
+        self.callback = _noop  # drop references early
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time!r}, seq={self.seq}, {state})"
+
+
+def _noop() -> None:
+    return None
+
+
+class Simulator:
+    """The simulation clock and event loop.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time (cycles).  Only the run loop advances it.
+    events_processed:
+        Count of callbacks executed (cancelled events excluded).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self._heap: list[EventHandle] = []
+        self._seq: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        ``delay`` must be >= 0; zero-delay events run after all events
+        already scheduled for the current instant (FIFO).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay!r}")
+        handle = EventHandle(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next live event.  Returns False if none remain."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:  # pragma: no cover - invariant guard
+                raise RuntimeError(
+                    f"event time {handle.time} precedes clock {self.now}"
+                )
+            self.now = handle.time
+            self.events_processed += 1
+            handle.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int = 100_000_000,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the clock would pass this time (events at
+            exactly ``until`` still run).
+        max_events:
+            Safety valve against runaway simulations.
+        stop:
+            Optional predicate checked after every event; the loop exits
+            once it returns True (used to end a run when all threads have
+            completed their measured cycles).
+        """
+        executed = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            executed += 1
+            if stop is not None and stop():
+                return
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events} "
+                    f"(clock at {self.now}); likely a livelock in the workload"
+                )

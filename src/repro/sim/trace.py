@@ -1,0 +1,160 @@
+"""Execution tracing for the simulated machine.
+
+A :class:`TraceRecorder` attached to a machine records a timestamped
+event stream -- message lifecycle (arrive / dispatch / complete) and
+thread scheduling (compute start / preempt / block / finish) -- which
+can be filtered, rendered as a text timeline, or exported as CSV.
+
+Useful for debugging workloads, teaching the machine model, and for
+*verifying semantics in tests*: several node-model tests assert exact
+event sequences (a handler never preempts a handler, the thread only
+resumes once the FIFO drains) straight off the trace.
+
+Tracing is off unless a recorder is attached; the node model pays a
+single ``is None`` check per hook when disabled.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+#: Event kinds emitted by the node model.
+MESSAGE_ARRIVED = "message-arrived"
+MESSAGE_QUEUED = "message-queued"
+HANDLER_DISPATCHED = "handler-dispatched"
+HANDLER_COMPLETED = "handler-completed"
+COMPUTE_STARTED = "compute-started"
+COMPUTE_PREEMPTED = "compute-preempted"
+COMPUTE_FINISHED = "compute-finished"
+THREAD_BLOCKED = "thread-blocked"
+THREAD_FINISHED = "thread-finished"
+
+ALL_KINDS = (
+    MESSAGE_ARRIVED,
+    MESSAGE_QUEUED,
+    HANDLER_DISPATCHED,
+    HANDLER_COMPLETED,
+    COMPUTE_STARTED,
+    COMPUTE_PREEMPTED,
+    COMPUTE_FINISHED,
+    THREAD_BLOCKED,
+    THREAD_FINISHED,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence on one node."""
+
+    time: float
+    node: int
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.2f}] node {self.node:3d}  {self.kind:<18} {self.detail}"
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from attached nodes.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap; recording silently stops once reached (the counter
+        keeps incrementing so overflow is detectable).
+    """
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events!r}")
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped: int = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, machine: "Machine") -> "TraceRecorder":
+        """Attach to every node of a machine (returns self for chaining)."""
+        for node in machine.nodes:
+            node.tracer = self
+        return self
+
+    def detach(self, machine: "Machine") -> None:
+        """Stop recording from the machine's nodes."""
+        for node in machine.nodes:
+            node.tracer = None
+
+    def record(self, time: float, node: int, kind: str, detail: str = "") -> None:
+        """Hook target called by the node model."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, node, kind, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        node: int | None = None,
+        kinds: Sequence[str] | None = None,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> list[TraceEvent]:
+        """Events matching a node / kind / time window."""
+        if kinds is not None:
+            unknown = set(kinds) - set(ALL_KINDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown trace kinds {sorted(unknown)}; "
+                    f"valid: {ALL_KINDS}"
+                )
+        out = []
+        for ev in self.events:
+            if node is not None and ev.node != node:
+                continue
+            if kinds is not None and ev.kind not in kinds:
+                continue
+            if not start <= ev.time <= end:
+                continue
+            out.append(ev)
+        return out
+
+    def kind_counts(self) -> dict[str, int]:
+        """Histogram of event kinds recorded so far."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(
+        self, events: Iterable[TraceEvent] | None = None, limit: int = 200
+    ) -> str:
+        """Human-readable timeline (one line per event)."""
+        evs = list(self.events if events is None else events)
+        lines = [str(ev) for ev in evs[:limit]]
+        if len(evs) > limit:
+            lines.append(f"... ({len(evs) - limit} more events)")
+        if self.dropped:
+            lines.append(f"... ({self.dropped} events dropped at cap)")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The full event stream as CSV (time,node,kind,detail)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["time", "node", "kind", "detail"])
+        for ev in self.events:
+            writer.writerow([repr(ev.time), ev.node, ev.kind, ev.detail])
+        return buf.getvalue()

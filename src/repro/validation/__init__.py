@@ -1,0 +1,15 @@
+"""Model-vs-simulation comparison utilities."""
+
+from repro.validation.compare import (
+    ComparisonReport,
+    compare_alltoall,
+    relative_error,
+    signed_error_pct,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "compare_alltoall",
+    "relative_error",
+    "signed_error_pct",
+]

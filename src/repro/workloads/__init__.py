@@ -1,0 +1,56 @@
+"""Paired model/simulation workloads.
+
+Each module builds a workload twice: once as thread programs + handlers
+for the event-driven simulator (:mod:`repro.sim`) and once as parameters
+for the corresponding analytical model (:mod:`repro.core`).  The paper's
+evaluation is exactly this pairing: model prediction vs simulator
+measurement for the same traffic.
+
+* :mod:`repro.workloads.alltoall` -- homogeneous all-to-all blocking
+  request/reply (paper Section 5).
+* :mod:`repro.workloads.workpile` -- client-server chunk distribution
+  (paper Chapter 6).
+* :mod:`repro.workloads.matvec` -- the Section 3 matrix-vector multiply,
+  actually computing ``y = A x`` on the simulated machine.
+* :mod:`repro.workloads.patterns` -- visit-matrix patterns: hotspots and
+  multi-hop forwarding chains (Appendix A traffic).
+* :mod:`repro.workloads.nonblocking` -- k-outstanding non-blocking
+  requests (the Chapter 7 extension).
+"""
+
+from repro.workloads.alltoall import AllToAllWorkload, run_alltoall
+from repro.workloads.barrier import BarrierMeasurement, run_barrier_alltoall
+from repro.workloads.base import SimulationMeasurement
+from repro.workloads.matvec import MatVecResult, MatVecWorkload, run_matvec
+from repro.workloads.nonblocking import (
+    NonBlockingMeasurement,
+    run_nonblocking_alltoall,
+)
+from repro.workloads.patterns import (
+    HeterogeneousUniformPattern,
+    HotspotPattern,
+    MultiHopRingPattern,
+    RandomMultiHopPattern,
+    run_pattern,
+)
+from repro.workloads.workpile import WorkpileMeasurement, run_workpile
+
+__all__ = [
+    "AllToAllWorkload",
+    "BarrierMeasurement",
+    "HeterogeneousUniformPattern",
+    "HotspotPattern",
+    "MatVecResult",
+    "MatVecWorkload",
+    "MultiHopRingPattern",
+    "NonBlockingMeasurement",
+    "RandomMultiHopPattern",
+    "SimulationMeasurement",
+    "WorkpileMeasurement",
+    "run_alltoall",
+    "run_barrier_alltoall",
+    "run_matvec",
+    "run_nonblocking_alltoall",
+    "run_pattern",
+    "run_workpile",
+]

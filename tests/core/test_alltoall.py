@@ -1,0 +1,165 @@
+"""Unit tests for the homogeneous all-to-all LoPC model (Section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.logp import LogPModel
+from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=40.0, handler_time=200.0, processors=32,
+                         handler_cv2=0.0)
+
+
+@pytest.fixture
+def model(machine) -> AllToAllModel:
+    return AllToAllModel(machine)
+
+
+class TestBasicSolve:
+    def test_exceeds_contention_free(self, model, machine):
+        s = model.solve_work(1000.0)
+        logp = LogPModel(machine).cycle_time(1000.0)
+        assert s.response_time > logp
+
+    def test_cycle_identity(self, model):
+        s = model.solve_work(512.0)
+        assert s.cycle_identity_error() < 1e-8
+
+    def test_throughput_eq_5_1(self, model, machine):
+        s = model.solve_work(512.0)
+        assert s.throughput == pytest.approx(
+            machine.processors / s.response_time
+        )
+
+    def test_littles_law_queues(self, model):
+        # Qk = (X/P) Rk (Eqs. 5.3) at the fixed point.
+        s = model.solve_work(512.0)
+        lam = 1.0 / s.response_time
+        assert s.request_queue == pytest.approx(lam * s.request_residence)
+        assert s.reply_queue == pytest.approx(lam * s.reply_residence)
+
+    def test_utilisation_eq_5_4(self, model):
+        s = model.solve_work(512.0)
+        lam = 1.0 / s.response_time
+        assert s.request_utilization == pytest.approx(lam * s.handler_time)
+
+    def test_solution_satisfies_response_equations(self, model, machine):
+        """Plug the solution back into Eqs. 5.9/5.10/5.7 (C^2 = 0)."""
+        s = model.solve_work(256.0)
+        so = machine.handler_time
+        lam = 1.0 / s.response_time
+        uq = uy = lam * so
+        qq, qy = s.request_queue, s.reply_queue
+        rq_expected = so * (1 + qq + qy - 0.5 * (uq + uy))
+        ry_expected = so * (1 + qq - 0.5 * uq)
+        rw_expected = (256.0 + so * qq) / (1 - uq)
+        assert s.request_residence == pytest.approx(rq_expected, rel=1e-9)
+        assert s.reply_residence == pytest.approx(ry_expected, rel=1e-9)
+        assert s.compute_residence == pytest.approx(rw_expected, rel=1e-9)
+
+    def test_meta_reports_convergence(self, model):
+        s = model.solve_work(10.0)
+        assert s.meta["model"] == "lopc-alltoall"
+        assert s.meta["iterations"] >= 1
+
+    def test_solve_params_and_runtime(self, model, machine):
+        algo = AlgorithmParams(work=100.0, requests=50)
+        params = LoPCParams(machine=machine, algorithm=algo)
+        s = model.solve_params(params)
+        assert model.runtime(algo) == pytest.approx(50 * s.response_time)
+
+    def test_solve_params_rejects_other_machine(self, model):
+        other = LoPCParams(
+            machine=MachineParams(latency=1, handler_time=1, processors=2),
+            algorithm=AlgorithmParams(work=1.0),
+        )
+        with pytest.raises(ValueError, match="machine"):
+            model.solve_params(other)
+
+    def test_gap_rejected(self):
+        gapped = MachineParams(latency=1, handler_time=1, processors=4,
+                               gap=2.0)
+        with pytest.raises(ValueError, match="gap"):
+            AllToAllModel(gapped)
+
+
+class TestQualitativeShape:
+    def test_contention_roughly_one_handler(self, model, machine):
+        """The paper's rule of thumb across the W sweep."""
+        for work in (0.0, 64.0, 512.0, 2048.0):
+            s = model.solve_work(work)
+            assert 0.9 * machine.handler_time < s.total_contention < 1.5 * (
+                machine.handler_time
+            )
+
+    def test_response_monotone_in_work(self, model):
+        rs = [model.solve_work(w).response_time for w in (0, 10, 100, 1000)]
+        assert rs == sorted(rs)
+
+    def test_contention_decreases_with_work(self, model):
+        cs = [model.solve_work(w).total_contention for w in (0, 10, 100, 1000)]
+        assert cs == sorted(cs, reverse=True)
+
+    def test_contention_fraction_increases_with_cv2(self, machine):
+        fr0 = AllToAllModel(machine).contention_fraction(1000.0)
+        fr1 = AllToAllModel(machine.with_cv2(1.0)).contention_fraction(1000.0)
+        fr2 = AllToAllModel(machine.with_cv2(2.0)).contention_fraction(1000.0)
+        assert fr0 < fr1 < fr2
+
+    def test_exponential_vs_constant_gap_about_6pct(self, machine):
+        """Section 5.2: C^2=0 vs C^2=1 differ by about 6%."""
+        r0 = AllToAllModel(machine).solve_work(1000.0).response_time
+        r1 = AllToAllModel(machine.with_cv2(1.0)).solve_work(1000.0).response_time
+        gap = (r1 - r0) / r0
+        assert 0.01 < gap < 0.10
+
+    def test_more_processors_does_not_change_homogeneous_solution(self):
+        """V = 1/P cancels: per-node load is P-independent."""
+        r8 = AllToAllModel(
+            MachineParams(latency=40, handler_time=200, processors=8,
+                          handler_cv2=0.0)
+        ).solve_work(500.0)
+        r64 = AllToAllModel(
+            MachineParams(latency=40, handler_time=200, processors=64,
+                          handler_cv2=0.0)
+        ).solve_work(500.0)
+        assert r8.response_time == pytest.approx(r64.response_time, rel=1e-9)
+
+
+class TestSharedMemoryVariant:
+    def test_thread_never_interrupted(self, machine):
+        s = AllToAllModel(machine, protocol_processor=True).solve_work(500.0)
+        assert s.compute_residence == pytest.approx(500.0)
+
+    def test_faster_than_message_passing(self, machine):
+        mp = AllToAllModel(machine).solve_work(500.0)
+        sm = AllToAllModel(machine, protocol_processor=True).solve_work(500.0)
+        assert sm.response_time < mp.response_time
+
+    def test_handlers_still_contend(self, machine):
+        s = AllToAllModel(machine, protocol_processor=True).solve_work(0.0)
+        assert s.request_contention > 0.0
+
+
+@given(
+    work=st.floats(min_value=0.0, max_value=5000.0),
+    latency=st.floats(min_value=0.0, max_value=500.0),
+    handler=st.floats(min_value=1.0, max_value=1000.0),
+    cv2=st.floats(min_value=0.0, max_value=2.0),
+)
+def test_solution_always_within_bounds(work, latency, handler, cv2):
+    """Eq. 5.12 generalised: lower < R* <= W + 2St + kappa(C^2) So."""
+    from repro.core.rule_of_thumb import upper_bound_constant
+
+    machine = MachineParams(latency=latency, handler_time=handler,
+                            processors=16, handler_cv2=cv2)
+    s = AllToAllModel(machine).solve_work(work)
+    lower = work + 2 * latency + 2 * handler
+    upper = work + 2 * latency + upper_bound_constant(cv2) * handler
+    assert lower - 1e-6 <= s.response_time <= upper * (1 + 1e-9) + 1e-6

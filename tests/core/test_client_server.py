@@ -1,0 +1,141 @@
+"""Unit tests for the client-server workpile model (Chapter 6)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.client_server import ClientServerModel
+from repro.core.params import MachineParams
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=10.0, handler_time=131.0, processors=32,
+                         handler_cv2=0.0)
+
+
+@pytest.fixture
+def model(machine) -> ClientServerModel:
+    return ClientServerModel(machine, work=250.0)
+
+
+class TestSolve:
+    def test_cycle_identity_eq_6_7(self, model):
+        s = model.solve(8)
+        assert s.cycle_identity_error() < 1e-9
+
+    def test_throughput_eq_6_2(self, model):
+        s = model.solve(8)
+        assert s.throughput == pytest.approx(s.clients / s.response_time)
+
+    def test_littles_law_at_servers(self, model):
+        s = model.solve(8)
+        lam = s.throughput / s.servers
+        assert s.server_queue == pytest.approx(lam * s.server_residence)
+        assert s.server_utilization == pytest.approx(lam * s.handler_time)
+
+    def test_server_equation_eq_6_5(self, model, machine):
+        s = model.solve(8)
+        so = machine.handler_time
+        expected = so * (1 + s.server_queue - 0.5 * s.server_utilization)
+        assert s.server_residence == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_bad_split(self, model):
+        with pytest.raises(ValueError, match="servers"):
+            model.solve(0)
+        with pytest.raises(ValueError, match="servers"):
+            model.solve(32)
+        with pytest.raises(ValueError, match="integer"):
+            model.solve(3.5)  # type: ignore[arg-type]
+
+    def test_rejects_negative_work(self, machine):
+        with pytest.raises(ValueError, match="work"):
+            ClientServerModel(machine, work=-1.0)
+
+    def test_rejects_gap(self):
+        machine = MachineParams(latency=1, handler_time=1, processors=4,
+                                gap=1.0)
+        with pytest.raises(ValueError, match="gap"):
+            ClientServerModel(machine, work=1.0)
+
+
+class TestThroughputCurve:
+    def test_curve_covers_all_splits(self, model, machine):
+        curve = model.throughput_curve()
+        assert [s.servers for s in curve] == list(
+            range(1, machine.processors)
+        )
+
+    def test_curve_is_unimodal(self, model):
+        xs = [s.throughput for s in model.throughput_curve()]
+        peak = xs.index(max(xs))
+        assert all(b >= a - 1e-12 for a, b in zip(xs[:peak], xs[1 : peak + 1]))
+        assert all(b <= a + 1e-12 for a, b in zip(xs[peak:], xs[peak + 1 :]))
+
+    def test_extreme_splits_are_poor(self, model):
+        xs = {s.servers: s.throughput for s in model.throughput_curve()}
+        best = max(xs.values())
+        assert xs[1] < 0.8 * best
+        assert xs[31] < 0.8 * best
+
+
+class TestOptimalAllocation:
+    def test_rs_closed_form_eq_6_6(self, model, machine):
+        # C^2=0: Rs* = So (1 + sqrt(1/2)).
+        expected = machine.handler_time * (1 + math.sqrt(0.5))
+        assert model.optimal_server_residence() == pytest.approx(expected)
+
+    def test_rs_closed_form_exponential(self, machine):
+        # C^2=1: Rs* = 2 So (mean queue of one doubles the service).
+        m = machine.with_cv2(1.0)
+        model = ClientServerModel(m, work=250.0)
+        assert model.optimal_server_residence() == pytest.approx(
+            2 * m.handler_time
+        )
+
+    def test_eq_6_8_closed_form(self, model, machine):
+        """Ps* = P(1+sqrt(2(C2+1))/2)So / (W+2St+(3+sqrt(2(C2+1)))So)."""
+        s2 = math.sqrt(2.0)  # sqrt(2(C2+1)) at C2=0
+        so, st, p, w = 131.0, 10.0, 32, 250.0
+        expected = p * (1 + s2 / 2) * so / (w + 2 * st + (3 + s2) * so)
+        assert model.optimal_servers_exact() == pytest.approx(expected)
+
+    def test_integer_optimum_matches_curve_argmax(self, model):
+        curve = model.throughput_curve()
+        argmax = max(curve, key=lambda s: s.throughput).servers
+        assert abs(model.optimal_servers() - argmax) <= 1
+
+    def test_queue_is_one_at_optimum(self, model):
+        """The paper's exchange argument: Qs = 1 at the optimum."""
+        s = model.solve(model.optimal_servers())
+        assert s.server_queue == pytest.approx(1.0, abs=0.2)
+
+    def test_optimum_shifts_down_with_work(self, machine):
+        """More client work per chunk -> fewer servers needed."""
+        light = ClientServerModel(machine, work=100.0).optimal_servers_exact()
+        heavy = ClientServerModel(machine, work=4000.0).optimal_servers_exact()
+        assert heavy < light
+
+    def test_optimal_throughput_closed_form_close_to_curve(self, model):
+        closed = model.optimal_throughput_closed_form()
+        best = max(s.throughput for s in model.throughput_curve())
+        assert closed == pytest.approx(best, rel=0.05)
+
+
+@given(
+    work=st.floats(min_value=0.0, max_value=1e4),
+    latency=st.floats(min_value=0.0, max_value=200.0),
+    handler=st.floats(min_value=1.0, max_value=500.0),
+    cv2=st.sampled_from([0.0, 1.0, 2.0]),
+    p=st.integers(min_value=4, max_value=64),
+)
+def test_closed_form_optimum_in_range(work, latency, handler, cv2, p):
+    """Ps* always lies strictly inside (0, P)."""
+    machine = MachineParams(latency=latency, handler_time=handler,
+                            processors=p, handler_cv2=cv2)
+    model = ClientServerModel(machine, work=work)
+    exact = model.optimal_servers_exact()
+    assert 0.0 < exact < p
+    assert 1 <= model.optimal_servers() <= p - 1

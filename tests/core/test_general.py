@@ -1,0 +1,221 @@
+"""Unit tests for the general Appendix-A model."""
+
+import numpy as np
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.general import GeneralLoPCModel, ThreadClass
+from repro.core.params import MachineParams
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=40.0, handler_time=200.0, processors=8,
+                         handler_cv2=0.0)
+
+
+class TestConstruction:
+    def test_rejects_wrong_works_length(self, machine):
+        visits = np.zeros((8, 8))
+        with pytest.raises(ValueError, match="length"):
+            GeneralLoPCModel(machine, [100.0] * 7, visits)
+
+    def test_rejects_wrong_visit_shape(self, machine):
+        with pytest.raises(ValueError, match="matrix"):
+            GeneralLoPCModel(machine, [100.0] * 8, np.zeros((8, 7)))
+
+    def test_rejects_self_visits(self, machine):
+        visits = np.full((8, 8), 1.0 / 7)
+        with pytest.raises(ValueError, match="self-visits"):
+            GeneralLoPCModel(machine, [100.0] * 8, visits)
+
+    def test_rejects_negative_visits(self, machine):
+        visits = np.zeros((8, 8))
+        visits[0, 1] = -1.0
+        with pytest.raises(ValueError, match=">= 0"):
+            GeneralLoPCModel(machine, [100.0] * 8, visits)
+
+    def test_rejects_all_passive(self, machine):
+        with pytest.raises(ValueError, match="active"):
+            GeneralLoPCModel(machine, [None] * 8, np.zeros((8, 8)))
+
+    def test_rejects_passive_with_visits(self, machine):
+        visits = np.zeros((8, 8))
+        visits[0, 1] = 1.0
+        works = [None] + [100.0] * 7
+        visits[1:, 0] = 1.0
+        with pytest.raises(ValueError, match="passive"):
+            GeneralLoPCModel(machine, works, visits)
+
+    def test_rejects_active_without_visits(self, machine):
+        visits = np.zeros((8, 8))
+        visits[1:, 0] = 1.0
+        with pytest.raises(ValueError, match="visit at least one"):
+            GeneralLoPCModel(machine, [100.0] * 8, visits)
+
+    def test_rejects_gap(self):
+        machine = MachineParams(latency=1, handler_time=1, processors=4,
+                                gap=0.5)
+        with pytest.raises(ValueError, match="gap"):
+            GeneralLoPCModel.homogeneous_alltoall(machine, 10.0)
+
+
+class TestThreadClass:
+    def test_active_flag(self):
+        assert ThreadClass("client", 4, 100.0).active
+        assert not ThreadClass("server", 2, None).active
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            ThreadClass("x", 0, 1.0)
+        with pytest.raises(ValueError, match="work"):
+            ThreadClass("x", 1, -1.0)
+
+
+class TestReductions:
+    """The general model must reproduce the special-case models exactly."""
+
+    def test_reduces_to_alltoall(self, machine):
+        for work in (0.0, 64.0, 1024.0):
+            general = GeneralLoPCModel.homogeneous_alltoall(
+                machine, work
+            ).solve()
+            special = AllToAllModel(machine).solve_work(work)
+            assert general.response_times[0] == pytest.approx(
+                special.response_time, rel=1e-8
+            )
+            assert general.request_residences[0] == pytest.approx(
+                special.request_residence, rel=1e-8
+            )
+            assert general.compute_residences[0] == pytest.approx(
+                special.compute_residence, rel=1e-8
+            )
+
+    def test_reduces_to_client_server(self):
+        machine = MachineParams(latency=10.0, handler_time=131.0,
+                                processors=16, handler_cv2=0.0)
+        cs = ClientServerModel(machine, work=250.0)
+        for servers in (2, 5, 10):
+            general = GeneralLoPCModel.client_server(
+                machine, 250.0, servers=servers
+            ).solve()
+            special = cs.solve(servers)
+            assert general.system_throughput == pytest.approx(
+                special.throughput, rel=1e-8
+            )
+            # Rq at a server node equals the special model's Rs.
+            assert general.request_residences[0] == pytest.approx(
+                special.server_residence, rel=1e-8
+            )
+
+    def test_reduces_to_alltoall_with_cv2(self):
+        machine = MachineParams(latency=40.0, handler_time=200.0,
+                                processors=8, handler_cv2=1.5)
+        general = GeneralLoPCModel.homogeneous_alltoall(machine, 300.0).solve()
+        special = AllToAllModel(machine).solve_work(300.0)
+        assert general.response_times[0] == pytest.approx(
+            special.response_time, rel=1e-8
+        )
+
+
+class TestHomogeneity:
+    def test_symmetric_pattern_gives_identical_threads(self, machine):
+        sol = GeneralLoPCModel.homogeneous_alltoall(machine, 100.0).solve()
+        assert np.allclose(sol.response_times, sol.response_times[0])
+        assert np.allclose(sol.request_queues, sol.request_queues[0])
+
+    def test_node_solution_roundtrip(self, machine):
+        sol = GeneralLoPCModel.homogeneous_alltoall(machine, 100.0).solve()
+        node0 = sol.node_solution(0)
+        assert node0.response_time == pytest.approx(sol.response_times[0])
+        assert node0.cycle_identity_error() < 1e-6
+
+    def test_node_solution_rejects_passive(self):
+        machine = MachineParams(latency=10, handler_time=100, processors=4,
+                                handler_cv2=0.0)
+        sol = GeneralLoPCModel.client_server(machine, 100.0, servers=1).solve()
+        with pytest.raises(ValueError, match="passive"):
+            sol.node_solution(0)
+
+    def test_passive_threads_have_no_throughput(self):
+        machine = MachineParams(latency=10, handler_time=100, processors=4,
+                                handler_cv2=0.0)
+        sol = GeneralLoPCModel.client_server(machine, 100.0, servers=2).solve()
+        assert sol.throughputs[0] == 0.0
+        assert sol.throughputs[1] == 0.0
+        assert np.isinf(sol.response_times[0])
+
+
+class TestMultiHop:
+    def test_multihop_costs_more_than_single_hop(self, machine):
+        one = GeneralLoPCModel.random_multihop(machine, 500.0, hops=1).solve()
+        three = GeneralLoPCModel.random_multihop(machine, 500.0, hops=3).solve()
+        assert three.response_times[0] > one.response_times[0]
+
+    def test_single_hop_random_equals_alltoall(self, machine):
+        one = GeneralLoPCModel.random_multihop(machine, 500.0, hops=1).solve()
+        special = AllToAllModel(machine).solve_work(500.0)
+        assert one.response_times[0] == pytest.approx(
+            special.response_time, rel=1e-8
+        )
+
+    def test_ring_and_random_multihop_agree_when_homogeneous(self, machine):
+        """Both have row sums = hops and uniform columns -> same solution."""
+        ring = GeneralLoPCModel.multi_hop_ring(machine, 500.0, hops=3).solve()
+        rand = GeneralLoPCModel.random_multihop(machine, 500.0, hops=3).solve()
+        assert ring.response_times[0] == pytest.approx(
+            rand.response_times[0], rel=1e-6
+        )
+
+    def test_each_hop_adds_at_least_latency_plus_handler(self, machine):
+        sols = [
+            GeneralLoPCModel.random_multihop(machine, 500.0, hops=h)
+            .solve()
+            .response_times[0]
+            for h in (1, 2, 3)
+        ]
+        min_increment = machine.latency + machine.handler_time
+        assert sols[1] - sols[0] >= min_increment
+        assert sols[2] - sols[1] >= min_increment
+
+    def test_hop_bounds_validated(self, machine):
+        with pytest.raises(ValueError, match="hops"):
+            GeneralLoPCModel.multi_hop_ring(machine, 1.0, hops=0)
+        with pytest.raises(ValueError, match="hops"):
+            GeneralLoPCModel.random_multihop(machine, 1.0, hops=8)
+
+
+class TestHeterogeneous:
+    def test_hot_node_has_higher_request_queue(self, machine):
+        """A node receiving more traffic queues more handlers."""
+        p = machine.processors
+        visits = np.full((p, p), 0.5 / (p - 1))
+        np.fill_diagonal(visits, 0.0)
+        for c in range(1, p):
+            visits[c, 0] += 0.5  # half of everyone's traffic hits node 0
+        visits[0] *= 2.0  # node 0 keeps a full row sum of 1
+        model = GeneralLoPCModel(machine, [500.0] * p, visits)
+        sol = model.solve()
+        assert sol.request_queues[0] > 2.0 * sol.request_queues[1]
+        assert sol.request_utilizations[0] > sol.request_utilizations[1]
+
+    def test_threads_near_hot_node_slow_down(self, machine):
+        p = machine.processors
+        visits = np.full((p, p), 1.0 / (p - 1))
+        np.fill_diagonal(visits, 0.0)
+        uniform = GeneralLoPCModel(machine, [500.0] * p, visits).solve()
+
+        hot = np.full((p, p), 0.5 / (p - 1))
+        np.fill_diagonal(hot, 0.0)
+        for c in range(1, p):
+            hot[c, 0] += 0.5
+        hot[0] *= 2.0
+        hotspot = GeneralLoPCModel(machine, [500.0] * p, hot).solve()
+        assert hotspot.response_times[1] > uniform.response_times[1]
+
+    def test_protocol_processor_leaves_thread_untouched(self, machine):
+        sol = GeneralLoPCModel.homogeneous_alltoall(
+            machine, 500.0, protocol_processor=True
+        ).solve()
+        assert np.allclose(sol.compute_residences, 500.0)

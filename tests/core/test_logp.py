@@ -1,0 +1,88 @@
+"""Unit tests for the contention-free LogP baseline."""
+
+import pytest
+
+from repro.core.logp import LogPModel
+from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=40.0, handler_time=200.0, processors=32,
+                         handler_cv2=0.0)
+
+
+@pytest.fixture
+def model(machine: MachineParams) -> LogPModel:
+    return LogPModel(machine)
+
+
+class TestCycleTime:
+    def test_w_plus_2st_plus_2so(self, model):
+        assert model.cycle_time(1000.0) == 1000.0 + 80.0 + 400.0
+
+    def test_zero_work(self, model):
+        assert model.cycle_time(0.0) == 480.0
+
+    def test_rejects_negative_work(self, model):
+        with pytest.raises(ValueError):
+            model.cycle_time(-1.0)
+
+
+class TestSolve:
+    def test_no_contention_anywhere(self, model):
+        s = model.solve(AlgorithmParams(work=1000.0))
+        assert s.total_contention == pytest.approx(0.0)
+        assert s.compute_residence == 1000.0
+        assert s.request_residence == 200.0
+        assert s.reply_residence == 200.0
+
+    def test_cycle_identity(self, model):
+        s = model.solve(AlgorithmParams(work=123.0))
+        assert s.cycle_identity_error() < 1e-9
+
+    def test_throughput_little(self, model, machine):
+        s = model.solve(AlgorithmParams(work=1000.0))
+        assert s.throughput == pytest.approx(machine.processors / 1480.0)
+
+    def test_queues_equal_utilisations(self, model):
+        # Without waiting, the only customers "queued" are in service.
+        s = model.solve(AlgorithmParams(work=100.0))
+        assert s.request_queue == pytest.approx(s.request_utilization)
+
+    def test_solve_params_checks_machine(self, model):
+        other = LoPCParams(
+            machine=MachineParams(latency=1.0, handler_time=1.0, processors=2),
+            algorithm=AlgorithmParams(work=1.0),
+        )
+        with pytest.raises(ValueError, match="machine"):
+            model.solve_params(other)
+
+    def test_runtime(self, model):
+        algo = AlgorithmParams(work=1000.0, requests=56)
+        assert model.runtime(algo) == pytest.approx(56 * 1480.0)
+
+
+class TestWorkpileBounds:
+    def test_server_bound(self, model):
+        assert model.workpile_server_bound(8) == pytest.approx(8 / 200.0)
+
+    def test_client_bound(self, model):
+        assert model.workpile_client_bound(24, 1000.0) == pytest.approx(
+            24 / 1480.0
+        )
+
+    def test_binding_bound_switches(self, model):
+        # Few servers: server-bound. Many servers: client-bound.
+        few = model.workpile_bound(1, 1000.0)
+        assert few == pytest.approx(model.workpile_server_bound(1))
+        many = model.workpile_bound(30, 1000.0)
+        assert many == pytest.approx(model.workpile_client_bound(2, 1000.0))
+
+    def test_rejects_no_clients(self, model):
+        with pytest.raises(ValueError, match="clients"):
+            model.workpile_bound(32, 100.0)
+
+    def test_rejects_zero_servers(self, model):
+        with pytest.raises(ValueError):
+            model.workpile_server_bound(0)

@@ -1,0 +1,117 @@
+"""Unit tests for the non-blocking (Chapter 7 extension) model."""
+
+import math
+
+import pytest
+
+from repro.core.nonblocking import NonBlockingModel
+from repro.core.params import MachineParams
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=40.0, handler_time=100.0, processors=16,
+                         handler_cv2=0.0)
+
+
+class TestUnboundedWindow:
+    def test_compute_bound_cycle(self, machine):
+        s = NonBlockingModel(machine).solve(1000.0)
+        assert s.cycle_time == pytest.approx(s.compute_residence)
+        assert s.compute_bound
+
+    def test_cycle_at_least_conservation_floor(self, machine):
+        """Each issue costs the node W + 2 So of CPU time."""
+        for work in (250.0, 500.0, 2000.0):
+            s = NonBlockingModel(machine).solve(work)
+            assert s.cycle_time >= work + 2 * machine.handler_time - 1e-9
+
+    def test_saturation_rejected(self, machine):
+        with pytest.raises(ValueError, match="saturates"):
+            NonBlockingModel(machine).solve(150.0)  # W <= 2 So
+
+    def test_faster_than_blocking_for_same_work(self, machine):
+        """Overlapping the round trip always beats blocking on it."""
+        from repro.core.alltoall import AllToAllModel
+
+        blocking = AllToAllModel(machine).solve_work(1000.0).response_time
+        nonblocking = NonBlockingModel(machine).solve(1000.0).cycle_time
+        assert nonblocking < blocking
+
+
+class TestWindowedBehaviour:
+    def test_window_one_is_max_of_compute_and_roundtrip(self, machine):
+        s = NonBlockingModel(machine, window=1).solve(0.0)
+        assert s.cycle_time == pytest.approx(s.round_trip, rel=1e-9)
+
+    def test_throughput_monotone_in_window(self, machine):
+        xs = [
+            NonBlockingModel(machine, window=k).solve(50.0).throughput
+            for k in (1, 2, 4, 8)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(xs, xs[1:]))
+
+    def test_window_beyond_critical_changes_nothing(self, machine):
+        model = NonBlockingModel(machine, window=1)
+        kstar = model.critical_window(1000.0)
+        below = NonBlockingModel(
+            machine, window=max(1.0, kstar * 2)
+        ).solve(1000.0)
+        unbounded = NonBlockingModel(machine).solve(1000.0)
+        assert below.cycle_time == pytest.approx(unbounded.cycle_time,
+                                                 rel=1e-6)
+
+    def test_critical_window_interpretation(self):
+        """k < k*: window-bound; k >= k*: compute-bound.
+
+        BKT interference inflates Rw heavily at small W, so a
+        window-bound regime (k* > 1) needs a latency-dominated machine.
+        """
+        machine = MachineParams(latency=500.0, handler_time=100.0,
+                                processors=16, handler_cv2=0.0)
+        kstar = NonBlockingModel(machine).critical_window(300.0)
+        assert kstar > 1.0  # round trip dominated by the 2*500 wire time
+        windowed = NonBlockingModel(machine, window=1).solve(300.0)
+        assert windowed.cycle_time > windowed.compute_residence
+        # A low-latency machine is compute-bound even at window one.
+        fast = MachineParams(latency=40.0, handler_time=100.0,
+                             processors=16, handler_cv2=0.0)
+        assert NonBlockingModel(fast).critical_window(300.0) < 1.0
+
+    def test_rejects_window_below_one(self, machine):
+        with pytest.raises(ValueError, match="window"):
+            NonBlockingModel(machine, window=0.5)
+
+    def test_rejects_negative_work(self, machine):
+        with pytest.raises(ValueError, match="work"):
+            NonBlockingModel(machine, window=2).solve(-1.0)
+
+
+class TestSolutionInternals:
+    def test_round_trip_composition(self, machine):
+        s = NonBlockingModel(machine, window=2).solve(400.0)
+        assert s.round_trip == pytest.approx(
+            2 * machine.latency + s.request_residence + s.reply_residence
+        )
+
+    def test_request_and_reply_residences_equal(self, machine):
+        """Both handler classes queue identically in the non-blocking model."""
+        s = NonBlockingModel(machine, window=3).solve(400.0)
+        assert s.request_residence == pytest.approx(s.reply_residence)
+
+    def test_utilisations_follow_little(self, machine):
+        s = NonBlockingModel(machine, window=3).solve(400.0)
+        x = 1.0 / s.cycle_time
+        assert s.request_utilization == pytest.approx(
+            x * machine.handler_time
+        )
+
+    def test_overlap_speedup_at_least_one(self, machine):
+        s = NonBlockingModel(machine).solve(500.0)
+        assert s.overlap_speedup >= 1.0
+
+    def test_finite_window_self_limits_at_tiny_work(self, machine):
+        """W < 2 So saturates unbounded traffic but not a finite window."""
+        s = NonBlockingModel(machine, window=2).solve(0.0)
+        assert math.isfinite(s.cycle_time)
+        assert s.cycle_time >= s.round_trip / 2 - 1e-9

@@ -1,0 +1,147 @@
+"""Unit tests for LoPC/LogP parameterisation (paper Section 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    AlgorithmParams,
+    LoPCParams,
+    MachineParams,
+    architectural_parameter_table,
+)
+
+
+class TestMachineParams:
+    def test_paper_aliases(self):
+        m = MachineParams(latency=40, handler_time=200, processors=32,
+                          handler_cv2=0.5)
+        assert (m.St, m.So, m.P, m.cv2) == (40, 200, 32, 0.5)
+
+    def test_default_cv2_is_exponential(self):
+        m = MachineParams(latency=1, handler_time=1, processors=2)
+        assert m.handler_cv2 == 1.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            MachineParams(latency=-1, handler_time=1, processors=2)
+
+    def test_rejects_zero_handler(self):
+        with pytest.raises(ValueError, match="handler_time"):
+            MachineParams(latency=0, handler_time=0, processors=2)
+
+    def test_rejects_single_processor(self):
+        with pytest.raises(ValueError, match="processors"):
+            MachineParams(latency=0, handler_time=1, processors=1)
+
+    def test_rejects_fractional_processors(self):
+        with pytest.raises(ValueError, match="processors"):
+            MachineParams(latency=0, handler_time=1, processors=2.5)
+
+    def test_rejects_negative_cv2(self):
+        with pytest.raises(ValueError, match="handler_cv2"):
+            MachineParams(latency=0, handler_time=1, processors=2,
+                          handler_cv2=-0.1)
+
+    def test_with_cv2_returns_modified_copy(self):
+        m = MachineParams(latency=1, handler_time=2, processors=4)
+        m2 = m.with_cv2(0.0)
+        assert m2.handler_cv2 == 0.0
+        assert m.handler_cv2 == 1.0
+        assert m2.latency == m.latency
+
+    def test_frozen(self):
+        m = MachineParams(latency=1, handler_time=2, processors=4)
+        with pytest.raises(AttributeError):
+            m.latency = 5.0  # type: ignore[misc]
+
+
+class TestLogPMapping:
+    def test_from_logp_table_3_1(self):
+        m = MachineParams.from_logp(L=6.0, o=2.2, P=64)
+        assert m.latency == 6.0
+        assert m.handler_time == 2.2
+        assert m.processors == 64
+        assert m.gap == 0.0
+
+    def test_round_trip(self):
+        m = MachineParams.from_logp(L=6.0, o=2.2, P=64, g=4.0)
+        assert m.to_logp() == {"L": 6.0, "o": 2.2, "g": 4.0, "P": 64.0}
+
+
+class TestAlgorithmParams:
+    def test_paper_aliases(self):
+        a = AlgorithmParams(work=320.0, requests=56)
+        assert (a.W, a.n) == (320.0, 56)
+
+    def test_zero_work_allowed(self):
+        # W = 0 is the paper's worst-case configuration.
+        assert AlgorithmParams(work=0.0).work == 0.0
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError, match="work"):
+            AlgorithmParams(work=-1.0)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError, match="requests"):
+            AlgorithmParams(work=1.0, requests=0)
+
+    def test_from_operation_counts_matvec(self):
+        """The Section 3 example: N x N matvec on P nodes.
+
+        m = (N/P)*N multiply-adds, n = (N/P)*(P-1) puts,
+        W = N/(P-1) multiply-add costs.
+        """
+        n_dim, p = 64, 8
+        rows = n_dim // p
+        a = AlgorithmParams.from_operation_counts(
+            arithmetic=rows * n_dim, messages=rows * (p - 1), cycles_per_op=2.0
+        )
+        assert a.work == pytest.approx(2.0 * n_dim / (p - 1))
+        assert a.requests == rows * (p - 1)
+
+    def test_from_operation_counts_validation(self):
+        with pytest.raises(ValueError, match="messages"):
+            AlgorithmParams.from_operation_counts(10, 0)
+        with pytest.raises(ValueError, match="cycles_per_op"):
+            AlgorithmParams.from_operation_counts(10, 1, 0.0)
+
+
+class TestLoPCParams:
+    def test_contention_free_cycle(self):
+        params = LoPCParams(
+            machine=MachineParams(latency=40, handler_time=200, processors=32),
+            algorithm=AlgorithmParams(work=1000.0),
+        )
+        assert params.contention_free_cycle == 1000.0 + 80.0 + 400.0
+
+    def test_iteration_order(self):
+        params = LoPCParams(
+            machine=MachineParams(latency=1, handler_time=2, processors=4,
+                                  handler_cv2=0.5),
+            algorithm=AlgorithmParams(work=3.0),
+        )
+        assert list(params) == [3.0, 1.0, 2.0, 4.0, 0.5]
+
+
+class TestTable31:
+    def test_five_rows(self):
+        table = architectural_parameter_table()
+        assert len(table) == 5
+
+    def test_symbols_match_paper(self):
+        lopc = [row[0] for row in architectural_parameter_table()]
+        logp = [row[1] for row in architectural_parameter_table()]
+        assert lopc == ["St", "So", "-", "P", "C2"]
+        assert logp == ["L", "o", "g", "P", "-"]
+
+
+@given(
+    latency=st.floats(min_value=0.0, max_value=1e4),
+    handler=st.floats(min_value=1e-3, max_value=1e4),
+    p=st.integers(min_value=2, max_value=4096),
+)
+def test_logp_round_trip_property(latency, handler, p):
+    m = MachineParams.from_logp(L=latency, o=handler, P=p)
+    view = m.to_logp()
+    assert view["L"] == latency and view["o"] == handler and view["P"] == p

@@ -1,0 +1,106 @@
+"""Unit tests for the ModelSolution record and its contention views."""
+
+import pytest
+
+from repro.core.results import ModelSolution
+
+
+def make_solution(**overrides) -> ModelSolution:
+    base = dict(
+        response_time=1000.0,
+        compute_residence=520.0,
+        request_residence=220.0,
+        reply_residence=180.0,
+        throughput=0.032,
+        request_queue=0.22,
+        reply_queue=0.18,
+        request_utilization=0.2,
+        reply_utilization=0.2,
+        work=500.0,
+        latency=40.0,
+        handler_time=150.0,
+    )
+    base.update(overrides)
+    return ModelSolution(**base)
+
+
+class TestAliases:
+    def test_paper_notation(self):
+        s = make_solution()
+        assert (s.R, s.Rw, s.Rq, s.Ry, s.X) == (
+            1000.0,
+            520.0,
+            220.0,
+            180.0,
+            0.032,
+        )
+
+
+class TestContentionDecomposition:
+    def test_contention_free_cycle(self):
+        s = make_solution()
+        assert s.contention_free_cycle == 500.0 + 80.0 + 300.0
+
+    def test_total_contention(self):
+        s = make_solution()
+        assert s.total_contention == pytest.approx(1000.0 - 880.0)
+
+    def test_component_contentions(self):
+        s = make_solution()
+        assert s.compute_contention == pytest.approx(20.0)
+        assert s.request_contention == pytest.approx(70.0)
+        assert s.reply_contention == pytest.approx(30.0)
+
+    def test_components_sum_to_total(self):
+        s = make_solution()
+        assert (
+            s.compute_contention + s.request_contention + s.reply_contention
+        ) == pytest.approx(s.total_contention)
+
+    def test_contention_fraction(self):
+        s = make_solution()
+        assert s.contention_fraction == pytest.approx(120.0 / 1000.0)
+
+
+class TestRuntime:
+    def test_runtime_scales_by_requests(self):
+        s = make_solution()
+        assert s.runtime(56) == pytest.approx(56_000.0)
+
+    def test_runtime_zero(self):
+        assert make_solution().runtime(0) == 0.0
+
+    def test_runtime_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_solution().runtime(-1)
+
+
+class TestIdentityAndComparison:
+    def test_cycle_identity_error_zero_for_consistent(self):
+        s = make_solution()  # 520 + 80 + 220 + 180 == 1000
+        assert s.cycle_identity_error() == pytest.approx(0.0)
+
+    def test_cycle_identity_error_detects_mismatch(self):
+        s = make_solution(response_time=1010.0)
+        assert s.cycle_identity_error() == pytest.approx(10.0)
+
+    def test_relative_error_sign_convention(self):
+        ref = make_solution()
+        pessimistic = make_solution(response_time=1060.0)
+        assert pessimistic.relative_error_to(ref) == pytest.approx(0.06)
+
+    def test_relative_error_rejects_zero_reference(self):
+        bad_ref = make_solution(response_time=0.0)
+        with pytest.raises(ValueError):
+            make_solution().relative_error_to(bad_ref)
+
+    def test_as_dict_contains_derived_fields(self):
+        d = make_solution().as_dict()
+        for key in (
+            "response_time",
+            "total_contention",
+            "contention_fraction",
+            "contention_free_cycle",
+        ):
+            assert key in d
+        assert "meta" not in d

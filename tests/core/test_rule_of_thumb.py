@@ -1,0 +1,134 @@
+"""Unit tests for the F[R] recursion and Eq. 5.12 bounds."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.params import MachineParams
+from repro.core.rule_of_thumb import (
+    PAPER_UPPER_CONSTANT_CV2_0,
+    contention_bounds,
+    fixed_point_recursion,
+    rule_of_thumb_response,
+    solve_recursion,
+    upper_bound_constant,
+)
+
+
+class TestRecursionProperties:
+    """The properties the paper states about F[R] in Section 5.3."""
+
+    def test_strictly_decreasing_above_contention_free(self):
+        args = dict(work=100.0, latency=40.0, handler_time=200.0, cv2=0.0)
+        base = 100.0 + 80.0 + 400.0
+        values = [
+            fixed_point_recursion(base + delta, **args)
+            for delta in (1.0, 50.0, 200.0, 1000.0, 10_000.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_is_contention_free_cycle(self):
+        f_large = fixed_point_recursion(
+            1e12, work=100.0, latency=40.0, handler_time=200.0, cv2=0.0
+        )
+        assert f_large == pytest.approx(100.0 + 80.0 + 400.0, rel=1e-6)
+
+    def test_paper_upper_bound_condition(self):
+        """F[W + 2St + 3.46 So] < W + 2St + 3.46 So (the Eq. 5.12 proof)."""
+        for work in (0.0, 10.0, 1000.0):
+            for latency in (0.0, 40.0):
+                candidate = work + 2 * latency + PAPER_UPPER_CONSTANT_CV2_0 * 200.0
+                f = fixed_point_recursion(
+                    candidate, work=work, latency=latency,
+                    handler_time=200.0, cv2=0.0,
+                )
+                assert f < candidate
+
+    def test_rejects_infeasible_response(self):
+        with pytest.raises(ValueError, match="exceed"):
+            fixed_point_recursion(100.0, 0.0, 0.0, 200.0, 0.0)
+
+    def test_rejects_divergent_queue_region(self):
+        # u + u^2 >= 1 for R only slightly above So.
+        with pytest.raises(ValueError, match="diverge"):
+            fixed_point_recursion(250.0, 0.0, 0.0, 200.0, 0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            fixed_point_recursion(1000.0, -1.0, 0.0, 200.0, 0.0)
+        with pytest.raises(ValueError):
+            fixed_point_recursion(1000.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class TestUpperBoundConstant:
+    def test_matches_paper_3_46_for_cv2_0(self):
+        """The paper's constant, recomputed from first principles."""
+        assert upper_bound_constant(0.0) == pytest.approx(3.46, abs=0.01)
+
+    def test_increases_with_cv2(self):
+        ks = [upper_bound_constant(c) for c in (0.0, 0.5, 1.0, 2.0)]
+        assert ks == sorted(ks)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            upper_bound_constant(-0.5)
+
+
+class TestSolveRecursion:
+    def test_matches_amva_fixed_point(self):
+        """The scalar recursion and the vector AMVA solve the same system."""
+        machine = MachineParams(latency=40, handler_time=200, processors=32,
+                                handler_cv2=0.0)
+        for work in (0.0, 2.0, 64.0, 1024.0):
+            amva = AllToAllModel(machine).solve_work(work).response_time
+            scalar = solve_recursion(work, 40.0, 200.0, 0.0)
+            assert scalar == pytest.approx(amva, rel=1e-9)
+
+    def test_matches_amva_for_exponential_handlers(self):
+        machine = MachineParams(latency=10, handler_time=100, processors=16,
+                                handler_cv2=1.0)
+        amva = AllToAllModel(machine).solve_work(300.0).response_time
+        scalar = solve_recursion(300.0, 10.0, 100.0, 1.0)
+        assert scalar == pytest.approx(amva, rel=1e-9)
+
+
+class TestBoundsAndRuleOfThumb:
+    def test_bounds_bracket_solution(self):
+        machine = MachineParams(latency=40, handler_time=200, processors=32,
+                                handler_cv2=0.0)
+        for work in (0.0, 100.0, 2048.0):
+            lower, upper = contention_bounds(machine, work)
+            r = AllToAllModel(machine).solve_work(work).response_time
+            assert lower < r <= upper + 1e-9
+
+    def test_rule_of_thumb_inside_bracket(self):
+        machine = MachineParams(latency=40, handler_time=200, processors=32,
+                                handler_cv2=0.0)
+        lower, upper = contention_bounds(machine, 500.0)
+        thumb = rule_of_thumb_response(machine, 500.0)
+        assert lower < thumb < upper
+
+    def test_rule_of_thumb_value(self):
+        machine = MachineParams(latency=40, handler_time=200, processors=32)
+        assert rule_of_thumb_response(machine, 500.0) == 500.0 + 80.0 + 600.0
+
+    def test_bounds_reject_negative_work(self):
+        machine = MachineParams(latency=40, handler_time=200, processors=32)
+        with pytest.raises(ValueError):
+            contention_bounds(machine, -1.0)
+        with pytest.raises(ValueError):
+            rule_of_thumb_response(machine, -1.0)
+
+
+@given(
+    work=st.floats(min_value=0.0, max_value=1e4),
+    latency=st.floats(min_value=0.0, max_value=1e3),
+    handler=st.floats(min_value=0.5, max_value=1e3),
+    cv2=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+)
+def test_fixed_point_is_a_fixed_point(work, latency, handler, cv2):
+    """F[R*] == R* for the bracketed solution, across the parameter space."""
+    r_star = solve_recursion(work, latency, handler, cv2)
+    f = fixed_point_recursion(r_star, work, latency, handler, cv2)
+    assert f == pytest.approx(r_star, rel=1e-8)

@@ -1,0 +1,130 @@
+"""Unit tests for the algorithm-scaling analysis tools."""
+
+import pytest
+
+from repro.core.params import AlgorithmParams, MachineParams
+from repro.core.scaling import (
+    AlgorithmSpec,
+    crossover,
+    matvec_spec,
+    optimal_processors,
+    runtime_curve,
+    speedup_curve,
+)
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=10.0, handler_time=100.0, processors=2,
+                         handler_cv2=0.0)
+
+
+class TestAlgorithmSpec:
+    def test_rejects_nonpositive_serial_time(self):
+        with pytest.raises(ValueError, match="serial_time"):
+            AlgorithmSpec("x", lambda p: AlgorithmParams(1.0), 0.0)
+
+
+class TestMatVecSpec:
+    def test_section3_values(self):
+        spec = matvec_spec(64, madd_cycles=2.0)
+        algo = spec.params_for(8)
+        assert algo.work == pytest.approx(2.0 * 64 / 7)
+        assert algo.requests == 8 * 7
+        assert spec.serial_time == 64 * 64 * 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            matvec_spec(1)
+        with pytest.raises(ValueError, match="madd_cycles"):
+            matvec_spec(8, 0.0)
+
+
+class TestRuntimeCurve:
+    def test_points_carry_parameters(self, machine):
+        spec = matvec_spec(64)
+        curve = runtime_curve(spec, machine, [2, 4, 8])
+        assert [pt.processors for pt in curve] == [2, 4, 8]
+        for pt in curve:
+            assert pt.runtime == pytest.approx(pt.requests * pt.cycle_time)
+            assert pt.efficiency == pytest.approx(pt.speedup / pt.processors)
+
+    def test_work_shrinks_with_processors(self, machine):
+        """Section 3: W = N t_madd / (P-1) falls as the machine grows."""
+        curve = runtime_curve(matvec_spec(64), machine, [2, 8, 32])
+        works = [pt.work for pt in curve]
+        assert works == sorted(works, reverse=True)
+
+    def test_lopc_runtime_never_below_logp(self, machine):
+        spec = matvec_spec(64)
+        for ps in ([2, 4, 8, 16],):
+            lopc = runtime_curve(spec, machine, ps, model="lopc")
+            logp = runtime_curve(spec, machine, ps, model="logp")
+            for a, b in zip(lopc, logp):
+                assert a.runtime >= b.runtime - 1e-9
+
+    def test_lopc_speedup_below_logp_speedup(self, machine):
+        """The design insight: LogP over-promises scalability."""
+        spec = matvec_spec(128)
+        lopc = dict(speedup_curve(spec, machine, [4, 16, 64], "lopc"))
+        logp = dict(speedup_curve(spec, machine, [4, 16, 64], "logp"))
+        for p in (4, 16, 64):
+            assert lopc[p] < logp[p]
+
+    def test_unknown_model_rejected(self, machine):
+        with pytest.raises(ValueError, match="unknown model"):
+            runtime_curve(matvec_spec(16), machine, [2], model="magic")
+
+    def test_rejects_tiny_processor_counts(self, machine):
+        with pytest.raises(ValueError, match="processor counts"):
+            runtime_curve(matvec_spec(16), machine, [1])
+
+
+class TestOptimalProcessors:
+    def test_communication_bound_algorithm_peaks_early(self, machine):
+        """A small matvec stops scaling once W(P) ~ handler cost."""
+        spec = matvec_spec(32, madd_cycles=1.0)
+        counts = [2, 4, 8, 16, 32]
+        best = optimal_processors(spec, machine, counts)
+        assert best.processors < 32
+        # And the optimum is a genuine minimum of the curve.
+        curve = runtime_curve(spec, machine, counts)
+        assert best.runtime == min(pt.runtime for pt in curve)
+
+    def test_compute_heavy_algorithm_keeps_scaling(self, machine):
+        spec = matvec_spec(32, madd_cycles=1000.0)
+        best = optimal_processors(spec, machine, [2, 4, 8, 16, 32])
+        assert best.processors == 32
+
+
+class TestCrossover:
+    def test_detects_crossover(self, machine):
+        # A: one message total, no parallelism (runtime fixed at ~10k).
+        # B: perfectly parallel compute but four messages per node.
+        a = AlgorithmSpec(
+            "serial-ish",
+            lambda p: AlgorithmParams(work=10_000.0, requests=1),
+            serial_time=20_000.0,
+        )
+        b = AlgorithmSpec(
+            "parallel",
+            lambda p: AlgorithmParams(work=20_000.0 / (4 * p), requests=4),
+            serial_time=20_000.0,
+        )
+        cross = crossover(a, b, machine, [2, 4, 8, 16, 32])
+        assert cross is not None
+        assert 2 < cross <= 32
+        # And at two processors the serial-ish algorithm still wins.
+        a2 = runtime_curve(a, machine, [2])[0].runtime
+        b2 = runtime_curve(b, machine, [2])[0].runtime
+        assert a2 < b2
+
+    def test_returns_none_without_crossover(self, machine):
+        fast = AlgorithmSpec(
+            "fast", lambda p: AlgorithmParams(work=10.0, requests=1), 100.0
+        )
+        slow = AlgorithmSpec(
+            "slow", lambda p: AlgorithmParams(work=10_000.0, requests=10),
+            100.0,
+        )
+        assert crossover(fast, slow, machine, [2, 4, 8]) is None

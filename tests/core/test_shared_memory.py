@@ -1,0 +1,74 @@
+"""Unit tests for the protocol-processor (shared-memory) variant."""
+
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.params import AlgorithmParams, MachineParams
+from repro.core.shared_memory import SharedMemoryModel, occupancy_sweep
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=40.0, handler_time=200.0, processors=32,
+                         handler_cv2=0.0)
+
+
+class TestSharedMemoryModel:
+    def test_rw_equals_w(self, machine):
+        s = SharedMemoryModel(machine).solve_work(750.0)
+        assert s.compute_residence == pytest.approx(750.0)
+
+    def test_equivalent_to_alltoall_flag(self, machine):
+        direct = AllToAllModel(machine, protocol_processor=True).solve_work(
+            300.0
+        )
+        wrapped = SharedMemoryModel(machine).solve_work(300.0)
+        assert wrapped.response_time == pytest.approx(direct.response_time)
+
+    def test_solve_with_algorithm_params(self, machine):
+        s = SharedMemoryModel(machine).solve(AlgorithmParams(work=100.0))
+        assert s.work == 100.0
+
+    def test_counterpart_is_message_passing(self, machine):
+        sm = SharedMemoryModel(machine)
+        mp = sm.message_passing_counterpart()
+        assert mp.protocol_processor is False
+        assert mp.machine == machine
+
+    def test_always_at_least_as_fast_as_message_passing(self, machine):
+        for work in (0.0, 100.0, 2000.0):
+            sm = SharedMemoryModel(machine).solve_work(work)
+            mp = AllToAllModel(machine).solve_work(work)
+            assert sm.response_time <= mp.response_time + 1e-9
+
+    def test_handler_queueing_survives(self, machine):
+        """Protocol processors remove thread interference, not queueing."""
+        s = SharedMemoryModel(machine).solve_work(0.0)
+        assert s.request_contention > 0.0
+        assert s.reply_contention > 0.0
+
+
+class TestOccupancySweep:
+    def test_sweep_shape(self, machine):
+        out = occupancy_sweep(machine, 1000.0, [50.0, 100.0, 200.0])
+        assert len(out) == 3
+        occs = [o for o, _, _ in out]
+        assert occs == [50.0, 100.0, 200.0]
+
+    def test_runtime_grows_with_occupancy(self, machine):
+        """Holt et al.: occupancy dominates -- response grows superlinearly."""
+        out = occupancy_sweep(machine, 1000.0, [50.0, 100.0, 200.0, 400.0])
+        shared = [s.response_time for _, s, _ in out]
+        assert shared == sorted(shared)
+        # Superlinear growth in the occupancy-dominated regime: the last
+        # doubling of So adds more response time than the first.
+        assert (shared[3] - shared[2]) > (shared[1] - shared[0])
+
+    def test_shared_beats_message_passing_throughout(self, machine):
+        out = occupancy_sweep(machine, 1000.0, [50.0, 200.0, 400.0])
+        for _, shared, message in out:
+            assert shared.response_time <= message.response_time + 1e-9
+
+    def test_rejects_negative_work(self, machine):
+        with pytest.raises(ValueError, match="work"):
+            occupancy_sweep(machine, -1.0, [100.0])

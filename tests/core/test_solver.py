@@ -1,0 +1,91 @@
+"""Unit tests for the fixed-point solvers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.solver import (
+    ConvergenceError,
+    solve_fixed_point,
+    solve_scalar_fixed_point,
+)
+
+
+class TestVectorFixedPoint:
+    def test_linear_contraction(self):
+        # x = 0.5 x + 1 has fixed point 2.
+        res = solve_fixed_point(lambda x: 0.5 * x + 1.0, [0.0])
+        assert res.converged
+        assert res.value[0] == pytest.approx(2.0, abs=1e-8)
+
+    def test_multidimensional(self):
+        a = np.array([[0.2, 0.1], [0.0, 0.3]])
+        b = np.array([1.0, 2.0])
+        res = solve_fixed_point(lambda x: a @ x + b, [0.0, 0.0])
+        expected = np.linalg.solve(np.eye(2) - a, b)
+        assert np.allclose(res.value, expected, atol=1e-8)
+
+    def test_damping_stabilises_oscillation(self):
+        # x -> 4 - x oscillates undamped but converges to 2 with damping.
+        res = solve_fixed_point(lambda x: 4.0 - x, [0.0], damping=0.5)
+        assert res.value[0] == pytest.approx(2.0, abs=1e-8)
+
+    def test_reports_iterations_and_residual(self):
+        res = solve_fixed_point(lambda x: 0.5 * x + 1.0, [0.0])
+        assert res.iterations >= 1
+        assert res.residual <= 1e-10
+
+    def test_failure_raises_by_default(self):
+        with pytest.raises(ConvergenceError, match="fixed point"):
+            solve_fixed_point(lambda x: x + 1.0, [0.0], max_iter=50)
+
+    def test_failure_can_return_unconverged(self):
+        res = solve_fixed_point(
+            lambda x: x + 1.0, [0.0], max_iter=50, raise_on_failure=False
+        )
+        assert not res.converged
+
+    def test_nonfinite_map_raises(self):
+        with pytest.raises(ConvergenceError, match="non-finite"):
+            solve_fixed_point(lambda x: x * np.inf, [1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            solve_fixed_point(lambda x: np.array([1.0, 2.0]), [0.0])
+
+    def test_bad_damping_rejected(self):
+        with pytest.raises(ValueError, match="damping"):
+            solve_fixed_point(lambda x: x, [0.0], damping=0.0)
+        with pytest.raises(ValueError, match="damping"):
+            solve_fixed_point(lambda x: x, [0.0], damping=1.5)
+
+    def test_bad_tol_rejected(self):
+        with pytest.raises(ValueError, match="tol"):
+            solve_fixed_point(lambda x: x, [0.0], tol=0.0)
+
+
+class TestScalarFixedPoint:
+    def test_decreasing_map(self):
+        # F(r) = 10/r on [1, 10]: fixed point sqrt(10).
+        root = solve_scalar_fixed_point(lambda r: 10.0 / r, 1.0, 10.0)
+        assert root == pytest.approx(math.sqrt(10.0), rel=1e-10)
+
+    def test_bracket_expansion(self):
+        # Fixed point (100) above the initial upper end; must expand.
+        root = solve_scalar_fixed_point(lambda r: 10_000.0 / r, 50.0, 60.0)
+        assert root == pytest.approx(100.0, rel=1e-9)
+
+    def test_clamps_when_no_contention(self):
+        # g(lower) < 0 means the fixed point sits below the bracket:
+        # the solver returns `lower` (no-contention clamp).
+        root = solve_scalar_fixed_point(lambda r: 1.0, 5.0, 10.0)
+        assert root == 5.0
+
+    def test_exact_fixed_point_at_lower(self):
+        root = solve_scalar_fixed_point(lambda r: r, 3.0, 10.0)
+        assert root == 3.0
+
+    def test_rejects_inverted_bracket(self):
+        with pytest.raises(ValueError, match="lower < upper"):
+            solve_scalar_fixed_point(lambda r: r, 5.0, 5.0)

@@ -1,0 +1,101 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.charts import ascii_chart, chart_experiment
+from repro.experiments.common import ExperimentResult
+
+
+class TestAsciiChart:
+    def test_renders_extremes_on_correct_rows(self):
+        text = ascii_chart([0, 1], {"s": [0.0, 10.0]}, width=20, height=5)
+        lines = text.splitlines()
+        assert "10" in lines[0]  # max label on top row
+        assert lines[0].count("o") == 1  # the max point
+        assert lines[4].count("o") == 1  # the min point
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_chart(
+            [0, 1, 2],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            width=24,
+            height=6,
+        )
+        assert "o a" in text and "+ b" in text
+        assert "o" in text and "+" in text
+
+    def test_nan_points_skipped(self):
+        text = ascii_chart(
+            [0, 1, 2], {"s": [1.0, math.nan, 3.0]}, width=20, height=5
+        )
+        plot_area = "\n".join(l for l in text.splitlines() if "|" in l)
+        assert plot_area.count("o") == 2
+
+    def test_flat_series_renders(self):
+        text = ascii_chart([0, 1], {"s": [5.0, 5.0]}, width=20, height=5)
+        assert "o" in text
+
+    def test_x_labels_on_axis(self):
+        text = ascii_chart([2, 2048], {"s": [1.0, 2.0]}, width=30, height=5)
+        assert "2" in text.splitlines()[-3]
+        assert "2048" in text.splitlines()[-3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError, match="two data points"):
+            ascii_chart([1], {"s": [1.0]})
+        with pytest.raises(ValueError, match="points for"):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError, match="too small"):
+            ascii_chart([1, 2], {"s": [1.0, 2.0]}, width=5, height=2)
+        with pytest.raises(ValueError, match="finite"):
+            ascii_chart([1, 2], {"s": [math.nan, math.nan]})
+
+
+class TestChartExperiment:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            parameters={},
+            columns=["W", "model", "sim", "note"],
+            rows=[
+                {"W": 2, "model": 700.0, "sim": 690.0, "note": "x"},
+                {"W": 64, "model": 790.0, "sim": 760.0, "note": "y"},
+                {"W": 1024, "model": 1710.0, "sim": 1705.0, "note": "z"},
+            ],
+        )
+
+    def test_defaults_pick_numeric_columns(self):
+        text = chart_experiment(self.make_result())
+        assert "demo: Demo" in text
+        assert "o model" in text and "+ sim" in text
+        assert "note" not in text.splitlines()[-1]
+
+    def test_explicit_series(self):
+        text = chart_experiment(self.make_result(),
+                                series_columns=["sim"])
+        assert "o sim" in text and "model" not in text.splitlines()[-1]
+
+    def test_unknown_x_column(self):
+        with pytest.raises(ValueError, match="unknown x column"):
+            chart_experiment(self.make_result(), x_column="Q")
+
+    def test_real_figure_chart(self):
+        """fig-5.1 (model only, fast) charts out of the box."""
+        from repro.experiments import fig5_1
+
+        result = fig5_1.run(cv2_values=[0.0, 1.0, 2.0])
+        text = chart_experiment(result, x_column="C2")
+        assert "fig-5.1" in text
+        assert "handler 1024" in text
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig-5.1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

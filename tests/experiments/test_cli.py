@@ -1,0 +1,41 @@
+"""Tests for the lopc-repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig-5.2" in out
+        assert "table-3.1" in out
+
+
+class TestRun:
+    def test_run_table(self, capsys):
+        assert main(["run", "table-3.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Architectural parameters" in out
+        assert "[PASS]" in out
+
+    def test_run_fast_simulation_experiment(self, capsys):
+        assert main(["run", "fig-6.2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Workpile throughput" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig-0.0"])
+
+    def test_out_writes_files(self, tmp_path, capsys):
+        assert main(["run", "table-3.1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table-3_1.txt").exists()
+        assert (tmp_path / "table-3_1.csv").exists()
+        text = (tmp_path / "table-3_1.txt").read_text()
+        assert "St" in text
+
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,83 @@
+"""Unit tests for the experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    format_table,
+    get_experiment,
+    list_experiments,
+    register,
+    run_experiment,
+    to_csv,
+)
+
+
+def make_result(**overrides) -> ExperimentResult:
+    base = dict(
+        experiment_id="demo",
+        title="Demo experiment",
+        parameters={"P": 4},
+        columns=["x", "y"],
+        rows=[{"x": 1, "y": 2.5}, {"x": 2, "y": 1234.5678}],
+        checks=(ShapeCheck("ok", True, "fine"),),
+        notes=("a note",),
+    )
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+class TestFormatting:
+    def test_table_contains_all_parts(self):
+        text = format_table(make_result())
+        assert "Demo experiment" in text
+        assert "x" in text and "y" in text
+        assert "1,234.6" in text  # large-float formatting
+        assert "parameters: P=4" in text
+        assert "note: a note" in text
+        assert "[PASS] ok" in text
+
+    def test_failed_check_marked(self):
+        res = make_result(checks=(ShapeCheck("bad", False, "nope"),))
+        assert "[FAIL] bad" in format_table(res)
+
+    def test_csv_round_trip(self):
+        csv_text = to_csv(make_result())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+    def test_missing_column_rendered_empty(self):
+        res = make_result(rows=[{"x": 1}])
+        text = format_table(res)
+        assert "1" in text  # renders without KeyError
+
+    def test_all_checks_passed_property(self):
+        assert make_result().all_checks_passed
+        failed = make_result(checks=(ShapeCheck("bad", False, "d"),))
+        assert not failed.all_checks_passed
+
+
+class TestRegistry:
+    def test_known_experiments_registered(self):
+        ids = list_experiments()
+        for expected in ("table-3.1", "fig-5.1", "fig-5.2", "fig-5.3",
+                         "fig-6.2", "claims"):
+            assert expected in ids
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_experiment("fig-9.9")
+
+    def test_duplicate_registration_rejected(self):
+        @register("test-unique-experiment")
+        def runner() -> ExperimentResult:  # pragma: no cover
+            return make_result()
+
+        with pytest.raises(ValueError, match="already registered"):
+            register("test-unique-experiment")(runner)
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table-3.1")
+        assert result.experiment_id == "table-3.1"

@@ -1,0 +1,78 @@
+"""Tests for the cm5-drift experiment and wire-variance drift."""
+
+import pytest
+
+from repro.experiments import drift
+from repro.sim.machine import MachineConfig
+from repro.workloads.barrier import run_barrier_alltoall
+
+
+class TestDriftExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return drift.run(phases=100)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_four_configurations(self, result):
+        assert len(result.rows) == 4
+
+    def test_positions_ordered(self, result):
+        """det < resynced < drifted along the LogP->LoPC span."""
+        by_config = {
+            (row["handlers"], row["barriers"]): row["LogP->LoPC position"]
+            for row in result.rows
+        }
+        assert by_config[("deterministic", False)] < 0.05
+        assert (
+            by_config[("deterministic", False)]
+            < by_config[("exponential", True)]
+            < by_config[("exponential", False)]
+        )
+
+    def test_registered_in_cli(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        assert "cm5-drift" in capsys.readouterr().out
+
+
+class TestWireVarianceDrift:
+    """Brewer & Kuszmaul blamed *interconnect* variance specifically."""
+
+    def test_wire_variance_alone_randomises_schedule(self):
+        base = dict(processors=8, latency=40.0, handler_time=120.0,
+                    handler_cv2=0.0, seed=9)
+        quiet = run_barrier_alltoall(
+            MachineConfig(**base), work=300.0, phases=120,
+            use_barriers=False,
+        )
+        noisy = run_barrier_alltoall(
+            MachineConfig(latency_cv2=1.0, **base), work=300.0, phases=120,
+            use_barriers=False,
+        )
+        # Deterministic wires: contention-free. Noisy wires: handlers
+        # collide even though the handlers themselves are deterministic.
+        assert abs(quiet.total_contention) < 1.0
+        assert noisy.total_contention > 0.3 * 120.0
+
+    def test_mean_wire_time_unchanged(self):
+        """The model only needs the mean; verify variance keeps it."""
+        from repro.sim.machine import Machine
+        from repro.workloads.alltoall import AllToAllWorkload
+
+        config = MachineConfig(processors=4, latency=40.0,
+                               handler_time=50.0, handler_cv2=0.0,
+                               latency_cv2=1.0, seed=4)
+        machine = Machine(config)
+        AllToAllWorkload(work=100.0, cycles=200).install(machine)
+        machine.run_to_completion()
+        assert machine.network.mean_realized_latency == pytest.approx(
+            40.0, rel=0.05
+        )
+
+    def test_latency_cv2_validation(self):
+        with pytest.raises(ValueError, match="latency_cv2"):
+            MachineConfig(processors=2, latency=1.0, handler_time=1.0,
+                          latency_cv2=-0.5)

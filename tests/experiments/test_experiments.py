@@ -1,0 +1,104 @@
+"""End-to-end tests for every experiment runner (reduced sizes).
+
+Each experiment is the regeneration of one paper table/figure; passing
+shape checks here means the reproduction's qualitative claims hold.
+"""
+
+import pytest
+
+from repro.experiments import claims, fig5_1, fig5_2, fig5_3, fig6_2, table3_1
+
+
+class TestTable31:
+    def test_all_checks_pass(self):
+        result = table3_1.run()
+        assert result.all_checks_passed
+
+    def test_rows_match_paper(self):
+        result = table3_1.run()
+        assert [r["LoPC"] for r in result.rows] == ["St", "So", "-", "P", "C2"]
+
+
+class TestFig51:
+    def test_all_checks_pass(self):
+        result = fig5_1.run(cv2_values=[0.0, 0.5, 1.0, 1.5, 2.0])
+        assert result.all_checks_passed
+
+    def test_column_per_handler(self):
+        result = fig5_1.run(handlers=(128, 512),
+                            cv2_values=[0.0, 1.0])
+        assert result.columns == ["C2", "handler 128", "handler 512"]
+        assert len(result.rows) == 2
+
+    def test_fractions_in_unit_interval(self):
+        result = fig5_1.run(cv2_values=[0.0, 2.0])
+        for row in result.rows:
+            for key, value in row.items():
+                if key.startswith("handler"):
+                    assert 0.0 < value < 1.0
+
+
+class TestFig52:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_2.run(works=(2, 64, 1024), cycles=120)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_series_ordering(self, result):
+        """lower <= sim <= model <= upper at every W (the figure's shape)."""
+        for row in result.rows:
+            assert row["lower bound (LogP)"] <= row["simulator"]
+            assert row["simulator"] <= row["LoPC"] * 1.02
+            assert row["LoPC"] <= row["upper bound"] + 1e-9
+
+
+class TestFig53:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_3.run(works=(2, 64, 1024), cycles=120)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_components_sum_to_total(self, result):
+        for row in result.rows:
+            total = (
+                row["thread model"]
+                + row["request model"]
+                + row["reply model"]
+            )
+            assert total == pytest.approx(row["total model"], rel=1e-6)
+
+
+class TestFig62:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_2.run(servers=(2, 4, 6, 8, 10, 12, 16, 24), chunks=120)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_curve_rises_then_falls(self, result):
+        xs = [row["simulator X"] for row in result.rows]
+        peak = xs.index(max(xs))
+        assert 0 < peak < len(xs) - 1
+
+    def test_bounds_cross_near_optimum(self, result):
+        """Server bound binds left of the peak, client bound right."""
+        first, last = result.rows[0], result.rows[-1]
+        assert first["server bound"] < first["client bound"]
+        assert last["client bound"] < last["server bound"]
+
+
+class TestClaims:
+    def test_all_claims_hold(self):
+        result = claims.run(cycles=150)
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_every_claim_has_paper_value(self):
+        result = claims.run(cycles=100)
+        for row in result.rows:
+            assert row["paper"]
+            assert row["reproduced"]

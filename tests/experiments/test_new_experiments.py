@@ -1,0 +1,53 @@
+"""Tests for the fig-4.2 timeline and holt-occupancy experiments."""
+
+import pytest
+
+from repro.experiments import fig4_timeline, holt_occupancy
+
+
+class TestFig42:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_timeline.run()
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_five_stages(self, result):
+        assert len(result.rows) == 5
+        assert all(row["matches schematic"] for row in result.rows)
+
+    def test_durations_are_the_parameters(self, result):
+        durations = [row["duration"] for row in result.rows]
+        assert durations == [150.0, 40.0, 200.0, 40.0, 200.0]
+
+    def test_custom_parameters(self):
+        result = fig4_timeline.run(work=10.0, latency=5.0, handler_time=7.0)
+        assert result.all_checks_passed
+        total = result.rows[-1]["ends"]
+        assert total == pytest.approx(10.0 + 2 * 5.0 + 2 * 7.0)
+
+
+class TestHoltOccupancy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return holt_occupancy.run()
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_passed, [str(c) for c in result.checks]
+
+    def test_occupancy_column_grows_faster(self, result):
+        occ = [row["R (occupancy scaled)"] for row in result.rows]
+        lat = [row["R (latency scaled)"] for row in result.rows]
+        assert occ[-1] > lat[-1]
+        assert occ == sorted(occ) and lat == sorted(lat)
+
+    def test_rejects_too_few_doublings(self):
+        with pytest.raises(ValueError, match="doublings"):
+            holt_occupancy.run(doublings=1)
+
+    def test_registered_ids_present(self):
+        from repro.experiments import list_experiments
+
+        ids = list_experiments()
+        assert "fig-4.2" in ids and "holt-occupancy" in ids

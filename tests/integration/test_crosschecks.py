@@ -1,0 +1,128 @@
+"""Cross-checks between independent solution paths of the same system.
+
+The reproduction implements each model at least twice (scalar recursion
+vs vector AMVA; special case vs Appendix-A general form; closed form vs
+curve argmax).  Agreement between independent paths is strong evidence
+the equations were transcribed correctly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.general import GeneralLoPCModel
+from repro.core.logp import LogPModel
+from repro.core.params import MachineParams
+from repro.core.rule_of_thumb import solve_recursion, upper_bound_constant
+from repro.core.shared_memory import SharedMemoryModel
+
+
+@pytest.mark.parametrize("cv2", [0.0, 0.5, 1.0, 2.0])
+@pytest.mark.parametrize("work", [0.0, 10.0, 500.0, 4000.0])
+def test_recursion_equals_amva_across_grid(cv2, work):
+    """Eq. 5.11's fixed point == the Section 5.1 AMVA fixed point."""
+    machine = MachineParams(latency=25.0, handler_time=150.0, processors=32,
+                            handler_cv2=cv2)
+    amva = AllToAllModel(machine).solve_work(work).response_time
+    scalar = solve_recursion(work, 25.0, 150.0, cv2)
+    assert scalar == pytest.approx(amva, rel=1e-8)
+
+
+@pytest.mark.parametrize("cv2", [0.0, 1.0])
+@pytest.mark.parametrize("p", [4, 16, 48])
+def test_general_reduces_to_alltoall_across_sizes(cv2, p):
+    machine = MachineParams(latency=40.0, handler_time=200.0, processors=p,
+                            handler_cv2=cv2)
+    general = GeneralLoPCModel.homogeneous_alltoall(machine, 300.0).solve()
+    special = AllToAllModel(machine).solve_work(300.0)
+    assert general.response_times[0] == pytest.approx(
+        special.response_time, rel=1e-7
+    )
+
+
+@pytest.mark.parametrize("servers", [1, 3, 7, 11])
+def test_general_reduces_to_workpile_across_splits(servers):
+    machine = MachineParams(latency=10.0, handler_time=131.0, processors=12,
+                            handler_cv2=0.0)
+    general = GeneralLoPCModel.client_server(machine, 250.0,
+                                             servers=servers).solve()
+    special = ClientServerModel(machine, work=250.0).solve(servers)
+    assert general.system_throughput == pytest.approx(
+        special.throughput, rel=1e-7
+    )
+
+
+def test_general_shared_memory_reduces_to_wrapper():
+    machine = MachineParams(latency=40.0, handler_time=200.0, processors=8,
+                            handler_cv2=0.0)
+    general = GeneralLoPCModel.homogeneous_alltoall(
+        machine, 400.0, protocol_processor=True
+    ).solve()
+    wrapper = SharedMemoryModel(machine).solve_work(400.0)
+    assert general.response_times[0] == pytest.approx(
+        wrapper.response_time, rel=1e-8
+    )
+
+
+def test_logp_is_the_zero_contention_limit_of_lopc():
+    """As W -> oo, LoPC converges to the LogP cycle plus one handler gap."""
+    machine = MachineParams(latency=40.0, handler_time=200.0, processors=32,
+                            handler_cv2=0.0)
+    lopc = AllToAllModel(machine)
+    logp = LogPModel(machine)
+    w = 1e7
+    gap = lopc.solve_work(w).response_time - logp.cycle_time(w)
+    # The absolute gap approaches one handler time (the paper's constant
+    # absolute error of the contention-free model).
+    assert gap == pytest.approx(machine.handler_time, rel=0.05)
+
+
+def test_upper_bound_constant_consistent_with_recursion():
+    """kappa(C^2) is itself the W=St=0 fixed point of the recursion."""
+    for cv2 in (0.0, 1.0, 2.0):
+        kappa = upper_bound_constant(cv2)
+        direct = solve_recursion(0.0, 0.0, 1.0, cv2)
+        assert kappa == pytest.approx(direct, rel=1e-10)
+
+
+def test_workpile_closed_form_vs_curve_peak():
+    """Eq. 6.8 vs brute-force search over every split, several machines."""
+    for work, so, st, p in [
+        (0.0, 131.0, 10.0, 32),
+        (500.0, 131.0, 10.0, 32),
+        (2000.0, 100.0, 40.0, 16),
+        (100.0, 300.0, 5.0, 24),
+    ]:
+        machine = MachineParams(latency=st, handler_time=so, processors=p,
+                                handler_cv2=0.0)
+        model = ClientServerModel(machine, work=work)
+        curve = model.throughput_curve()
+        argmax = max(curve, key=lambda s: s.throughput).servers
+        assert abs(model.optimal_servers() - argmax) <= 1
+
+
+def test_visit_matrix_scaling_equivalence():
+    """Halving every visit ratio and doubling hop count is NOT the same
+    as the original -- but scaling work and handler costs together is."""
+    machine = MachineParams(latency=20.0, handler_time=100.0, processors=8,
+                            handler_cv2=0.0)
+    base = AllToAllModel(machine).solve_work(500.0)
+    scaled_machine = MachineParams(latency=40.0, handler_time=200.0,
+                                   processors=8, handler_cv2=0.0)
+    scaled = AllToAllModel(scaled_machine).solve_work(1000.0)
+    # Scale invariance: doubling every time parameter doubles R exactly.
+    assert scaled.response_time == pytest.approx(2 * base.response_time,
+                                                 rel=1e-9)
+
+
+def test_homogeneous_system_throughput_scales_with_p():
+    """R is P-invariant for homogeneous traffic, so X scales linearly."""
+    for p in (4, 8, 32):
+        machine = MachineParams(latency=40.0, handler_time=200.0,
+                                processors=p, handler_cv2=0.0)
+        s = AllToAllModel(machine).solve_work(500.0)
+        per_thread = s.throughput / p
+        assert per_thread == pytest.approx(1.0 / s.response_time, rel=1e-9)

@@ -1,0 +1,80 @@
+"""Smoke tests: every shipped example runs end to end and says what it
+claims (the examples are documentation; broken examples are worse than
+none)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart",
+        "matvec_analysis",
+        "workpile_tuning",
+        "histogram_sort",
+        "scaling_study",
+        "shared_memory_study",
+        "nonblocking_study",
+    } <= names
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "LoPC error" in out and "LogP error" in out
+    assert "extra handlers" in out
+
+
+def test_matvec_analysis(capsys):
+    out = run_example("matvec_analysis", capsys)
+    assert "numerically correct:   True" in out
+    assert "cyclic (paper's order)" in out and "randomised" in out
+
+
+def test_workpile_tuning(capsys):
+    out = run_example("workpile_tuning", capsys)
+    assert "Eq. 6.8 optimum" in out
+    assert "Ps* =" in out
+
+
+def test_histogram_sort(capsys):
+    out = run_example("histogram_sort", capsys)
+    assert "verified" in out
+    assert "LoPC prediction" in out
+
+
+def test_scaling_study(capsys):
+    out = run_example("scaling_study", capsys)
+    assert "Speedup saturates" in out
+    assert "LoPC speedup" in out
+
+
+def test_shared_memory_study(capsys):
+    out = run_example("shared_memory_study", capsys)
+    assert "Occupancy sweep" in out
+    assert "protocol-proc. gain" in out
+
+
+def test_nonblocking_study(capsys):
+    out = run_example("nonblocking_study", capsys)
+    assert "Critical window" in out
+    assert "speedup vs blocking" in out

@@ -1,0 +1,170 @@
+"""Integration tests: the paper's validation, at test-suite scale.
+
+These runs use smaller machines / fewer cycles than the full experiments
+(so the suite stays fast) but assert the same qualitative claims:
+LoPC tracks the simulator within single-digit percent and errs on the
+pessimistic side; the contention-free model underpredicts badly.
+"""
+
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.logp import LogPModel
+from repro.core.nonblocking import NonBlockingModel
+from repro.core.params import MachineParams
+from repro.sim.machine import MachineConfig
+from repro.validation.compare import compare_alltoall, signed_error_pct
+from repro.workloads.alltoall import run_alltoall
+from repro.workloads.nonblocking import run_nonblocking_alltoall
+from repro.workloads.workpile import run_workpile
+
+MACHINE = MachineParams(latency=40.0, handler_time=200.0, processors=16,
+                        handler_cv2=0.0)
+CONFIG = MachineConfig(processors=16, latency=40.0, handler_time=200.0,
+                       handler_cv2=0.0, seed=777)
+
+
+class TestAllToAllAccuracy:
+    @pytest.mark.parametrize("work", [0.0, 64.0, 512.0, 2048.0])
+    def test_lopc_within_paper_band(self, work):
+        model = AllToAllModel(MACHINE).solve_work(work)
+        meas = run_alltoall(CONFIG, work=work, cycles=200)
+        report = compare_alltoall(model, meas)
+        # Paper: <= ~6% error, pessimistic. Allow sampling slack.
+        assert -1.5 <= report.response_error <= 8.0
+
+    def test_error_decreases_with_work(self):
+        errors = []
+        for work in (0.0, 256.0, 2048.0):
+            model = AllToAllModel(MACHINE).solve_work(work)
+            meas = run_alltoall(CONFIG, work=work, cycles=200)
+            errors.append(abs(compare_alltoall(model, meas).response_error))
+        assert errors[-1] < errors[0]
+
+    def test_contention_free_underpredicts(self):
+        logp = LogPModel(MACHINE)
+        meas = run_alltoall(CONFIG, work=0.0, cycles=200)
+        err = signed_error_pct(logp.cycle_time(0.0), meas.response_time)
+        assert err < -25.0  # paper: -37%
+
+    def test_contention_free_error_persists_at_large_work(self):
+        logp = LogPModel(MACHINE)
+        meas = run_alltoall(CONFIG, work=1024.0, cycles=200)
+        err = signed_error_pct(logp.cycle_time(1024.0), meas.response_time)
+        assert err < -6.0  # paper: ~-13%
+
+    def test_exponential_handlers_also_tracked(self):
+        machine = MACHINE.with_cv2(1.0)
+        config = MachineConfig(processors=16, latency=40.0,
+                               handler_time=200.0, handler_cv2=1.0,
+                               seed=778)
+        model = AllToAllModel(machine).solve_work(512.0)
+        meas = run_alltoall(config, work=512.0, cycles=250)
+        err = signed_error_pct(model.response_time, meas.response_time)
+        assert abs(err) <= 8.0
+
+    def test_utilisations_match_model(self):
+        model = AllToAllModel(MACHINE).solve_work(512.0)
+        meas = run_alltoall(CONFIG, work=512.0, cycles=200)
+        assert meas.request_utilization == pytest.approx(
+            model.request_utilization, rel=0.10
+        )
+        assert meas.reply_utilization == pytest.approx(
+            model.reply_utilization, rel=0.10
+        )
+
+    def test_queue_lengths_match_model(self):
+        """Measured time-average handler count tracks Qq + Qy."""
+        model = AllToAllModel(MACHINE).solve_work(256.0)
+        meas = run_alltoall(CONFIG, work=256.0, cycles=200)
+        assert meas.handler_queue == pytest.approx(
+            model.request_queue + model.reply_queue, rel=0.15
+        )
+
+
+class TestWorkpileAccuracy:
+    # The paper's 32-node configuration: Bard's approximation error
+    # shrinks with population, and the <= ~3% claim is made at P=32.
+    MACHINE_WP = MachineParams(latency=10.0, handler_time=131.0,
+                               processors=32, handler_cv2=0.0)
+    CONFIG_WP = MachineConfig(processors=32, latency=10.0,
+                              handler_time=131.0, handler_cv2=0.0,
+                              seed=779)
+
+    @pytest.mark.parametrize("servers", [2, 4, 8, 16, 24])
+    def test_throughput_conservative_within_band(self, servers):
+        model = ClientServerModel(self.MACHINE_WP, work=250.0)
+        meas = run_workpile(self.CONFIG_WP, servers=servers, work=250.0,
+                            chunks=150)
+        err = signed_error_pct(model.solve(servers).throughput,
+                               meas.throughput)
+        assert -5.0 <= err <= 1.0  # paper: conservative by <= 3%
+
+    def test_smaller_population_is_more_pessimistic(self):
+        """Bard's error grows as the customer population shrinks."""
+        small_m = MachineParams(latency=10.0, handler_time=131.0,
+                                processors=16, handler_cv2=0.0)
+        small_c = MachineConfig(processors=16, latency=10.0,
+                                handler_time=131.0, handler_cv2=0.0,
+                                seed=779)
+        small_err = signed_error_pct(
+            ClientServerModel(small_m, work=250.0).solve(2).throughput,
+            run_workpile(small_c, servers=2, work=250.0,
+                         chunks=150).throughput,
+        )
+        big_err = signed_error_pct(
+            ClientServerModel(self.MACHINE_WP, work=250.0).solve(4)
+            .throughput,
+            run_workpile(self.CONFIG_WP, servers=4, work=250.0,
+                         chunks=150).throughput,
+        )
+        assert small_err < 0 and big_err < 0  # both conservative
+        assert abs(small_err) > abs(big_err)
+
+    def test_server_residence_tracked(self):
+        model = ClientServerModel(self.MACHINE_WP, work=250.0).solve(8)
+        meas = run_workpile(self.CONFIG_WP, servers=8, work=250.0,
+                            chunks=150)
+        assert model.server_residence == pytest.approx(
+            meas.server_residence, rel=0.10
+        )
+
+    def test_optimal_split_is_simulated_argmax(self):
+        model = ClientServerModel(self.MACHINE_WP, work=250.0)
+        best = model.optimal_servers()
+        xs = {
+            ps: run_workpile(self.CONFIG_WP, servers=ps, work=250.0,
+                             chunks=120).throughput
+            for ps in range(max(1, best - 2), min(31, best + 3))
+        }
+        sim_best = max(xs, key=xs.get)
+        assert abs(sim_best - best) <= 1
+
+
+class TestNonBlockingAccuracy:
+    MACHINE_NB = MachineParams(latency=40.0, handler_time=100.0,
+                               processors=16, handler_cv2=0.0)
+    CONFIG_NB = MachineConfig(processors=16, latency=40.0,
+                              handler_time=100.0, handler_cv2=0.0,
+                              seed=780)
+
+    def test_compute_bound_regime(self):
+        model = NonBlockingModel(self.MACHINE_NB).solve(500.0)
+        meas = run_nonblocking_alltoall(self.CONFIG_NB, work=500.0,
+                                        cycles=250)
+        err = signed_error_pct(model.cycle_time, meas.cycle_time)
+        assert abs(err) <= 8.0
+
+    def test_window_one_regime(self):
+        model = NonBlockingModel(self.MACHINE_NB, window=1).solve(250.0)
+        meas = run_nonblocking_alltoall(self.CONFIG_NB, work=250.0,
+                                        window=1, cycles=250)
+        err = signed_error_pct(model.cycle_time, meas.cycle_time)
+        assert -2.0 <= err <= 15.0  # documented: pessimistic near saturation
+
+    def test_round_trip_tracked_when_unsaturated(self):
+        model = NonBlockingModel(self.MACHINE_NB).solve(800.0)
+        meas = run_nonblocking_alltoall(self.CONFIG_NB, work=800.0,
+                                        cycles=250)
+        assert model.round_trip == pytest.approx(meas.round_trip, rel=0.08)

@@ -1,0 +1,137 @@
+"""Global machine-semantics verification via execution traces.
+
+Chapter 2's machine rules, checked over *entire busy runs* rather than
+hand-built scenarios: handler atomicity, interrupt priority, FIFO
+ordering, and CPU exclusivity.  Any scheduling bug in the node model
+shows up here as an interleaving violation.
+"""
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.trace import TraceRecorder
+from repro.workloads.alltoall import AllToAllWorkload
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    config = MachineConfig(processors=6, latency=15.0, handler_time=60.0,
+                           handler_cv2=1.0, seed=77)
+    machine = Machine(config)
+    recorder = TraceRecorder(max_events=500_000).attach(machine)
+    AllToAllWorkload(work=80.0, cycles=120, work_cv2=0.5).install(machine)
+    machine.run_to_completion()
+    return machine, recorder
+
+
+def test_handlers_never_overlap(traced_run):
+    """At most one handler in service per node at any instant."""
+    machine, recorder = traced_run
+    for node in machine.nodes:
+        depth = 0
+        for ev in recorder.filter(node=node.id,
+                                  kinds=["handler-dispatched",
+                                         "handler-completed"]):
+            if ev.kind == "handler-dispatched":
+                depth += 1
+            else:
+                depth -= 1
+            assert 0 <= depth <= 1, (node.id, ev)
+        assert depth == 0
+
+
+def test_thread_never_computes_during_handler(traced_run):
+    """CPU exclusivity: compute intervals and handler intervals disjoint."""
+    machine, recorder = traced_run
+    for node in machine.nodes:
+        events = recorder.filter(
+            node=node.id,
+            kinds=[
+                "handler-dispatched",
+                "handler-completed",
+                "compute-started",
+                "compute-preempted",
+                "compute-finished",
+            ],
+        )
+        handler_active = False
+        computing = False
+        for ev in events:
+            if ev.kind == "handler-dispatched":
+                assert not computing, (node.id, ev)
+                handler_active = True
+            elif ev.kind == "handler-completed":
+                handler_active = False
+            elif ev.kind == "compute-started":
+                assert not handler_active, (node.id, ev)
+                computing = True
+            elif ev.kind in ("compute-preempted", "compute-finished"):
+                computing = False
+
+
+def test_every_arrival_eventually_served(traced_run):
+    machine, recorder = traced_run
+    counts = recorder.kind_counts()
+    assert counts["message-arrived"] == counts["handler-completed"]
+    assert counts["message-arrived"] == counts["handler-dispatched"]
+
+
+def test_preempted_compute_always_resumes(traced_run):
+    """Preempt-resume: every preemption is followed by a start before
+    the thread can finish its work."""
+    machine, recorder = traced_run
+    for node in machine.nodes:
+        events = recorder.filter(
+            node=node.id,
+            kinds=["compute-started", "compute-preempted",
+                   "compute-finished"],
+        )
+        pending_resume = False
+        for ev in events:
+            if ev.kind == "compute-preempted":
+                pending_resume = True
+            elif ev.kind == "compute-started":
+                pending_resume = False
+            elif ev.kind == "compute-finished":
+                assert not pending_resume, (node.id, ev)
+
+
+def test_queued_messages_dispatched_in_fifo_order(traced_run):
+    """Dispatch order equals arrival order per node (hardware FIFO)."""
+    machine, recorder = traced_run
+    for node in machine.nodes:
+        arrivals = [
+            ev.detail
+            for ev in recorder.filter(node=node.id,
+                                      kinds=["message-arrived"])
+        ]
+        dispatches = [
+            # detail format: "<kind> from node <src> (service X)".
+            ev.detail.split(" (")[0]
+            for ev in recorder.filter(node=node.id,
+                                      kinds=["handler-dispatched"])
+        ]
+        assert arrivals == dispatches
+
+
+def test_blocked_thread_only_resumes_after_handler(traced_run):
+    """A thread-blocked event is never followed by compute-started
+    without an intervening handler completion on that node."""
+    machine, recorder = traced_run
+    for node in machine.nodes:
+        events = recorder.filter(
+            node=node.id,
+            kinds=["thread-blocked", "handler-completed",
+                   "compute-started"],
+        )
+        blocked = False
+        since_handler = False
+        for ev in events:
+            if ev.kind == "thread-blocked":
+                blocked = True
+                since_handler = False
+            elif ev.kind == "handler-completed":
+                since_handler = True
+            elif ev.kind == "compute-started" and blocked:
+                assert since_handler, (node.id, ev)
+                blocked = False

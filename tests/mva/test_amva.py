@@ -1,0 +1,96 @@
+"""Unit tests for Bard/Schweitzer approximate MVA vs the exact recursion."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mva.amva import bard_amva, schweitzer_amva
+from repro.mva.exact import exact_mva
+
+
+class TestConvergence:
+    def test_bard_converges(self):
+        res = bard_amva([2.0, 1.0], population=8)
+        assert res.converged
+        assert res.iterations < 10_000
+
+    def test_schweitzer_converges(self):
+        res = schweitzer_amva([2.0, 1.0], population=8)
+        assert res.converged
+
+    def test_zero_population(self):
+        res = bard_amva([1.0], population=0)
+        assert res.throughput == 0.0
+        assert res.converged
+
+
+class TestAgainstExact:
+    @pytest.mark.parametrize("population", [1, 2, 4, 16, 64])
+    def test_bard_pessimistic_on_throughput(self, population):
+        """Bard under-estimates throughput (over-estimates queues)."""
+        demands = [3.0, 2.0, 1.0]
+        approx = bard_amva(demands, population)
+        exact = exact_mva(demands, population)
+        assert approx.throughput <= exact.throughput + 1e-9
+
+    def test_schweitzer_single_customer_exact(self):
+        """With N=1 Schweitzer's (N-1)/N factor is 0: exact."""
+        demands = [3.0, 2.0]
+        approx = schweitzer_amva(demands, 1)
+        exact = exact_mva(demands, 1)
+        assert approx.throughput == pytest.approx(exact.throughput, rel=1e-9)
+
+    def test_errors_shrink_with_population(self):
+        demands = [2.0, 1.0]
+        errors = []
+        for n in (4, 16, 64, 256):
+            approx = bard_amva(demands, n)
+            exact = exact_mva(demands, n)
+            errors.append(
+                abs(approx.throughput - exact.throughput) / exact.throughput
+            )
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 0.01
+
+    def test_schweitzer_beats_bard(self):
+        demands = [2.0, 1.0, 0.5]
+        n = 6
+        exact = exact_mva(demands, n).throughput
+        bard_err = abs(bard_amva(demands, n).throughput - exact)
+        schweitzer_err = abs(schweitzer_amva(demands, n).throughput - exact)
+        assert schweitzer_err <= bard_err + 1e-12
+
+
+class TestDelayCenters:
+    def test_delay_centers_identical_to_exact(self):
+        """Pure delay networks have no queueing: all methods agree."""
+        demands = [5.0, 2.0]
+        kinds = ["delay", "delay"]
+        approx = bard_amva(demands, 7, kinds=kinds)
+        exact = exact_mva(demands, 7, kinds=kinds)
+        assert approx.throughput == pytest.approx(exact.throughput, rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_negative_demands(self):
+        with pytest.raises(ValueError):
+            bard_amva([-1.0], 2)
+
+    def test_rejects_kind_mismatch(self):
+        with pytest.raises(ValueError):
+            schweitzer_amva([1.0, 1.0], 2, kinds=["queueing"])
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                     min_size=1, max_size=4),
+    population=st.integers(min_value=1, max_value=40),
+)
+def test_littles_law_at_fixed_point(demands, population):
+    """The converged point satisfies Little's law exactly."""
+    res = bard_amva(demands, population)
+    assert res.converged
+    assert np.allclose(
+        res.throughput * res.response_times, res.queue_lengths, rtol=1e-6
+    )

@@ -1,0 +1,64 @@
+"""Unit tests for Bard's approximation vs the exact Arrival Theorem."""
+
+import pytest
+
+from repro.mva.bard import arrival_queue_bard, arrival_queue_exact_mva
+from repro.mva.exact import exact_mva
+
+
+class TestArrivalQueueBard:
+    def test_identity(self):
+        assert arrival_queue_bard(1.75) == 1.75
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            arrival_queue_bard(-0.5)
+
+
+class TestArrivalQueueExact:
+    def test_uses_population_minus_one(self):
+        calls = []
+
+        def q(n: int) -> float:
+            calls.append(n)
+            return n * 0.5
+
+        assert arrival_queue_exact_mva(q, 10) == 4.5
+        assert calls == [9]
+
+    def test_rejects_zero_population(self):
+        with pytest.raises(ValueError, match="population"):
+            arrival_queue_exact_mva(lambda n: 0.0, 0)
+
+    def test_rejects_negative_queue_function(self):
+        with pytest.raises(ValueError, match="negative"):
+            arrival_queue_exact_mva(lambda n: -1.0, 3)
+
+
+class TestBardPessimism:
+    """Bard's Q(N) >= exact Q(N-1): the approximation over-states backlog."""
+
+    @pytest.mark.parametrize("population", [1, 2, 4, 8, 16, 64])
+    def test_bard_overestimates_arrival_queue(self, population: int):
+        demands = [4.0, 2.0, 1.0]
+        full = exact_mva(demands, population)
+        for k in range(len(demands)):
+            exact_arrival = arrival_queue_exact_mva(
+                lambda n, k=k: float(exact_mva(demands, n).queue_lengths[k]),
+                population,
+            )
+            bard_arrival = arrival_queue_bard(float(full.queue_lengths[k]))
+            assert bard_arrival >= exact_arrival - 1e-12
+
+    def test_gap_shrinks_with_population(self):
+        demands = [3.0, 1.0]
+        gaps = []
+        for n in (2, 8, 32, 128):
+            full = exact_mva(demands, n)
+            prev = exact_mva(demands, n - 1)
+            rel = (full.queue_lengths[0] - prev.queue_lengths[0]) / max(
+                full.queue_lengths[0], 1e-12
+            )
+            gaps.append(rel)
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 0.05

@@ -1,0 +1,75 @@
+"""Unit tests for the BKT and shadow-server priority approximations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mva.bkt import bkt_residence_time, shadow_server_residence_time
+
+
+class TestBKT:
+    def test_no_interference_is_identity(self):
+        assert bkt_residence_time(1000.0, 200.0, 0.0, 0.0) == 1000.0
+
+    def test_backlog_term(self):
+        # Queued handlers are charged at full service time.
+        assert bkt_residence_time(0.0, 200.0, 0.5, 0.0) == 100.0
+
+    def test_stretch_term(self):
+        # Pure utilisation stretch: W/(1-Uq).
+        assert bkt_residence_time(900.0, 200.0, 0.0, 0.1) == pytest.approx(1000.0)
+
+    def test_paper_eq_5_7_composition(self):
+        # (W + So*Qq)/(1-Uq) with W=1000, So=200, Qq=0.25, Uq=0.2.
+        expected = (1000.0 + 200.0 * 0.25) / 0.8
+        assert bkt_residence_time(1000.0, 200.0, 0.25, 0.2) == pytest.approx(
+            expected
+        )
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ValueError, match="utilization"):
+            bkt_residence_time(1.0, 1.0, 0.0, 1.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError, match="work"):
+            bkt_residence_time(-1.0, 1.0, 0.0, 0.0)
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError, match="handler_queue"):
+            bkt_residence_time(1.0, 1.0, -0.1, 0.0)
+
+
+class TestShadowServer:
+    def test_stretch_only(self):
+        assert shadow_server_residence_time(800.0, 0.2) == pytest.approx(1000.0)
+
+    def test_zero_utilisation_identity(self):
+        assert shadow_server_residence_time(123.0, 0.0) == 123.0
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ValueError):
+            shadow_server_residence_time(1.0, 1.0)
+
+
+@given(
+    w=st.floats(min_value=0.0, max_value=1e5),
+    so=st.floats(min_value=0.0, max_value=1e4),
+    qq=st.floats(min_value=0.0, max_value=10.0),
+    uq=st.floats(min_value=0.0, max_value=0.95),
+)
+def test_bkt_dominates_shadow_server(w, so, qq, uq):
+    """BKT adds the backlog term, so it never predicts less delay."""
+    assert bkt_residence_time(w, so, qq, uq) >= shadow_server_residence_time(
+        w, uq
+    ) - 1e-9
+
+
+@given(
+    w=st.floats(min_value=0.0, max_value=1e5),
+    so=st.floats(min_value=0.0, max_value=1e4),
+    qq=st.floats(min_value=0.0, max_value=10.0),
+    uq=st.floats(min_value=0.0, max_value=0.95),
+)
+def test_bkt_at_least_work(w, so, qq, uq):
+    """Interference can only inflate the thread's residence time."""
+    assert bkt_residence_time(w, so, qq, uq) >= w - 1e-9

@@ -1,0 +1,109 @@
+"""Unit tests for exact MVA against closed-form queueing results."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mva.exact import exact_mva
+
+
+class TestSmallPopulations:
+    def test_empty_network(self):
+        res = exact_mva([1.0, 2.0], population=0)
+        assert res.throughput == 0.0
+        assert np.all(res.queue_lengths == 0.0)
+
+    def test_single_customer_single_queue(self):
+        # One customer, one queue: R = D, X = 1/D, Q = 1.
+        res = exact_mva([4.0], population=1)
+        assert res.throughput == pytest.approx(0.25)
+        assert res.response_times[0] == pytest.approx(4.0)
+        assert res.queue_lengths[0] == pytest.approx(1.0)
+
+    def test_single_customer_never_queues(self):
+        # With N=1 every response time is the bare demand.
+        res = exact_mva([4.0, 3.0, 2.0], population=1)
+        assert np.allclose(res.response_times, [4.0, 3.0, 2.0])
+
+    def test_two_customers_symmetric_pair(self):
+        # Two equal queues, two customers: known MVA values.
+        # n=1: R=1 each, X=1/2, Q=1/2 each.
+        # n=2: R=1.5 each, X=2/3, Q=1/2... compute: Q=2/3*1.5=1.0.
+        res = exact_mva([1.0, 1.0], population=2)
+        assert res.throughput == pytest.approx(2.0 / 3.0)
+        assert np.allclose(res.queue_lengths, [1.0, 1.0])
+
+
+class TestDelayCenters:
+    def test_pure_delay_network_is_contention_free(self):
+        # All delay centres: R = sum D, X = N/(Z + sum D), no queueing growth.
+        res = exact_mva([5.0, 3.0], population=10, kinds=["delay", "delay"])
+        assert res.cycle_time == pytest.approx(8.0)
+        assert res.throughput == pytest.approx(10.0 / 8.0)
+
+    def test_think_time_equivalent_to_delay_center(self):
+        with_z = exact_mva([2.0], population=5, think_time=8.0)
+        with_delay = exact_mva([2.0, 8.0], population=5,
+                               kinds=["queueing", "delay"])
+        assert with_z.throughput == pytest.approx(with_delay.throughput)
+        assert with_z.queue_lengths[0] == pytest.approx(
+            with_delay.queue_lengths[0]
+        )
+
+
+class TestAsymptotics:
+    def test_bottleneck_saturation(self):
+        # As N grows, X -> 1/D_max (the bottleneck law).
+        demands = [4.0, 2.0, 1.0]
+        res = exact_mva(demands, population=200)
+        assert res.throughput == pytest.approx(1.0 / 4.0, rel=1e-3)
+
+    def test_light_load_no_queueing(self):
+        # N=1 with large think time: utilisations tiny, Q ~= U.
+        res = exact_mva([1.0, 1.0], population=1, think_time=1000.0)
+        assert np.allclose(res.queue_lengths, res.utilizations, rtol=1e-6)
+
+    def test_throughput_monotone_in_population(self):
+        demands = [3.0, 1.0]
+        xs = [exact_mva(demands, n).throughput for n in range(1, 30)]
+        assert all(b >= a - 1e-12 for a, b in zip(xs, xs[1:]))
+
+
+class TestValidation:
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError, match="demands"):
+            exact_mva([1.0, -2.0], 3)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            exact_mva([1.0], 3, kinds=["magic"])
+
+    def test_rejects_mismatched_kinds(self):
+        with pytest.raises(ValueError, match="entries"):
+            exact_mva([1.0, 2.0], 3, kinds=["queueing"])
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError, match="population"):
+            exact_mva([1.0], -1)
+
+    def test_rejects_empty_demands(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            exact_mva([], 1)
+
+
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=5
+    ),
+    population=st.integers(min_value=1, max_value=30),
+    think=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_littles_law_holds_everywhere(demands, population, think):
+    """X * R_k == Q_k at every centre, and sum Q + X*Z == N."""
+    res = exact_mva(demands, population, think_time=think)
+    assert np.allclose(
+        res.throughput * res.response_times, res.queue_lengths, rtol=1e-9
+    )
+    total = float(res.queue_lengths.sum()) + res.throughput * think
+    assert total == pytest.approx(population, rel=1e-9)

@@ -1,0 +1,77 @@
+"""Unit tests for Little's-result helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mva.littles_law import (
+    customers_from_throughput,
+    response_from_customers,
+    throughput_from_customers,
+    utilization,
+)
+
+
+class TestCustomersFromThroughput:
+    def test_basic_product(self):
+        assert customers_from_throughput(0.5, 10.0) == 5.0
+
+    def test_zero_throughput_gives_empty_system(self):
+        assert customers_from_throughput(0.0, 123.0) == 0.0
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError, match="throughput"):
+            customers_from_throughput(-0.1, 10.0)
+
+    def test_negative_response_rejected(self):
+        with pytest.raises(ValueError, match="response_time"):
+            customers_from_throughput(0.1, -10.0)
+
+
+class TestThroughputFromCustomers:
+    def test_paper_eq_5_1(self):
+        # X = P / R with P threads each cycling once per R.
+        assert throughput_from_customers(32, 800.0) == 0.04
+
+    def test_zero_response_rejected(self):
+        with pytest.raises(ValueError, match="response_time"):
+            throughput_from_customers(4, 0.0)
+
+    def test_negative_customers_rejected(self):
+        with pytest.raises(ValueError, match="customers"):
+            throughput_from_customers(-1, 1.0)
+
+
+class TestResponseFromCustomers:
+    def test_inverse_of_throughput(self):
+        assert response_from_customers(10.0, 2.0) == 5.0
+
+    def test_zero_throughput_rejected(self):
+        with pytest.raises(ValueError, match="throughput"):
+            response_from_customers(10.0, 0.0)
+
+
+class TestUtilization:
+    def test_paper_eq_5_4(self):
+        # U = V X So with V X the per-node arrival rate.
+        assert utilization(1.0 / 800.0, 200.0) == pytest.approx(0.25)
+
+    def test_not_clamped_above_one(self):
+        # Saturation detection is the caller's job.
+        assert utilization(2.0, 1.0) == 2.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="arrival_rate"):
+            utilization(-1.0, 1.0)
+
+
+@given(
+    x=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    r=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+)
+def test_round_trip_consistency(x: float, r: float):
+    """N = X*R, then X = N/R and R = N/X recover the inputs."""
+    n = customers_from_throughput(x, r)
+    assert throughput_from_customers(n, r) == pytest.approx(x, rel=1e-12)
+    if x > 0:
+        assert response_from_customers(n, x) == pytest.approx(r, rel=1e-12)

@@ -1,0 +1,139 @@
+"""Unit tests for multi-class exact MVA."""
+
+import numpy as np
+import pytest
+
+from repro.mva.exact import exact_mva
+from repro.mva.multiclass import multiclass_mva
+
+
+class TestReductions:
+    def test_single_class_matches_exact_mva(self):
+        demands = [3.0, 1.5, 0.5]
+        single = exact_mva(demands, population=7, think_time=10.0)
+        multi = multiclass_mva([demands], [7], think_times=[10.0])
+        assert multi.throughputs[0] == pytest.approx(single.throughput,
+                                                     rel=1e-12)
+        assert np.allclose(multi.queue_lengths, single.queue_lengths)
+
+    def test_two_identical_classes_equal_one_big_class(self):
+        """Splitting a class in two leaves centre queues unchanged."""
+        demands = [2.0, 1.0]
+        merged = exact_mva(demands, population=6)
+        split = multiclass_mva([demands, demands], [3, 3])
+        assert np.allclose(split.queue_lengths, merged.queue_lengths,
+                           rtol=1e-10)
+        assert split.throughputs.sum() == pytest.approx(merged.throughput,
+                                                        rel=1e-10)
+
+    def test_symmetric_classes_symmetric_solution(self):
+        demands = [[1.0, 2.0], [1.0, 2.0]]
+        res = multiclass_mva(demands, [4, 4], think_times=[5.0, 5.0])
+        assert res.throughputs[0] == pytest.approx(res.throughputs[1])
+        assert np.allclose(res.response_times[0], res.response_times[1])
+
+
+class TestHeterogeneousClasses:
+    def test_heavier_class_cycles_slower(self):
+        demands = [[1.0], [4.0]]
+        res = multiclass_mva(demands, [3, 3])
+        assert res.throughputs[0] > res.throughputs[1]
+        assert res.cycle_times[0] < res.cycle_times[1]
+
+    def test_littles_law_per_class(self):
+        demands = [[2.0, 0.5], [1.0, 1.5]]
+        res = multiclass_mva(demands, [3, 4], think_times=[2.0, 8.0])
+        assert np.allclose(
+            res.class_queue_lengths,
+            res.throughputs[:, None] * res.response_times,
+        )
+        # Total population conserved: queues + thinking customers.
+        total = res.queue_lengths.sum() + (res.throughputs * [2.0, 8.0]).sum()
+        assert total == pytest.approx(7.0, rel=1e-9)
+
+    def test_delay_centers(self):
+        demands = [[5.0], [3.0]]
+        res = multiclass_mva(demands, [2, 2], kinds=["delay"])
+        # Pure delay: R = D regardless of the other class.
+        assert res.response_times[0, 0] == 5.0
+        assert res.response_times[1, 0] == 3.0
+
+    def test_zero_population_class_is_inert(self):
+        with_ghost = multiclass_mva([[2.0], [9.0]], [5, 0])
+        alone = multiclass_mva([[2.0]], [5])
+        assert with_ghost.throughputs[0] == pytest.approx(
+            alone.throughputs[0]
+        )
+        assert with_ghost.throughputs[1] == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_demand_shape(self):
+        with pytest.raises(ValueError, match="C x K"):
+            multiclass_mva([], [1])
+
+    def test_rejects_population_mismatch(self):
+        with pytest.raises(ValueError, match="populations"):
+            multiclass_mva([[1.0]], [1, 2])
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            multiclass_mva([[1.0]], [-1])
+
+    def test_rejects_huge_lattice(self):
+        with pytest.raises(ValueError, match="lattice"):
+            multiclass_mva([[1.0]] * 4, [200, 200, 200, 200])
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            multiclass_mva([[1.0]], [1], kinds=["warp"])
+
+    def test_rejects_think_mismatch(self):
+        with pytest.raises(ValueError, match="think_times"):
+            multiclass_mva([[1.0]], [1], think_times=[1.0, 2.0])
+
+
+class TestAgainstGeneralLoPC:
+    """Heterogeneous workpile: multiclass exact MVA as ground truth."""
+
+    def test_two_class_workpile_against_general_model(self):
+        """Two client classes (fast/slow chunks) on shared servers.
+
+        With exponential handlers this closed network is product-form;
+        the Appendix-A LoPC model should land within Bard's usual few
+        percent of the exact answer.
+        """
+        from repro.core.general import GeneralLoPCModel
+        from repro.core.params import MachineParams
+
+        p, servers = 12, 3
+        st, so = 10.0, 131.0
+        w_fast, w_slow = 200.0, 1200.0
+        machine = MachineParams(latency=st, handler_time=so, processors=p,
+                                handler_cv2=1.0)
+        # General LoPC: servers passive, half the clients fast, half slow.
+        clients = p - servers
+        works = [None] * servers + [w_fast] * (clients // 2) + (
+            [w_slow] * (clients - clients // 2)
+        )
+        visits = np.zeros((p, p))
+        visits[servers:, :servers] = 1.0 / servers
+        lopc = GeneralLoPCModel(machine, works, visits).solve()
+
+        # Exact: two classes over `servers` queueing centres with demand
+        # So/servers each; think = W_class + 2 St + So.
+        demands = [[so / servers] * servers] * 2
+        think = [w_fast + 2 * st + so, w_slow + 2 * st + so]
+        exact = multiclass_mva(
+            demands, [clients // 2, clients - clients // 2],
+            think_times=think,
+        )
+        x_fast_lopc = float(lopc.throughputs[servers])
+        x_slow_lopc = float(lopc.throughputs[-1])
+        x_fast_exact = exact.throughputs[0] / (clients // 2)
+        x_slow_exact = exact.throughputs[1] / (clients - clients // 2)
+        assert x_fast_lopc == pytest.approx(x_fast_exact, rel=0.06)
+        assert x_slow_lopc == pytest.approx(x_slow_exact, rel=0.06)
+        # Bard stays pessimistic on both classes.
+        assert x_fast_lopc <= x_fast_exact * 1.001
+        assert x_slow_lopc <= x_slow_exact * 1.001

@@ -1,0 +1,76 @@
+"""Unit tests for residual-life arithmetic (paper Eq. 5.8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mva.residual import mean_residual_life, queue_delay, residual_correction
+
+
+class TestMeanResidualLife:
+    def test_deterministic_residual_is_half(self):
+        # A random arrival lands uniformly inside a fixed service.
+        assert mean_residual_life(200.0, 0.0) == 100.0
+
+    def test_exponential_residual_is_full_mean(self):
+        # Memorylessness: residual = mean.
+        assert mean_residual_life(200.0, 1.0) == 200.0
+
+    def test_hyperexponential_exceeds_mean(self):
+        assert mean_residual_life(200.0, 3.0) == 400.0
+
+    def test_zero_service(self):
+        assert mean_residual_life(0.0, 1.0) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mean_residual_life(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            mean_residual_life(1.0, -0.5)
+
+
+class TestResidualCorrection:
+    def test_exponential_correction_vanishes(self):
+        # Eq. 5.9/5.10 must reduce to Eq. 5.5/5.6 at C^2 = 1.
+        assert residual_correction(0.7, 1.0) == 0.0
+
+    def test_deterministic_correction_is_minus_half_u(self):
+        assert residual_correction(0.6, 0.0) == pytest.approx(-0.3)
+
+    def test_high_variability_positive(self):
+        assert residual_correction(0.5, 3.0) == pytest.approx(0.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            residual_correction(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            residual_correction(0.1, -1.0)
+
+
+class TestQueueDelay:
+    def test_matches_eq_5_8_composition(self):
+        # S*(Q + (C2-1)/2 * U): queue of 0.8 with U=0.4, C2=0, S=100.
+        assert queue_delay(100.0, 0.8, 0.4, 0.0) == pytest.approx(
+            100.0 * (0.8 - 0.2)
+        )
+
+    def test_never_negative(self):
+        # Degenerate corner: U > Q numerically; delay floors at zero.
+        assert queue_delay(100.0, 0.01, 0.9, 0.0) == 0.0
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError, match="queue_length"):
+            queue_delay(1.0, -0.1, 0.0, 1.0)
+
+
+@given(
+    s=st.floats(min_value=0.0, max_value=1e4),
+    u=st.floats(min_value=0.0, max_value=1.0),
+    cv2=st.floats(min_value=0.0, max_value=4.0),
+)
+def test_residual_identity(s: float, u: float, cv2: float):
+    """S*(Q - U) + residual*U == S*(Q + correction) for any Q >= U."""
+    q = u + 0.5  # any queue at least as large as the in-service share
+    lhs = s * (q - u) + mean_residual_life(s, cv2) * u
+    rhs = queue_delay(s, q, u, cv2)
+    assert lhs == pytest.approx(rhs, rel=1e-12, abs=1e-9)

@@ -1,0 +1,132 @@
+"""Property-based tests on the model family's analytical invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.general import GeneralLoPCModel
+from repro.core.logp import LogPModel
+from repro.core.params import MachineParams
+from repro.core.rule_of_thumb import contention_bounds
+
+machines = st.builds(
+    MachineParams,
+    latency=st.floats(min_value=0.0, max_value=500.0),
+    handler_time=st.floats(min_value=1.0, max_value=1000.0),
+    processors=st.integers(min_value=2, max_value=64),
+    handler_cv2=st.floats(min_value=0.0, max_value=2.0),
+)
+
+works = st.floats(min_value=0.0, max_value=10_000.0)
+
+
+@given(machine=machines, work=works)
+def test_lopc_always_dominates_logp(machine, work):
+    """Contention can only add time: R_LoPC >= R_LogP."""
+    lopc = AllToAllModel(machine).solve_work(work).response_time
+    logp = LogPModel(machine).cycle_time(work)
+    assert lopc >= logp - 1e-6
+
+
+@given(machine=machines, work=works)
+def test_solution_internally_consistent(machine, work):
+    """Identity, Little's law, and non-negative contention everywhere."""
+    s = AllToAllModel(machine).solve_work(work)
+    assert s.cycle_identity_error() < 1e-6
+    assert s.total_contention >= -1e-6
+    assert 0.0 <= s.request_utilization < 1.0
+    assert s.request_queue >= s.request_utilization - 1e-9
+
+
+@given(machine=machines, work=works)
+def test_bounds_bracket_solution_generalised(machine, work):
+    lower, upper = contention_bounds(machine, work)
+    r = AllToAllModel(machine).solve_work(work).response_time
+    assert lower - 1e-6 <= r <= upper + max(1e-6, 1e-9 * upper)
+
+
+@given(machine=machines, work=works)
+def test_shared_memory_never_slower(machine, work):
+    mp = AllToAllModel(machine).solve_work(work).response_time
+    sm = AllToAllModel(machine, protocol_processor=True).solve_work(
+        work
+    ).response_time
+    assert sm <= mp + 1e-6
+
+
+@given(machine=machines,
+       w1=works, w2=works)
+def test_response_monotone_in_work(machine, w1, w2):
+    assume(abs(w1 - w2) > 1e-6)
+    lo, hi = sorted((w1, w2))
+    model = AllToAllModel(machine)
+    assert model.solve_work(lo).response_time <= (
+        model.solve_work(hi).response_time + 1e-6
+    )
+
+
+@given(
+    machine=st.builds(
+        MachineParams,
+        latency=st.floats(min_value=0.0, max_value=100.0),
+        handler_time=st.floats(min_value=1.0, max_value=300.0),
+        processors=st.integers(min_value=4, max_value=32),
+        handler_cv2=st.sampled_from([0.0, 1.0]),
+    ),
+    work=st.floats(min_value=0.0, max_value=2000.0),
+)
+@settings(max_examples=25)
+def test_workpile_curve_peaks_at_closed_form(machine, work):
+    """Eq. 6.8 lands within one server of the curve argmax, always."""
+    model = ClientServerModel(machine, work=work)
+    curve = model.throughput_curve()
+    argmax = max(curve, key=lambda s: s.throughput).servers
+    assert abs(model.optimal_servers() - argmax) <= 1
+
+
+@given(
+    machine=st.builds(
+        MachineParams,
+        latency=st.floats(min_value=0.0, max_value=100.0),
+        handler_time=st.floats(min_value=1.0, max_value=300.0),
+        processors=st.integers(min_value=3, max_value=24),
+        handler_cv2=st.sampled_from([0.0, 1.0]),
+    ),
+    work=st.floats(min_value=0.0, max_value=2000.0),
+    hops=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25)
+def test_general_model_multihop_monotone(machine, work, hops):
+    """Each extra hop adds at least St + So to the cycle."""
+    assume(hops + 1 <= machine.processors - 1)
+    shorter = GeneralLoPCModel.random_multihop(machine, work, hops).solve()
+    longer = GeneralLoPCModel.random_multihop(machine, work, hops + 1).solve()
+    delta = longer.response_times[0] - shorter.response_times[0]
+    assert delta >= machine.latency + machine.handler_time - 1e-6
+
+
+@given(
+    p=st.integers(min_value=3, max_value=16),
+    work=st.floats(min_value=10.0, max_value=2000.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=25)
+def test_general_model_throughputs_consistent(p, work, seed):
+    """X_c == 1/R_c for active threads; 0 for passive, any visit matrix."""
+    rng = np.random.default_rng(seed)
+    machine = MachineParams(latency=20.0, handler_time=60.0, processors=p,
+                            handler_cv2=0.0)
+    # Random row-stochastic visit matrix with zero diagonal.
+    visits = rng.random((p, p))
+    np.fill_diagonal(visits, 0.0)
+    visits /= visits.sum(axis=1, keepdims=True)
+    model = GeneralLoPCModel(machine, [work] * p, visits)
+    sol = model.solve()
+    active = sol.active
+    assert np.allclose(
+        sol.throughputs[active], 1.0 / sol.response_times[active], rtol=1e-9
+    )
+    # System utilisation sanity: every node below saturation.
+    assert np.all(sol.request_utilizations < 1.0)

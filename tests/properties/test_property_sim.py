@@ -1,0 +1,103 @@
+"""Property-based tests on the simulator's conservation laws.
+
+Rather than comparing against the model (integration tests do that),
+these check *internal* invariants that must hold for any parameters:
+message conservation, Little's law on measured quantities, exact cycle
+decomposition, and utilisation accounting.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.alltoall import AllToAllWorkload
+
+machine_params = st.fixed_dictionaries(
+    {
+        "processors": st.integers(min_value=2, max_value=8),
+        "latency": st.floats(min_value=0.0, max_value=100.0),
+        "handler_time": st.floats(min_value=1.0, max_value=300.0),
+        "handler_cv2": st.sampled_from([0.0, 1.0 / 3.0, 1.0]),
+        "seed": st.integers(min_value=0, max_value=2**31),
+    }
+)
+
+
+@given(params=machine_params,
+       work=st.floats(min_value=0.0, max_value=500.0))
+@settings(max_examples=20)
+def test_alltoall_conservation_laws(params, work):
+    config = MachineConfig(**params)
+    cycles = 25
+    machine = Machine(config)
+    AllToAllWorkload(work=work, cycles=cycles).install(machine)
+    machine.run_to_completion()
+
+    p = config.processors
+    # 1. Message conservation: every cycle = 1 request + 1 reply.
+    assert machine.network.messages_sent == 2 * p * cycles
+
+    # 2. Every record complete with exact decomposition.
+    for node in machine.nodes:
+        assert len(node.cycles) == cycles
+        for record in node.cycles:
+            assert record.complete
+            assert record.identity_error() < 1e-6
+            assert record.rw >= 0.0 and record.rq >= 0.0 and record.ry >= 0.0
+
+    # 3. Handler arrivals equal completions at every node.
+    for node in machine.nodes:
+        assert node.stats.arrivals == node.stats.completions
+        assert node.stats.present == 0
+
+    # 4. CPU accounting: per node, handler busy + thread busy <= elapsed.
+    now = machine.sim.now
+    if now > 0:
+        for node in machine.nodes:
+            busy = sum(node.stats.busy_time.values())
+            busy += node.stats.thread_busy_time
+            assert busy <= now * (1 + 1e-9)
+
+    # 5. Utilisation by Little: U_req == arrival rate * mean service.
+    #    (Constant handlers only -- stochastic ones need larger samples.)
+    if config.handler_cv2 == 0.0 and now > 0:
+        for node in machine.nodes:
+            arrivals = node.stats.arrivals.get("request", 0)
+            expected = arrivals * config.handler_time / now
+            measured = node.stats.utilization(now, "request")
+            assert math.isclose(measured, expected, rel_tol=1e-6)
+
+
+@given(params=machine_params)
+@settings(max_examples=15)
+def test_zero_work_still_terminates(params):
+    """W=0 (the paper's stress case) always completes and stays sane."""
+    config = MachineConfig(**params)
+    machine = Machine(config)
+    AllToAllWorkload(work=0.0, cycles=10).install(machine)
+    machine.run_to_completion()
+    assert machine.all_threads_done
+    for node in machine.nodes:
+        for record in node.cycles:
+            # Even at W=0 a cycle takes at least the wire + service floor.
+            assert record.response_time >= 2 * config.latency - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    cv2=st.sampled_from([0.0, 1.0]),
+)
+@settings(max_examples=10)
+def test_wire_times_are_exact(seed, cv2):
+    """Constant-latency networks deliver after exactly St, always."""
+    config = MachineConfig(processors=4, latency=33.5, handler_time=20.0,
+                           handler_cv2=cv2, seed=seed)
+    machine = Machine(config)
+    AllToAllWorkload(work=10.0, cycles=15).install(machine)
+    machine.run_to_completion()
+    for node in machine.nodes:
+        for record in node.cycles:
+            assert math.isclose(record.request_wire, 33.5, rel_tol=1e-12)
+            assert math.isclose(record.reply_wire, 33.5, rel_tol=1e-12)

@@ -1,0 +1,78 @@
+"""Property-based tests on the workpile simulation's conservation laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machine import MachineConfig
+from repro.workloads.workpile import run_workpile
+
+configs = st.fixed_dictionaries(
+    {
+        "processors": st.integers(min_value=4, max_value=12),
+        "latency": st.floats(min_value=0.0, max_value=80.0),
+        "handler_time": st.floats(min_value=5.0, max_value=200.0),
+        "handler_cv2": st.sampled_from([0.0, 1.0]),
+        "seed": st.integers(min_value=0, max_value=2**31),
+    }
+)
+
+
+@given(
+    params=configs,
+    work=st.floats(min_value=0.0, max_value=1000.0),
+    server_fraction=st.floats(min_value=0.15, max_value=0.8),
+)
+@settings(max_examples=20)
+def test_workpile_invariants(params, work, server_fraction):
+    config = MachineConfig(**params)
+    servers = max(1, min(config.processors - 1,
+                         int(config.processors * server_fraction)))
+    meas = run_workpile(config, servers=servers, work=work, chunks=40)
+
+    # Structure.
+    assert meas.servers == servers
+    assert meas.clients == config.processors - servers
+
+    # Clients are never interrupted (their work is deterministic here).
+    assert abs(meas.compute_residence - work) < 1e-6
+    # Replies never queue at clients: with deterministic handlers Ry is
+    # exactly So; with stochastic handlers it is So in expectation.
+    if config.handler_cv2 == 0.0:
+        assert abs(meas.reply_residence - config.handler_time) < 1e-6
+    else:
+        assert meas.reply_residence == pytest.approx(
+            config.handler_time, rel=0.35
+        )
+
+    # Server residence at least the bare service; utilisation in [0, 1].
+    assert meas.server_residence >= config.handler_time - 1e-9
+    assert 0.0 <= meas.server_utilization <= 1.0 + 1e-9
+
+    # Little's law forms.
+    assert abs(
+        meas.throughput - meas.clients / meas.response_time
+    ) < 1e-9 * max(1.0, meas.throughput)
+
+    # Cycle structure (Eq. 6.7) holds for the measured means.
+    reconstructed = (
+        meas.compute_residence
+        + 2 * config.latency
+        + meas.server_residence
+        + meas.reply_residence
+    )
+    assert abs(meas.response_time - reconstructed) < 1e-6 * max(
+        1.0, meas.response_time
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=10)
+def test_more_servers_never_hurt_server_metrics(seed):
+    """Adding servers weakly decreases queueing at each server."""
+    config = MachineConfig(processors=10, latency=10.0, handler_time=80.0,
+                           handler_cv2=0.0, seed=seed)
+    few = run_workpile(config, servers=2, work=50.0, chunks=60)
+    many = run_workpile(config, servers=7, work=50.0, chunks=60)
+    assert many.server_queue <= few.server_queue + 0.05
+    assert many.server_residence <= few.server_residence + 1e-6

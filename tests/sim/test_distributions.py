@@ -1,0 +1,142 @@
+"""Unit tests for service-time distributions (mean/C^2 families)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    Constant,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    Uniform,
+    from_mean_cv2,
+)
+
+
+def empirical_moments(dist, rng, n=40_000):
+    samples = dist.sample_many(rng, n)
+    mean = samples.mean()
+    cv2 = samples.var() / mean**2 if mean > 0 else 0.0
+    return mean, cv2, samples
+
+
+class TestConstant:
+    def test_moments(self):
+        d = Constant(5.0)
+        assert (d.mean, d.cv2) == (5.0, 0.0)
+
+    def test_sampling_is_exact(self, rng):
+        d = Constant(5.0)
+        assert d.sample(rng) == 5.0
+        assert np.all(d.sample_many(rng, 10) == 5.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Constant(-1.0)
+
+
+class TestExponential:
+    def test_moments(self):
+        d = Exponential(200.0)
+        assert (d.mean, d.cv2) == (200.0, 1.0)
+
+    def test_empirical_moments(self, rng):
+        mean, cv2, _ = empirical_moments(Exponential(200.0), rng)
+        assert mean == pytest.approx(200.0, rel=0.05)
+        assert cv2 == pytest.approx(1.0, rel=0.1)
+
+    def test_zero_mean_degenerate(self, rng):
+        assert Exponential(0.0).sample(rng) == 0.0
+
+
+class TestUniform:
+    def test_spanning_has_cv2_one_third(self):
+        d = Uniform.spanning(100.0)
+        assert d.mean == 100.0
+        assert d.cv2 == pytest.approx(1.0 / 3.0)
+
+    def test_narrow_uniform_low_cv2(self):
+        d = Uniform(90.0, 110.0)
+        assert d.mean == 100.0
+        assert d.cv2 == pytest.approx((20.0**2 / 12.0) / 100.0**2)
+
+    def test_samples_in_range(self, rng):
+        d = Uniform(5.0, 7.0)
+        samples = d.sample_many(rng, 1000)
+        assert np.all((samples >= 5.0) & (samples <= 7.0))
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 4.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 4.0)
+
+
+class TestGamma:
+    @pytest.mark.parametrize("cv2", [0.25, 0.5, 2.0])
+    def test_empirical_moments(self, rng, cv2):
+        mean, emp_cv2, samples = empirical_moments(Gamma(100.0, cv2), rng)
+        assert mean == pytest.approx(100.0, rel=0.05)
+        assert emp_cv2 == pytest.approx(cv2, rel=0.15)
+        assert np.all(samples >= 0)
+
+    def test_rejects_zero_cv2(self):
+        with pytest.raises(ValueError, match="Constant"):
+            Gamma(1.0, 0.0)
+
+
+class TestHyperExponential:
+    def test_empirical_moments(self, rng):
+        d = HyperExponential(100.0, 3.0)
+        mean, cv2, _ = empirical_moments(d, rng, n=100_000)
+        assert mean == pytest.approx(100.0, rel=0.05)
+        assert cv2 == pytest.approx(3.0, rel=0.2)
+
+    def test_branch_probability_in_half_open_interval(self):
+        d = HyperExponential(100.0, 2.0)
+        assert 0.5 < d.branch_probability < 1.0
+
+    def test_rejects_cv2_at_or_below_one(self):
+        with pytest.raises(ValueError):
+            HyperExponential(1.0, 1.0)
+
+
+class TestFactory:
+    def test_cv2_zero_gives_constant(self):
+        assert isinstance(from_mean_cv2(10.0, 0.0), Constant)
+
+    def test_cv2_one_gives_exponential(self):
+        assert isinstance(from_mean_cv2(10.0, 1.0), Exponential)
+
+    def test_other_cv2_gives_gamma(self):
+        assert isinstance(from_mean_cv2(10.0, 0.5), Gamma)
+        assert isinstance(from_mean_cv2(10.0, 2.0), Gamma)
+
+    def test_zero_mean_gives_constant(self):
+        assert isinstance(from_mean_cv2(0.0, 1.0), Constant)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            from_mean_cv2(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            from_mean_cv2(1.0, -0.1)
+
+
+@given(
+    mean=st.floats(min_value=0.1, max_value=1e4),
+    cv2=st.floats(min_value=0.0, max_value=4.0),
+)
+def test_factory_moments_match_request(mean, cv2):
+    """The declared (mean, cv2) of the factory product match the request."""
+    d = from_mean_cv2(mean, cv2)
+    assert d.mean == pytest.approx(mean, rel=1e-12)
+    assert d.cv2 == pytest.approx(cv2, abs=1e-12)
+
+
+def test_seeded_reproducibility():
+    d = Gamma(50.0, 0.5)
+    a = d.sample_many(np.random.default_rng(42), 100)
+    b = d.sample_many(np.random.default_rng(42), 100)
+    assert np.array_equal(a, b)

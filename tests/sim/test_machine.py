@@ -1,0 +1,117 @@
+"""Unit tests for machine assembly and configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import MachineParams
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.threads import Compute, Done
+
+
+class TestMachineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="processors"):
+            MachineConfig(processors=1, latency=1.0, handler_time=1.0)
+        with pytest.raises(ValueError, match="latency"):
+            MachineConfig(processors=2, latency=-1.0, handler_time=1.0)
+        with pytest.raises(ValueError, match="handler_time"):
+            MachineConfig(processors=2, latency=1.0, handler_time=-1.0)
+        with pytest.raises(ValueError, match="handler_cv2"):
+            MachineConfig(processors=2, latency=1.0, handler_time=1.0,
+                          handler_cv2=-0.5)
+
+    def test_round_trip_with_model_params(self):
+        params = MachineParams(latency=40.0, handler_time=200.0,
+                               processors=16, handler_cv2=0.5)
+        config = MachineConfig.from_machine_params(params, seed=9)
+        assert config.seed == 9
+        assert config.to_machine_params() == params
+
+
+class TestMachineAssembly:
+    def test_node_count(self):
+        machine = Machine(MachineConfig(processors=5, latency=1.0,
+                                        handler_time=1.0))
+        assert len(machine.nodes) == 5
+        assert [n.id for n in machine.nodes] == list(range(5))
+
+    def test_install_threads_length_check(self):
+        machine = Machine(MachineConfig(processors=3, latency=1.0,
+                                        handler_time=1.0))
+        with pytest.raises(ValueError, match="thread bodies"):
+            machine.install_threads([None])
+
+    def test_per_node_rngs_are_independent(self):
+        machine = Machine(MachineConfig(processors=3, latency=1.0,
+                                        handler_time=1.0, seed=5))
+        draws = [n.rng.random() for n in machine.nodes]
+        assert len(set(draws)) == 3
+
+    def test_same_seed_reproduces_rng_streams(self):
+        a = Machine(MachineConfig(processors=3, latency=1.0,
+                                  handler_time=1.0, seed=5))
+        b = Machine(MachineConfig(processors=3, latency=1.0,
+                                  handler_time=1.0, seed=5))
+        assert [n.rng.random() for n in a.nodes] == [
+            n.rng.random() for n in b.nodes
+        ]
+
+    def test_threads_remaining_tracking(self):
+        machine = Machine(MachineConfig(processors=3, latency=1.0,
+                                        handler_time=1.0))
+
+        def body(node):
+            yield Compute(float(node.id) + 1.0)
+
+        machine.install_threads([body, body, None])
+        assert machine.threads_remaining == 2
+        machine.run_to_completion()
+        assert machine.threads_remaining == 0
+        assert machine.all_threads_done
+
+    def test_passive_nodes_have_no_thread(self):
+        machine = Machine(MachineConfig(processors=2, latency=1.0,
+                                        handler_time=1.0))
+        machine.install_threads([None, None])
+        machine.run_to_completion()
+        assert machine.sim.now == 0.0
+
+    def test_reset_stats_applies_to_all_nodes(self):
+        machine = Machine(MachineConfig(processors=2, latency=1.0,
+                                        handler_time=1.0))
+
+        def body(node):
+            yield Compute(10.0)
+
+        machine.install_threads([body, None])
+        machine.run_to_completion()
+        machine.reset_stats()
+        assert all(n.stats.reset_time == 10.0 for n in machine.nodes)
+        assert machine.nodes[0].stats.thread_busy_time == 0.0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_clocks(self):
+        from repro.workloads.alltoall import run_alltoall
+
+        config = MachineConfig(processors=4, latency=5.0, handler_time=20.0,
+                               handler_cv2=0.5, seed=77)
+        a = run_alltoall(config, work=50.0, cycles=60)
+        b = run_alltoall(config, work=50.0, cycles=60)
+        assert a.response_time == b.response_time
+        assert a.sim_time == b.sim_time
+
+    def test_different_seeds_differ(self):
+        from repro.workloads.alltoall import run_alltoall
+
+        a = run_alltoall(
+            MachineConfig(processors=4, latency=5.0, handler_time=20.0,
+                          handler_cv2=1.0, seed=1),
+            work=50.0, cycles=60,
+        )
+        b = run_alltoall(
+            MachineConfig(processors=4, latency=5.0, handler_time=20.0,
+                          handler_cv2=1.0, seed=2),
+            work=50.0, cycles=60,
+        )
+        assert a.response_time != b.response_time

@@ -1,0 +1,45 @@
+"""Unit tests for the active-message record."""
+
+import math
+
+import pytest
+
+from repro.sim.messages import Message
+
+
+def noop(node, msg):
+    pass
+
+
+class TestValidation:
+    def test_self_send_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Message(source=3, dest=3, handler=noop)
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError, match="service_time"):
+            Message(source=0, dest=1, handler=noop, service_time=-1.0)
+
+    def test_defaults(self):
+        m = Message(source=0, dest=1, handler=noop)
+        assert m.kind == "request"
+        assert m.payload is None
+        assert m.service_time is None
+        assert math.isnan(m.sent_at)
+
+
+class TestDerivedTimes:
+    def test_lifecycle_views(self):
+        m = Message(source=0, dest=1, handler=noop)
+        m.sent_at = 5.0
+        m.arrived_at = 45.0
+        m.dispatched_at = 60.0
+        m.completed_at = 160.0
+        assert m.wire_time == 40.0
+        assert m.queue_delay == 15.0
+        assert m.residence_time == 115.0
+
+    def test_slots_prevent_typos(self):
+        m = Message(source=0, dest=1, handler=noop)
+        with pytest.raises(AttributeError):
+            m.arrvied_at = 1.0  # type: ignore[attr-defined]

@@ -1,0 +1,112 @@
+"""Unit tests for the contention-free network."""
+
+import numpy as np
+import pytest
+
+from repro.sim.distributions import Constant, Exponential
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.messages import Message
+from repro.sim.network import ContentionFreeNetwork
+from repro.sim.threads import Compute, Send
+
+
+def test_constant_latency_delivery_time():
+    machine = Machine(
+        MachineConfig(processors=2, latency=25.0, handler_time=10.0, seed=0)
+    )
+    arrivals = []
+
+    def handler(node, msg):
+        arrivals.append(msg.arrived_at)
+
+    def body(node):
+        yield Send(1, handler)
+
+    machine.install_threads([body, None])
+    machine.run_to_completion()
+    assert arrivals == [25.0]
+
+
+def test_messages_do_not_contend():
+    """Many simultaneous messages all arrive after exactly one latency."""
+    p = 8
+    machine = Machine(
+        MachineConfig(processors=p, latency=25.0, handler_time=1.0, seed=0)
+    )
+    arrivals = []
+
+    def handler(node, msg):
+        arrivals.append(msg.arrived_at)
+
+    def body(node):
+        yield Send((node.id + 1) % p, handler)
+
+    machine.install_threads([body] * p)
+    machine.run_to_completion()
+    assert arrivals == [25.0] * p
+
+
+def test_stochastic_latency_mean():
+    sim = Simulator()
+    rng = np.random.default_rng(7)
+    net = ContentionFreeNetwork(sim, Exponential(40.0), rng)
+
+    class FakeNode:
+        def __init__(self):
+            self.got = 0
+
+        def deliver(self, msg):
+            self.got += 1
+
+    nodes = [FakeNode(), FakeNode()]
+    net.attach(nodes)
+    for _ in range(5000):
+        net.send(Message(source=0, dest=1, handler=lambda n, m: None))
+    sim.run()
+    assert nodes[1].got == 5000
+    assert net.mean_realized_latency == pytest.approx(40.0, rel=0.05)
+    assert net.mean_latency == 40.0
+
+
+def test_send_counts_and_tap():
+    sim = Simulator()
+    net = ContentionFreeNetwork(sim, 5.0, np.random.default_rng(0))
+    seen = []
+    net.on_send = seen.append
+
+    class FakeNode:
+        def deliver(self, msg):
+            pass
+
+    net.attach([FakeNode(), FakeNode()])
+    msg = Message(source=0, dest=1, handler=lambda n, m: None)
+    net.send(msg)
+    assert net.messages_sent == 1
+    assert seen == [msg]
+    assert msg.sent_at == 0.0
+
+
+def test_unattached_network_rejects_send():
+    net = ContentionFreeNetwork(Simulator(), 5.0, np.random.default_rng(0))
+    with pytest.raises(RuntimeError, match="attached"):
+        net.send(Message(source=0, dest=1, handler=lambda n, m: None))
+
+
+def test_double_attach_rejected():
+    net = ContentionFreeNetwork(Simulator(), 5.0, np.random.default_rng(0))
+    net.attach([])
+    with pytest.raises(RuntimeError, match="already attached"):
+        net.attach([])
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError, match="latency"):
+        ContentionFreeNetwork(Simulator(), -1.0, np.random.default_rng(0))
+
+
+def test_node_count_property():
+    net = ContentionFreeNetwork(Simulator(), 1.0, np.random.default_rng(0))
+    assert net.node_count == 0
+    net.attach([object(), object(), object()])
+    assert net.node_count == 3

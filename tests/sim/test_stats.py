@@ -1,0 +1,216 @@
+"""Unit tests for cycle records and node statistics."""
+
+import math
+
+import pytest
+
+from repro.sim.messages import Message
+from repro.sim.stats import CycleRecord, NodeStats, summarize_cycles
+
+
+def full_record(**overrides) -> CycleRecord:
+    base = dict(
+        node=0,
+        start=0.0,
+        send=100.0,
+        request_arrived=140.0,
+        request_done=360.0,
+        reply_arrived=400.0,
+        reply_done=620.0,
+    )
+    base.update(overrides)
+    return CycleRecord(**base)
+
+
+class TestCycleRecord:
+    def test_component_views(self):
+        r = full_record()
+        assert r.rw == 100.0
+        assert r.request_wire == 40.0
+        assert r.rq == 220.0
+        assert r.reply_wire == 40.0
+        assert r.ry == 220.0
+        assert r.response_time == 620.0
+
+    def test_identity_is_exact(self):
+        assert full_record().identity_error() == 0.0
+
+    def test_incomplete_record(self):
+        r = CycleRecord(node=1, start=0.0)
+        assert not r.complete
+        assert math.isnan(r.response_time)
+
+    def test_complete_flag(self):
+        assert full_record().complete
+
+
+class TestSummarize:
+    def test_means_over_records(self):
+        records = [full_record(), full_record(reply_done=820.0)]
+        s = summarize_cycles(records)
+        assert s["count"] == 2
+        assert s["R"] == pytest.approx((620.0 + 820.0) / 2)
+        assert s["Rw"] == pytest.approx(100.0)
+        assert s["wire"] == pytest.approx(40.0)
+
+    def test_skips_incomplete(self):
+        records = [full_record(), CycleRecord(node=0, start=0.0)]
+        assert summarize_cycles(records)["count"] == 1
+
+    def test_raises_on_empty(self):
+        with pytest.raises(ValueError, match="no complete"):
+            summarize_cycles([CycleRecord(node=0, start=0.0)])
+
+
+class TestBatchMeansCI:
+    def test_constant_data_zero_width(self):
+        from repro.sim.stats import batch_means_ci
+
+        mean, half = batch_means_ci([5.0] * 100, batches=10)
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_mean_matches_grand_mean_for_balanced_batches(self):
+        from repro.sim.stats import batch_means_ci
+
+        data = list(range(100))
+        mean, half = batch_means_ci(data, batches=10)
+        assert mean == pytest.approx(49.5)
+        assert half > 0.0
+
+    def test_interval_covers_true_mean_for_iid_noise(self):
+        import numpy as np
+
+        from repro.sim.stats import batch_means_ci
+
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 40
+        for _ in range(trials):
+            data = rng.normal(10.0, 2.0, size=400)
+            mean, half = batch_means_ci(data, batches=10)
+            if abs(mean - 10.0) <= half:
+                hits += 1
+        # 95% nominal coverage; allow generous slack for 40 trials.
+        assert hits >= 32
+
+    def test_wider_at_higher_confidence(self):
+        import numpy as np
+
+        from repro.sim.stats import batch_means_ci
+
+        data = np.random.default_rng(1).normal(0, 1, 200)
+        _, h95 = batch_means_ci(data, confidence=0.95)
+        _, h99 = batch_means_ci(data, confidence=0.99)
+        assert h99 > h95
+
+    def test_validation(self):
+        from repro.sim.stats import batch_means_ci
+
+        with pytest.raises(ValueError, match="batches"):
+            batch_means_ci([1.0] * 10, batches=1)
+        with pytest.raises(ValueError, match="confidence"):
+            batch_means_ci([1.0] * 100, confidence=1.5)
+        with pytest.raises(ValueError, match="samples"):
+            batch_means_ci([1.0] * 5, batches=10)
+
+    def test_on_real_simulation_cycles(self):
+        from repro.sim.machine import MachineConfig
+        from repro.sim.stats import batch_means_ci
+        from repro.workloads.alltoall import run_alltoall
+
+        # CI from per-cycle response times of one node's run.
+        from repro.sim.machine import Machine
+        from repro.workloads.alltoall import AllToAllWorkload
+
+        config = MachineConfig(processors=4, latency=10.0,
+                               handler_time=50.0, handler_cv2=1.0, seed=2)
+        machine = Machine(config)
+        AllToAllWorkload(work=100.0, cycles=200).install(machine)
+        machine.run_to_completion()
+        samples = [r.response_time for r in machine.nodes[0].cycles[20:]]
+        mean, half = batch_means_ci(samples, batches=10)
+        assert half > 0
+        assert half < 0.2 * mean  # reasonably tight at 180 cycles
+
+
+def make_message(kind="request") -> Message:
+    return Message(source=0, dest=1, handler=lambda n, m: None, kind=kind)
+
+
+class TestNodeStats:
+    def test_queue_area_integration(self):
+        stats = NodeStats(0)
+        m1, m2 = make_message(), make_message()
+        m1.dispatched_at = 0.0
+        m2.dispatched_at = 10.0
+        stats.on_arrival(m1, 0.0)
+        stats.on_arrival(m2, 0.0)  # two present from t=0
+        stats.on_completion(m1, 10.0)  # one present 10..20
+        stats.on_completion(m2, 20.0)
+        # Area = 2*10 + 1*10 = 30 over 20 time units.
+        assert stats.mean_handler_queue(20.0) == pytest.approx(1.5)
+
+    def test_busy_time_by_kind(self):
+        stats = NodeStats(0)
+        req, rep = make_message("request"), make_message("reply")
+        stats.on_arrival(req, 0.0)
+        req.dispatched_at = 0.0
+        stats.on_completion(req, 30.0)
+        stats.on_arrival(rep, 30.0)
+        rep.dispatched_at = 30.0
+        stats.on_completion(rep, 40.0)
+        assert stats.utilization(100.0, "request") == pytest.approx(0.3)
+        assert stats.utilization(100.0, "reply") == pytest.approx(0.1)
+        assert stats.utilization(100.0) == pytest.approx(0.4)
+
+    def test_reset_discards_history(self):
+        stats = NodeStats(0)
+        m = make_message()
+        stats.on_arrival(m, 0.0)
+        m.dispatched_at = 0.0
+        stats.on_completion(m, 50.0)
+        stats.reset(100.0)
+        assert stats.mean_handler_queue(200.0) == 0.0
+        assert stats.utilization(200.0) == 0.0
+
+    def test_busy_time_clipped_at_reset(self):
+        stats = NodeStats(0)
+        m = make_message()
+        stats.on_arrival(m, 0.0)
+        m.dispatched_at = 0.0
+        stats.reset(50.0)  # handler still in service across the boundary
+        stats.on_completion(m, 80.0)
+        # Only the 30 cycles after the reset count.
+        assert stats.utilization(150.0, "request") == pytest.approx(0.3)
+
+    def test_thread_utilization(self):
+        stats = NodeStats(0)
+        stats.on_thread_ran(25.0)
+        stats.on_thread_ran(25.0)
+        assert stats.thread_utilization(100.0) == pytest.approx(0.5)
+
+    def test_arrival_and_completion_counts(self):
+        stats = NodeStats(0)
+        m = make_message()
+        stats.on_arrival(m, 0.0)
+        m.dispatched_at = 0.0
+        stats.on_completion(m, 10.0)
+        assert stats.arrivals == {"request": 1}
+        assert stats.completions == {"request": 1}
+
+    def test_zero_elapsed_windows(self):
+        stats = NodeStats(0)
+        assert stats.mean_handler_queue(0.0) == 0.0
+        assert stats.utilization(0.0) == 0.0
+        assert stats.thread_utilization(0.0) == 0.0
+
+    def test_as_dict_snapshot(self):
+        stats = NodeStats(0)
+        snap = stats.as_dict(10.0)
+        assert set(snap) == {
+            "mean_handler_queue",
+            "utilization_request",
+            "utilization_reply",
+            "utilization_thread",
+        }

@@ -1,0 +1,185 @@
+"""Unit tests for execution tracing."""
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.threads import Compute, Send, Wait
+from repro.sim.trace import TraceRecorder
+
+
+def traced_machine(p=2, latency=10.0, handler=100.0):
+    machine = Machine(
+        MachineConfig(processors=p, latency=latency, handler_time=handler,
+                      handler_cv2=0.0, seed=0)
+    )
+    recorder = TraceRecorder().attach(machine)
+    return machine, recorder
+
+
+class TestRecording:
+    def test_blocking_request_event_sequence(self):
+        machine, recorder = traced_machine()
+
+        def reply_handler(node, msg):
+            node.memory["ok"] = True
+
+        def request_handler(node, msg):
+            node.send(msg.source, reply_handler, kind="reply")
+
+        def body(node):
+            yield Compute(30.0)
+            node.memory["ok"] = False
+            yield Send(1, request_handler)
+            yield Wait(lambda n: n.memory["ok"], label="await")
+
+        machine.install_threads([body, None])
+        machine.run_to_completion()
+
+        kinds0 = [e.kind for e in recorder.filter(node=0)]
+        assert kinds0 == [
+            "compute-started",
+            "compute-finished",
+            "thread-blocked",
+            "message-arrived",  # the reply
+            "handler-dispatched",
+            "handler-completed",
+            "thread-finished",
+        ]
+        kinds1 = [e.kind for e in recorder.filter(node=1)]
+        assert kinds1 == [
+            "message-arrived",
+            "handler-dispatched",
+            "handler-completed",
+        ]
+
+    def test_preemption_recorded(self):
+        machine, recorder = traced_machine()
+
+        def handler(node, msg):
+            pass
+
+        def worker(node):
+            yield Compute(50.0)
+
+        def sender(node):
+            yield Send(0, handler)
+
+        machine.install_threads([worker, sender])
+        machine.run_to_completion()
+        kinds = [e.kind for e in recorder.filter(node=0)]
+        assert "compute-preempted" in kinds
+        # Preempt -> handler -> resume -> finish ordering.
+        assert kinds.index("compute-preempted") < kinds.index(
+            "handler-completed"
+        )
+        assert kinds.count("compute-started") == 2  # initial + resume
+
+    def test_queued_message_recorded(self):
+        machine, recorder = traced_machine(p=3)
+
+        def handler(node, msg):
+            pass
+
+        def sender(node):
+            yield Send(2, handler)
+
+        machine.install_threads([sender, sender, None])
+        machine.run_to_completion()
+        queued = recorder.filter(node=2, kinds=["message-queued"])
+        assert len(queued) == 1
+        assert "fifo depth 1" in queued[0].detail
+
+
+class TestQueries:
+    def test_filter_by_time_window(self):
+        machine, recorder = traced_machine()
+
+        def body(node):
+            yield Compute(30.0)
+            yield Compute(30.0)
+
+        machine.install_threads([body, None])
+        machine.run_to_completion()
+        early = recorder.filter(end=29.0)
+        assert all(e.time <= 29.0 for e in early)
+        assert len(early) < len(recorder.events)
+
+    def test_filter_rejects_unknown_kind(self):
+        _, recorder = traced_machine()
+        with pytest.raises(ValueError, match="unknown trace kinds"):
+            recorder.filter(kinds=["teleported"])
+
+    def test_kind_counts(self):
+        machine, recorder = traced_machine()
+
+        def body(node):
+            yield Compute(10.0)
+
+        machine.install_threads([body, None])
+        machine.run_to_completion()
+        counts = recorder.kind_counts()
+        assert counts["compute-started"] == 1
+        assert counts["thread-finished"] == 1
+
+
+class TestRenderingAndLimits:
+    def test_render_contains_events(self):
+        machine, recorder = traced_machine()
+
+        def body(node):
+            yield Compute(10.0)
+
+        machine.install_threads([body, None])
+        machine.run_to_completion()
+        text = recorder.render()
+        assert "compute-started" in text
+        assert "node   0" in text
+
+    def test_render_limit(self):
+        recorder = TraceRecorder()
+        for i in range(20):
+            recorder.record(float(i), 0, "compute-started")
+        text = recorder.render(limit=5)
+        assert "(15 more events)" in text
+
+    def test_event_cap(self):
+        recorder = TraceRecorder(max_events=3)
+        for i in range(10):
+            recorder.record(float(i), 0, "compute-started")
+        assert len(recorder.events) == 3
+        assert recorder.dropped == 7
+        assert "dropped" in recorder.render()
+
+    def test_csv_export(self):
+        recorder = TraceRecorder()
+        recorder.record(1.5, 2, "handler-completed", "request from node 0")
+        csv_text = recorder.to_csv()
+        assert csv_text.splitlines()[0] == "time,node,kind,detail"
+        assert "1.5,2,handler-completed,request from node 0" in csv_text
+
+    def test_detach_stops_recording(self):
+        machine, recorder = traced_machine()
+        recorder.detach(machine)
+
+        def body(node):
+            yield Compute(10.0)
+
+        machine.install_threads([body, None])
+        machine.run_to_completion()
+        assert recorder.events == []
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TraceRecorder(max_events=0)
+
+
+class TestOverheadIsolation:
+    def test_untraced_runs_identical(self):
+        """Tracing must not perturb simulation results."""
+        from repro.workloads.alltoall import run_alltoall
+
+        config = MachineConfig(processors=4, latency=5.0, handler_time=20.0,
+                               handler_cv2=1.0, seed=3)
+        baseline = run_alltoall(config, work=50.0, cycles=50)
+        again = run_alltoall(config, work=50.0, cycles=50)
+        assert baseline.response_time == again.response_time

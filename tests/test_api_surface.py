@@ -1,0 +1,116 @@
+"""Public-API surface tests: imports, __all__ hygiene, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.mva",
+    "repro.sim",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.validation",
+]
+
+MODULES = [
+    "repro.cli",
+    "repro.core.alltoall",
+    "repro.core.client_server",
+    "repro.core.general",
+    "repro.core.logp",
+    "repro.core.nonblocking",
+    "repro.core.params",
+    "repro.core.results",
+    "repro.core.rule_of_thumb",
+    "repro.core.scaling",
+    "repro.core.shared_memory",
+    "repro.core.solver",
+    "repro.experiments.common",
+    "repro.mva.amva",
+    "repro.mva.bard",
+    "repro.mva.bkt",
+    "repro.mva.chandy_lakshmi",
+    "repro.mva.exact",
+    "repro.mva.littles_law",
+    "repro.mva.multiclass",
+    "repro.mva.residual",
+    "repro.sim.distributions",
+    "repro.sim.engine",
+    "repro.sim.machine",
+    "repro.sim.messages",
+    "repro.sim.network",
+    "repro.sim.node",
+    "repro.sim.stats",
+    "repro.sim.threads",
+    "repro.sim.trace",
+    "repro.validation.compare",
+    "repro.validation.sensitivity",
+    "repro.workloads.alltoall",
+    "repro.workloads.barrier",
+    "repro.workloads.base",
+    "repro.workloads.matvec",
+    "repro.workloads.nonblocking",
+    "repro.workloads.patterns",
+    "repro.workloads.workpile",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_importable_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_entries_exist(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        pytest.skip(f"{name} does not declare __all__")
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_sorted(name):
+    module = importlib.import_module(name)
+    exported = list(getattr(module, "__all__", []))
+    assert exported == sorted(exported), f"{name}.__all__ is unsorted"
+
+
+def test_top_level_reexports_are_canonical():
+    import repro
+
+    assert repro.MachineParams is importlib.import_module(
+        "repro.core.params"
+    ).MachineParams
+    assert repro.AllToAllModel is importlib.import_module(
+        "repro.core.alltoall"
+    ).AllToAllModel
+
+
+@pytest.mark.parametrize(
+    "cls_path",
+    [
+        "repro.core.alltoall.AllToAllModel",
+        "repro.core.client_server.ClientServerModel",
+        "repro.core.general.GeneralLoPCModel",
+        "repro.core.logp.LogPModel",
+        "repro.core.nonblocking.NonBlockingModel",
+        "repro.sim.machine.Machine",
+        "repro.sim.node.Node",
+        "repro.sim.trace.TraceRecorder",
+    ],
+)
+def test_public_classes_have_docstrings(cls_path):
+    module_name, cls_name = cls_path.rsplit(".", 1)
+    cls = getattr(importlib.import_module(module_name), cls_name)
+    assert cls.__doc__ and len(cls.__doc__.strip()) > 20
+    # Public methods documented too.
+    for name, member in inspect.getmembers(cls, inspect.isfunction):
+        if name.startswith("_"):
+            continue
+        assert member.__doc__, f"{cls_path}.{name} lacks a docstring"

@@ -1,0 +1,59 @@
+"""Unit tests for model-vs-simulation comparison utilities."""
+
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.params import MachineParams
+from repro.sim.machine import MachineConfig
+from repro.validation.compare import (
+    compare_alltoall,
+    relative_error,
+    signed_error_pct,
+)
+from repro.workloads.alltoall import run_alltoall
+
+
+class TestErrorMetrics:
+    def test_sign_convention_pessimistic_positive(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+
+    def test_sign_convention_optimistic_negative(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(-0.10)
+
+    def test_percent_form(self):
+        assert signed_error_pct(106.0, 100.0) == pytest.approx(6.0)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            relative_error(1.0, 0.0)
+
+
+class TestCompareAllToAll:
+    @pytest.fixture(scope="class")
+    def report(self):
+        machine = MachineParams(latency=10.0, handler_time=50.0,
+                                processors=6, handler_cv2=0.0)
+        config = MachineConfig.from_machine_params(machine, seed=5)
+        model = AllToAllModel(machine).solve_work(100.0)
+        meas = run_alltoall(config, work=100.0, cycles=120)
+        return compare_alltoall(model, meas)
+
+    def test_work_carried_through(self, report):
+        assert report.work == 100.0
+
+    def test_component_errors_finite(self, report):
+        assert abs(report.response_error) < 20.0
+        assert abs(report.compute_error) < 30.0
+        assert abs(report.request_error) < 30.0
+        assert abs(report.reply_error) < 60.0
+
+    def test_max_component_error(self, report):
+        assert report.max_component_error() >= abs(report.response_error)
+
+    def test_holds_both_sides(self, report):
+        assert report.model.meta["model"] == "lopc-alltoall"
+        assert report.measurement.meta["workload"] == "alltoall"
+
+    def test_reply_contention_error_present_when_measurable(self, report):
+        # At W=100 on a 6-node machine there is measurable reply queueing.
+        assert report.reply_contention_error is not None

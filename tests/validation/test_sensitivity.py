@@ -1,0 +1,84 @@
+"""Tests for the unstated-constant sensitivity sweeps.
+
+These back the EXPERIMENTS.md statement that the reproduced shapes are
+insensitive to the paper's unstated ``St``/``W`` constants.
+"""
+
+import pytest
+
+from repro.validation.sensitivity import (
+    alltoall_sensitivity,
+    workpile_sensitivity,
+)
+
+
+class TestAllToAllSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return alltoall_sensitivity(
+            latencies=(0.0, 40.0, 160.0),
+            works=(0.0, 256.0, 1024.0),
+            cycles=150,
+        )
+
+    def test_paper_band_holds_across_grid(self, report):
+        """Bounded pessimism everywhere.
+
+        At the paper's operating points (St > 0 or W > 0) the error
+        stays inside the ~6-8% band; only the degenerate St=0, W=0
+        corner -- pure handler ping-pong, which the paper never ran --
+        pushes Bard's pessimism to ~10% on this 16-node machine
+        (documented in EXPERIMENTS.md).
+        """
+        assert report.within(11.0), [
+            (p.parameters, p.error_pct) for p in report.points
+        ]
+        non_degenerate = [
+            p for p in report.points
+            if p.parameters["St"] > 0 or p.parameters["W"] > 0
+        ]
+        assert max(abs(p.error_pct) for p in non_degenerate) <= 8.0
+
+    def test_model_stays_pessimistic(self, report):
+        assert report.always_pessimistic
+
+    def test_grid_covers_both_axes(self, report):
+        sts = {p.parameters["St"] for p in report.points}
+        ws = {p.parameters["W"] for p in report.points}
+        assert len(sts) == 3 and len(ws) == 3
+        assert len(report.points) == 9
+
+    def test_mean_below_worst(self, report):
+        assert report.mean_error_pct <= report.worst_error_pct
+
+    def test_error_shrinks_with_work_at_every_latency(self, report):
+        by_st: dict[float, dict[float, float]] = {}
+        for p in report.points:
+            by_st.setdefault(p.parameters["St"], {})[
+                p.parameters["W"]
+            ] = abs(p.error_pct)
+        for st, by_w in by_st.items():
+            assert by_w[1024.0] < by_w[0.0], (st, by_w)
+
+
+class TestWorkpileSensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return workpile_sensitivity(
+            latencies=(0.0, 10.0, 40.0),
+            works=(0.0, 250.0, 1000.0),
+            chunks=150,
+        )
+
+    def test_conservatism_band_holds_across_grid(self, report):
+        assert report.within(6.0), [
+            (p.parameters, p.error_pct) for p in report.points
+        ]
+
+    def test_model_stays_conservative(self, report):
+        # error_pct is sign-flipped so conservative == pessimistic >= 0.
+        assert report.always_pessimistic
+
+    def test_points_record_both_values(self, report):
+        for p in report.points:
+            assert p.model_value > 0 and p.measured_value > 0

@@ -1,0 +1,119 @@
+"""Unit tests for the all-to-all simulation workload."""
+
+import math
+
+import pytest
+
+from repro.sim.machine import MachineConfig
+from repro.workloads.alltoall import AllToAllWorkload, run_alltoall
+from repro.workloads.base import trim_records
+
+
+@pytest.fixture
+def config() -> MachineConfig:
+    return MachineConfig(processors=4, latency=10.0, handler_time=50.0,
+                         handler_cv2=0.0, seed=42)
+
+
+class TestWorkloadValidation:
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError, match="work"):
+            AllToAllWorkload(work=-1.0, cycles=10)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError, match="cycles"):
+            AllToAllWorkload(work=1.0, cycles=0)
+
+    def test_run_rejects_overlong_trim(self, config):
+        with pytest.raises(ValueError, match="warmup"):
+            run_alltoall(config, work=10.0, cycles=10, warmup=6, cooldown=5)
+
+
+class TestMeasurementStructure:
+    def test_every_node_completes_every_cycle(self, config):
+        cycles = 50
+        meas = run_alltoall(config, work=100.0, cycles=cycles)
+        assert meas.cycles_measured == (cycles - meas.meta["warmup"]
+                                        - meas.meta["cooldown"]) * 4
+
+    def test_cycle_identity_exact_per_record(self, config):
+        """R == Rw + wire + Rq + wire + Ry for every single cycle."""
+        from repro.sim.machine import Machine
+
+        workload = AllToAllWorkload(work=100.0, cycles=30)
+        machine = Machine(config)
+        workload.install(machine)
+        machine.run_to_completion()
+        for node in machine.nodes:
+            for record in node.cycles:
+                assert record.complete
+                assert record.identity_error() < 1e-9
+
+    def test_wire_time_matches_latency(self, config):
+        meas = run_alltoall(config, work=100.0, cycles=50)
+        assert meas.wire_time == pytest.approx(config.latency)
+
+    def test_components_at_least_floors(self, config):
+        meas = run_alltoall(config, work=100.0, cycles=50)
+        assert meas.compute_residence >= 100.0 - 1e-9
+        assert meas.request_residence >= config.handler_time - 1e-9
+        assert meas.reply_residence >= config.handler_time - 1e-9
+
+    def test_throughput_little_consistency(self, config):
+        meas = run_alltoall(config, work=100.0, cycles=50)
+        assert meas.throughput == pytest.approx(
+            config.processors / meas.response_time
+        )
+
+    def test_contention_nonnegative(self, config):
+        meas = run_alltoall(config, work=100.0, cycles=50)
+        assert meas.total_contention >= -1e-9
+
+    def test_as_model_solution_view(self, config):
+        meas = run_alltoall(config, work=100.0, cycles=50)
+        view = meas.as_model_solution()
+        assert view.response_time == meas.response_time
+        assert view.meta["source"] == "simulation"
+        assert view.cycle_identity_error() < 1e-6
+
+
+class TestStochasticWork:
+    def test_work_cv2_accepted(self, config):
+        meas = run_alltoall(config, work=100.0, cycles=60, work_cv2=1.0)
+        # Mean response still reflects the mean work.
+        assert meas.response_time > 100.0 + 2 * config.latency
+
+    def test_exponential_handlers(self):
+        config = MachineConfig(processors=4, latency=10.0, handler_time=50.0,
+                               handler_cv2=1.0, seed=42)
+        meas = run_alltoall(config, work=100.0, cycles=80)
+        # Handler residences now vary; means still above the floor.
+        assert meas.request_residence > 50.0
+
+
+class TestTrimRecords:
+    def test_trims_both_ends(self):
+        from repro.sim.stats import CycleRecord
+
+        records = []
+        for i in range(10):
+            r = CycleRecord(node=0, start=float(i))
+            r.send = r.start
+            r.request_arrived = r.start
+            r.request_done = r.start
+            r.reply_arrived = r.start
+            r.reply_done = r.start + 1.0
+            records.append(r)
+        kept = trim_records(records, warmup=2, cooldown=3)
+        assert len(kept) == 5
+        assert kept[0].start == 2.0
+
+    def test_raises_when_everything_trimmed(self):
+        from repro.sim.stats import CycleRecord
+
+        with pytest.raises(ValueError, match="trim removed"):
+            trim_records([CycleRecord(node=0, start=0.0)], 1, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            trim_records([], -1, 0)

@@ -1,0 +1,92 @@
+"""Unit tests for the barrier-resynchronised all-to-all workload."""
+
+import pytest
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.params import MachineParams
+from repro.sim.machine import MachineConfig
+from repro.workloads.barrier import run_barrier_alltoall
+
+
+def config(cv2: float, seed: int = 5, p: int = 8) -> MachineConfig:
+    return MachineConfig(processors=p, latency=20.0, handler_time=80.0,
+                         handler_cv2=cv2, seed=seed)
+
+
+class TestValidation:
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError, match="work"):
+            run_barrier_alltoall(config(0.0), work=-1.0)
+
+    def test_rejects_single_phase(self):
+        with pytest.raises(ValueError, match="phases"):
+            run_barrier_alltoall(config(0.0), work=1.0, phases=1)
+
+    def test_rejects_overlong_trim(self):
+        with pytest.raises(ValueError, match="warmup"):
+            run_barrier_alltoall(config(0.0), work=1.0, phases=10,
+                                 warmup=5, cooldown=5)
+
+
+class TestDeterministicSchedule:
+    def test_contention_free_with_barriers(self):
+        m = run_barrier_alltoall(config(0.0), work=300.0, phases=60,
+                                 use_barriers=True)
+        assert m.total_contention == pytest.approx(0.0, abs=1.0)
+
+    def test_contention_free_without_barriers(self):
+        """Zero variance: the permutation stays interleaved on its own."""
+        m = run_barrier_alltoall(config(0.0), work=300.0, phases=60,
+                                 use_barriers=False)
+        assert m.total_contention == pytest.approx(0.0, abs=1.0)
+
+    def test_barrier_cost_is_at_least_round_trip(self):
+        m = run_barrier_alltoall(config(0.0), work=300.0, phases=60,
+                                 use_barriers=True)
+        # Arrive + release each cross the wire once for the P-1
+        # non-coordinator nodes (the coordinator joins locally), so the
+        # mean episode costs at least 2*St*(P-1)/P.
+        assert m.barrier_time >= 2 * 20.0 * 7 / 8 - 1e-9
+
+    def test_barriers_lengthen_total_runtime_when_unneeded(self):
+        with_b = run_barrier_alltoall(config(0.0), work=300.0, phases=60,
+                                      use_barriers=True)
+        without = run_barrier_alltoall(config(0.0), work=300.0, phases=60,
+                                       use_barriers=False)
+        assert with_b.total_runtime > without.total_runtime
+
+
+class TestStochasticDrift:
+    """The Brewer/Kuszmaul effect and the LogP barrier remark."""
+
+    def test_variance_randomises_unbarriered_schedule(self):
+        m = run_barrier_alltoall(config(1.0), work=300.0, phases=150,
+                                 use_barriers=False)
+        # Substantial contention appears (a sizeable fraction of So).
+        assert m.total_contention > 0.5 * 80.0
+
+    def test_drifted_schedule_approaches_lopc_prediction(self):
+        m = run_barrier_alltoall(config(1.0), work=300.0, phases=150,
+                                 use_barriers=False)
+        machine = MachineParams(latency=20.0, handler_time=80.0,
+                                processors=8, handler_cv2=1.0)
+        lopc = AllToAllModel(machine).solve_work(300.0)
+        # Within 15% of the random-traffic prediction (it drifts toward,
+        # not exactly onto, fully random arrivals).
+        assert m.response_time == pytest.approx(lopc.response_time,
+                                                rel=0.15)
+
+    def test_barriers_recover_most_contention(self):
+        with_b = run_barrier_alltoall(config(1.0), work=300.0, phases=150,
+                                      use_barriers=True)
+        without = run_barrier_alltoall(config(1.0), work=300.0, phases=150,
+                                       use_barriers=False)
+        assert with_b.total_contention < 0.6 * without.total_contention
+
+    def test_all_nodes_complete_all_phases(self):
+        m = run_barrier_alltoall(config(1.0), work=100.0, phases=50,
+                                 use_barriers=True)
+        warm = m.meta if isinstance(m.meta, dict) else dict(m.meta)
+        assert m.phases == 50
+        assert m.cycles_measured > 0
+        assert warm["workload"] == "barrier-alltoall"

@@ -1,0 +1,98 @@
+"""Unit tests for the matrix-vector workload (a real program on the sim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import AlgorithmParams
+from repro.sim.machine import MachineConfig
+from repro.workloads.matvec import MatVecWorkload, run_matvec
+
+
+@pytest.fixture
+def config() -> MachineConfig:
+    return MachineConfig(processors=4, latency=10.0, handler_time=50.0,
+                         handler_cv2=0.0, seed=3)
+
+
+class TestWorkloadConstruction:
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError, match="square"):
+            MatVecWorkload(np.zeros((3, 4)), np.zeros(3))
+
+    def test_rejects_mismatched_vector(self):
+        with pytest.raises(ValueError, match="vector"):
+            MatVecWorkload(np.zeros((3, 3)), np.zeros(4))
+
+    def test_rejects_nonpositive_madd(self):
+        with pytest.raises(ValueError, match="madd_cycles"):
+            MatVecWorkload(np.zeros((3, 3)), np.zeros(3), madd_cycles=0.0)
+
+    def test_cyclic_row_distribution(self):
+        w = MatVecWorkload(np.zeros((8, 8)), np.zeros(8))
+        assert list(w.rows_of(1, 4)) == [1, 5]
+        assert list(w.rows_of(3, 4)) == [3, 7]
+
+
+class TestSection3Parameterisation:
+    def test_w_equals_n_tmadd_over_p_minus_1(self):
+        """The paper's derivation: W = N * t_madd / (P-1)."""
+        n, p = 16, 4
+        w = MatVecWorkload(np.zeros((n, n)), np.zeros(n), madd_cycles=2.0)
+        algo = w.algorithm_params(p)
+        assert algo.work == pytest.approx(2.0 * n / (p - 1))
+        assert algo.requests == (n // p) * (p - 1)
+
+    def test_rejects_degenerate_distribution(self):
+        # A 1x1 matrix on 2 nodes averages half a put per node: no cycle.
+        w = MatVecWorkload(np.zeros((1, 1)), np.zeros(1))
+        with pytest.raises(ValueError, match="no puts"):
+            w.algorithm_params(2)
+
+
+class TestActualComputation:
+    def test_computes_correct_product(self, config):
+        result = run_matvec(config, size=16, madd_cycles=1.0)
+        assert result.correct
+        assert result.max_abs_error < 1e-9
+
+    def test_every_node_gets_full_replicated_result(self, config):
+        """All nodes converge on the same y == A @ x."""
+        result = run_matvec(config, size=16)
+        assert result.correct  # run_matvec checks all nodes internally
+
+    def test_randomized_order_still_correct(self, config):
+        result = run_matvec(config, size=16, randomize_order=True)
+        assert result.correct
+
+    def test_runtime_scales_with_size(self, config):
+        small = run_matvec(config, size=8)
+        large = run_matvec(config, size=16)
+        assert large.runtime > small.runtime
+
+    def test_rejects_too_small_matrix(self, config):
+        with pytest.raises(ValueError, match="size"):
+            run_matvec(config, size=3)
+
+    def test_puts_per_node_reported(self, config):
+        result = run_matvec(config, size=16)
+        assert result.puts_per_node == (16 // 4) * 3
+
+
+class TestSelfSynchronisation:
+    """The CM-5 effect: deterministic cyclic order ~ contention free."""
+
+    def test_deterministic_order_near_contention_free(self, config):
+        result = run_matvec(config, size=32, madd_cycles=2.0)
+        algo = result.algorithm
+        contention_free = (
+            algo.work + 2 * config.latency + 2 * config.handler_time
+        )
+        assert result.response_time == pytest.approx(
+            contention_free, rel=0.10
+        )
+
+    def test_randomized_order_shows_contention(self, config):
+        det = run_matvec(config, size=32, madd_cycles=2.0)
+        rand = run_matvec(config, size=32, madd_cycles=2.0,
+                          randomize_order=True)
+        assert rand.response_time > det.response_time

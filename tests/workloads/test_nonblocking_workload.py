@@ -1,0 +1,83 @@
+"""Unit tests for the non-blocking simulation workload."""
+
+import math
+
+import pytest
+
+from repro.sim.machine import MachineConfig
+from repro.workloads.nonblocking import run_nonblocking_alltoall
+
+
+@pytest.fixture
+def config() -> MachineConfig:
+    return MachineConfig(processors=6, latency=20.0, handler_time=40.0,
+                         handler_cv2=0.0, seed=31)
+
+
+class TestValidation:
+    def test_rejects_saturating_unbounded(self, config):
+        with pytest.raises(ValueError, match="saturates"):
+            run_nonblocking_alltoall(config, work=50.0, window=math.inf)
+
+    def test_rejects_tiny_window(self, config):
+        with pytest.raises(ValueError, match="window"):
+            run_nonblocking_alltoall(config, work=200.0, window=0.5)
+
+    def test_rejects_negative_work(self, config):
+        with pytest.raises(ValueError, match="work"):
+            run_nonblocking_alltoall(config, work=-1.0, window=2)
+
+    def test_rejects_few_cycles(self, config):
+        with pytest.raises(ValueError, match="cycles"):
+            run_nonblocking_alltoall(config, work=200.0, window=2, cycles=2)
+
+
+class TestBehaviour:
+    def test_window_bounds_outstanding(self, config):
+        """With window k, inter-issue time >= round-trip/k on average."""
+        meas = run_nonblocking_alltoall(config, work=0.0, window=2,
+                                        cycles=150)
+        assert meas.cycle_time >= meas.round_trip / 2 - 1e-6
+
+    def test_large_window_is_compute_bound(self, config):
+        meas = run_nonblocking_alltoall(config, work=300.0, window=math.inf,
+                                        cycles=150)
+        # cycle ~= Rw >= W; round trip does not gate issues.
+        assert meas.cycle_time >= 300.0
+        assert meas.cycle_time < 300.0 + 2 * meas.round_trip
+
+    def test_throughput_monotone_in_window(self, config):
+        xs = [
+            run_nonblocking_alltoall(config, work=50.0, window=k,
+                                     cycles=150).throughput
+            for k in (1, 2, 4)
+        ]
+        assert xs[0] <= xs[1] + 1e-9
+        assert xs[1] <= xs[2] + 1e-9
+
+    def test_round_trip_at_least_floor(self, config):
+        meas = run_nonblocking_alltoall(config, work=300.0, window=2,
+                                        cycles=150)
+        floor = 2 * config.latency + 2 * config.handler_time
+        assert meas.round_trip >= floor - 1e-9
+
+    def test_all_requests_acked_before_finish(self, config):
+        meas = run_nonblocking_alltoall(config, work=300.0, window=3,
+                                        cycles=100)
+        assert meas.requests_measured > 0
+        # The drain wait ensures sim_time covers the last reply.
+        assert meas.sim_time >= meas.round_trip
+
+    def test_deterministic_given_seed(self, config):
+        a = run_nonblocking_alltoall(config, work=200.0, window=2, cycles=80)
+        b = run_nonblocking_alltoall(config, work=200.0, window=2, cycles=80)
+        assert a.cycle_time == b.cycle_time
+
+    def test_nonblocking_beats_blocking_issue_rate(self, config):
+        """Overlap: issues come faster than blocking cycles would allow."""
+        from repro.workloads.alltoall import run_alltoall
+
+        blocking = run_alltoall(config, work=300.0, cycles=100)
+        nonblocking = run_nonblocking_alltoall(config, work=300.0,
+                                               window=8, cycles=150)
+        assert nonblocking.cycle_time < blocking.response_time

@@ -1,0 +1,185 @@
+"""Unit tests for visit-matrix pattern workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import MachineParams
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.patterns import (
+    HeterogeneousUniformPattern,
+    HotspotPattern,
+    MultiHopRingPattern,
+    RandomMultiHopPattern,
+    run_pattern,
+)
+
+
+@pytest.fixture
+def config() -> MachineConfig:
+    return MachineConfig(processors=6, latency=10.0, handler_time=40.0,
+                         handler_cv2=0.0, seed=21)
+
+
+@pytest.fixture
+def machine() -> MachineParams:
+    return MachineParams(latency=10.0, handler_time=40.0, processors=6,
+                         handler_cv2=0.0)
+
+
+class TestPatternValidation:
+    def test_ring_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            MultiHopRingPattern(work=-1.0, hops=1)
+        with pytest.raises(ValueError):
+            MultiHopRingPattern(work=1.0, hops=0)
+
+    def test_hotspot_rejects_bad_fraction(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            HotspotPattern(work=1.0, hot_fraction=1.5)
+
+    def test_run_rejects_bad_cycles(self, config):
+        with pytest.raises(ValueError, match="cycles"):
+            run_pattern(config, MultiHopRingPattern(100.0, 1), cycles=0)
+
+
+class TestRingPattern:
+    def test_paths_are_consecutive_neighbours(self, config):
+        machine = Machine(config)
+        pattern = MultiHopRingPattern(work=10.0, hops=3)
+        node = machine.nodes[4]
+        assert pattern.path_of(node) == [5, 0, 1]
+
+    def test_deterministic_ring_is_contention_free(self, config):
+        """The Brewer/Kuszmaul self-synchronisation effect."""
+        pattern = MultiHopRingPattern(work=200.0, hops=2)
+        meas = run_pattern(config, pattern, cycles=60)
+        contention_free = (
+            200.0
+            + 2 * (config.latency + config.handler_time)  # two hops
+            + config.latency
+            + config.handler_time  # reply
+        )
+        assert meas.response_time == pytest.approx(contention_free, rel=0.02)
+
+    def test_model_is_pessimistic_for_deterministic_ring(self, config,
+                                                         machine):
+        pattern = MultiHopRingPattern(work=200.0, hops=2)
+        meas = run_pattern(config, pattern, cycles=60)
+        model = pattern.model(machine).solve()
+        assert model.response_times[0] > meas.response_time
+
+
+class TestRandomMultiHop:
+    def test_paths_are_distinct_and_exclude_origin(self, config):
+        machine = Machine(config)
+        pattern = RandomMultiHopPattern(work=10.0, hops=3)
+        for _ in range(50):
+            path = pattern.path_of(machine.nodes[2])
+            assert len(path) == 3
+            assert len(set(path)) == 3
+            assert 2 not in path
+
+    def test_matches_general_model(self, config, machine):
+        pattern = RandomMultiHopPattern(work=500.0, hops=2)
+        meas = run_pattern(config, pattern, cycles=150)
+        model = pattern.model(machine).solve()
+        err = abs(model.response_times[0] - meas.response_time) / (
+            meas.response_time
+        )
+        assert err < 0.08
+
+    def test_hops_too_large_raises(self, config):
+        machine = Machine(config)
+        pattern = RandomMultiHopPattern(work=10.0, hops=6)
+        with pytest.raises(ValueError, match="hops"):
+            pattern.path_of(machine.nodes[0])
+
+
+class TestHotspot:
+    def test_visit_matrix_rows_sum_to_one(self, machine):
+        pattern = HotspotPattern(work=100.0, hot_node=0, hot_fraction=0.4)
+        v = pattern.visit_matrix(machine.processors)
+        assert np.allclose(v.sum(axis=1), 1.0)
+        assert np.all(np.diag(v) == 0.0)
+
+    def test_hot_column_dominates(self, machine):
+        pattern = HotspotPattern(work=100.0, hot_node=2, hot_fraction=0.5)
+        v = pattern.visit_matrix(machine.processors)
+        for c in range(machine.processors):
+            if c == 2:
+                continue
+            others = [v[c, k] for k in range(machine.processors)
+                      if k not in (c, 2)]
+            assert v[c, 2] > max(others)
+
+    def test_empirical_paths_match_matrix(self, config):
+        """Sampled destinations converge to the declared visit ratios."""
+        machine = Machine(config)
+        pattern = HotspotPattern(work=0.0, hot_node=0, hot_fraction=0.5)
+        node = machine.nodes[3]
+        counts = np.zeros(config.processors)
+        n = 4000
+        for _ in range(n):
+            (dest,) = pattern.path_of(node)
+            counts[dest] += 1
+        v = pattern.visit_matrix(config.processors)
+        assert np.allclose(counts / n, v[3], atol=0.03)
+
+    def test_hot_node_slower_than_uniform(self, config, machine):
+        hot = HotspotPattern(work=800.0, hot_node=0, hot_fraction=0.6)
+        meas = run_pattern(config, hot, cycles=120)
+        model = hot.model(machine).solve()
+        # Hotspot costs more than a uniform pattern with the same work.
+        from repro.core.alltoall import AllToAllModel
+
+        uniform = AllToAllModel(machine).solve_work(800.0)
+        assert meas.response_time > uniform.response_time
+        # Model tracks the measured hotspot response.
+        mean_model = float(np.mean(model.response_times))
+        assert mean_model == pytest.approx(meas.response_time, rel=0.10)
+
+    def test_out_of_range_hot_node(self, machine):
+        pattern = HotspotPattern(work=1.0, hot_node=99)
+        with pytest.raises(ValueError, match="hot_node"):
+            pattern.visit_matrix(machine.processors)
+
+
+class TestHeterogeneousWorks:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            HeterogeneousUniformPattern([])
+        with pytest.raises(ValueError, match=">= 0"):
+            HeterogeneousUniformPattern([100.0, -1.0])
+
+    def test_work_of_bounds(self):
+        pattern = HeterogeneousUniformPattern([1.0, 2.0])
+        assert pattern.work_of(1) == 2.0
+        with pytest.raises(ValueError, match="beyond"):
+            pattern.work_of(5)
+
+    def test_model_requires_matching_length(self, machine):
+        pattern = HeterogeneousUniformPattern([100.0] * 3)
+        with pytest.raises(ValueError, match="works for P"):
+            pattern.model(machine)
+
+    def test_per_node_responses_match_general_model(self, config, machine):
+        """Appendix A per-thread response times, validated per node."""
+        works = [200.0, 200.0, 800.0, 800.0, 2400.0, 2400.0]
+        pattern = HeterogeneousUniformPattern(works)
+        meas = run_pattern(config, pattern, cycles=220)
+        model = pattern.model(machine).solve()
+        per_node = meas.meta["per_node_response"]
+        for node, measured_r in per_node.items():
+            predicted = float(model.response_times[node])
+            assert predicted == pytest.approx(measured_r, rel=0.10), node
+        # Slow threads have longer cycles in both model and measurement.
+        assert per_node[4] > per_node[0]
+        assert model.response_times[4] > model.response_times[0]
+
+    def test_fast_threads_dominate_throughput(self, config, machine):
+        works = [100.0, 100.0, 100.0, 4000.0, 4000.0, 4000.0]
+        pattern = HeterogeneousUniformPattern(works)
+        model = pattern.model(machine).solve()
+        fast = model.throughputs[:3].sum()
+        slow = model.throughputs[3:].sum()
+        assert fast > 4 * slow
