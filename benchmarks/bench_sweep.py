@@ -1,0 +1,61 @@
+"""Benchmark: the sweep engine itself (dispatch, cache, throughput).
+
+Times the three execution regimes of one simulator work-sweep -- serial,
+process-pool, and warm-cache -- and records the per-point
+``events_processed`` / wall-time aggregates in ``extra_info``, so
+benchmark JSONs track simulator event throughput (events per second of
+point-compute) across PRs.
+"""
+
+import pytest
+
+from repro.sweep import GridAxis, ResultCache, SweepSpec, run_sweep
+
+_BASE = {"P": 16, "St": 40.0, "So": 200.0, "C2": 0.0, "cycles": 120,
+         "seed": 20250611}
+_WORKS = (2.0, 32.0, 256.0, 1024.0)
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        name="bench/alltoall-sim",
+        evaluator="alltoall-sim",
+        base=_BASE,
+        axes=(GridAxis("W", _WORKS),),
+    )
+
+
+def test_sweep_serial(benchmark):
+    result = benchmark.pedantic(
+        run_sweep, args=(_spec(),), iterations=1, rounds=3
+    )
+    meta = result.metadata
+    assert meta["points"] == len(_WORKS)
+    assert meta["events_processed"] > 0
+    benchmark.extra_info["events_processed"] = meta["events_processed"]
+    benchmark.extra_info["point_wall_time"] = meta["wall_time"]
+    benchmark.extra_info["events_per_second"] = (
+        meta["events_processed"] / meta["wall_time"]
+    )
+
+
+def test_sweep_parallel(benchmark):
+    result = benchmark.pedantic(
+        run_sweep, args=(_spec(),), kwargs={"jobs": 2}, iterations=1, rounds=3
+    )
+    meta = result.metadata
+    assert meta["jobs"] == 2
+    assert meta["events_processed"] > 0
+    benchmark.extra_info["events_processed"] = meta["events_processed"]
+
+
+def test_sweep_warm_cache(benchmark, tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep(_spec(), cache=cache)  # populate
+
+    def warm() -> object:
+        return run_sweep(_spec(), cache=cache)
+
+    result = benchmark.pedantic(warm, iterations=1, rounds=5)
+    assert result.metadata["cache_misses"] == 0
+    benchmark.extra_info["cache_hits"] = result.metadata["cache_hits"]

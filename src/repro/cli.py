@@ -3,17 +3,27 @@
 Usage::
 
     lopc-repro list
-    lopc-repro run fig-5.2 [--out results/] [--fast]
-    lopc-repro run-all [--out results/] [--fast]
+    lopc-repro run fig-5.2 [--out results/] [--fast] [--jobs 4]
+                           [--seed S] [--cache-dir .lopc-cache]
+    lopc-repro run-all [--out results/] [--fast] [--jobs 4] [...]
+    lopc-repro sweep spec.json [--jobs 4] [--cache-dir D] [--out results/]
 
 ``--fast`` shrinks simulation lengths (for smoke testing); published
 numbers should use the defaults.  With ``--out``, each experiment writes
 ``<id>.txt`` (ASCII table) and ``<id>.csv`` next to the printed output.
+
+``--jobs N`` evaluates sweep points on ``N`` worker processes (``0`` =
+one per CPU); ``--seed`` overrides the experiment's simulation seed so
+runs are bit-reproducible; ``--cache-dir`` enables the content-addressed
+result cache, so repeated and overlapping runs skip already-solved
+points.  ``sweep`` runs a declarative :class:`~repro.sweep.SweepSpec`
+from a JSON file (see :mod:`repro.sweep.spec` for the format).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -53,15 +63,36 @@ _CHARTS: dict[str, tuple[str, tuple[str, ...]]] = {
 }
 
 
-def _run_one(
-    experiment_id: str, fast: bool, out: Path | None, chart: bool = False
-) -> bool:
-    kwargs = _FAST_OVERRIDES.get(experiment_id, {}) if fast else {}
+def _experiment_kwargs(
+    experiment_id: str, args: argparse.Namespace
+) -> dict[str, object]:
+    """Assemble runner kwargs: fast overrides + sweep/seed plumbing.
+
+    ``--jobs``, ``--seed`` and ``--cache-dir`` only apply to runners
+    whose signature accepts them (sweep-backed experiments take ``jobs``
+    and ``cache``; anything stochastic takes ``seed``), so table-only
+    experiments keep their minimal signatures.
+    """
+    kwargs: dict[str, object] = {}
+    if getattr(args, "fast", False):
+        kwargs.update(_FAST_OVERRIDES.get(experiment_id, {}))
+    accepted = inspect.signature(get_experiment(experiment_id)).parameters
+    if getattr(args, "jobs", None) is not None and "jobs" in accepted:
+        kwargs["jobs"] = args.jobs
+    if getattr(args, "seed", None) is not None and "seed" in accepted:
+        kwargs["seed"] = args.seed
+    if getattr(args, "cache_dir", None) is not None and "cache" in accepted:
+        kwargs["cache"] = args.cache_dir
+    return kwargs
+
+
+def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
+    kwargs = _experiment_kwargs(experiment_id, args)
     start = time.perf_counter()
     result = get_experiment(experiment_id)(**kwargs)
     elapsed = time.perf_counter() - start
     print(format_table(result))
-    if chart and experiment_id in _CHARTS:
+    if getattr(args, "chart", False) and experiment_id in _CHARTS:
         from repro.experiments.charts import chart_experiment
 
         x_col, series = _CHARTS[experiment_id]
@@ -69,9 +100,44 @@ def _run_one(
         print(chart_experiment(result, x_column=x_col,
                                series_columns=list(series) or None))
     print(f"\n({experiment_id} completed in {elapsed:.1f}s)\n")
-    if out is not None:
-        _write_outputs(result, out)
+    if args.out is not None:
+        _write_outputs(result, args.out)
     return result.all_checks_passed
+
+
+def _run_sweep_file(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_file(args.spec)
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    result = run_sweep(spec, cache=args.cache_dir,
+                       jobs=args.jobs if args.jobs is not None else 1)
+    print(format_table(result.to_experiment_result()))
+    print(f"\n({spec.name}: {result.summary()})\n")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        stem = spec.name.replace(".", "_").replace("/", "_")
+        (args.out / f"{stem}.csv").write_text(result.to_csv())
+    return 0
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for .txt/.csv outputs")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller simulations (smoke test)")
+    parser.add_argument("--chart", action="store_true",
+                        help="render figure experiments as ASCII charts")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="evaluate sweep points on N worker processes "
+                             "(0 = one per CPU)")
+    parser.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="override the simulation seed (bit-reproducible "
+                             "runs)")
+    parser.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="content-addressed result cache directory "
+                             "(reuse + resume)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,17 +155,23 @@ def main(argv: list[str] | None = None) -> int:
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment id (see `list`)")
-    run_p.add_argument("--out", type=Path, default=None,
-                       help="directory for .txt/.csv outputs")
-    run_p.add_argument("--fast", action="store_true",
-                       help="smaller simulations (smoke test)")
-    run_p.add_argument("--chart", action="store_true",
-                       help="render figure experiments as ASCII charts")
+    _add_run_options(run_p)
 
     all_p = sub.add_parser("run-all", help="run every experiment")
-    all_p.add_argument("--out", type=Path, default=None)
-    all_p.add_argument("--fast", action="store_true")
-    all_p.add_argument("--chart", action="store_true")
+    _add_run_options(all_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a declarative parameter sweep from a JSON spec"
+    )
+    sweep_p.add_argument("spec", type=Path, help="SweepSpec JSON file")
+    sweep_p.add_argument("--out", type=Path, default=None,
+                         help="directory for the .csv export")
+    sweep_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (0 = one per CPU)")
+    sweep_p.add_argument("--seed", type=int, default=None, metavar="S",
+                         help="spec-level seed (derives per-point seeds)")
+    sweep_p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                         help="content-addressed result cache directory")
 
     args = parser.parse_args(argv)
 
@@ -109,17 +181,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        ok = _run_one(args.experiment, args.fast, args.out, args.chart)
+        ok = _run_one(args.experiment, args)
         return 0 if ok else 1
 
     if args.command == "run-all":
         all_ok = True
         for experiment_id in list_experiments():
-            ok = _run_one(experiment_id, args.fast, args.out, args.chart)
+            ok = _run_one(experiment_id, args)
             all_ok &= ok
         print("all shape checks passed" if all_ok
               else "SOME SHAPE CHECKS FAILED")
         return 0 if all_ok else 1
+
+    if args.command == "sweep":
+        return _run_sweep_file(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

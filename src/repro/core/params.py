@@ -139,6 +139,21 @@ class MachineParams:
         return {"L": self.latency, "o": self.handler_time, "g": self.gap,
                 "P": float(self.processors)}
 
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-scalar mapping, stable for cache keys and sweep specs."""
+        return {
+            "latency": self.latency,
+            "handler_time": self.handler_time,
+            "processors": int(self.processors),
+            "handler_cv2": self.handler_cv2,
+            "gap": self.gap,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float | int]) -> "MachineParams":
+        """Inverse of :meth:`to_dict` (validates via ``__post_init__``)."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class AlgorithmParams:
@@ -202,6 +217,15 @@ class AlgorithmParams:
             raise ValueError(f"cycles_per_op must be > 0, got {cycles_per_op!r}")
         return cls(work=arithmetic * cycles_per_op / messages, requests=messages)
 
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-scalar mapping, stable for cache keys and sweep specs."""
+        return {"work": self.work, "requests": int(self.requests)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float | int]) -> "AlgorithmParams":
+        """Inverse of :meth:`to_dict` (validates via ``__post_init__``)."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class LoPCParams:
@@ -226,6 +250,23 @@ class LoPCParams:
         yield self.machine.handler_time
         yield float(self.machine.processors)
         yield self.machine.handler_cv2
+
+    def to_dict(self) -> dict[str, dict[str, float | int]]:
+        """Nested JSON mapping of both halves of the parameterisation."""
+        return {
+            "machine": self.machine.to_dict(),
+            "algorithm": self.algorithm.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, dict[str, float | int]]
+    ) -> "LoPCParams":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            machine=MachineParams.from_dict(data["machine"]),
+            algorithm=AlgorithmParams.from_dict(data["algorithm"]),
+        )
 
 
 _TABLE_3_1 = (

@@ -20,16 +20,41 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.alltoall import AllToAllModel
-from repro.core.params import MachineParams
-from repro.core.rule_of_thumb import contention_bounds
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sim.machine import MachineConfig
-from repro.workloads.alltoall import run_alltoall
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+from repro.sweep.runner import CacheLike
 
-__all__ = ["run", "DEFAULT_WORK_SWEEP"]
+__all__ = ["run", "DEFAULT_WORK_SWEEP", "sweep_specs"]
 
 DEFAULT_WORK_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+def sweep_specs(
+    works: Sequence[float],
+    processors: int,
+    latency: float,
+    handler_time: float,
+    handler_cv2: float,
+    cycles: int,
+    seed: int,
+) -> tuple[SweepSpec, SweepSpec, SweepSpec]:
+    """The figure's three sweeps: Eq. 5.12 bounds, LoPC model, simulator.
+
+    Declared separately (rather than one fused per-point evaluator) so
+    the simulator grid's cache records are shared with Figure 5-3, which
+    sweeps the identical machine.
+    """
+    base = {"P": processors, "St": latency, "So": handler_time,
+            "C2": handler_cv2}
+    axis = GridAxis("W", tuple(works))
+    return (
+        SweepSpec(name="fig-5.2/bounds", evaluator="alltoall-bounds",
+                  base=base, axes=(axis,)),
+        SweepSpec(name="fig-5.2/model", evaluator="alltoall-model",
+                  base=base, axes=(axis,)),
+        SweepSpec(name="fig-5.2/sim", evaluator="alltoall-sim",
+                  base=dict(base, cycles=cycles, seed=seed), axes=(axis,)),
+    )
 
 
 @register("fig-5.2")
@@ -41,45 +66,36 @@ def run(
     handler_cv2: float = 0.0,
     cycles: int = 300,
     seed: int = 20250611,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> ExperimentResult:
     """Run the Figure 5-2 sweep: bounds + model + simulation."""
-    machine = MachineParams(
-        latency=latency,
-        handler_time=handler_time,
-        processors=processors,
-        handler_cv2=handler_cv2,
+    bounds_spec, model_spec, sim_spec = sweep_specs(
+        works, processors, latency, handler_time, handler_cv2, cycles, seed
     )
-    model = AllToAllModel(machine)
-    config = MachineConfig(
-        processors=processors,
-        latency=latency,
-        handler_time=handler_time,
-        handler_cv2=handler_cv2,
-        seed=seed,
-    )
+    bounds = run_sweep(bounds_spec, cache=cache, jobs=jobs)
+    model = run_sweep(model_spec, cache=cache, jobs=jobs)
+    sim = run_sweep(sim_spec, cache=cache, jobs=jobs)
 
     rows = []
     lopc_errors = []
     cfree_errors = []
     bracket_ok = True
-    for work in works:
-        lower, upper = contention_bounds(machine, work)
-        solution = model.solve_work(work)
-        measured = run_alltoall(config, work=work, cycles=cycles)
-        lopc_err = 100.0 * (solution.response_time - measured.response_time) / (
-            measured.response_time
-        )
-        cfree_err = 100.0 * (lower - measured.response_time) / measured.response_time
+    for work, b, m, s in zip(works, bounds, model, sim):
+        lower, upper = b["lower"], b["upper"]
+        lopc_r, sim_r = m["R"], s["R"]
+        lopc_err = 100.0 * (lopc_r - sim_r) / sim_r
+        cfree_err = 100.0 * (lower - sim_r) / sim_r
         lopc_errors.append(lopc_err)
         cfree_errors.append(cfree_err)
-        bracket_ok &= lower <= solution.response_time <= upper + 1e-9
+        bracket_ok &= lower <= lopc_r <= upper + 1e-9
         rows.append(
             {
                 "W": work,
                 "lower bound (LogP)": lower,
-                "LoPC": solution.response_time,
+                "LoPC": lopc_r,
                 "upper bound": upper,
-                "simulator": measured.response_time,
+                "simulator": sim_r,
                 "LoPC err %": lopc_err,
                 "cfree err %": cfree_err,
             }

@@ -20,15 +20,38 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.alltoall import AllToAllModel
-from repro.core.params import MachineParams
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sim.machine import MachineConfig
-from repro.workloads.alltoall import run_alltoall
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+from repro.sweep.runner import CacheLike
 
-__all__ = ["run", "DEFAULT_WORK_SWEEP"]
+__all__ = ["run", "DEFAULT_WORK_SWEEP", "sweep_specs"]
 
 DEFAULT_WORK_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+def sweep_specs(
+    works: Sequence[float],
+    processors: int,
+    latency: float,
+    handler_time: float,
+    handler_cv2: float,
+    cycles: int,
+    seed: int,
+) -> tuple[SweepSpec, SweepSpec]:
+    """Model and simulator sweeps over the work grid.
+
+    The machine matches Figure 5-2's, so with a shared cache the
+    simulator points solved there are reused here verbatim.
+    """
+    base = {"P": processors, "St": latency, "So": handler_time,
+            "C2": handler_cv2}
+    axis = GridAxis("W", tuple(works))
+    return (
+        SweepSpec(name="fig-5.3/model", evaluator="alltoall-model",
+                  base=base, axes=(axis,)),
+        SweepSpec(name="fig-5.3/sim", evaluator="alltoall-sim",
+                  base=dict(base, cycles=cycles, seed=seed), axes=(axis,)),
+    )
 
 
 @register("fig-5.3")
@@ -40,48 +63,39 @@ def run(
     handler_cv2: float = 0.0,
     cycles: int = 300,
     seed: int = 20250611,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> ExperimentResult:
     """Run the Figure 5-3 sweep: per-component contention, model vs sim."""
-    machine = MachineParams(
-        latency=latency,
-        handler_time=handler_time,
-        processors=processors,
-        handler_cv2=handler_cv2,
+    model_spec, sim_spec = sweep_specs(
+        works, processors, latency, handler_time, handler_cv2, cycles, seed
     )
-    model = AllToAllModel(machine)
-    config = MachineConfig(
-        processors=processors,
-        latency=latency,
-        handler_time=handler_time,
-        handler_cv2=handler_cv2,
-        seed=seed,
-    )
+    model = run_sweep(model_spec, cache=cache, jobs=jobs)
+    sim = run_sweep(sim_spec, cache=cache, jobs=jobs)
 
     rows = []
     totals_in_handlers = []
     reply_errors = []
-    for work in works:
-        solution = model.solve_work(work)
-        measured = run_alltoall(config, work=work, cycles=cycles)
+    for work, m, s in zip(works, model, sim):
         rows.append(
             {
                 "W": work,
-                "thread model": solution.compute_contention,
-                "thread sim": measured.compute_contention,
-                "request model": solution.request_contention,
-                "request sim": measured.request_contention,
-                "reply model": solution.reply_contention,
-                "reply sim": measured.reply_contention,
-                "total model": solution.total_contention,
-                "total sim": measured.total_contention,
+                "thread model": m["compute_contention"],
+                "thread sim": s["compute_contention"],
+                "request model": m["request_contention"],
+                "request sim": s["request_contention"],
+                "reply model": m["reply_contention"],
+                "reply sim": s["reply_contention"],
+                "total model": m["total_contention"],
+                "total sim": s["total_contention"],
             }
         )
-        totals_in_handlers.append(measured.total_contention / handler_time)
-        if measured.reply_contention > 1e-9:
+        totals_in_handlers.append(s["total_contention"] / handler_time)
+        if s["reply_contention"] > 1e-9:
             reply_errors.append(
                 100.0
-                * (solution.reply_contention - measured.reply_contention)
-                / measured.reply_contention
+                * (m["reply_contention"] - s["reply_contention"])
+                / s["reply_contention"]
             )
 
     checks = [

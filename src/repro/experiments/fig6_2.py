@@ -23,13 +23,39 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.client_server import ClientServerModel
-from repro.core.logp import LogPModel
 from repro.core.params import MachineParams
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sim.machine import MachineConfig
-from repro.workloads.workpile import run_workpile
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+from repro.sweep.runner import CacheLike
 
-__all__ = ["run"]
+__all__ = ["run", "sweep_specs"]
+
+
+def sweep_specs(
+    servers: Sequence[int],
+    processors: int,
+    latency: float,
+    handler_time: float,
+    handler_cv2: float,
+    work: float,
+    chunks: int,
+    seed: int,
+    work_cv2: float,
+) -> tuple[SweepSpec, SweepSpec, SweepSpec]:
+    """The figure's three sweeps over the server-count axis."""
+    base = {"P": processors, "St": latency, "So": handler_time,
+            "C2": handler_cv2, "W": work}
+    axis = GridAxis("Ps", tuple(int(ps) for ps in servers))
+    return (
+        SweepSpec(name="fig-6.2/model", evaluator="workpile-model",
+                  base=base, axes=(axis,)),
+        SweepSpec(name="fig-6.2/bounds", evaluator="workpile-bounds",
+                  base=base, axes=(axis,)),
+        SweepSpec(name="fig-6.2/sim", evaluator="workpile-sim",
+                  base=dict(base, chunks=chunks, seed=seed,
+                            work_cv2=work_cv2),
+                  axes=(axis,)),
+    )
 
 
 @register("fig-6.2")
@@ -43,10 +69,13 @@ def run(
     chunks: int = 250,
     seed: int = 19970615,
     work_cv2: float = 0.0,
+    jobs: int = 1,
+    cache: CacheLike = None,
 ) -> ExperimentResult:
     """Run the Figure 6-2 sweep: throughput vs Ps, model vs simulation."""
     if servers is None:
         servers = range(1, processors)
+    servers = [int(ps) for ps in servers]
     machine = MachineParams(
         latency=latency,
         handler_time=handler_time,
@@ -54,39 +83,28 @@ def run(
         handler_cv2=handler_cv2,
     )
     model = ClientServerModel(machine, work=work)
-    logp = LogPModel(machine)
-    config = MachineConfig(
-        processors=processors,
-        latency=latency,
-        handler_time=handler_time,
-        handler_cv2=handler_cv2,
-        seed=seed,
+    model_spec, bounds_spec, sim_spec = sweep_specs(
+        servers, processors, latency, handler_time, handler_cv2, work,
+        chunks, seed, work_cv2,
     )
+    predicted = run_sweep(model_spec, cache=cache, jobs=jobs)
+    bounds = run_sweep(bounds_spec, cache=cache, jobs=jobs)
+    sim = run_sweep(sim_spec, cache=cache, jobs=jobs)
 
     rows = []
     errors = []
-    for ps in servers:
-        predicted = model.solve(ps)
-        measured = run_workpile(
-            config, servers=ps, work=work, chunks=chunks, work_cv2=work_cv2
-        )
-        err = (
-            100.0
-            * (predicted.throughput - measured.throughput)
-            / measured.throughput
-        )
+    for ps, m, b, s in zip(servers, predicted, bounds, sim):
+        err = 100.0 * (m["X"] - s["X"]) / s["X"]
         errors.append(err)
         rows.append(
             {
                 "Ps": ps,
-                "simulator X": measured.throughput,
-                "LoPC X": predicted.throughput,
+                "simulator X": s["X"],
+                "LoPC X": m["X"],
                 "err %": err,
-                "server bound": logp.workpile_server_bound(ps),
-                "client bound": logp.workpile_client_bound(
-                    processors - ps, work
-                ),
-                "sim Qs": measured.server_queue,
+                "server bound": b["server_bound"],
+                "client bound": b["client_bound"],
+                "sim Qs": s["Qs"],
             }
         )
 

@@ -1,0 +1,148 @@
+"""Content-addressed on-disk cache for sweep point results.
+
+A point's cache key is the SHA-256 of the canonical JSON of
+``(evaluator, params, versions)``.  Records are stored one JSON file per
+key under a two-level fan-out (``root/ab/abcdef....json``) and written
+atomically (temp file + :func:`os.replace`), so an interrupted sweep
+leaves only complete records and simply resumes on the next run.
+
+The key deliberately excludes the sweep's *name*: two different sweeps
+that evaluate the same point (Figures 5-2 and 5-3 share their simulator
+grid) hit the same record.  It deliberately *includes*
+:data:`SOLVER_VERSION` -- bump that constant whenever model or simulator
+semantics change so stale records are never reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "SOLVER_VERSION",
+    "canonical_json",
+    "point_key",
+]
+
+#: Version of the model/simulator semantics baked into cache keys.
+#: Bump on any change that alters solver or simulator *results*.
+SOLVER_VERSION = "1"
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, compact separators, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def point_key(
+    evaluator: str,
+    params: Mapping[str, object],
+    solver_version: str = SOLVER_VERSION,
+) -> str:
+    """Stable content hash identifying one evaluated point."""
+    payload = canonical_json(
+        {
+            "evaluator": evaluator,
+            "params": dict(params),
+            "solver_version": solver_version,
+        }
+    )
+    return sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters accumulated over a cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class ResultCache:
+    """Filesystem-backed record store addressed by :func:`point_key`."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The record stored under ``key``, or None (counted as hit/miss).
+
+        A corrupt record (interrupted write of a *non*-atomic producer,
+        disk trouble) is treated as a miss and removed so the point is
+        simply recomputed.
+        """
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Mapping[str, object]) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = json.dumps(record, sort_keys=True, allow_nan=False)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    @classmethod
+    def coerce(
+        cls, cache: "ResultCache | str | Path | None"
+    ) -> "ResultCache | None":
+        """Accept a cache instance, a directory path, or None."""
+        if cache is None or isinstance(cache, cls):
+            return cache
+        return cls(Path(cache))

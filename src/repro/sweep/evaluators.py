@@ -1,0 +1,261 @@
+"""Named point evaluators: the functions a sweep maps over its grid.
+
+An evaluator is a plain top-level function ``params -> values`` where
+both sides are flat JSON-serialisable mappings -- top-level so it
+pickles into :class:`~concurrent.futures.ProcessPoolExecutor` workers,
+JSON-flat so results cache and export without adapters.  Value keys
+beginning with ``_`` (e.g. ``_events``) are lifted into the record's
+``meta`` by :func:`evaluate_point` rather than appearing as columns.
+
+Parameter naming follows the paper's symbols throughout: ``P``, ``St``,
+``So``, ``C2`` for the machine; ``W`` for work; ``Ps`` for the workpile
+server count; plus simulation controls (``cycles`` / ``chunks``,
+``seed``, ``work_cv2``).
+
+Built-in evaluators
+-------------------
+``alltoall-model``    LoPC AMVA solution of the Section-5 all-to-all.
+``alltoall-sim``      Event-driven simulation of the same workload.
+``alltoall-bounds``   Eq. 5.12 contention-free / rule-of-thumb bounds.
+``workpile-model``    LoPC client-server workpile solution (Chapter 6).
+``workpile-sim``      Simulated workpile for one ``(Ps, Pc)`` split.
+``workpile-bounds``   LogP-style optimistic saturation bounds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Mapping
+
+from repro.core.alltoall import AllToAllModel
+from repro.core.client_server import ClientServerModel
+from repro.core.logp import LogPModel
+from repro.core.params import MachineParams
+from repro.core.rule_of_thumb import contention_bounds
+from repro.sim.machine import MachineConfig
+
+__all__ = [
+    "evaluate_point",
+    "evaluator_defaults",
+    "get_evaluator",
+    "list_evaluators",
+    "machine_from_params",
+    "register_evaluator",
+]
+
+Evaluator = Callable[[Mapping[str, object]], dict[str, object]]
+
+_EVALUATORS: dict[str, Evaluator] = {}
+_DEFAULTS: dict[str, dict[str, object]] = {}
+
+
+def register_evaluator(
+    name: str, defaults: Mapping[str, object] | None = None
+) -> Callable[[Evaluator], Evaluator]:
+    """Decorator adding a point evaluator to the registry.
+
+    ``defaults`` declares result-affecting parameters the evaluator
+    fills in when a spec omits them.  The runner merges them into each
+    point's params *before* cache keying and dispatch, so an omitted
+    parameter and its explicit default hit the same cache record, and a
+    later change to a default cannot silently reuse stale records.
+
+    Evaluators registered at runtime (outside this module) are only
+    visible to ``jobs > 1`` pools on fork-start platforms (Linux);
+    spawn-start workers re-import this module and see just the
+    built-ins.  Register in an importable module if that matters.
+    """
+
+    def deco(func: Evaluator) -> Evaluator:
+        if name in _EVALUATORS:
+            raise ValueError(f"evaluator {name!r} already registered")
+        _EVALUATORS[name] = func
+        if defaults:
+            _DEFAULTS[name] = dict(defaults)
+        return func
+
+    return deco
+
+
+def evaluator_defaults(name: str) -> dict[str, object]:
+    """Declared result-affecting defaults of a registered evaluator."""
+    get_evaluator(name)
+    return dict(_DEFAULTS.get(name, {}))
+
+
+def get_evaluator(name: str) -> Evaluator:
+    try:
+        return _EVALUATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_EVALUATORS)) or "(none)"
+        raise KeyError(f"unknown evaluator {name!r}; known: {known}") from None
+
+
+def list_evaluators() -> list[str]:
+    return sorted(_EVALUATORS)
+
+
+def evaluate_point(task: tuple[str, dict]) -> dict[str, object]:
+    """Worker entry point: evaluate one ``(evaluator, params)`` task.
+
+    Returns a record ``{"values": ..., "meta": ...}``; the meta side
+    carries the wall time of the evaluation and any ``_``-prefixed
+    values the evaluator emitted (``_events`` becomes ``meta["events"]``).
+    Top-level (not a closure) so it pickles into pool workers.
+    """
+    name, params = task
+    func = get_evaluator(name)
+    start = time.perf_counter()
+    raw = func(params)
+    wall = time.perf_counter() - start
+    values = {k: v for k, v in raw.items() if not k.startswith("_")}
+    meta: dict[str, object] = {"wall_time": wall}
+    for key, value in raw.items():
+        if key.startswith("_"):
+            meta[key[1:]] = value
+    return {"values": values, "meta": meta}
+
+
+# ---------------------------------------------------------------------------
+# Shared parameter plumbing
+# ---------------------------------------------------------------------------
+def machine_from_params(params: Mapping[str, object]) -> MachineParams:
+    """Build :class:`MachineParams` from paper-notation sweep parameters."""
+    return MachineParams(
+        latency=float(params["St"]),
+        handler_time=float(params["So"]),
+        processors=int(params["P"]),
+        handler_cv2=float(params.get("C2", 0.0)),
+    )
+
+
+def _config_from_params(params: Mapping[str, object]) -> MachineConfig:
+    return MachineConfig(
+        processors=int(params["P"]),
+        latency=float(params["St"]),
+        handler_time=float(params["So"]),
+        handler_cv2=float(params.get("C2", 0.0)),
+        latency_cv2=float(params.get("latency_cv2", 0.0)),
+        seed=int(params.get("seed", 0)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# All-to-all (paper Section 5)
+# ---------------------------------------------------------------------------
+@register_evaluator("alltoall-model")
+def _alltoall_model(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    sol = AllToAllModel(machine).solve_work(float(params["W"]))
+    return {
+        "R": sol.response_time,
+        "Rw": sol.compute_residence,
+        "Rq": sol.request_residence,
+        "Ry": sol.reply_residence,
+        "X": sol.throughput,
+        "Uq": sol.request_utilization,
+        "Uy": sol.reply_utilization,
+        "total_contention": sol.total_contention,
+        "compute_contention": sol.compute_contention,
+        "request_contention": sol.request_contention,
+        "reply_contention": sol.reply_contention,
+        "contention_fraction": sol.contention_fraction,
+    }
+
+
+@register_evaluator("alltoall-bounds")
+def _alltoall_bounds(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    lower, upper = contention_bounds(machine, float(params["W"]))
+    return {"lower": lower, "upper": upper}
+
+
+@register_evaluator(
+    "alltoall-sim",
+    defaults={"cycles": 300, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0},
+)
+def _alltoall_sim(params: Mapping[str, object]) -> dict[str, object]:
+    from repro.workloads.alltoall import run_alltoall
+
+    config = _config_from_params(params)
+    measured = run_alltoall(
+        config,
+        work=float(params["W"]),
+        cycles=int(params.get("cycles", 300)),
+        work_cv2=float(params.get("work_cv2", 0.0)),
+    )
+    return {
+        "R": measured.response_time,
+        "Rw": measured.compute_residence,
+        "Rq": measured.request_residence,
+        "Ry": measured.reply_residence,
+        "X": measured.throughput,
+        "Uq": measured.request_utilization,
+        "Uy": measured.reply_utilization,
+        "total_contention": measured.total_contention,
+        "compute_contention": measured.compute_contention,
+        "request_contention": measured.request_contention,
+        "reply_contention": measured.reply_contention,
+        "handler_queue": measured.handler_queue,
+        "cycles_measured": measured.cycles_measured,
+        "sim_time": measured.sim_time,
+        "_events": measured.meta["events"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Client-server workpile (paper Chapter 6)
+# ---------------------------------------------------------------------------
+@register_evaluator("workpile-model")
+def _workpile_model(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    model = ClientServerModel(machine, work=float(params["W"]))
+    sol = model.solve(int(params["Ps"]))
+    return {
+        "X": sol.throughput,
+        "R": sol.response_time,
+        "Rs": sol.server_residence,
+        "Qs": sol.server_queue,
+        "Us": sol.server_utilization,
+    }
+
+
+@register_evaluator(
+    "workpile-sim",
+    # chunks matches fig-6.2's default, not run_workpile's 300.
+    defaults={"chunks": 250, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0},
+)
+def _workpile_sim(params: Mapping[str, object]) -> dict[str, object]:
+    from repro.workloads.workpile import run_workpile
+
+    config = _config_from_params(params)
+    measured = run_workpile(
+        config,
+        servers=int(params["Ps"]),
+        work=float(params["W"]),
+        chunks=int(params.get("chunks", 250)),
+        work_cv2=float(params.get("work_cv2", 0.0)),
+    )
+    return {
+        "X": measured.throughput,
+        "wall_X": measured.wall_throughput,
+        "R": measured.response_time,
+        "Rs": measured.server_residence,
+        "Qs": measured.server_queue,
+        "Us": measured.server_utilization,
+        "cycles_measured": measured.cycles_measured,
+        "sim_time": measured.sim_time,
+        "_events": measured.meta["events"],
+    }
+
+
+@register_evaluator("workpile-bounds")
+def _workpile_bounds(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    logp = LogPModel(machine)
+    servers = int(params["Ps"])
+    clients = machine.processors - servers
+    return {
+        "server_bound": logp.workpile_server_bound(servers),
+        "client_bound": logp.workpile_client_bound(clients, float(params["W"])),
+    }

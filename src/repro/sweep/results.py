@@ -1,0 +1,188 @@
+"""Columnar result store for evaluated sweeps.
+
+A :class:`SweepResult` holds one :class:`PointRecord` per sweep point --
+the point's parameters, the evaluator's values, and per-point meta
+(wall time, simulator events, cache provenance) -- plus sweep-level
+metadata (cache hit/miss counts, total events, elapsed time).  It
+offers the small set of table operations the experiment runners and CLI
+need (column extraction, filtering, grouping, CSV export) and a bridge
+into the existing :class:`~repro.experiments.common.ExperimentResult`
+machinery so sweep output renders through ``format_table`` like every
+other artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+if TYPE_CHECKING:  # imported lazily at runtime (experiments import sweep)
+    from repro.experiments.common import ExperimentResult, ShapeCheck
+
+__all__ = ["PointRecord", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One evaluated sweep point.
+
+    ``meta`` carries per-point provenance: ``wall_time`` (seconds spent
+    in the evaluator when the value was computed), ``events`` (simulator
+    events processed, when the evaluator ran a simulation), ``cached``
+    (whether this run got the record from the cache) and ``key`` (the
+    content hash, when caching was active).
+    """
+
+    index: int
+    params: Mapping[str, object]
+    values: Mapping[str, object]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def row(self) -> dict[str, object]:
+        """Parameters and values merged into one flat row."""
+        merged = dict(self.params)
+        merged.update(self.values)
+        return merged
+
+    def __getitem__(self, name: str) -> object:
+        if name in self.values:
+            return self.values[name]
+        return self.params[name]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All records of one sweep, in point order, plus sweep metadata."""
+
+    spec_name: str
+    evaluator: str
+    records: tuple[PointRecord, ...]
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    # -- table views ---------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Parameter names then value names, first-seen order."""
+        cols: dict[str, None] = {}
+        for record in self.records:
+            for name in record.params:
+                cols.setdefault(name, None)
+        for record in self.records:
+            for name in record.values:
+                cols.setdefault(name, None)
+        return list(cols)
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        return [record.row() for record in self.records]
+
+    def column(self, name: str) -> list[object]:
+        """One column across all records (params or values)."""
+        return [record[name] for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # -- filtering / grouping ------------------------------------------
+    def filter(
+        self,
+        predicate: Callable[[PointRecord], bool] | None = None,
+        **equals: object,
+    ) -> "SweepResult":
+        """Records matching a predicate and/or column equality tests."""
+
+        def keep(record: PointRecord) -> bool:
+            if predicate is not None and not predicate(record):
+                return False
+            return all(record[k] == v for k, v in equals.items())
+
+        return SweepResult(
+            spec_name=self.spec_name,
+            evaluator=self.evaluator,
+            records=tuple(r for r in self.records if keep(r)),
+            metadata=dict(self.metadata, filtered=True),
+        )
+
+    def group_by(self, *names: str) -> dict[tuple, "SweepResult"]:
+        """Partition records by the values of one or more columns."""
+        if not names:
+            raise ValueError("group_by needs at least one column name")
+        groups: dict[tuple, list[PointRecord]] = {}
+        for record in self.records:
+            key = tuple(record[n] for n in names)
+            groups.setdefault(key, []).append(record)
+        return {
+            key: SweepResult(
+                spec_name=self.spec_name,
+                evaluator=self.evaluator,
+                records=tuple(records),
+                metadata=dict(self.metadata, group=dict(zip(names, key))),
+            )
+            for key, records in groups.items()
+        }
+
+    def lookup(self, **equals: object) -> PointRecord:
+        """The single record matching the equality tests (or raise)."""
+        matches = [
+            r for r in self.records
+            if all(r[k] == v for k, v in equals.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one record for {equals!r}, "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    # -- export --------------------------------------------------------
+    def to_csv(self, columns: Sequence[str] | None = None) -> str:
+        from repro.experiments.common import to_csv
+
+        return to_csv(self.to_experiment_result(columns=columns))
+
+    def to_experiment_result(
+        self,
+        experiment_id: str | None = None,
+        title: str | None = None,
+        columns: Sequence[str] | None = None,
+        checks: "Sequence[ShapeCheck]" = (),
+        notes: Sequence[str] = (),
+        parameters: Mapping[str, object] | None = None,
+    ) -> "ExperimentResult":
+        """View the sweep through the experiment-result machinery."""
+        from repro.experiments.common import ExperimentResult
+
+        return ExperimentResult(
+            experiment_id=experiment_id or self.spec_name,
+            title=title or f"sweep {self.spec_name} ({self.evaluator})",
+            parameters=dict(parameters) if parameters is not None
+            else dict(self.metadata),
+            columns=list(columns) if columns is not None else self.columns,
+            rows=self.rows,
+            checks=tuple(checks),
+            notes=tuple(notes),
+        )
+
+    # -- aggregate provenance ------------------------------------------
+    def summary(self) -> str:
+        """One-line human summary: points, cache traffic, throughput."""
+        meta = self.metadata
+        parts = [f"{len(self.records)} point(s)"]
+        if "cache_hits" in meta or "cache_misses" in meta:
+            parts.append(
+                f"cache {meta.get('cache_hits', 0)} hit(s) / "
+                f"{meta.get('cache_misses', 0)} miss(es)"
+            )
+        events = meta.get("events_processed")
+        if events:
+            parts.append(f"{events:,} simulator event(s)")
+        wall = meta.get("wall_time")
+        if wall is not None:
+            parts.append(f"{wall:.2f}s point-compute")
+        elapsed = meta.get("elapsed")
+        if elapsed is not None:
+            parts.append(f"{elapsed:.2f}s elapsed")
+        return ", ".join(parts)

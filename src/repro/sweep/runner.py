@@ -1,0 +1,132 @@
+"""Sweep orchestration: expand, consult cache, dispatch, assemble.
+
+:func:`run_sweep` is the one entry point the experiments and CLI use:
+
+1. expand the :class:`~repro.sweep.spec.SweepSpec` into points;
+2. look every point up in the (optional) content-addressed cache;
+3. ship the misses to the executor (serial, or a process pool when
+   ``jobs > 1``), in point order;
+4. persist fresh records back to the cache (so an interrupted sweep
+   resumes, and overlapping sweeps share work);
+5. assemble a :class:`~repro.sweep.results.SweepResult` whose metadata
+   reports cache traffic, total simulator events, and per-point compute
+   time -- the numbers benchmark JSONs track across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Union
+
+from repro.sweep.cache import SOLVER_VERSION, ResultCache, point_key
+from repro.sweep.evaluators import evaluator_defaults, get_evaluator
+from repro.sweep.executors import ParallelExecutor, SerialExecutor, get_executor
+from repro.sweep.results import PointRecord, SweepResult
+from repro.sweep.spec import SweepSpec
+
+__all__ = ["run_sweep"]
+
+CacheLike = Union[ResultCache, str, Path, None]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    cache: CacheLike = None,
+    jobs: int = 1,
+    executor: Union[SerialExecutor, ParallelExecutor, None] = None,
+) -> SweepResult:
+    """Evaluate every point of ``spec`` and return the assembled result.
+
+    Parameters
+    ----------
+    spec:
+        The sweep description.  ``spec.evaluator`` must be registered
+        (checked up front, before any work is dispatched).
+    cache:
+        A :class:`ResultCache`, a cache *directory*, or ``None`` (no
+        caching).  Pass an instance to read hit/miss statistics after
+        the run -- they accumulate on ``cache.stats``.
+    jobs:
+        Worker processes for cache-miss evaluation.  ``1`` (default)
+        runs serially in-process; ``0`` means one worker per CPU.
+        Ignored when ``executor`` is given.
+    executor:
+        Explicit executor instance (overrides ``jobs``).
+    """
+    get_evaluator(spec.evaluator)  # fail fast on unknown evaluators
+    defaults = evaluator_defaults(spec.evaluator)
+    if executor is None:
+        executor = get_executor(jobs)
+    store = ResultCache.coerce(cache)
+
+    started = time.perf_counter()
+    points = spec.points()
+    records: dict[int, PointRecord] = {}
+    misses: list[tuple[int, str, dict]] = []  # (index, key, params)
+
+    for point in points:
+        # Fill in the evaluator's declared defaults so omitted and
+        # explicit-default parameters share one cache record.
+        params = point.params
+        params.update((k, v) for k, v in defaults.items() if k not in params)
+        key = point_key(spec.evaluator, params)
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            records[point.index] = PointRecord(
+                index=point.index,
+                params=params,
+                values=cached.get("values", {}),
+                meta=dict(cached.get("meta", {}), cached=True, key=key),
+            )
+        else:
+            misses.append((point.index, key, params))
+
+    fresh = executor.map([(spec.evaluator, params) for _, _, params in misses])
+    for (index, key, params), outcome in zip(misses, fresh):
+        values, meta = outcome["values"], outcome["meta"]
+        if store is not None:
+            store.put(
+                key,
+                {
+                    "evaluator": spec.evaluator,
+                    "params": params,
+                    "values": values,
+                    "meta": meta,
+                    "solver_version": SOLVER_VERSION,
+                },
+            )
+        records[index] = PointRecord(
+            index=index,
+            params=params,
+            values=values,
+            meta=dict(meta, cached=False, key=key),
+        )
+
+    ordered = tuple(records[point.index] for point in points)
+    events = sum(
+        int(r.meta["events"]) for r in ordered if "events" in r.meta
+    )
+    wall = sum(
+        float(r.meta["wall_time"]) for r in ordered if "wall_time" in r.meta
+    )
+    metadata: dict[str, object] = {
+        "spec": spec.name,
+        "evaluator": spec.evaluator,
+        "points": len(ordered),
+        "cache_hits": len(ordered) - len(misses) if store is not None else 0,
+        "cache_misses": len(misses) if store is not None else len(ordered),
+        "cache_enabled": store is not None,
+        "jobs": getattr(executor, "jobs", 1),
+        "events_processed": events,
+        "wall_time": wall,
+        "elapsed": time.perf_counter() - started,
+        "solver_version": SOLVER_VERSION,
+    }
+    return SweepResult(
+        spec_name=spec.name,
+        evaluator=spec.evaluator,
+        records=ordered,
+        metadata=metadata,
+    )

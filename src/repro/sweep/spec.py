@@ -1,0 +1,392 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names an evaluator (see
+:mod:`repro.sweep.evaluators`), a ``base`` parameter mapping shared by
+every point, and a tuple of axes.  Expansion takes the cross product of
+the axes (each axis contributing one or more named parameters per step)
+and merges each combination over ``base`` into a :class:`SweepPoint`.
+
+Axes
+----
+:class:`GridAxis`
+    One parameter, an explicit list of values.
+:class:`ZipAxis`
+    Several parameters advanced in lockstep (rows of a table) -- the
+    cross product is taken *between* axes, never within one.
+:class:`RandomAxis`
+    One parameter sampled from a (optionally log-spaced) range with its
+    own seed, so randomised sweeps are reproducible by construction.
+
+Parameter values are restricted to JSON scalars so points hash stably
+(cache keys) and pickle cheaply (worker dispatch).
+
+Seeding
+-------
+If ``spec.seed`` is set, every expanded point receives a
+``seed_param`` (default ``"seed"``) derived deterministically from the
+spec seed and the point's other parameters via SHA-256
+(:func:`derive_point_seed`).  Two sweeps with the same spec seed agree
+point-by-point regardless of axis order or executor, which is what makes
+parallel and serial runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "GridAxis",
+    "RandomAxis",
+    "SweepPoint",
+    "SweepSpec",
+    "ZipAxis",
+    "derive_point_seed",
+]
+
+#: Parameter values must be JSON scalars (hash stably, pickle cheaply).
+Scalar = Union[str, int, float, bool, None]
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_scalar(name: str, value: object) -> Scalar:
+    # Accept numpy scalars by converting them; reject containers.
+    if isinstance(value, np.generic):
+        value = value.item()
+    if not isinstance(value, _SCALAR_TYPES):
+        raise TypeError(
+            f"axis/base parameter {name!r} must be a JSON scalar "
+            f"(str/int/float/bool/None), got {type(value).__name__}: {value!r}"
+        )
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(f"parameter {name!r} must be finite, got {value!r}")
+    return value
+
+
+def derive_point_seed(base_seed: int, params: Mapping[str, Scalar]) -> int:
+    """Deterministic per-point seed from a spec seed and point params.
+
+    Stable across processes and Python versions (SHA-256 of the
+    canonical JSON of ``(base_seed, params)``), returned as a 63-bit
+    non-negative integer suitable for :class:`numpy.random.SeedSequence`.
+    """
+    payload = json.dumps(
+        {"base_seed": int(base_seed), "params": dict(sorted(params.items()))},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ---------------------------------------------------------------------------
+# Axes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridAxis:
+    """One named parameter swept over an explicit list of values."""
+
+    name: str
+    values: Sequence[Scalar]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        vals = tuple(_check_scalar(self.name, v) for v in self.values)
+        if not vals:
+            raise ValueError(f"axis {self.name!r} has no values")
+        object.__setattr__(self, "values", vals)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def steps(self) -> list[dict[str, Scalar]]:
+        return [{self.name: v} for v in self.values]
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {"type": "grid", "name": self.name, "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class ZipAxis:
+    """Several parameters advanced in lockstep (one row per step)."""
+
+    names: tuple[str, ...]
+    rows: Sequence[Sequence[Scalar]]
+
+    def __post_init__(self) -> None:
+        names = tuple(self.names)
+        if not names:
+            raise ValueError("ZipAxis needs at least one parameter name")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate names within ZipAxis: {names}")
+        rows = tuple(tuple(r) for r in self.rows)
+        if not rows:
+            raise ValueError(f"ZipAxis {names} has no rows")
+        for row in rows:
+            if len(row) != len(names):
+                raise ValueError(
+                    f"ZipAxis row {row!r} does not match names {names}"
+                )
+            for name, value in zip(names, row):
+                _check_scalar(name, value)
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "rows", rows)
+
+    def steps(self) -> list[dict[str, Scalar]]:
+        return [dict(zip(self.names, row)) for row in self.rows]
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "type": "zip",
+            "names": list(self.names),
+            "rows": [list(r) for r in self.rows],
+        }
+
+
+@dataclass(frozen=True)
+class RandomAxis:
+    """One parameter sampled uniformly (or log-uniformly) from a range.
+
+    Sampling is performed with a dedicated :class:`numpy.random.Generator`
+    seeded from ``seed`` at expansion time, so the same axis always
+    expands to the same values -- randomised sweeps stay reproducible
+    and cacheable.
+    """
+
+    name: str
+    low: float
+    high: float
+    count: int
+    seed: int = 0
+    log: bool = False
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count!r}")
+        if not self.low <= self.high:
+            raise ValueError(
+                f"need low <= high, got [{self.low!r}, {self.high!r}]"
+            )
+        if self.log and self.low <= 0:
+            raise ValueError("log-spaced sampling needs low > 0")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def sample(self) -> tuple[Scalar, ...]:
+        rng = np.random.default_rng(self.seed)
+        if self.integer:
+            vals = rng.integers(int(self.low), int(self.high), size=self.count,
+                                endpoint=True)
+            return tuple(int(v) for v in vals)
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return tuple(float(math.exp(v))
+                         for v in rng.uniform(lo, hi, size=self.count))
+        return tuple(float(v)
+                     for v in rng.uniform(self.low, self.high, size=self.count))
+
+    def steps(self) -> list[dict[str, Scalar]]:
+        return [{self.name: v} for v in self.sample()]
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "type": "random",
+            "name": self.name,
+            "low": self.low,
+            "high": self.high,
+            "count": self.count,
+            "seed": self.seed,
+            "log": self.log,
+            "integer": self.integer,
+        }
+
+
+Axis = Union[GridAxis, ZipAxis, RandomAxis]
+
+_AXIS_TYPES: dict[str, type] = {
+    "grid": GridAxis,
+    "zip": ZipAxis,
+    "random": RandomAxis,
+}
+
+
+def _axis_from_json(data: Mapping[str, object]) -> Axis:
+    kind = data.get("type")
+    if kind not in _AXIS_TYPES:
+        known = ", ".join(sorted(_AXIS_TYPES))
+        raise ValueError(f"unknown axis type {kind!r}; known: {known}")
+    payload = {k: v for k, v in data.items() if k != "type"}
+    if kind == "grid":
+        return GridAxis(name=payload["name"], values=payload["values"])
+    if kind == "zip":
+        return ZipAxis(names=tuple(payload["names"]), rows=payload["rows"])
+    return RandomAxis(**payload)  # random
+
+
+# ---------------------------------------------------------------------------
+# Points and specs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One concrete parameter assignment of a sweep.
+
+    Parameters are stored as a sorted tuple of ``(name, value)`` pairs so
+    points are hashable and order-insensitive; :attr:`params` gives the
+    mapping view.
+    """
+
+    index: int
+    items: tuple[tuple[str, Scalar], ...]
+
+    @classmethod
+    def from_params(cls, index: int, params: Mapping[str, Scalar]) -> "SweepPoint":
+        return cls(index=index, items=tuple(sorted(params.items())))
+
+    @property
+    def params(self) -> dict[str, Scalar]:
+        return dict(self.items)
+
+    def __getitem__(self, name: str) -> Scalar:
+        for key, value in self.items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: evaluator + base parameters + axes.
+
+    Attributes
+    ----------
+    name:
+        Human-readable sweep id (report labels; not part of cache keys,
+        so overlapping sweeps under different names share results).
+    evaluator:
+        Registered evaluator name (:mod:`repro.sweep.evaluators`).
+    base:
+        Parameters shared by every point.  Axis parameters must not
+        collide with base ones -- a collision is almost always a spec
+        bug, so it raises.
+    axes:
+        Cross-producted axes; an empty tuple yields the single base
+        point.
+    seed:
+        Optional spec-level seed.  When set, every point receives a
+        derived ``seed_param`` (see :func:`derive_point_seed`),
+        overriding any ``seed_param`` in ``base``.
+    seed_param:
+        Name of the injected per-point seed parameter.
+    """
+
+    name: str
+    evaluator: str
+    base: Mapping[str, Scalar] = field(default_factory=dict)
+    axes: tuple[Axis, ...] = ()
+    seed: int | None = None
+    seed_param: str = "seed"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("spec name must be non-empty")
+        if not self.evaluator:
+            raise ValueError("spec evaluator must be non-empty")
+        base = {k: _check_scalar(k, v) for k, v in dict(self.base).items()}
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "axes", tuple(self.axes))
+        seen: set[str] = set()
+        for axis in self.axes:
+            for axis_name in axis.names:
+                if axis_name in seen:
+                    raise ValueError(
+                        f"parameter {axis_name!r} appears on two axes"
+                    )
+                if axis_name in base:
+                    raise ValueError(
+                        f"parameter {axis_name!r} is both in base and on an axis"
+                    )
+                seen.add(axis_name)
+
+    # -- expansion -----------------------------------------------------
+    def iter_points(self) -> Iterator[SweepPoint]:
+        """Expand axes (cross product) over the base, in axis order."""
+
+        def rec(i: int, acc: dict[str, Scalar]) -> Iterator[dict[str, Scalar]]:
+            if i == len(self.axes):
+                yield dict(acc)
+                return
+            for step in self.axes[i].steps():
+                acc.update(step)
+                yield from rec(i + 1, acc)
+
+        for index, params in enumerate(rec(0, dict(self.base))):
+            if self.seed is not None:
+                bare = {k: v for k, v in params.items() if k != self.seed_param}
+                params[self.seed_param] = derive_point_seed(self.seed, bare)
+            yield SweepPoint.from_params(index, params)
+
+    def points(self) -> list[SweepPoint]:
+        return list(self.iter_points())
+
+    def __len__(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.steps())
+        return n
+
+    def with_seed(self, seed: int | None) -> "SweepSpec":
+        return replace(self, seed=seed)
+
+    # -- JSON wire format ----------------------------------------------
+    def to_json_dict(self) -> dict[str, object]:
+        data: dict[str, object] = {
+            "name": self.name,
+            "evaluator": self.evaluator,
+            "base": dict(self.base),
+            "axes": [axis.to_json_dict() for axis in self.axes],
+        }
+        if self.seed is not None:
+            data["seed"] = self.seed
+        if self.seed_param != "seed":
+            data["seed_param"] = self.seed_param
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        unknown = set(data) - {"name", "evaluator", "base", "axes", "seed",
+                               "seed_param"}
+        if unknown:
+            raise ValueError(f"unknown spec keys: {sorted(unknown)}")
+        return cls(
+            name=str(data["name"]),
+            evaluator=str(data["evaluator"]),
+            base=dict(data.get("base", {})),
+            axes=tuple(_axis_from_json(a) for a in data.get("axes", ())),
+            seed=data.get("seed"),
+            seed_param=str(data.get("seed_param", "seed")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_json_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SweepSpec":
+        return cls.from_json(Path(path).read_text())

@@ -1,5 +1,7 @@
 """Tests for the lopc-repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -39,3 +41,130 @@ class TestRun:
     def test_requires_command(self, capsys):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_chart_renders_figure(self, capsys):
+        assert main(["run", "fig-5.1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        # The chart block follows the table and carries axis labels.
+        assert "C2" in out
+        assert "handler 1024" in out
+
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        assert main(["run", "fig-5.2", "--fast"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig-5.2", "--fast", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Strip the trailing "(completed in Xs)" timing lines.
+        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
+        assert strip(serial) == strip(parallel)
+
+    def test_seed_flag_changes_simulator_column(self, capsys):
+        assert main(["run", "fig-5.2", "--fast"]) == 0
+        default = capsys.readouterr().out
+        assert main(["run", "fig-5.2", "--fast", "--seed", "99"]) == 0
+        reseeded = capsys.readouterr().out
+        assert default != reseeded
+        assert "seed=99" in reseeded
+
+    def test_seed_flag_is_reproducible(self, capsys):
+        assert main(["run", "fig-6.2", "--fast", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "fig-6.2", "--fast", "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
+        assert strip(first) == strip(second)
+
+    def test_seed_flag_ignored_by_deterministic_experiments(self, capsys):
+        # table-3.1 takes no seed; the flag must not break it.
+        assert main(["run", "table-3.1", "--seed", "5"]) == 0
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys, monkeypatch):
+        cache = tmp_path / "cache"
+        assert main(["run", "fig-5.2", "--fast",
+                     "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert any(cache.glob("*/*.json"))
+        # The warm run must do zero solver/simulator work: kill every
+        # evaluator and it still has to succeed from the cache alone.
+        import repro.sweep.evaluators as evaluators_mod
+
+        def explode(task):
+            raise AssertionError("evaluator ran despite a warm cache")
+
+        for name in list(evaluators_mod._EVALUATORS):
+            monkeypatch.setitem(evaluators_mod._EVALUATORS, name, explode)
+        assert main(["run", "fig-5.2", "--fast",
+                     "--cache-dir", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
+        assert strip(cold) == strip(warm)
+
+
+class TestRunAll:
+    def test_run_all_fast(self, capsys, tmp_path):
+        assert main(["run-all", "--fast", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "all shape checks passed" in out
+        # Every experiment wrote its table and CSV.
+        assert (tmp_path / "fig-5_2.txt").exists()
+        assert (tmp_path / "fig-6_2.csv").exists()
+
+    def test_run_all_fast_with_jobs(self, capsys):
+        assert main(["run-all", "--fast", "--jobs", "2"]) == 0
+        assert "all shape checks passed" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def _spec(self, tmp_path, **overrides):
+        spec = {
+            "name": "cli-sweep",
+            "evaluator": "alltoall-model",
+            "base": {"P": 8, "St": 40.0, "So": 200.0, "C2": 0.0},
+            "axes": [{"type": "grid", "name": "W", "values": [2.0, 64.0]}],
+        }
+        spec.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_sweep_runs_spec_file(self, tmp_path, capsys):
+        assert main(["sweep", str(self._spec(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep" in out
+        assert "2 point(s)" in out
+
+    def test_sweep_writes_csv(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["sweep", str(self._spec(tmp_path)),
+                     "--out", str(out_dir)]) == 0
+        csv_text = (out_dir / "cli-sweep.csv").read_text()
+        # Point params are stored in canonical (sorted) order.
+        assert csv_text.splitlines()[0].startswith("C2,P,So,St,W")
+
+    def test_sweep_cache_and_jobs(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        spec = self._spec(tmp_path)
+        assert main(["sweep", str(spec), "--jobs", "2",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(spec), "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "cache 2 hit(s) / 0 miss(es)" in out
+
+    def test_sweep_seed_derives_per_point_seeds(self, tmp_path, capsys):
+        spec = self._spec(
+            tmp_path,
+            evaluator="alltoall-sim",
+            base={"P": 8, "St": 40.0, "So": 200.0, "C2": 0.0, "cycles": 40},
+        )
+        assert main(["sweep", str(spec), "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", str(spec), "--seed", "3"]) == 0
+        second = capsys.readouterr().out
+        strip = lambda s: [l for l in s.splitlines() if "elapsed" not in l]
+        assert strip(first) == strip(second)
+
+    def test_sweep_unknown_evaluator_raises(self, tmp_path):
+        spec = self._spec(tmp_path, evaluator="bogus")
+        with pytest.raises(KeyError, match="bogus"):
+            main(["sweep", str(spec)])

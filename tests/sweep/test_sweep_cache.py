@@ -1,0 +1,91 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.sweep.cache import (
+    SOLVER_VERSION,
+    ResultCache,
+    canonical_json,
+    point_key,
+)
+
+
+class TestPointKey:
+    def test_stable_across_param_order(self):
+        a = point_key("ev", {"W": 1, "P": 32})
+        b = point_key("ev", {"P": 32, "W": 1})
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_sensitive_to_evaluator_params_and_version(self):
+        base = point_key("ev", {"W": 1})
+        assert point_key("other", {"W": 1}) != base
+        assert point_key("ev", {"W": 2}) != base
+        assert point_key("ev", {"W": 1}, solver_version="999") != base
+
+    def test_int_and_float_params_key_differently(self):
+        # 1 and 1.0 solve identically but canonical JSON distinguishes
+        # them; keys must too, or a later lookup could round-trip types.
+        assert point_key("ev", {"W": 1}) != point_key("ev", {"W": 1.0})
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = point_key("ev", {"W": 1})
+        record = {"values": {"R": 1.5}, "meta": {"wall_time": 0.1}}
+        cache.put(key, record)
+        assert cache.get(key) == record
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_miss_and_hit_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key("ev", {"W": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"values": {}})
+        cache.get(key)
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_float_values_round_trip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        value = 0.1 + 0.2  # not representable prettily; repr round-trips
+        cache.put(point_key("ev", {}), {"values": {"x": value}})
+        assert cache.get(point_key("ev", {}))["values"]["x"] == value
+
+    def test_corrupt_record_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key("ev", {"W": 1})
+        cache.put(key, {"values": {}})
+        path = cache._path(key)
+        path.write_text("{truncated")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for w in range(3):
+            cache.put(point_key("ev", {"W": w}), {"values": {}})
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_coerce(self, tmp_path):
+        assert ResultCache.coerce(None) is None
+        cache = ResultCache(tmp_path)
+        assert ResultCache.coerce(cache) is cache
+        coerced = ResultCache.coerce(str(tmp_path))
+        assert isinstance(coerced, ResultCache)
+        assert coerced.root == tmp_path
+
+    def test_records_are_valid_json_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key("ev", {"W": 1})
+        cache.put(key, {"values": {"R": 2.0}, "solver_version": SOLVER_VERSION})
+        (path,) = tmp_path.glob("*/*.json")
+        assert json.loads(path.read_text())["solver_version"] == SOLVER_VERSION

@@ -1,0 +1,101 @@
+"""Tests for the SweepResult columnar store."""
+
+import pytest
+
+from repro.experiments.common import ShapeCheck, format_table
+from repro.sweep.results import PointRecord, SweepResult
+
+
+def _result():
+    records = tuple(
+        PointRecord(
+            index=i,
+            params={"W": w, "P": 8},
+            values={"R": float(500 + w), "X": 8.0 / (500 + w)},
+            meta={"wall_time": 0.01, "events": 100 * (i + 1)},
+        )
+        for i, w in enumerate((2, 64, 1024))
+    )
+    return SweepResult(
+        spec_name="demo", evaluator="alltoall-model", records=records,
+        metadata={"points": 3, "cache_hits": 1, "cache_misses": 2,
+                  "events_processed": 600, "wall_time": 0.03,
+                  "elapsed": 0.05},
+    )
+
+
+class TestTableViews:
+    def test_columns_params_then_values(self):
+        assert _result().columns == ["W", "P", "R", "X"]
+
+    def test_rows_merge_params_and_values(self):
+        rows = _result().rows
+        assert rows[0]["W"] == 2 and rows[0]["R"] == 502.0
+
+    def test_column_extraction(self):
+        assert _result().column("W") == [2, 64, 1024]
+        assert _result().column("R") == [502.0, 564.0, 1524.0]
+
+    def test_len_and_iter(self):
+        result = _result()
+        assert len(result) == 3
+        assert [r.index for r in result] == [0, 1, 2]
+
+
+class TestFilterGroupLookup:
+    def test_filter_by_equality(self):
+        small = _result().filter(W=2)
+        assert len(small) == 1
+        assert small.records[0]["R"] == 502.0
+
+    def test_filter_by_predicate(self):
+        big = _result().filter(lambda r: r["W"] > 10)
+        assert [r["W"] for r in big] == [64, 1024]
+
+    def test_group_by(self):
+        groups = _result().group_by("P")
+        assert set(groups) == {(8,)}
+        assert len(groups[(8,)]) == 3
+
+    def test_group_by_requires_names(self):
+        with pytest.raises(ValueError):
+            _result().group_by()
+
+    def test_lookup_unique(self):
+        assert _result().lookup(W=64)["R"] == 564.0
+        with pytest.raises(KeyError):
+            _result().lookup(W=3)
+        with pytest.raises(KeyError):
+            _result().lookup(P=8)  # three matches
+
+
+class TestExport:
+    def test_to_csv(self):
+        csv_text = _result().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "W,P,R,X"
+        assert len(lines) == 4
+
+    def test_to_csv_column_subset(self):
+        lines = _result().to_csv(columns=["W", "R"]).strip().splitlines()
+        assert lines[0] == "W,R"
+
+    def test_to_experiment_result_renders(self):
+        check = ShapeCheck("monotone", True, "R grows with W")
+        exp = _result().to_experiment_result(
+            experiment_id="sweep-demo", title="demo sweep", checks=[check],
+        )
+        table = format_table(exp)
+        assert "sweep-demo" in table
+        assert "[PASS] monotone" in table
+        assert exp.all_checks_passed
+
+    def test_summary_mentions_cache_and_events(self):
+        text = _result().summary()
+        assert "3 point(s)" in text
+        assert "1 hit(s) / 2 miss(es)" in text
+        assert "600" in text
+
+    def test_record_getitem_prefers_values(self):
+        record = PointRecord(index=0, params={"x": 1}, values={"x": 2})
+        assert record["x"] == 2

@@ -1,0 +1,167 @@
+"""Tests for sweep specifications: axes, expansion, seeds, JSON."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import (
+    GridAxis,
+    RandomAxis,
+    SweepPoint,
+    SweepSpec,
+    ZipAxis,
+    derive_point_seed,
+)
+
+
+class TestAxes:
+    def test_grid_axis_steps(self):
+        axis = GridAxis("W", (2, 4, 8))
+        assert axis.steps() == [{"W": 2}, {"W": 4}, {"W": 8}]
+
+    def test_grid_axis_rejects_empty(self):
+        with pytest.raises(ValueError, match="no values"):
+            GridAxis("W", ())
+
+    def test_grid_axis_rejects_containers(self):
+        with pytest.raises(TypeError, match="JSON scalar"):
+            GridAxis("W", ([1, 2],))
+
+    def test_grid_axis_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            GridAxis("W", (float("nan"),))
+
+    def test_zip_axis_locksteps(self):
+        axis = ZipAxis(("P", "cycles"), ((8, 100), (32, 300)))
+        assert axis.steps() == [
+            {"P": 8, "cycles": 100},
+            {"P": 32, "cycles": 300},
+        ]
+
+    def test_zip_axis_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ZipAxis(("a", "b"), ((1,),))
+
+    def test_random_axis_is_reproducible(self):
+        axis = RandomAxis("W", low=1.0, high=100.0, count=5, seed=42)
+        assert axis.sample() == axis.sample()
+        assert all(1.0 <= v <= 100.0 for v in axis.sample())
+
+    def test_random_axis_log_and_integer_modes(self):
+        log_axis = RandomAxis("W", low=1.0, high=1000.0, count=50, seed=1,
+                              log=True)
+        assert all(1.0 <= v <= 1000.0 for v in log_axis.sample())
+        int_axis = RandomAxis("P", low=2, high=8, count=20, seed=1,
+                              integer=True)
+        values = int_axis.sample()
+        assert all(isinstance(v, int) and 2 <= v <= 8 for v in values)
+
+    def test_random_axis_validation(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            RandomAxis("W", low=2.0, high=1.0, count=3)
+        with pytest.raises(ValueError, match="log"):
+            RandomAxis("W", low=0.0, high=1.0, count=3, log=True)
+
+
+class TestExpansion:
+    def test_cross_product_in_axis_order(self):
+        spec = SweepSpec(
+            name="s", evaluator="e", base={"P": 32},
+            axes=(GridAxis("C2", (0.0, 1.0)), GridAxis("So", (128, 256))),
+        )
+        params = [p.params for p in spec.points()]
+        assert params == [
+            {"P": 32, "C2": 0.0, "So": 128},
+            {"P": 32, "C2": 0.0, "So": 256},
+            {"P": 32, "C2": 1.0, "So": 128},
+            {"P": 32, "C2": 1.0, "So": 256},
+        ]
+        assert len(spec) == 4
+
+    def test_no_axes_yields_base_point(self):
+        spec = SweepSpec(name="s", evaluator="e", base={"W": 1})
+        assert [p.params for p in spec.points()] == [{"W": 1}]
+
+    def test_axis_base_collision_rejected(self):
+        with pytest.raises(ValueError, match="both in base and on an axis"):
+            SweepSpec(name="s", evaluator="e", base={"W": 1},
+                      axes=(GridAxis("W", (1, 2)),))
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="two axes"):
+            SweepSpec(name="s", evaluator="e",
+                      axes=(GridAxis("W", (1,)), GridAxis("W", (2,))))
+
+    def test_points_are_hashable_and_indexable(self):
+        spec = SweepSpec(name="s", evaluator="e",
+                         axes=(GridAxis("W", (1, 2)),))
+        points = spec.points()
+        assert len({hash(p) for p in points}) == 2
+        assert points[1]["W"] == 2
+        with pytest.raises(KeyError):
+            points[0]["missing"]
+
+    def test_from_params_sorts_items(self):
+        a = SweepPoint.from_params(0, {"b": 1, "a": 2})
+        b = SweepPoint.from_params(0, {"a": 2, "b": 1})
+        assert a == b
+
+
+class TestSeeding:
+    def test_spec_seed_injects_per_point_seeds(self):
+        spec = SweepSpec(name="s", evaluator="e", seed=7,
+                         axes=(GridAxis("W", (1, 2)),))
+        seeds = [p["seed"] for p in spec.points()]
+        assert len(set(seeds)) == 2
+        assert all(isinstance(s, int) and s >= 0 for s in seeds)
+
+    def test_derived_seeds_are_stable_and_param_sensitive(self):
+        assert derive_point_seed(7, {"W": 1}) == derive_point_seed(7, {"W": 1})
+        assert derive_point_seed(7, {"W": 1}) != derive_point_seed(7, {"W": 2})
+        assert derive_point_seed(7, {"W": 1}) != derive_point_seed(8, {"W": 1})
+
+    def test_spec_seed_overrides_base_seed_param(self):
+        spec = SweepSpec(name="s", evaluator="e", base={"seed": 123}, seed=7,
+                         axes=(GridAxis("W", (1,)),))
+        (point,) = spec.points()
+        assert point["seed"] != 123
+        # Derivation ignores the overridden base seed value.
+        assert point["seed"] == derive_point_seed(7, {"W": 1})
+
+    def test_no_spec_seed_leaves_base_seed_alone(self):
+        spec = SweepSpec(name="s", evaluator="e", base={"seed": 123},
+                         axes=(GridAxis("W", (1,)),))
+        assert spec.points()[0]["seed"] == 123
+
+
+class TestJson:
+    def test_round_trip_all_axis_types(self):
+        spec = SweepSpec(
+            name="rt", evaluator="alltoall-model",
+            base={"P": 32, "St": 40.0},
+            axes=(
+                GridAxis("W", (2, 4)),
+                ZipAxis(("So", "C2"), ((128, 0.0), (256, 1.0))),
+                RandomAxis("x", low=1.0, high=2.0, count=3, seed=9),
+            ),
+            seed=5,
+        )
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_from_file(self, tmp_path):
+        spec = SweepSpec(name="f", evaluator="e",
+                         axes=(GridAxis("W", (1,)),))
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert SweepSpec.from_file(path) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec keys"):
+            SweepSpec.from_json(json.dumps(
+                {"name": "x", "evaluator": "e", "bogus": 1}))
+
+    def test_unknown_axis_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown axis type"):
+            SweepSpec.from_json(json.dumps(
+                {"name": "x", "evaluator": "e",
+                 "axes": [{"type": "spiral", "name": "W"}]}))
