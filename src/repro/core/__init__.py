@@ -29,8 +29,8 @@ Modules
     above.
 """
 
-from repro.core.alltoall import AllToAllModel
-from repro.core.client_server import ClientServerModel
+from repro.core.alltoall import AllToAllModel, solve_batch
+from repro.core.client_server import ClientServerModel, solve_workpile_batch
 from repro.core.general import GeneralLoPCModel, ThreadClass
 from repro.core.logp import LogPModel
 from repro.core.nonblocking import NonBlockingModel
@@ -52,12 +52,18 @@ from repro.core.scaling import (
     speedup_curve,
 )
 from repro.core.shared_memory import SharedMemoryModel
-from repro.core.solver import FixedPointResult, solve_fixed_point
+from repro.core.solver import (
+    BatchFixedPointResult,
+    FixedPointResult,
+    solve_fixed_point,
+    solve_fixed_point_batch,
+)
 
 __all__ = [
     "AlgorithmParams",
     "AlgorithmSpec",
     "AllToAllModel",
+    "BatchFixedPointResult",
     "ClientServerModel",
     "FixedPointResult",
     "GeneralLoPCModel",
@@ -75,8 +81,11 @@ __all__ = [
     "optimal_processors",
     "rule_of_thumb_response",
     "runtime_curve",
+    "solve_batch",
     "solve_fixed_point",
+    "solve_fixed_point_batch",
     "solve_recursion",
+    "solve_workpile_batch",
     "speedup_curve",
     "upper_bound_constant",
 ]

@@ -43,10 +43,11 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.core.params import MachineParams
-from repro.core.solver import solve_fixed_point
+from repro.core.solver import solve_fixed_point, solve_fixed_point_batch
+from repro.mva.network import as_integer_array
 from repro.mva.residual import residual_correction
 
-__all__ = ["ClientServerModel", "WorkpileSolution"]
+__all__ = ["ClientServerModel", "WorkpileSolution", "solve_workpile_batch"]
 
 
 @dataclass(frozen=True)
@@ -216,6 +217,32 @@ class ClientServerModel:
             servers = range(1, self.machine.processors)
         return [self.solve(ps) for ps in servers]
 
+    def solve_many(
+        self, servers: Sequence[int] | None = None
+    ) -> list[WorkpileSolution]:
+        """Vectorized :meth:`throughput_curve`: all splits in one batch.
+
+        Bit-identical to per-split :meth:`solve` calls (same masked
+        fixed-point updates), but one numpy iteration covers the whole
+        curve.
+        """
+        if servers is None:
+            servers = range(1, self.machine.processors)
+        servers = [self._check_split(ps) for ps in servers]
+        m = self.machine
+        n = len(servers)
+        return solve_workpile_batch(
+            [self.work] * n,
+            [m.latency] * n,
+            [m.handler_time] * n,
+            [m.handler_cv2] * n,
+            [m.processors] * n,
+            servers,
+            damping=self.damping,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
+
     # ------------------------------------------------------------------
     # Closed forms (Eqs. 6.6 and 6.8)
     # ------------------------------------------------------------------
@@ -251,3 +278,102 @@ class ClientServerModel:
     def optimal_throughput_closed_form(self) -> float:
         """Throughput at the Eq. 6.8 optimum via ``X = Ps*/Rs*`` (Eq. 6.1)."""
         return self.optimal_servers_exact() / self.optimal_server_residence()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized batch entry point
+# ---------------------------------------------------------------------------
+def solve_workpile_batch(
+    works: Sequence[float] | np.ndarray,
+    latencies: Sequence[float] | np.ndarray,
+    handler_times: Sequence[float] | np.ndarray,
+    cv2s: Sequence[float] | np.ndarray,
+    processors: Sequence[int] | np.ndarray,
+    servers: Sequence[int] | np.ndarray,
+    *,
+    damping: float = 0.5,
+    tol: float = 1e-12,
+    max_iter: int = 50_000,
+) -> list[WorkpileSolution]:
+    """Solve many workpile ``(machine, W, Ps)`` points in one batch.
+
+    Inputs broadcast to a common ``(points,)`` shape.  The scalar state
+    ``[Rs]`` of every point advances through one masked
+    :func:`repro.core.solver.solve_fixed_point_batch` iteration, so each
+    returned :class:`WorkpileSolution` is bit-identical to the matching
+    ``ClientServerModel(machine, work).solve(servers)`` call, with
+    ``meta["batched"] = True`` marking the provenance.
+    """
+    w, st, so, cv2, p, ps = np.broadcast_arrays(
+        np.asarray(works, dtype=float),
+        np.asarray(latencies, dtype=float),
+        np.asarray(handler_times, dtype=float),
+        np.asarray(cv2s, dtype=float),
+        as_integer_array(processors, "processors"),
+        as_integer_array(servers, "servers"),
+    )
+    w, st, so, cv2 = (np.atleast_1d(a).ravel().copy() for a in (w, st, so, cv2))
+    p, ps = (np.atleast_1d(a).ravel().copy() for a in (p, ps))
+    if np.any(w < 0):
+        raise ValueError("work (W) must be >= 0")
+    if np.any(st < 0):
+        raise ValueError("latency (St) must be >= 0")
+    if np.any(so <= 0):
+        raise ValueError("handler_time (So) must be > 0")
+    if np.any(cv2 < 0):
+        raise ValueError("handler_cv2 (C^2) must be >= 0")
+    if np.any(p < 2):
+        raise ValueError("processors (P) must be >= 2")
+    if np.any((ps < 1) | (ps > p - 1)):
+        bad = np.flatnonzero((ps < 1) | (ps > p - 1))
+        raise ValueError(
+            f"servers must lie in [1, P-1]; violated at point(s) "
+            f"{bad.tolist()}"
+        )
+    clients = p - ps
+
+    def update(state: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        rs = state[:, 0]
+        so_r, cv2_r = so[rows], cv2[rows]
+        with np.errstate(all="ignore"):
+            r = w[rows] + 2.0 * st[rows] + rs + so_r  # Eq. 6.7
+            lam = clients[rows] / r / ps[rows]  # per-server rate X/Ps
+            us = lam * so_r  # Eq. 6.4
+            qs = lam * rs  # Eq. 6.1 general form
+            rc = 0.5 * (cv2_r - 1.0) * us  # residual correction
+            new_rs = so_r * (1.0 + qs + rc)  # Eq. 6.5
+        return new_rs[:, np.newaxis]
+
+    result = solve_fixed_point_batch(
+        update,
+        so[:, np.newaxis].copy(),
+        damping=damping,
+        tol=tol,
+        max_iter=max_iter,
+    )
+    rs = result.value[:, 0]
+    r = w + 2.0 * st + rs + so
+    x = clients / r  # Eq. 6.2
+    lam = x / ps
+    return [
+        WorkpileSolution(
+            servers=int(ps[i]),
+            clients=int(clients[i]),
+            throughput=float(x[i]),
+            response_time=float(r[i]),
+            server_residence=float(rs[i]),
+            server_queue=float(lam[i] * rs[i]),
+            server_utilization=float(lam[i] * so[i]),
+            work=float(w[i]),
+            latency=float(st[i]),
+            handler_time=float(so[i]),
+            meta={
+                "model": "lopc-workpile",
+                "iterations": int(result.iterations[i]),
+                "residual": float(result.residual[i]),
+                "cv2": float(cv2[i]),
+                "batched": True,
+            },
+        )
+        for i in range(w.size)
+    ]

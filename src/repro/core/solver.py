@@ -12,6 +12,13 @@ reproducible numerical strategies:
 * :func:`solve_scalar_fixed_point` -- Brent bracketing on ``g(R) = F[R] - R``
   for scalar recursions like Eq. 5.11 where a bracket is known
   analytically.
+* :func:`solve_fixed_point_batch` -- the vectorized counterpart of
+  :func:`solve_fixed_point`: one damped iteration over a whole
+  ``(points, dims)`` stack of independent maps with per-point
+  convergence masking, bit-identical to per-point scalar solves.  The
+  batch model entry points (:func:`repro.core.alltoall.solve_batch`,
+  :func:`repro.core.client_server.solve_workpile_batch`) and the sweep
+  engine's vectorized fast path are built on it.
 
 Both return diagnostics so callers (and tests) can verify convergence
 instead of silently accepting a bad point.
@@ -25,7 +32,13 @@ from typing import Callable, Sequence
 import numpy as np
 from scipy.optimize import brentq
 
-__all__ = ["FixedPointResult", "solve_fixed_point", "solve_scalar_fixed_point"]
+__all__ = [
+    "BatchFixedPointResult",
+    "FixedPointResult",
+    "solve_fixed_point",
+    "solve_fixed_point_batch",
+    "solve_scalar_fixed_point",
+]
 
 
 class ConvergenceError(RuntimeError):
@@ -119,6 +132,132 @@ def solve_fixed_point(
             f"(residual {residual:.3e} > tol {tol:.3e})"
         )
     return FixedPointResult(x, max_iter, residual, False)
+
+
+@dataclass(frozen=True)
+class BatchFixedPointResult:
+    """Outcome of a batched damped fixed-point iteration.
+
+    Attributes
+    ----------
+    value:
+        ``(points, dims)`` array of per-point solutions.
+    iterations:
+        ``(points,)`` -- iterations each point ran before freezing.
+    residual:
+        ``(points,)`` -- final relative infinity-norm residual per point
+        (``inf`` for points that produced non-finite iterates).
+    converged:
+        ``(points,)`` bool -- per-point convergence flags.
+    """
+
+    value: np.ndarray
+    iterations: np.ndarray
+    residual: np.ndarray
+    converged: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.value.shape[0])
+
+
+def solve_fixed_point_batch(
+    func: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    initial: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    damping: float = 0.5,
+    tol: float = 1e-10,
+    max_iter: int = 20_000,
+    raise_on_failure: bool = True,
+) -> BatchFixedPointResult:
+    """Solve ``x_p = f(x_p)`` for many points in one masked iteration.
+
+    The vectorized counterpart of :func:`solve_fixed_point`: ``initial``
+    is ``(points, dims)`` and ``func(x_active, indices)`` must map an
+    ``(m, dims)`` array of *active* points (plus the ``(m,)`` array of
+    their row indices, so per-point parameters can be gathered) to an
+    ``(m, dims)`` array, elementwise per row.  Each point follows exactly
+    the scalar update sequence -- damped step, relative infinity-norm
+    residual, ``residual <= tol`` stop -- and freezes at its own
+    convergence iteration, so a batched solve is bit-identical to
+    per-point scalar solves of the same map.
+
+    Points whose iterates go non-finite are frozen immediately with
+    ``residual = inf`` (the scalar solver raises at that moment; here the
+    remaining points keep iterating and the failure is reported at the
+    end).  When ``raise_on_failure`` is True, a :class:`ConvergenceError`
+    naming the failed point indices is raised after the loop if any point
+    failed to converge.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"damping must lie in (0, 1], got {damping!r}")
+    if tol <= 0:
+        raise ValueError(f"tol must be > 0, got {tol!r}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter!r}")
+
+    x = np.atleast_2d(np.asarray(initial, dtype=float)).copy()
+    if x.ndim != 2:
+        raise ValueError("initial must be a (points, dims) array")
+    n_points = x.shape[0]
+
+    iterations = np.zeros(n_points, dtype=np.int64)
+    residuals = np.full(n_points, np.inf)
+    converged = np.zeros(n_points, dtype=bool)
+    active = np.ones(n_points, dtype=bool)
+
+    for iteration in range(1, max_iter + 1):
+        if not active.any():
+            break
+        rows = np.flatnonzero(active)
+        xa = x[rows]
+        fx = np.atleast_2d(np.asarray(func(xa, rows), dtype=float))
+        if fx.shape != xa.shape:
+            raise ValueError(
+                f"func returned shape {fx.shape}, expected {xa.shape}"
+            )
+        finite = np.all(np.isfinite(fx), axis=1)
+        scale = np.maximum(1.0, np.abs(xa))
+        with np.errstate(invalid="ignore"):
+            residual = np.max(np.abs(fx - xa) / scale, axis=1)
+        new_x = (1.0 - damping) * xa + damping * fx
+        # Non-finite rows freeze on their *previous* iterate (the scalar
+        # solver raises before applying the update).
+        bad = rows[~finite]
+        residuals[bad] = np.inf
+        iterations[bad] = iteration
+        active[bad] = False
+
+        good = finite
+        x[rows[good]] = new_x[good]
+        residuals[rows[good]] = residual[good]
+        iterations[rows[good]] = iteration
+        done = rows[good][residual[good] <= tol]
+        converged[done] = True
+        active[done] = False
+
+    if raise_on_failure and not converged.all():
+        failed = np.flatnonzero(~converged)
+        nonfinite = failed[np.isinf(residuals[failed])]
+        parts = []
+        if nonfinite.size:
+            first = int(nonfinite[0])
+            parts.append(
+                f"{nonfinite.size} produced non-finite values (point "
+                f"{first} at iteration {int(iterations[first])})"
+            )
+        slow = failed.size - nonfinite.size
+        if slow:
+            worst = float(np.max(residuals[failed][np.isfinite(
+                residuals[failed])]))
+            parts.append(
+                f"{slow} missed tol {tol:.3e} after {max_iter} iterations "
+                f"(worst residual {worst:.3e})"
+            )
+        raise ConvergenceError(
+            f"batched fixed point failed for {failed.size}/{n_points} "
+            f"point(s) {failed.tolist()[:10]}: " + "; ".join(parts)
+        )
+    return BatchFixedPointResult(x, iterations, residuals, converged)
 
 
 def solve_scalar_fixed_point(

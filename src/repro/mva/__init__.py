@@ -17,6 +17,9 @@ queueing-theoretic primitives the model composes:
   networks (validation reference for the approximate machinery).
 * :mod:`repro.mva.amva` -- generic approximate MVA (Bard / Schweitzer)
   iteration for closed networks.
+* :mod:`repro.mva.batch` -- vectorized batch solvers: exact and
+  approximate MVA over whole ``(points, centres)`` parameter grids in
+  one numpy iteration with per-point convergence masking.
 """
 
 from repro.mva.bard import arrival_queue_bard, arrival_queue_exact_mva
@@ -27,6 +30,12 @@ from repro.mva.bkt import (
 from repro.mva.chandy_lakshmi import (
     chandy_lakshmi_residence,
     solve_alltoall_cl,
+)
+from repro.mva.batch import (
+    BatchMVAResult,
+    batch_bard_amva,
+    batch_exact_mva,
+    batch_schweitzer_amva,
 )
 from repro.mva.exact import ExactMVAResult, exact_mva
 from repro.mva.multiclass import MultiClassMVAResult, multiclass_mva
@@ -45,11 +54,15 @@ from repro.mva.residual import (
 
 __all__ = [
     "AMVAResult",
+    "BatchMVAResult",
     "ExactMVAResult",
     "MultiClassMVAResult",
     "arrival_queue_bard",
     "arrival_queue_exact_mva",
     "bard_amva",
+    "batch_bard_amva",
+    "batch_exact_mva",
+    "batch_schweitzer_amva",
     "bkt_residence_time",
     "chandy_lakshmi_residence",
     "customers_from_throughput",

@@ -28,6 +28,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.mva.network import (
+    check_degenerate,
+    check_network_scalars,
+    normalize_demands,
+    normalize_kinds,
+)
+
 __all__ = ["AMVAResult", "bard_amva", "schweitzer_amva"]
 
 
@@ -54,22 +61,14 @@ def _amva(
     tol: float,
     max_iter: int,
 ) -> AMVAResult:
-    demand_arr = np.asarray(list(demands), dtype=float)
-    if demand_arr.ndim != 1 or demand_arr.size == 0:
-        raise ValueError("demands must be a non-empty 1-D sequence")
-    if np.any(demand_arr < 0):
-        raise ValueError(f"demands must be >= 0, got {demand_arr!r}")
-    if population < 0:
-        raise ValueError(f"population must be >= 0, got {population!r}")
-    if think_time < 0:
-        raise ValueError(f"think_time must be >= 0, got {think_time!r}")
-
+    demand_arr = normalize_demands(demands)
+    check_network_scalars(population, think_time)
     n_centers = demand_arr.size
-    if kinds is None:
-        kinds = ["queueing"] * n_centers
-    if len(list(kinds)) != n_centers:
-        raise ValueError(f"kinds has {len(list(kinds))} entries for {n_centers} centres")
-    is_queueing = np.array([k == "queueing" for k in kinds])
+    # normalize_kinds materialises `kinds` exactly once; a generator
+    # argument used to be exhausted by the length check, leaving an empty
+    # queueing mask that broadcast-crashed the iteration below.
+    kinds, is_queueing = normalize_kinds(kinds, n_centers)
+    check_degenerate(demand_arr, population, think_time)
 
     if population == 0:
         zeros = np.zeros(n_centers)
@@ -83,8 +82,10 @@ def _amva(
     for iteration in range(1, max_iter + 1):
         arrival = arrival_factor * queues
         responses = np.where(is_queueing, demand_arr * (1.0 + arrival), demand_arr)
+        # total > 0 always: the degenerate zero-demand/zero-think network
+        # was rejected up front.
         total = think_time + float(responses.sum())
-        throughput = population / total if total > 0 else float("inf")
+        throughput = population / total
         new_queues = throughput * responses
         if np.max(np.abs(new_queues - queues)) < tol:
             queues = new_queues

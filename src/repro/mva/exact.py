@@ -31,9 +31,15 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ExactMVAResult", "exact_mva"]
+from repro.mva.network import (
+    CENTER_KINDS as _CENTER_KINDS,
+    check_degenerate,
+    check_network_scalars,
+    normalize_demands,
+    normalize_kinds,
+)
 
-_CENTER_KINDS = ("queueing", "delay")
+__all__ = ["ExactMVAResult", "exact_mva"]
 
 
 @dataclass(frozen=True)
@@ -91,30 +97,15 @@ def exact_mva(
     Raises
     ------
     ValueError
-        On negative demands, bad kinds, or negative population.
+        On negative demands, bad kinds, negative population, or the
+        degenerate all-zero-demand / zero-think-time network (whose
+        throughput is unbounded -- see :mod:`repro.mva.network`).
     """
-    demand_arr = np.asarray(list(demands), dtype=float)
-    if demand_arr.ndim != 1 or demand_arr.size == 0:
-        raise ValueError("demands must be a non-empty 1-D sequence")
-    if np.any(demand_arr < 0):
-        raise ValueError(f"demands must be >= 0, got {demand_arr!r}")
-    if population < 0:
-        raise ValueError(f"population must be >= 0, got {population!r}")
-    if think_time < 0:
-        raise ValueError(f"think_time must be >= 0, got {think_time!r}")
-
+    demand_arr = normalize_demands(demands)
+    check_network_scalars(population, think_time)
     n_centers = demand_arr.size
-    if kinds is None:
-        kinds = ["queueing"] * n_centers
-    kinds = list(kinds)
-    if len(kinds) != n_centers:
-        raise ValueError(
-            f"kinds has {len(kinds)} entries for {n_centers} centres"
-        )
-    for kind in kinds:
-        if kind not in _CENTER_KINDS:
-            raise ValueError(f"unknown centre kind {kind!r}; use {_CENTER_KINDS}")
-    is_queueing = np.array([k == "queueing" for k in kinds])
+    kinds, is_queueing = normalize_kinds(kinds, n_centers)
+    check_degenerate(demand_arr, population, think_time)
 
     queue_history = np.zeros((population + 1, n_centers), dtype=float)
     responses = demand_arr.copy()
@@ -125,8 +116,10 @@ def exact_mva(
         responses = np.where(
             is_queueing, demand_arr * (1.0 + prev_q), demand_arr
         )
+        # total > 0 always: the degenerate zero-demand/zero-think network
+        # was rejected up front.
         total = think_time + float(responses.sum())
-        throughput = n / total if total > 0 else float("inf")
+        throughput = n / total
         queue_history[n] = throughput * responses
 
     queues = queue_history[population]

@@ -1,0 +1,133 @@
+"""Shared input validation for the closed-network MVA solvers.
+
+:mod:`repro.mva.exact`, :mod:`repro.mva.amva` and :mod:`repro.mva.batch`
+all accept the same network description -- per-centre demands, a
+population, a think time and per-centre kinds -- and must agree on what
+inputs are legal.  Centralising the checks here keeps the scalar and
+vectorized solvers' error behaviour identical, which the regression
+tests assert.
+
+Two degenerate-input rules are enforced uniformly:
+
+* ``kinds`` is materialised exactly once (a generator argument used to
+  exhaust itself between ``len()`` and the queueing-mask construction,
+  crashing ``_amva`` with a shape-``(0,)`` broadcast error);
+* a network whose demands are all zero *and* whose think time is zero
+  has no product-form solution for ``N >= 1`` -- customers would cycle
+  infinitely fast, so throughput is unbounded.  The solvers used to
+  return ``inf`` throughput and NaN queue lengths (with numpy
+  RuntimeWarnings); they now raise :class:`ValueError` up front.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "CENTER_KINDS",
+    "as_integer_array",
+    "check_degenerate",
+    "check_degenerate_batch",
+    "check_network_scalars",
+    "normalize_demands",
+    "normalize_kinds",
+]
+
+_DEGENERATE_MESSAGE = (
+    "all demands are zero and think_time is 0, so cycle time is 0 and "
+    "throughput is unbounded; provide a positive demand or think time "
+    "(or population 0)"
+)
+
+#: The centre kinds every solver understands.
+CENTER_KINDS = ("queueing", "delay")
+
+
+def as_integer_array(values, name: str) -> np.ndarray:
+    """Coerce to int64 while rejecting fractional values.
+
+    ``np.asarray(..., dtype=np.int64)`` would silently truncate 2.5 to 2;
+    the batch solvers must instead fail like their scalar counterparts
+    (which raise on non-integer populations / server counts).
+    Integer-valued floats (``8.0``) are accepted.
+    """
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        as_float = arr.astype(float)
+        if np.any(as_float != np.floor(as_float)):
+            raise ValueError(f"{name} must be integers, got {arr!r}")
+    return arr.astype(np.int64)
+
+
+def normalize_demands(demands: Sequence[float]) -> np.ndarray:
+    """Coerce ``demands`` to a validated 1-D float array."""
+    demand_arr = np.asarray(list(demands), dtype=float)
+    if demand_arr.ndim != 1 or demand_arr.size == 0:
+        raise ValueError("demands must be a non-empty 1-D sequence")
+    if np.any(demand_arr < 0):
+        raise ValueError(f"demands must be >= 0, got {demand_arr!r}")
+    return demand_arr
+
+
+def check_network_scalars(population: int, think_time: float) -> None:
+    """Validate the population and think-time scalars."""
+    if population < 0:
+        raise ValueError(f"population must be >= 0, got {population!r}")
+    if think_time < 0:
+        raise ValueError(f"think_time must be >= 0, got {think_time!r}")
+
+
+def normalize_kinds(
+    kinds: Sequence[str] | None, n_centers: int
+) -> tuple[list[str], np.ndarray]:
+    """Materialise and validate ``kinds``; return it with the queueing mask.
+
+    Materialising first (``list(kinds)``) is load-bearing: a generator
+    argument must survive both the length check and the mask build.
+    """
+    if kinds is None:
+        kinds = ["queueing"] * n_centers
+    kinds = list(kinds)
+    if len(kinds) != n_centers:
+        raise ValueError(
+            f"kinds has {len(kinds)} entries for {n_centers} centres"
+        )
+    for kind in kinds:
+        if kind not in CENTER_KINDS:
+            raise ValueError(
+                f"unknown centre kind {kind!r}; use {CENTER_KINDS}"
+            )
+    return kinds, np.array([k == "queueing" for k in kinds])
+
+
+def check_degenerate(
+    demand_arr: np.ndarray, population: int, think_time: float
+) -> None:
+    """Reject the all-zero-demand, zero-think-time network.
+
+    With ``N >= 1`` customers and no service demand anywhere, cycle time
+    is zero and throughput diverges; there is no finite steady state to
+    report.  (``N = 0`` is fine -- the empty network has throughput 0 --
+    as is zero demand with a positive think time, where ``X = N/Z``.)
+    """
+    if population > 0 and think_time == 0.0 and not np.any(demand_arr > 0.0):
+        raise ValueError(f"degenerate network: {_DEGENERATE_MESSAGE}")
+
+
+def check_degenerate_batch(
+    demand_arr: np.ndarray, populations: np.ndarray, think_times: np.ndarray
+) -> None:
+    """Vectorized :func:`check_degenerate` over a ``(points, centres)`` batch."""
+    degenerate = (
+        (populations > 0)
+        & (think_times == 0.0)
+        & ~np.any(demand_arr > 0.0, axis=1)
+    )
+    if np.any(degenerate):
+        bad = np.flatnonzero(degenerate)
+        raise ValueError(
+            f"degenerate network at point(s) {bad.tolist()}: "
+            f"{_DEGENERATE_MESSAGE}"
+        )

@@ -56,8 +56,19 @@ class ServiceDistribution(ABC):
         """Draw one value (>= 0)."""
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        """Draw ``size`` values (vectorised where the subclass allows)."""
-        return np.array([self.sample(rng) for _ in range(size)])
+        """Draw ``size`` values as one native vectorized call.
+
+        Every built-in subclass overrides this with a single generator
+        call (``rng.exponential(..., size=...)`` and friends) -- no
+        per-sample Python loop.  Draws are deterministic for a given
+        ``Generator`` state, though a vectorized draw may consume the
+        stream differently than ``size`` repeated :meth:`sample` calls;
+        use one or the other consistently when replaying seeds.  This
+        base fallback (a ``sample`` loop) exists only for third-party
+        subclasses that cannot vectorize.
+        """
+        size = _check_size(size)
+        return np.array([self.sample(rng) for _ in range(size)], dtype=float)
 
     def __repr__(self) -> str:
         return (
@@ -69,6 +80,12 @@ def _check_mean(mean: float) -> float:
     if mean < 0:
         raise ValueError(f"mean must be >= 0, got {mean!r}")
     return float(mean)
+
+
+def _check_size(size: int) -> int:
+    if int(size) != size or size < 0:
+        raise ValueError(f"size must be an integer >= 0, got {size!r}")
+    return int(size)
 
 
 class Constant(ServiceDistribution):
@@ -89,7 +106,7 @@ class Constant(ServiceDistribution):
         return self._value
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        return np.full(size, self._value)
+        return np.full(_check_size(size), self._value, dtype=float)
 
 
 class Exponential(ServiceDistribution):
@@ -113,8 +130,8 @@ class Exponential(ServiceDistribution):
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
         if self._mean == 0.0:
-            return np.zeros(size)
-        return rng.exponential(self._mean, size=size)
+            return np.zeros(_check_size(size))
+        return rng.exponential(self._mean, size=_check_size(size))
 
 
 class Uniform(ServiceDistribution):
@@ -153,7 +170,7 @@ class Uniform(ServiceDistribution):
         return float(rng.uniform(self._low, self._high))
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        return rng.uniform(self._low, self._high, size=size)
+        return rng.uniform(self._low, self._high, size=_check_size(size))
 
 
 class Gamma(ServiceDistribution):
@@ -188,8 +205,8 @@ class Gamma(ServiceDistribution):
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
         if self._mean == 0.0:
-            return np.zeros(size)
-        return rng.gamma(self._shape, self._scale, size=size)
+            return np.zeros(_check_size(size))
+        return rng.gamma(self._shape, self._scale, size=_check_size(size))
 
 
 class HyperExponential(ServiceDistribution):
@@ -234,10 +251,12 @@ class HyperExponential(ServiceDistribution):
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
         if self._mean == 0.0:
-            return np.zeros(size)
-        fast = rng.random(size) < self._p
+            return np.zeros(_check_size(size))
+        # Two native draws (branch picks, then unit exponentials scaled
+        # by the branch mean) instead of a per-sample Python loop.
+        fast = rng.random(_check_size(size)) < self._p
         means = np.where(fast, self._m1, self._m2)
-        return rng.exponential(1.0, size=size) * means
+        return rng.exponential(1.0, size=means.size) * means
 
 
 def from_mean_cv2(mean: float, cv2: float) -> ServiceDistribution:

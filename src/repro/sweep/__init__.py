@@ -53,9 +53,12 @@ from repro.sweep.cache import (
     point_key,
 )
 from repro.sweep.evaluators import (
+    evaluate_batch,
     evaluate_point,
+    get_batch_evaluator,
     get_evaluator,
     list_evaluators,
+    register_batch_evaluator,
     register_evaluator,
 )
 from repro.sweep.executors import ParallelExecutor, SerialExecutor, get_executor
@@ -85,11 +88,14 @@ __all__ = [
     "ZipAxis",
     "canonical_json",
     "derive_point_seed",
+    "evaluate_batch",
     "evaluate_point",
+    "get_batch_evaluator",
     "get_evaluator",
     "get_executor",
     "list_evaluators",
     "point_key",
+    "register_batch_evaluator",
     "register_evaluator",
     "run_sweep",
 ]

@@ -20,32 +20,51 @@ Built-in evaluators
 ``workpile-model``    LoPC client-server workpile solution (Chapter 6).
 ``workpile-sim``      Simulated workpile for one ``(Ps, Pc)`` split.
 ``workpile-bounds``   LogP-style optimistic saturation bounds.
+
+Batch capability
+----------------
+Analytic evaluators can additionally *advertise batch capability* via
+:func:`register_batch_evaluator`: a companion function that takes the
+whole list of cache-miss parameter dicts and evaluates them in one
+vectorized call (the LoPC models route through
+:func:`repro.core.alltoall.solve_batch` /
+:func:`repro.core.client_server.solve_workpile_batch`).  The sweep
+runner prefers the batch path when one is registered -- one masked numpy
+fixed point instead of thousands of scalar solves or process-pool
+round-trips -- and the values are bit-identical to the scalar
+evaluator's, so cache records from either path are interchangeable.
+Simulation evaluators register no batch function and keep the pool.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
-from repro.core.alltoall import AllToAllModel
-from repro.core.client_server import ClientServerModel
+from repro.core.alltoall import AllToAllModel, solve_batch
+from repro.core.client_server import ClientServerModel, solve_workpile_batch
 from repro.core.logp import LogPModel
-from repro.core.params import MachineParams
+from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
 from repro.core.rule_of_thumb import contention_bounds
 from repro.sim.machine import MachineConfig
 
 __all__ = [
+    "evaluate_batch",
     "evaluate_point",
     "evaluator_defaults",
+    "get_batch_evaluator",
     "get_evaluator",
     "list_evaluators",
     "machine_from_params",
+    "register_batch_evaluator",
     "register_evaluator",
 ]
 
 Evaluator = Callable[[Mapping[str, object]], dict[str, object]]
+BatchEvaluator = Callable[[Sequence[Mapping[str, object]]], "list[dict[str, object]]"]
 
 _EVALUATORS: dict[str, Evaluator] = {}
+_BATCH_EVALUATORS: dict[str, BatchEvaluator] = {}
 _DEFAULTS: dict[str, dict[str, object]] = {}
 
 
@@ -75,6 +94,35 @@ def register_evaluator(
         return func
 
     return deco
+
+
+def register_batch_evaluator(
+    name: str,
+) -> Callable[[BatchEvaluator], BatchEvaluator]:
+    """Decorator advertising batch capability for a registered evaluator.
+
+    The decorated function receives the full list of parameter dicts of
+    a sweep's cache misses and must return one value dict per point, in
+    order, with exactly the values the scalar evaluator would produce
+    (the runner caches them under the same keys).  Only register a batch
+    function whose output is bit-identical to the scalar path --
+    anything else silently forks cached and fresh results.
+    """
+
+    def deco(func: BatchEvaluator) -> BatchEvaluator:
+        get_evaluator(name)  # batch capability extends a scalar evaluator
+        if name in _BATCH_EVALUATORS:
+            raise ValueError(f"batch evaluator {name!r} already registered")
+        _BATCH_EVALUATORS[name] = func
+        return func
+
+    return deco
+
+
+def get_batch_evaluator(name: str) -> BatchEvaluator | None:
+    """The batch companion of evaluator ``name``, or None."""
+    get_evaluator(name)  # consistent unknown-name behaviour
+    return _BATCH_EVALUATORS.get(name)
 
 
 def evaluator_defaults(name: str) -> dict[str, object]:
@@ -108,12 +156,46 @@ def evaluate_point(task: tuple[str, dict]) -> dict[str, object]:
     start = time.perf_counter()
     raw = func(params)
     wall = time.perf_counter() - start
+    return _split_record(raw, wall)
+
+
+def _split_record(raw: Mapping[str, object], wall: float,
+                  batched: bool = False) -> dict[str, object]:
     values = {k: v for k, v in raw.items() if not k.startswith("_")}
     meta: dict[str, object] = {"wall_time": wall}
+    if batched:
+        meta["batched"] = True
     for key, value in raw.items():
         if key.startswith("_"):
             meta[key[1:]] = value
     return {"values": values, "meta": meta}
+
+
+def evaluate_batch(
+    name: str, params_list: Sequence[Mapping[str, object]]
+) -> list[dict[str, object]]:
+    """Evaluate many points through an evaluator's batch companion.
+
+    Returns records shaped exactly like :func:`evaluate_point`'s, in
+    input order.  ``meta["wall_time"]`` is each point's share of the one
+    vectorized call (the quantity sweeps aggregate), and
+    ``meta["batched"]`` marks the provenance.
+    """
+    func = _BATCH_EVALUATORS.get(name)
+    if func is None:
+        raise KeyError(f"evaluator {name!r} has no batch companion")
+    if not params_list:
+        return []
+    start = time.perf_counter()
+    raw_values = func(params_list)
+    wall = time.perf_counter() - start
+    if len(raw_values) != len(params_list):
+        raise ValueError(
+            f"batch evaluator {name!r} returned {len(raw_values)} records "
+            f"for {len(params_list)} points"
+        )
+    share = wall / len(params_list)
+    return [_split_record(raw, share, batched=True) for raw in raw_values]
 
 
 # ---------------------------------------------------------------------------
@@ -143,10 +225,8 @@ def _config_from_params(params: Mapping[str, object]) -> MachineConfig:
 # ---------------------------------------------------------------------------
 # All-to-all (paper Section 5)
 # ---------------------------------------------------------------------------
-@register_evaluator("alltoall-model")
-def _alltoall_model(params: Mapping[str, object]) -> dict[str, object]:
-    machine = machine_from_params(params)
-    sol = AllToAllModel(machine).solve_work(float(params["W"]))
+def _alltoall_values(sol) -> dict[str, object]:
+    """The ``alltoall-model`` value columns of one :class:`ModelSolution`."""
     return {
         "R": sol.response_time,
         "Rw": sol.compute_residence,
@@ -163,11 +243,43 @@ def _alltoall_model(params: Mapping[str, object]) -> dict[str, object]:
     }
 
 
+@register_evaluator("alltoall-model")
+def _alltoall_model(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    sol = AllToAllModel(machine).solve_work(float(params["W"]))
+    return _alltoall_values(sol)
+
+
+@register_batch_evaluator("alltoall-model")
+def _alltoall_model_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    grid = [
+        LoPCParams(
+            machine=machine_from_params(params),
+            algorithm=AlgorithmParams(work=float(params["W"])),
+        )
+        for params in params_list
+    ]
+    return [_alltoall_values(sol) for sol in solve_batch(grid)]
+
+
 @register_evaluator("alltoall-bounds")
 def _alltoall_bounds(params: Mapping[str, object]) -> dict[str, object]:
     machine = machine_from_params(params)
     lower, upper = contention_bounds(machine, float(params["W"]))
     return {"lower": lower, "upper": upper}
+
+
+@register_batch_evaluator("alltoall-bounds")
+def _alltoall_bounds_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    # Closed forms: the only iterative work is the Eq. 5.12 constant
+    # kappa(C^2), lru-cached per distinct C^2 (upper_bound_constant), so
+    # one Brent solve serves the whole grid.  Batch capability here buys
+    # in-process dispatch (no pool round-trip per point).
+    return [_alltoall_bounds(params) for params in params_list]
 
 
 @register_evaluator(
@@ -206,11 +318,8 @@ def _alltoall_sim(params: Mapping[str, object]) -> dict[str, object]:
 # ---------------------------------------------------------------------------
 # Client-server workpile (paper Chapter 6)
 # ---------------------------------------------------------------------------
-@register_evaluator("workpile-model")
-def _workpile_model(params: Mapping[str, object]) -> dict[str, object]:
-    machine = machine_from_params(params)
-    model = ClientServerModel(machine, work=float(params["W"]))
-    sol = model.solve(int(params["Ps"]))
+def _workpile_values(sol) -> dict[str, object]:
+    """The ``workpile-model`` value columns of one :class:`WorkpileSolution`."""
     return {
         "X": sol.throughput,
         "R": sol.response_time,
@@ -218,6 +327,33 @@ def _workpile_model(params: Mapping[str, object]) -> dict[str, object]:
         "Qs": sol.server_queue,
         "Us": sol.server_utilization,
     }
+
+
+@register_evaluator("workpile-model")
+def _workpile_model(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    model = ClientServerModel(machine, work=float(params["W"]))
+    sol = model.solve(int(params["Ps"]))
+    return _workpile_values(sol)
+
+
+@register_batch_evaluator("workpile-model")
+def _workpile_model_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    # Validate each machine exactly like the scalar path before the
+    # vectorized solve.
+    for params in params_list:
+        machine_from_params(params)
+    solutions = solve_workpile_batch(
+        [float(p["W"]) for p in params_list],
+        [float(p["St"]) for p in params_list],
+        [float(p["So"]) for p in params_list],
+        [float(p.get("C2", 0.0)) for p in params_list],
+        [int(p["P"]) for p in params_list],
+        [int(p["Ps"]) for p in params_list],
+    )
+    return [_workpile_values(sol) for sol in solutions]
 
 
 @register_evaluator(

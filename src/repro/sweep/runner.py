@@ -4,13 +4,21 @@
 
 1. expand the :class:`~repro.sweep.spec.SweepSpec` into points;
 2. look every point up in the (optional) content-addressed cache;
-3. ship the misses to the executor (serial, or a process pool when
-   ``jobs > 1``), in point order;
+3. evaluate the misses -- through the evaluator's *batch companion*
+   when it advertises one (one vectorized in-process call over the
+   whole miss list; the analytic LoPC evaluators do), otherwise through
+   the executor (serial, or a process pool when ``jobs > 1``), in point
+   order;
 4. persist fresh records back to the cache (so an interrupted sweep
    resumes, and overlapping sweeps share work);
 5. assemble a :class:`~repro.sweep.results.SweepResult` whose metadata
    reports cache traffic, total simulator events, and per-point compute
    time -- the numbers benchmark JSONs track across PRs.
+
+Batch and scalar paths produce bit-identical values (the batch solvers
+replicate the scalar fixed-point updates with per-point masking), so
+records cached by either are interchangeable; ``batch=False`` forces
+the scalar path for parity testing and benchmarking.
 """
 
 from __future__ import annotations
@@ -20,7 +28,12 @@ from pathlib import Path
 from typing import Union
 
 from repro.sweep.cache import SOLVER_VERSION, ResultCache, point_key
-from repro.sweep.evaluators import evaluator_defaults, get_evaluator
+from repro.sweep.evaluators import (
+    evaluate_batch,
+    evaluator_defaults,
+    get_batch_evaluator,
+    get_evaluator,
+)
 from repro.sweep.executors import ParallelExecutor, SerialExecutor, get_executor
 from repro.sweep.results import PointRecord, SweepResult
 from repro.sweep.spec import SweepSpec
@@ -36,6 +49,7 @@ def run_sweep(
     cache: CacheLike = None,
     jobs: int = 1,
     executor: Union[SerialExecutor, ParallelExecutor, None] = None,
+    batch: bool = True,
 ) -> SweepResult:
     """Evaluate every point of ``spec`` and return the assembled result.
 
@@ -51,12 +65,21 @@ def run_sweep(
     jobs:
         Worker processes for cache-miss evaluation.  ``1`` (default)
         runs serially in-process; ``0`` means one worker per CPU.
-        Ignored when ``executor`` is given.
+        Ignored when ``executor`` is given, and by evaluators that take
+        the vectorized batch path.
     executor:
-        Explicit executor instance (overrides ``jobs``).
+        Explicit executor instance (overrides ``jobs``).  Passing one is
+        an instruction to dispatch through it, so it also disables the
+        batch fast path.
+    batch:
+        If True (default) and the evaluator advertises a batch
+        companion, all cache misses are evaluated in one vectorized
+        in-process call (bit-identical values, no pool dispatch).
+        ``False`` forces per-point evaluation through the executor.
     """
     get_evaluator(spec.evaluator)  # fail fast on unknown evaluators
     defaults = evaluator_defaults(spec.evaluator)
+    use_batch = batch and executor is None
     if executor is None:
         executor = get_executor(jobs)
     store = ResultCache.coerce(cache)
@@ -71,7 +94,9 @@ def run_sweep(
         # explicit-default parameters share one cache record.
         params = point.params
         params.update((k, v) for k, v in defaults.items() if k not in params)
-        key = point_key(spec.evaluator, params)
+        # Content hashing is pure overhead without a store (~20% of the
+        # batch fast path's wall time on dense analytic grids).
+        key = point_key(spec.evaluator, params) if store is not None else None
         cached = store.get(key) if store is not None else None
         if cached is not None:
             records[point.index] = PointRecord(
@@ -83,7 +108,15 @@ def run_sweep(
         else:
             misses.append((point.index, key, params))
 
-    fresh = executor.map([(spec.evaluator, params) for _, _, params in misses])
+    batch_func = get_batch_evaluator(spec.evaluator) if use_batch else None
+    if batch_func is not None:
+        fresh = evaluate_batch(
+            spec.evaluator, [params for _, _, params in misses]
+        )
+    else:
+        fresh = executor.map(
+            [(spec.evaluator, params) for _, _, params in misses]
+        )
     for (index, key, params), outcome in zip(misses, fresh):
         values, meta = outcome["values"], outcome["meta"]
         if store is not None:
@@ -97,11 +130,14 @@ def run_sweep(
                     "solver_version": SOLVER_VERSION,
                 },
             )
+        fresh_meta = dict(meta, cached=False)
+        if key is not None:
+            fresh_meta["key"] = key
         records[index] = PointRecord(
             index=index,
             params=params,
             values=values,
-            meta=dict(meta, cached=False, key=key),
+            meta=fresh_meta,
         )
 
     ordered = tuple(records[point.index] for point in points)
@@ -118,6 +154,7 @@ def run_sweep(
         "cache_hits": len(ordered) - len(misses) if store is not None else 0,
         "cache_misses": len(misses) if store is not None else len(ordered),
         "cache_enabled": store is not None,
+        "batched": batch_func is not None,
         "jobs": getattr(executor, "jobs", 1),
         "events_processed": events,
         "wall_time": wall,

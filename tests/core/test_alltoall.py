@@ -163,3 +163,85 @@ def test_solution_always_within_bounds(work, latency, handler, cv2):
     lower = work + 2 * latency + 2 * handler
     upper = work + 2 * latency + upper_bound_constant(cv2) * handler
     assert lower - 1e-6 <= s.response_time <= upper * (1 + 1e-9) + 1e-6
+
+
+class TestSolveBatch:
+    """Vectorized all-to-all entry points vs per-point solves."""
+
+    def _grid(self):
+        from repro.core.params import AlgorithmParams, LoPCParams
+
+        machines = [
+            MachineParams(latency=st_, handler_time=so, processors=p,
+                          handler_cv2=c2)
+            for st_ in (0.0, 40.0)
+            for so in (128.0, 200.0)
+            for p in (8, 32)
+            for c2 in (0.0, 1.0, 2.0)
+        ]
+        works = (0.0, 2.0, 500.0, 2048.0)
+        return [
+            LoPCParams(machine=m, algorithm=AlgorithmParams(work=w))
+            for m in machines
+            for w in works
+        ]
+
+    def test_bitwise_parity_with_scalar(self):
+        from repro.core.alltoall import solve_batch
+
+        params = self._grid()
+        batch = solve_batch(params)
+        assert len(batch) == len(params)
+        for p, b in zip(params, batch):
+            s = AllToAllModel(p.machine).solve(p.algorithm)
+            assert s.response_time == b.response_time
+            assert s.compute_residence == b.compute_residence
+            assert s.request_residence == b.request_residence
+            assert s.reply_residence == b.reply_residence
+            assert s.throughput == b.throughput
+            assert s.request_queue == b.request_queue
+            assert s.request_utilization == b.request_utilization
+            assert s.meta["iterations"] == b.meta["iterations"]
+            assert b.meta["batched"] is True
+
+    def test_protocol_processor_parity(self):
+        from repro.core.alltoall import solve_batch
+
+        params = self._grid()[:12]
+        batch = solve_batch(params, protocol_processor=True)
+        for p, b in zip(params, batch):
+            s = AllToAllModel(p.machine, protocol_processor=True).solve(
+                p.algorithm
+            )
+            assert s.response_time == b.response_time
+            assert s.compute_residence == b.compute_residence
+
+    def test_solve_many_matches_solve_work(self, paper_machine):
+        model = AllToAllModel(paper_machine)
+        works = [2.0, 64.0, 1024.0]
+        for w, sol in zip(works, model.solve_many(works)):
+            assert sol.response_time == model.solve_work(w).response_time
+
+    def test_empty_batch(self):
+        from repro.core.alltoall import solve_batch
+
+        assert solve_batch([]) == []
+
+    def test_rejects_nonzero_gap(self):
+        from repro.core.alltoall import solve_batch
+        from repro.core.params import AlgorithmParams, LoPCParams
+
+        machine = MachineParams(latency=1.0, handler_time=2.0, processors=4,
+                                gap=1.0)
+        params = [LoPCParams(machine=machine,
+                             algorithm=AlgorithmParams(work=10.0))]
+        with pytest.raises(ValueError, match="gap"):
+            solve_batch(params)
+
+    def test_arrays_validation(self):
+        from repro.core.alltoall import solve_batch_arrays
+
+        with pytest.raises(ValueError, match="handler_time"):
+            solve_batch_arrays([1.0], [1.0], [0.0], [0.0])
+        with pytest.raises(ValueError, match="work"):
+            solve_batch_arrays([-1.0], [1.0], [5.0], [0.0])

@@ -139,3 +139,61 @@ def test_closed_form_optimum_in_range(work, latency, handler, cv2, p):
     exact = model.optimal_servers_exact()
     assert 0.0 < exact < p
     assert 1 <= model.optimal_servers() <= p - 1
+
+
+class TestSolveWorkpileBatch:
+    """Vectorized workpile entry points vs per-split solves."""
+
+    def test_solve_many_bitwise_parity(self):
+        for so, c2 in ((50.0, 0.0), (131.0, 1.0), (200.0, 2.0)):
+            machine = MachineParams(latency=10.0, handler_time=so,
+                                    processors=16, handler_cv2=c2)
+            model = ClientServerModel(machine, work=250.0)
+            batch = model.solve_many()
+            assert len(batch) == machine.processors - 1
+            for ps, b in zip(range(1, machine.processors), batch):
+                s = model.solve(ps)
+                assert s.throughput == b.throughput
+                assert s.response_time == b.response_time
+                assert s.server_residence == b.server_residence
+                assert s.server_queue == b.server_queue
+                assert s.server_utilization == b.server_utilization
+                assert s.meta["iterations"] == b.meta["iterations"]
+                assert b.meta["batched"] is True
+
+    def test_module_function_mixed_machines(self):
+        from repro.core.client_server import solve_workpile_batch
+
+        batch = solve_workpile_batch(
+            [100.0, 400.0], [5.0, 40.0], [50.0, 200.0], [0.0, 1.0],
+            [8, 32], [2, 10],
+        )
+        for b in batch:
+            machine = MachineParams(latency=b.latency,
+                                    handler_time=b.handler_time,
+                                    processors=b.servers + b.clients,
+                                    handler_cv2=b.meta["cv2"])
+            s = ClientServerModel(machine, work=b.work).solve(b.servers)
+            assert s.throughput == b.throughput
+            assert s.response_time == b.response_time
+
+    def test_rejects_bad_split(self):
+        from repro.core.client_server import solve_workpile_batch
+
+        with pytest.raises(ValueError, match="servers"):
+            solve_workpile_batch([1.0], [1.0], [5.0], [0.0], [8], [8])
+        with pytest.raises(ValueError, match="servers"):
+            solve_workpile_batch([1.0], [1.0], [5.0], [0.0], [8], [0])
+
+    def test_rejects_fractional_counts_like_scalar_path(self):
+        # No silent int truncation: the scalar solve(2.5) raises, so the
+        # batch path must too instead of quietly solving Ps=2.
+        from repro.core.client_server import solve_workpile_batch
+
+        with pytest.raises(ValueError, match="servers must be integers"):
+            solve_workpile_batch([10.0], [1.0], [2.0], [0.0], [8], [2.5])
+        with pytest.raises(ValueError, match="processors must be integers"):
+            solve_workpile_batch([10.0], [1.0], [2.0], [0.0], [8.5], [2])
+        # Integer-valued floats are fine.
+        (sol,) = solve_workpile_batch([10.0], [1.0], [2.0], [0.0], [8.0], [2.0])
+        assert sol.servers == 2

@@ -128,3 +128,22 @@ class TestCrossover:
             100.0,
         )
         assert crossover(fast, slow, machine, [2, 4, 8]) is None
+
+
+class TestBatchedRuntimeCurve:
+    def test_lopc_curve_matches_per_point_solves(self):
+        """runtime_curve's batched LoPC path == scalar AllToAllModel."""
+        from dataclasses import replace as dc_replace
+
+        from repro.core.alltoall import AllToAllModel
+
+        machine = MachineParams(latency=40.0, handler_time=200.0,
+                                processors=2, handler_cv2=0.0)
+        spec = matvec_spec(256)
+        counts = [2, 4, 8, 16, 32, 64]
+        curve = runtime_curve(spec, machine, counts, model="lopc")
+        for p, pt in zip(counts, curve):
+            sized = dc_replace(machine, processors=p)
+            ref = AllToAllModel(sized).solve(spec.params_for(p))
+            assert pt.cycle_time == ref.response_time
+            assert pt.runtime == spec.params_for(p).requests * ref.response_time

@@ -8,6 +8,7 @@ import pytest
 from repro.core.solver import (
     ConvergenceError,
     solve_fixed_point,
+    solve_fixed_point_batch,
     solve_scalar_fixed_point,
 )
 
@@ -89,3 +90,98 @@ class TestScalarFixedPoint:
     def test_rejects_inverted_bracket(self):
         with pytest.raises(ValueError, match="lower < upper"):
             solve_scalar_fixed_point(lambda r: r, 5.0, 5.0)
+
+
+class TestSolveFixedPointBatch:
+    """The vectorized kernel vs per-point solve_fixed_point."""
+
+    @staticmethod
+    def _map(targets):
+        # x -> (x + t)/2 has fixed point t, contraction everywhere.
+        def scalar(t):
+            return lambda x: (x + t) / 2.0
+
+        def batched(x, rows):
+            return (x + targets[rows][:, np.newaxis]) / 2.0
+
+        return scalar, batched
+
+    def test_bitwise_parity_with_scalar(self):
+        targets = np.array([1.0, 3.5, 100.0, 0.25])
+        scalar, batched = self._map(targets)
+        batch = solve_fixed_point_batch(
+            batched, np.zeros((4, 1)), damping=0.7, tol=1e-11
+        )
+        assert batch.converged.all()
+        for i, t in enumerate(targets):
+            ref = solve_fixed_point(scalar(t), [0.0], damping=0.7, tol=1e-11)
+            assert batch.value[i, 0] == ref.value[0]
+            assert batch.iterations[i] == ref.iterations
+            assert batch.residual[i] == ref.residual
+
+    def test_points_freeze_at_their_own_iteration(self):
+        # A point starting at its fixed point converges immediately and
+        # must not keep moving while slower points iterate.
+        targets = np.array([5.0, 50.0])
+        _, batched = self._map(targets)
+        batch = solve_fixed_point_batch(
+            batched, np.array([[5.0], [0.0]]), tol=1e-12
+        )
+        assert batch.iterations[0] < batch.iterations[1]
+        assert batch.value[0, 0] == 5.0
+
+    def test_multidimensional_state(self):
+        def batched(x, rows):
+            return np.column_stack([
+                (x[:, 0] + 2.0) / 2.0, (x[:, 1] + 8.0) / 2.0
+            ])
+
+        batch = solve_fixed_point_batch(batched, np.zeros((3, 2)))
+        assert batch.value == pytest.approx(
+            np.tile([2.0, 8.0], (3, 1)), rel=1e-9
+        )
+
+    def test_nonfinite_point_fails_without_killing_batch(self):
+        def batched(x, rows):
+            out = (x + 1.0) / 2.0
+            out[rows == 1] = np.nan
+            return out
+
+        result = solve_fixed_point_batch(
+            batched, np.zeros((3, 1)), raise_on_failure=False
+        )
+        assert result.converged[0] and result.converged[2]
+        assert not result.converged[1]
+        assert np.isinf(result.residual[1])
+
+    def test_nonfinite_point_raises_by_default(self):
+        def batched(x, rows):
+            out = (x + 1.0) / 2.0
+            out[rows == 1] = np.inf
+            return out
+
+        with pytest.raises(ConvergenceError, match=r"\[1\]"):
+            solve_fixed_point_batch(batched, np.zeros((2, 1)))
+
+    def test_max_iter_failure_lists_points(self):
+        def batched(x, rows):
+            return x + 1.0  # diverges
+
+        with pytest.raises(ConvergenceError, match="2/2"):
+            solve_fixed_point_batch(batched, np.zeros((2, 1)), max_iter=5)
+
+    def test_shape_mismatch_rejected(self):
+        def batched(x, rows):
+            return x[:, :1].repeat(3, axis=1)
+
+        with pytest.raises(ValueError, match="shape"):
+            solve_fixed_point_batch(batched, np.zeros((2, 2)))
+
+    def test_parameter_validation(self):
+        ok = lambda x, rows: x
+        with pytest.raises(ValueError, match="damping"):
+            solve_fixed_point_batch(ok, np.zeros((1, 1)), damping=0.0)
+        with pytest.raises(ValueError, match="tol"):
+            solve_fixed_point_batch(ok, np.zeros((1, 1)), tol=0.0)
+        with pytest.raises(ValueError, match="max_iter"):
+            solve_fixed_point_batch(ok, np.zeros((1, 1)), max_iter=0)

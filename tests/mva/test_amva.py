@@ -94,3 +94,42 @@ def test_littles_law_at_fixed_point(demands, population):
     assert np.allclose(
         res.throughput * res.response_times, res.queue_lengths, rtol=1e-6
     )
+
+
+class TestRegressions:
+    """Degenerate-input bugs fixed in the batch-solver PR."""
+
+    @pytest.mark.parametrize("solver", [bard_amva, schweitzer_amva])
+    def test_generator_kinds_not_exhausted(self, solver):
+        # `len(list(kinds))` used to consume a generator before the
+        # queueing mask was built, broadcast-crashing the iteration.
+        kinds = (k for k in ["queueing", "delay", "queueing"])
+        from_gen = solver([1.0, 2.0, 3.0], 5, kinds=kinds)
+        from_list = solver([1.0, 2.0, 3.0], 5,
+                           kinds=["queueing", "delay", "queueing"])
+        assert from_gen.throughput == from_list.throughput
+        assert np.array_equal(from_gen.queue_lengths, from_list.queue_lengths)
+
+    @pytest.mark.parametrize("solver", [bard_amva, schweitzer_amva])
+    def test_rejects_unknown_kind(self, solver):
+        with pytest.raises(ValueError, match="kind"):
+            solver([1.0], 2, kinds=["think"])
+
+    @pytest.mark.parametrize("solver", [bard_amva, schweitzer_amva])
+    def test_zero_demand_zero_think_raises(self, solver):
+        # Used to return inf throughput and NaN queues with
+        # RuntimeWarnings; now rejected up front.
+        with pytest.raises(ValueError, match="degenerate"):
+            solver([0.0, 0.0], 3)
+
+    @pytest.mark.parametrize("solver", [bard_amva, schweitzer_amva])
+    def test_zero_demand_positive_think_is_finite(self, solver):
+        res = solver([0.0, 0.0], 4, think_time=2.0)
+        assert res.throughput == pytest.approx(4 / 2.0)
+        assert np.all(res.queue_lengths == 0.0)
+        assert res.converged
+
+    @pytest.mark.parametrize("solver", [bard_amva, schweitzer_amva])
+    def test_zero_demand_zero_population_is_fine(self, solver):
+        res = solver([0.0], 0)
+        assert res.throughput == 0.0

@@ -1,0 +1,218 @@
+"""Batch MVA kernels vs the scalar reference solvers.
+
+The contract under test: :mod:`repro.mva.batch` stacks a grid of
+networks and must reproduce the scalar solvers point for point -- the
+acceptance bar is 1e-12, but because the vectorized kernels perform the
+same elementwise IEEE operations with per-point masking, most checks
+assert *bitwise* equality.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mva import (
+    bard_amva,
+    batch_bard_amva,
+    batch_exact_mva,
+    batch_schweitzer_amva,
+    exact_mva,
+    schweitzer_amva,
+)
+from repro.mva.batch import BatchMVAResult
+
+SCALAR = {
+    "exact": exact_mva,
+    "bard": bard_amva,
+    "schweitzer": schweitzer_amva,
+}
+BATCH = {
+    "exact": batch_exact_mva,
+    "bard": batch_bard_amva,
+    "schweitzer": batch_schweitzer_amva,
+}
+METHODS = tuple(SCALAR)
+
+
+def random_grid(seed, n_points=60, n_centers=4, max_pop=30):
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(0.0, 8.0, size=(n_points, n_centers))
+    populations = rng.integers(0, max_pop + 1, size=n_points)
+    think_times = np.where(
+        rng.random(n_points) < 0.3, 0.0, rng.uniform(0.0, 20.0, n_points)
+    )
+    # Keep zero-demand rows non-degenerate: give them think time.
+    dead = ~np.any(demands > 0, axis=1) & (think_times == 0.0)
+    think_times[dead] = 1.0
+    kinds = ["queueing", "delay", "queueing", "queueing"][:n_centers]
+    return demands, populations, think_times, kinds
+
+
+def assert_point_matches(scalar, batch_result, i, exact=True):
+    b = batch_result.point(i)
+    fields = ("throughput", "cycle_time")
+    arrays = ("response_times", "queue_lengths", "utilizations")
+    if exact:
+        for f in fields:
+            assert getattr(scalar, f) == getattr(b, f), f
+        for f in arrays:
+            assert np.array_equal(getattr(scalar, f), getattr(b, f)), f
+    else:
+        for f in fields:
+            assert getattr(scalar, f) == pytest.approx(
+                getattr(b, f), rel=1e-12, abs=1e-12
+            ), f
+        for f in arrays:
+            np.testing.assert_allclose(
+                getattr(scalar, f), getattr(b, f), rtol=1e-12, atol=1e-12
+            )
+
+
+class TestBatchExactParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_grid_bitwise(self, seed):
+        demands, pops, thinks, kinds = random_grid(seed)
+        result = batch_exact_mva(demands, pops, thinks, kinds)
+        assert isinstance(result, BatchMVAResult)
+        assert len(result) == len(pops)
+        for i in range(len(pops)):
+            scalar = exact_mva(demands[i], int(pops[i]), float(thinks[i]),
+                               kinds)
+            assert_point_matches(scalar, result, i)
+        assert result.converged.all()
+        assert np.array_equal(result.iterations, pops)
+
+    def test_all_delay_centres(self):
+        demands = np.array([[1.0, 2.0], [3.0, 0.5]])
+        result = batch_exact_mva(demands, [5, 9], 0.0, ["delay", "delay"])
+        for i in range(2):
+            scalar = exact_mva(demands[i], [5, 9][i], 0.0, ["delay", "delay"])
+            assert_point_matches(scalar, result, i)
+
+    def test_shared_demand_row_broadcasts(self):
+        demands = np.array([2.0, 3.0, 1.0])
+        pops = np.array([1, 4, 16])
+        result = batch_exact_mva(demands, pops)
+        for i, n in enumerate(pops):
+            assert_point_matches(exact_mva(demands, int(n)), result, i)
+
+    def test_scalar_population_broadcasts(self):
+        demands = np.array([[2.0, 1.0], [0.5, 4.0]])
+        result = batch_exact_mva(demands, 7, 3.0)
+        for i in range(2):
+            assert_point_matches(exact_mva(demands[i], 7, 3.0), result, i)
+
+
+class TestBatchAMVAParity:
+    @pytest.mark.parametrize("method", ["bard", "schweitzer"])
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_randomized_grid_bitwise(self, method, seed):
+        demands, pops, thinks, kinds = random_grid(seed)
+        result = BATCH[method](demands, pops, thinks, kinds)
+        assert result.converged.all()
+        for i in range(len(pops)):
+            scalar = SCALAR[method](demands[i], int(pops[i]),
+                                    float(thinks[i]), kinds)
+            assert_point_matches(scalar, result, i)
+            b = result.point(i)
+            assert scalar.iterations == b.iterations
+            assert scalar.converged == b.converged
+
+    @pytest.mark.parametrize("method", ["bard", "schweitzer"])
+    def test_iteration_cap_matches_scalar(self, method):
+        # Force non-convergence with a tiny iteration budget; the frozen
+        # state must equal the scalar solver's.
+        demands = np.array([[5.0, 2.0], [1.0, 8.0]])
+        result = BATCH[method](demands, [12, 30], 0.0, None,
+                               tol=1e-15, max_iter=3)
+        for i in range(2):
+            scalar = SCALAR[method](demands[i], [12, 30][i], 0.0, None,
+                                    tol=1e-15, max_iter=3)
+            assert_point_matches(scalar, result, i)
+            assert not result.converged[i]
+            assert result.iterations[i] == 3
+
+    def test_population_zero_points(self):
+        demands = np.array([[2.0, 3.0], [1.0, 1.0]])
+        result = batch_bard_amva(demands, [0, 5])
+        scalar0 = bard_amva(demands[0], 0)
+        assert_point_matches(scalar0, result, 0)
+        assert result.converged[0]
+        assert result.iterations[0] == 0
+        assert result.throughput[0] == 0.0
+
+    @given(
+        n_centers=st.integers(1, 5),
+        n_points=st.integers(1, 12),
+        seed=st.integers(0, 2**31),
+        method=st.sampled_from(METHODS),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_parity_mixed_grids(self, n_centers, n_points, seed,
+                                         method):
+        rng = np.random.default_rng(seed)
+        demands = rng.uniform(0.0, 5.0, size=(n_points, n_centers))
+        pops = rng.integers(0, 15, size=n_points)
+        thinks = rng.uniform(0.1, 10.0, size=n_points)
+        kinds = [
+            "delay" if rng.random() < 0.3 else "queueing"
+            for _ in range(n_centers)
+        ]
+        result = BATCH[method](demands, pops, thinks, kinds)
+        for i in range(n_points):
+            scalar = SCALAR[method](demands[i], int(pops[i]),
+                                    float(thinks[i]), kinds)
+            assert_point_matches(scalar, result, i, exact=False)
+
+
+class TestBatchValidation:
+    def test_rejects_negative_demands(self):
+        with pytest.raises(ValueError, match="demands"):
+            batch_exact_mva([[1.0, -0.5]], 3)
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError, match="populations"):
+            batch_bard_amva([[1.0]], -2)
+
+    def test_rejects_fractional_population(self):
+        with pytest.raises(ValueError, match="integer"):
+            batch_bard_amva([[1.0]], [1.5])
+
+    def test_rejects_negative_think_time(self):
+        with pytest.raises(ValueError, match="think_times"):
+            batch_schweitzer_amva([[1.0]], 2, -1.0)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            batch_exact_mva([[1.0, 2.0]], 3, 0.0, ["queueing", "think"])
+
+    def test_rejects_kinds_length_mismatch(self):
+        with pytest.raises(ValueError, match="entries"):
+            batch_exact_mva([[1.0, 2.0]], 3, 0.0, ["queueing"])
+
+    def test_rejects_mismatched_point_counts(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            batch_exact_mva(np.ones((4, 2)), [1, 2, 3])
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_rejects_degenerate_zero_demand_points(self, method):
+        demands = np.array([[1.0, 2.0], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="degenerate"):
+            BATCH[method](demands, 4, 0.0)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_zero_demand_with_think_time_is_fine(self, method):
+        result = BATCH[method](np.zeros((2, 2)), 6, 3.0)
+        assert result.throughput == pytest.approx(6 / 3.0)
+        assert np.all(result.queue_lengths == 0.0)
+
+    def test_generator_kinds_accepted(self):
+        # Regression companion to the scalar `_amva` generator bug: a
+        # one-shot iterable must survive validation and the mask build.
+        demands = np.array([[1.0, 2.0, 3.0]])
+        kinds = (k for k in ["queueing", "delay", "queueing"])
+        result = batch_bard_amva(demands, 5, 0.0, kinds)
+        scalar = bard_amva(demands[0], 5, 0.0,
+                           ["queueing", "delay", "queueing"])
+        assert_point_matches(scalar, result, 0)

@@ -107,3 +107,27 @@ def test_littles_law_holds_everywhere(demands, population, think):
     )
     total = float(res.queue_lengths.sum()) + res.throughput * think
     assert total == pytest.approx(population, rel=1e-9)
+
+
+class TestDegenerateRegressions:
+    """Zero-demand networks: clean ValueError instead of inf/NaN."""
+
+    def test_zero_demand_zero_think_raises(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            exact_mva([0.0, 0.0], 2)
+
+    def test_zero_demand_positive_think_is_finite(self):
+        res = exact_mva([0.0, 0.0], 6, think_time=3.0)
+        assert res.throughput == pytest.approx(6 / 3.0)
+        assert np.all(res.queue_lengths == 0.0)
+        assert np.all(np.isfinite(res.response_times))
+
+    def test_zero_demand_zero_population_is_fine(self):
+        res = exact_mva([0.0], 0)
+        assert res.throughput == 0.0
+
+    def test_generator_kinds_accepted(self):
+        kinds = (k for k in ["queueing", "delay"])
+        res = exact_mva([1.0, 2.0], 4, kinds=kinds)
+        ref = exact_mva([1.0, 2.0], 4, kinds=["queueing", "delay"])
+        assert res.throughput == ref.throughput

@@ -1,0 +1,204 @@
+"""The sweep runner's vectorized fast path.
+
+Analytic evaluators advertise batch capability; the runner must route
+their cache misses through one vectorized call that is *byte-identical*
+to per-point evaluation, while simulation evaluators keep the executor
+path.  Figure parity is covered at the table level too: the migrated
+analytic figure portions must render identically either way.
+"""
+
+import pytest
+
+import repro.sweep.evaluators as evaluators_mod
+from repro.experiments import format_table, get_experiment
+from repro.sweep import (
+    GridAxis,
+    ResultCache,
+    SweepSpec,
+    evaluate_batch,
+    get_batch_evaluator,
+    register_batch_evaluator,
+    register_evaluator,
+    run_sweep,
+)
+
+_BASE = {"P": 32, "St": 40.0, "So": 200.0, "C2": 0.0}
+
+
+def _model_spec(works=(2.0, 64.0, 1024.0), name="batch-test"):
+    return SweepSpec(name=name, evaluator="alltoall-model", base=_BASE,
+                     axes=(GridAxis("W", tuple(works)),))
+
+
+class TestBatchRegistry:
+    def test_analytic_evaluators_advertise_batch(self):
+        for name in ("alltoall-model", "alltoall-bounds", "workpile-model"):
+            assert get_batch_evaluator(name) is not None
+
+    def test_sim_evaluators_do_not(self):
+        for name in ("alltoall-sim", "workpile-sim", "workpile-bounds"):
+            assert get_batch_evaluator(name) is None
+
+    def test_unknown_evaluator_raises(self):
+        with pytest.raises(KeyError, match="bogus"):
+            get_batch_evaluator("bogus")
+
+    def test_batch_requires_scalar_first(self):
+        with pytest.raises(KeyError):
+            register_batch_evaluator("no-scalar-here")(lambda ps: [])
+
+    def test_duplicate_batch_registration_rejected(self, monkeypatch):
+        monkeypatch.setitem(evaluators_mod._EVALUATORS, "dup-test",
+                            lambda p: {})
+        register_batch_evaluator("dup-test")(lambda ps: [{} for _ in ps])
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_batch_evaluator("dup-test")(lambda ps: [])
+        finally:
+            evaluators_mod._BATCH_EVALUATORS.pop("dup-test", None)
+
+    def test_evaluate_batch_checks_length(self, monkeypatch):
+        monkeypatch.setitem(evaluators_mod._EVALUATORS, "short", lambda p: {})
+        monkeypatch.setitem(evaluators_mod._BATCH_EVALUATORS, "short",
+                            lambda ps: [{}])
+        with pytest.raises(ValueError, match="2 points"):
+            evaluate_batch("short", [{"a": 1}, {"a": 2}])
+
+    def test_evaluate_batch_without_companion_raises(self):
+        with pytest.raises(KeyError, match="batch companion"):
+            evaluate_batch("alltoall-sim", [{}])
+
+
+class TestRunnerFastPath:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            _model_spec(),
+            SweepSpec(name="bounds", evaluator="alltoall-bounds", base=_BASE,
+                      axes=(GridAxis("W", (2.0, 64.0, 1024.0)),)),
+            SweepSpec(name="workpile", evaluator="workpile-model",
+                      base={"P": 16, "St": 10.0, "So": 131.0, "C2": 0.0,
+                            "W": 250.0},
+                      axes=(GridAxis("Ps", tuple(range(1, 16))),)),
+        ],
+        ids=lambda s: s.evaluator,
+    )
+    def test_byte_identical_to_scalar_path(self, spec):
+        fast = run_sweep(spec)
+        slow = run_sweep(spec, batch=False)
+        assert fast.metadata["batched"] is True
+        assert slow.metadata["batched"] is False
+        assert [r.values for r in fast] == [r.values for r in slow]
+        assert [r.params for r in fast] == [r.params for r in slow]
+
+    def test_records_flag_batch_provenance(self):
+        result = run_sweep(_model_spec())
+        for record in result:
+            assert record.meta["batched"] is True
+            assert record.meta["wall_time"] >= 0.0
+
+    def test_scalar_evaluator_not_called_on_batch_path(self, monkeypatch):
+        def explode(params):
+            raise AssertionError("scalar evaluator ran on the batch path")
+
+        monkeypatch.setitem(evaluators_mod._EVALUATORS, "alltoall-model",
+                            explode)
+        result = run_sweep(_model_spec())
+        assert result.metadata["cache_misses"] == 3
+
+    def test_batch_and_scalar_share_cache_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_sweep(_model_spec(), cache=cache)
+        assert cold.metadata["cache_misses"] == 3
+        # Scalar-path rerun: every batch-written record hits.
+        warm = run_sweep(_model_spec(), cache=cache, batch=False)
+        assert warm.metadata["cache_misses"] == 0
+        assert [r.values for r in warm] == [r.values for r in cold]
+
+    def test_scalar_written_cache_serves_batch_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_model_spec(), cache=cache, batch=False)
+        warm = run_sweep(_model_spec(), cache=cache)
+        assert warm.metadata["cache_misses"] == 0
+
+    def test_partial_cache_batches_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(_model_spec(works=(2.0, 64.0)), cache=cache)
+        result = run_sweep(_model_spec(works=(2.0, 64.0, 1024.0)),
+                           cache=cache)
+        assert result.metadata["cache_hits"] == 2
+        assert result.metadata["cache_misses"] == 1
+        cached_flags = [r.meta["cached"] for r in result]
+        assert cached_flags == [True, True, False]
+
+    def test_explicit_executor_disables_batch_path(self):
+        # Passing a constructed executor is an instruction to use it.
+        from repro.sweep import SerialExecutor
+
+        result = run_sweep(_model_spec(), executor=SerialExecutor())
+        assert result.metadata["batched"] is False
+        assert all("batched" not in r.meta for r in result)
+        assert [r.values for r in result] == [
+            r.values for r in run_sweep(_model_spec())
+        ]
+
+    def test_jobs_ignored_on_batch_path(self):
+        # jobs>1 must not fork the values (no pool on the batch path).
+        serial = run_sweep(_model_spec())
+        parallel = run_sweep(_model_spec(), jobs=4)
+        assert [r.values for r in serial] == [r.values for r in parallel]
+
+    def test_registered_batch_capability_is_used(self, monkeypatch):
+        calls = []
+
+        @register_evaluator("batch-cap-test")
+        def scalar(params):
+            return {"y": params["x"]}
+
+        @register_batch_evaluator("batch-cap-test")
+        def batched(params_list):
+            calls.append(len(params_list))
+            return [{"y": p["x"]} for p in params_list]
+
+        try:
+            spec = SweepSpec(name="cap", evaluator="batch-cap-test",
+                             axes=(GridAxis("x", (1, 2, 3)),))
+            result = run_sweep(spec)
+            assert calls == [3]
+            assert [r.values["y"] for r in result] == [1, 2, 3]
+        finally:
+            evaluators_mod._EVALUATORS.pop("batch-cap-test", None)
+            evaluators_mod._BATCH_EVALUATORS.pop("batch-cap-test", None)
+
+
+class TestFigureParity:
+    """Migrated analytic figure portions: byte-identical tables."""
+
+    def test_fig51_sweep_byte_identical(self):
+        # The experiment calls run_sweep with its default (batch) path;
+        # the same spec solved point-by-point must match byte for byte.
+        from repro.experiments.fig5_1 import sweep_spec
+
+        spec = sweep_spec(1000.0, (128, 256), [0.0, 0.5, 1.0], 40.0, 32)
+        fast = run_sweep(spec)
+        slow = run_sweep(spec, batch=False)
+        assert [r.values for r in fast] == [r.values for r in slow]
+
+    def test_fig51_table_stable_under_batch_migration(self, tmp_path):
+        # Rendered table from a batch-cached run == scalar-cached run.
+        run = get_experiment("fig-5.1")
+        kwargs = {"handlers": (128, 512), "cv2_values": [0.0, 1.0, 2.0]}
+        assert format_table(run(**kwargs)) == format_table(
+            run(**kwargs, cache=ResultCache(tmp_path))
+        )
+
+    def test_fig52_model_and_bounds_byte_identical(self):
+        from repro.experiments.fig5_2 import sweep_specs
+
+        bounds_spec, model_spec, _ = sweep_specs(
+            (2, 32, 256, 1024), 32, 40.0, 200.0, 0.0, 120, 1
+        )
+        for spec in (bounds_spec, model_spec):
+            fast = run_sweep(spec)
+            slow = run_sweep(spec, batch=False)
+            assert [r.values for r in fast] == [r.values for r in slow]

@@ -31,11 +31,13 @@ MODULES = [
     "repro.experiments.common",
     "repro.mva.amva",
     "repro.mva.bard",
+    "repro.mva.batch",
     "repro.mva.bkt",
     "repro.mva.chandy_lakshmi",
     "repro.mva.exact",
     "repro.mva.littles_law",
     "repro.mva.multiclass",
+    "repro.mva.network",
     "repro.mva.residual",
     "repro.sim.distributions",
     "repro.sim.engine",
