@@ -1,0 +1,165 @@
+"""Benchmark: vectorized multi-class batch kernels vs scalar per-point MVA.
+
+The PR-3 acceptance number: on a >= 500-point heterogeneous grid the
+multi-class batch kernels must be bit-identical to the scalar
+``multiclass_mva`` / ``multiclass_amva`` solvers at *every* point and
+deliver >= 10x their points/sec.  The same bar is applied to the sweep
+engine's ``multiclass-mva`` fast path.
+
+``extra_info`` records points/sec and the speedup for both paths;
+``benchmarks/perf_gate.py`` turns the raw pytest-benchmark JSON into the
+``BENCH_multiclass.json`` artifact CI tracks across PRs and gates
+against the committed baseline.
+"""
+
+import time
+
+import numpy as np
+
+from repro.mva import (
+    batch_multiclass_amva,
+    batch_multiclass_mva,
+    multiclass_amva,
+    multiclass_mva,
+)
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+
+_POINTS = 600
+_SPEEDUP_FLOOR = 10.0
+
+
+def _grid(n_points=_POINTS, n_classes=2, n_centers=3, seed=20260729):
+    """A heterogeneous two-class grid: mixed demands, pops and thinks."""
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(0.2, 5.0, size=(n_points, n_classes, n_centers))
+    populations = rng.integers(0, 6, size=(n_points, n_classes))
+    think_times = rng.uniform(0.0, 20.0, size=(n_points, n_classes))
+    return demands, populations, think_times
+
+
+def _best_of(func, repeats=3):
+    """Min-of-N wall time (and last result) -- the speedup ratio must not
+    hinge on one scheduler stall on a noisy CI runner."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_bit_identical_exact(scalar, batch, n_points):
+    for i in range(n_points):
+        assert np.array_equal(scalar[i].throughputs, batch.throughputs[i])
+        assert np.array_equal(scalar[i].response_times,
+                              batch.response_times[i])
+        assert np.array_equal(scalar[i].queue_lengths, batch.queue_lengths[i])
+        assert np.array_equal(scalar[i].cycle_times, batch.cycle_times[i])
+
+
+def test_batch_multiclass_exact_speedup(benchmark):
+    """batch_multiclass_mva >= 10x scalar multiclass_mva, bit-identical."""
+    demands, populations, think_times = _grid()
+
+    scalar_elapsed, scalar = _best_of(lambda: [
+        multiclass_mva(demands[i], populations[i], think_times[i])
+        for i in range(_POINTS)
+    ], repeats=2)
+
+    benchmark.pedantic(
+        batch_multiclass_mva,
+        args=(demands, populations, think_times),
+        iterations=1,
+        rounds=3,
+    )
+    batch_elapsed, result = _best_of(
+        lambda: batch_multiclass_mva(demands, populations, think_times)
+    )
+
+    # The acceptance bar: bit-identical at every point of the grid.
+    _assert_bit_identical_exact(scalar, result, _POINTS)
+
+    speedup = scalar_elapsed / batch_elapsed
+    benchmark.extra_info["points"] = _POINTS
+    benchmark.extra_info["scalar_points_per_sec"] = _POINTS / scalar_elapsed
+    benchmark.extra_info["batch_points_per_sec"] = _POINTS / batch_elapsed
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= _SPEEDUP_FLOOR, (
+        f"multi-class exact batch only {speedup:.1f}x scalar (floor "
+        f"{_SPEEDUP_FLOOR:.0f}x) on {_POINTS} points"
+    )
+
+
+def test_batch_multiclass_amva_speedup(benchmark):
+    """batch_multiclass_amva >= 10x scalar multiclass_amva, bit-identical."""
+    demands, populations, think_times = _grid()
+
+    scalar_elapsed, scalar = _best_of(lambda: [
+        multiclass_amva(demands[i], populations[i], think_times[i])
+        for i in range(_POINTS)
+    ], repeats=2)
+
+    benchmark.pedantic(
+        batch_multiclass_amva,
+        args=(demands, populations, think_times),
+        iterations=1,
+        rounds=3,
+    )
+    batch_elapsed, result = _best_of(
+        lambda: batch_multiclass_amva(demands, populations, think_times)
+    )
+
+    for i in range(_POINTS):
+        assert np.array_equal(scalar[i].throughputs, result.throughputs[i])
+        assert np.array_equal(scalar[i].queue_lengths,
+                              result.queue_lengths[i])
+        assert scalar[i].iterations == result.iterations[i]
+        assert scalar[i].converged == bool(result.converged[i])
+
+    speedup = scalar_elapsed / batch_elapsed
+    benchmark.extra_info["points"] = _POINTS
+    benchmark.extra_info["scalar_points_per_sec"] = _POINTS / scalar_elapsed
+    benchmark.extra_info["batch_points_per_sec"] = _POINTS / batch_elapsed
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= _SPEEDUP_FLOOR, (
+        f"multi-class AMVA batch only {speedup:.1f}x scalar (floor "
+        f"{_SPEEDUP_FLOOR:.0f}x) on {_POINTS} points"
+    )
+
+
+def test_multiclass_sweep_fast_path_speedup(benchmark):
+    """run_sweep's multiclass-mva batch routing >= 10x per-point dispatch."""
+    n0 = tuple(range(9))
+    n1 = tuple(range(1, 9))
+    thinks = tuple(float(z) for z in np.linspace(1.0, 80.0, 10))
+    spec = SweepSpec(
+        name="bench/multiclass-grid",
+        evaluator="multiclass-mva",
+        base={"D0_0": 0.5, "D0_1": 1.0, "D0_2": 2.0,
+              "D1_0": 2.0, "D1_1": 0.25, "D1_2": 1.5,
+              "Z1": 40.0, "method": "bard"},
+        axes=(GridAxis("N0", n0), GridAxis("N1", n1), GridAxis("Z0", thinks)),
+    )
+    n_points = len(n0) * len(n1) * len(thinks)
+    assert n_points >= 500
+
+    scalar_elapsed, pointwise = _best_of(
+        lambda: run_sweep(spec, batch=False), repeats=2
+    )
+
+    benchmark.pedantic(run_sweep, args=(spec,), iterations=1, rounds=3)
+    batch_elapsed, result = _best_of(lambda: run_sweep(spec))
+
+    assert result.metadata["batched"] is True
+    assert [r.values for r in result] == [r.values for r in pointwise]
+
+    speedup = scalar_elapsed / batch_elapsed
+    benchmark.extra_info["points"] = n_points
+    benchmark.extra_info["scalar_points_per_sec"] = n_points / scalar_elapsed
+    benchmark.extra_info["batch_points_per_sec"] = n_points / batch_elapsed
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= _SPEEDUP_FLOOR, (
+        f"multiclass sweep fast path only {speedup:.1f}x point-wise "
+        f"dispatch on {n_points} points"
+    )

@@ -47,7 +47,12 @@ from repro.core.solver import solve_fixed_point, solve_fixed_point_batch
 from repro.mva.network import as_integer_array
 from repro.mva.residual import residual_correction
 
-__all__ = ["ClientServerModel", "WorkpileSolution", "solve_workpile_batch"]
+__all__ = [
+    "ClientServerModel",
+    "WorkpileSolution",
+    "solve_workpile_batch",
+    "workpile_bounds_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -377,3 +382,61 @@ def solve_workpile_batch(
         )
         for i in range(w.size)
     ]
+
+
+def workpile_bounds_batch(
+    works: Sequence[float] | np.ndarray,
+    latencies: Sequence[float] | np.ndarray,
+    handler_times: Sequence[float] | np.ndarray,
+    processors: Sequence[int] | np.ndarray,
+    servers: Sequence[int] | np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Vectorized LogP-style workpile throughput bounds (Figure 6-2).
+
+    The closed forms of :meth:`repro.core.logp.LogPModel.workpile_server_bound`
+    and :meth:`~repro.core.logp.LogPModel.workpile_client_bound` over a
+    whole ``(points,)`` grid::
+
+        server_bound = Ps / So
+        client_bound = Pc / (W + 2 St + 2 So)
+
+    Inputs broadcast to a common ``(points,)`` shape; validation matches
+    the scalar methods (``1 <= Ps <= P - 1`` so both bounds exist).  The
+    expressions are the same IEEE operations as the scalar methods, so
+    the returned arrays are bit-identical to per-point
+    :class:`~repro.core.logp.LogPModel` calls.
+
+    Returns a mapping with ``(points,)`` arrays ``server_bound``,
+    ``client_bound`` and ``bound`` (the elementwise binding minimum).
+    """
+    w, st, so, p, ps = np.broadcast_arrays(
+        np.asarray(works, dtype=float),
+        np.asarray(latencies, dtype=float),
+        np.asarray(handler_times, dtype=float),
+        as_integer_array(processors, "processors"),
+        as_integer_array(servers, "servers"),
+    )
+    w, st, so = (np.atleast_1d(a).ravel().copy() for a in (w, st, so))
+    p, ps = (np.atleast_1d(a).ravel().copy() for a in (p, ps))
+    if np.any(w < 0):
+        raise ValueError("work (W) must be >= 0")
+    if np.any(st < 0):
+        raise ValueError("latency (St) must be >= 0")
+    if np.any(so <= 0):
+        raise ValueError("handler_time (So) must be > 0")
+    if np.any(p < 2):
+        raise ValueError("processors (P) must be >= 2")
+    if np.any((ps < 1) | (ps > p - 1)):
+        bad = np.flatnonzero((ps < 1) | (ps > p - 1))
+        raise ValueError(
+            f"servers must lie in [1, P-1]; violated at point(s) "
+            f"{bad.tolist()}"
+        )
+    clients = p - ps
+    server_bound = ps / so
+    client_bound = clients / (w + 2.0 * st + 2.0 * so)
+    return {
+        "server_bound": server_bound,
+        "client_bound": client_bound,
+        "bound": np.minimum(server_bound, client_bound),
+    }

@@ -37,9 +37,14 @@ import numpy as np
 
 from repro.core.params import MachineParams
 from repro.core.results import ModelSolution
-from repro.core.solver import solve_fixed_point
+from repro.core.solver import solve_fixed_point, solve_fixed_point_batch
 
-__all__ = ["GeneralLoPCModel", "GeneralSolution", "ThreadClass"]
+__all__ = [
+    "GeneralLoPCModel",
+    "GeneralSolution",
+    "ThreadClass",
+    "solve_general_batch",
+]
 
 #: Floor for the BKT denominator during transient iterations (see
 #: GeneralLoPCModel._update); converged solutions are validated separately.
@@ -381,3 +386,159 @@ def residual_correction_vec(utilization: np.ndarray, cv2: float) -> np.ndarray:
     if cv2 < 0:
         raise ValueError(f"cv2 must be >= 0, got {cv2!r}")
     return 0.5 * (cv2 - 1.0) * np.asarray(utilization, dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized batch entry point
+# ---------------------------------------------------------------------------
+def solve_general_batch(
+    models: Sequence[GeneralLoPCModel],
+) -> list[GeneralSolution]:
+    """Solve many Appendix-A models in one masked batch fixed point.
+
+    All models must share the same node count ``P`` and the same solver
+    controls (``damping``, ``tol``, ``max_iter``) -- the masked
+    iteration applies one stopping rule to every point.  Everything else
+    (machine scalars, works, visit matrices, ``protocol_processor``) may
+    differ point to point.
+
+    The state is the ``(points, 3, P)`` stack of per-node residences
+    ``[Rw, Rq, Ry]`` driven through
+    :func:`repro.core.solver.solve_fixed_point_batch`; each point
+    freezes at its own convergence iteration.  The per-point matrix
+    products use batched ``np.matmul``, which reproduces the scalar
+    ``visits @ v`` products bit for bit on mainstream BLAS builds
+    (asserted by this repo's test environment); results always agree
+    with per-model :meth:`GeneralLoPCModel.solve` to solver tolerance.
+    ``meta["batched"] = True`` marks the provenance.
+
+    A point that saturates a node (``Uq >= 1``) raises the same
+    :class:`ValueError` the scalar path raises, naming the point; a
+    point whose iterates go non-finite surfaces as a
+    :class:`~repro.core.solver.ConvergenceError` after the loop.
+    """
+    if len(models) == 0:
+        return []
+    first = models[0]
+    p = first.machine.processors
+    for i, model in enumerate(models):
+        if model.machine.processors != p:
+            raise ValueError(
+                f"all models must share P; model 0 has P={p}, model {i} "
+                f"has P={model.machine.processors}"
+            )
+        if (
+            model.damping != first.damping
+            or model.tol != first.tol
+            or model.max_iter != first.max_iter
+        ):
+            raise ValueError(
+                "all models must share damping/tol/max_iter; model "
+                f"{i} differs from model 0"
+            )
+
+    n_points = len(models)
+    so = np.array([m.machine.handler_time for m in models])
+    st = np.array([m.machine.latency for m in models])
+    cv2 = np.array([m.machine.handler_cv2 for m in models])
+    pp = np.array([m.protocol_processor for m in models])
+    active = np.stack([m.active for m in models])
+    works = np.where(active, np.stack([m.works for m in models]), 0.0)
+    visits = np.stack([m.visits for m in models])
+    # Keep the transpose a *view*: the scalar path computes
+    # ``visits.T @ x`` on the untransposed storage, and matching its
+    # BLAS path (transposed gemv) is what keeps batch == scalar bitwise.
+    visits_t = visits.transpose(0, 2, 1)
+
+    def update(state: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        rw, rq, ry = state[:, 0], state[:, 1], state[:, 2]
+        so_r = so[rows][:, np.newaxis]
+        st_r = st[rows][:, np.newaxis]
+        cv2_r = cv2[rows][:, np.newaxis]
+        with np.errstate(all="ignore"):
+            # A.10: total cycle per active thread.
+            r = rw + np.matmul(
+                visits[rows], (st_r + rq)[:, :, np.newaxis]
+            )[:, :, 0] + st_r + ry
+            x = np.where(
+                active[rows], 1.0 / np.maximum(r, 1e-300), 0.0
+            )  # A.1
+            arrivals = np.matmul(
+                visits_t[rows], x[:, :, np.newaxis]
+            )[:, :, 0]  # sum_c X_ck per node k  (A.2/A.3)
+            uq = so_r * arrivals  # A.3
+            uy = so_r * x  # A.4 (thread k's replies arrive at node k)
+            qq = rq * arrivals  # A.5
+            qy = ry * x  # A.6
+
+            corr_q = 0.5 * (cv2_r - 1.0) * uq
+            corr_y = 0.5 * (cv2_r - 1.0) * uy
+            new_rq = so_r * (1.0 + qq + qy + corr_q + corr_y)  # A.7 / 5.9
+            new_ry = so_r * (1.0 + qq + corr_q)  # A.8 / 5.10
+            # See _update: transient Uq >= 1 iterates are clamped so the
+            # iteration can recover; converged points are re-checked below.
+            denom = np.maximum(1.0 - uq, _BKT_DENOM_FLOOR)
+            new_rw = np.where(
+                pp[rows][:, np.newaxis], works[rows],
+                (works[rows] + so_r * qq) / denom,  # A.9
+            )
+        return np.stack([new_rw, new_rq, new_ry], axis=1)
+
+    initial = np.stack(
+        [works, so[:, np.newaxis] * np.ones((n_points, p)),
+         so[:, np.newaxis] * np.ones((n_points, p))],
+        axis=1,
+    )
+    result = solve_fixed_point_batch(
+        update,
+        initial,
+        damping=first.damping,
+        tol=first.tol,
+        max_iter=first.max_iter,
+    )
+
+    rw, rq, ry = result.value[:, 0], result.value[:, 1], result.value[:, 2]
+    r = rw + np.matmul(
+        visits, (st[:, np.newaxis] + rq)[:, :, np.newaxis]
+    )[:, :, 0] + st[:, np.newaxis] + ry
+    r = np.where(active, r, np.inf)
+    x = np.where(active, 1.0 / r, 0.0)
+    arrivals = np.matmul(visits_t, x[:, :, np.newaxis])[:, :, 0]
+    uq = so[:, np.newaxis] * arrivals
+    saturated = ~pp[:, np.newaxis] & (uq >= 1.0 - _BKT_DENOM_FLOOR)
+    if np.any(saturated):
+        point = int(np.flatnonzero(np.any(saturated, axis=1))[0])
+        worst = int(np.argmax(arrivals[point]))
+        raise ValueError(
+            f"modelled pattern saturates node {worst} of point {point} "
+            f"(request-handler utilisation {uq[point, worst]:.3f}); "
+            "LoPC requires Uq < 1"
+        )
+
+    solutions = []
+    for i, model in enumerate(models):
+        solutions.append(
+            GeneralSolution(
+                response_times=r[i],
+                compute_residences=np.where(active[i], rw[i], 0.0),
+                request_residences=rq[i],
+                reply_residences=ry[i],
+                throughputs=x[i],
+                request_queues=rq[i] * arrivals[i],
+                reply_queues=ry[i] * x[i],
+                request_utilizations=uq[i],
+                reply_utilizations=so[i] * x[i],
+                works=model.works,
+                latency=float(st[i]),
+                handler_time=float(so[i]),
+                meta={
+                    "model": "lopc-general",
+                    "protocol_processor": bool(pp[i]),
+                    "iterations": int(result.iterations[i]),
+                    "residual": float(result.residual[i]),
+                    "cv2": float(cv2[i]),
+                    "batched": True,
+                },
+            )
+        )
+    return solutions

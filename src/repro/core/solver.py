@@ -14,10 +14,15 @@ reproducible numerical strategies:
   analytically.
 * :func:`solve_fixed_point_batch` -- the vectorized counterpart of
   :func:`solve_fixed_point`: one damped iteration over a whole
-  ``(points, dims)`` stack of independent maps with per-point
-  convergence masking, bit-identical to per-point scalar solves.  The
-  batch model entry points (:func:`repro.core.alltoall.solve_batch`,
-  :func:`repro.core.client_server.solve_workpile_batch`) and the sweep
+  ``(points, *dims)`` stack of independent maps with per-point
+  convergence masking, bit-identical to per-point scalar solves.
+  States may carry structure in the trailing axes (the multi-class
+  ``(points, classes, centres)`` layout, or the general model's
+  ``(points, 3, P)`` residence stack); the residual reduces over all of
+  them.  The batch model entry points
+  (:func:`repro.core.alltoall.solve_batch`,
+  :func:`repro.core.client_server.solve_workpile_batch`,
+  :func:`repro.core.general.solve_general_batch`) and the sweep
   engine's vectorized fast path are built on it.
 
 Both return diagnostics so callers (and tests) can verify convergence
@@ -141,7 +146,8 @@ class BatchFixedPointResult:
     Attributes
     ----------
     value:
-        ``(points, dims)`` array of per-point solutions.
+        ``(points, *dims)`` array of per-point solutions (same shape as
+        the ``initial`` the solve was started from).
     iterations:
         ``(points,)`` -- iterations each point ran before freezing.
     residual:
@@ -172,14 +178,18 @@ def solve_fixed_point_batch(
     """Solve ``x_p = f(x_p)`` for many points in one masked iteration.
 
     The vectorized counterpart of :func:`solve_fixed_point`: ``initial``
-    is ``(points, dims)`` and ``func(x_active, indices)`` must map an
-    ``(m, dims)`` array of *active* points (plus the ``(m,)`` array of
-    their row indices, so per-point parameters can be gathered) to an
-    ``(m, dims)`` array, elementwise per row.  Each point follows exactly
-    the scalar update sequence -- damped step, relative infinity-norm
-    residual, ``residual <= tol`` stop -- and freezes at its own
-    convergence iteration, so a batched solve is bit-identical to
-    per-point scalar solves of the same map.
+    is ``(points, dims)`` -- or, for structured states like the
+    multi-class kernels', ``(points, *dims)`` with any number of
+    trailing axes (e.g. ``(points, classes, centres)``; the residual is
+    taken over all trailing axes, exactly as if each point's state were
+    flattened into one vector) -- and ``func(x_active, indices)`` must
+    map an ``(m, *dims)`` array of *active* points (plus the ``(m,)``
+    array of their row indices, so per-point parameters can be gathered)
+    to an ``(m, *dims)`` array, elementwise per row.  Each point follows
+    exactly the scalar update sequence -- damped step, relative
+    infinity-norm residual, ``residual <= tol`` stop -- and freezes at
+    its own convergence iteration, so a batched solve is bit-identical
+    to per-point scalar solves of the same map.
 
     Points whose iterates go non-finite are frozen immediately with
     ``residual = inf`` (the scalar solver raises at that moment; here the
@@ -196,9 +206,11 @@ def solve_fixed_point_batch(
         raise ValueError(f"max_iter must be >= 1, got {max_iter!r}")
 
     x = np.atleast_2d(np.asarray(initial, dtype=float)).copy()
-    if x.ndim != 2:
-        raise ValueError("initial must be a (points, dims) array")
+    if x.ndim < 2:
+        raise ValueError("initial must be a (points, *dims) array")
     n_points = x.shape[0]
+    # Residuals and finiteness reduce over every axis but the points one.
+    point_axes = tuple(range(1, x.ndim))
 
     iterations = np.zeros(n_points, dtype=np.int64)
     residuals = np.full(n_points, np.inf)
@@ -210,15 +222,17 @@ def solve_fixed_point_batch(
             break
         rows = np.flatnonzero(active)
         xa = x[rows]
-        fx = np.atleast_2d(np.asarray(func(xa, rows), dtype=float))
+        fx = np.asarray(func(xa, rows), dtype=float)
+        if fx.ndim < 2:
+            fx = np.atleast_2d(fx)
         if fx.shape != xa.shape:
             raise ValueError(
                 f"func returned shape {fx.shape}, expected {xa.shape}"
             )
-        finite = np.all(np.isfinite(fx), axis=1)
+        finite = np.all(np.isfinite(fx), axis=point_axes)
         scale = np.maximum(1.0, np.abs(xa))
         with np.errstate(invalid="ignore"):
-            residual = np.max(np.abs(fx - xa) / scale, axis=1)
+            residual = np.max(np.abs(fx - xa) / scale, axis=point_axes)
         new_x = (1.0 - damping) * xa + damping * fx
         # Non-finite rows freeze on their *previous* iterate (the scalar
         # solver raises before applying the update).
@@ -281,7 +295,10 @@ def solve_scalar_fixed_point(
     """
     if lower >= upper:
         raise ValueError(f"need lower < upper, got [{lower!r}, {upper!r}]")
-    g = lambda r: func(r) - r
+
+    def g(r: float) -> float:
+        return func(r) - r
+
     g_low = g(lower)
     if g_low == 0.0:
         return lower

@@ -17,9 +17,13 @@ queueing-theoretic primitives the model composes:
   networks (validation reference for the approximate machinery).
 * :mod:`repro.mva.amva` -- generic approximate MVA (Bard / Schweitzer)
   iteration for closed networks.
+* :mod:`repro.mva.multiclass` -- exact and approximate MVA for closed
+  *multi-class* networks (ground truth for the heterogeneous
+  Appendix-A studies).
 * :mod:`repro.mva.batch` -- vectorized batch solvers: exact and
-  approximate MVA over whole ``(points, centres)`` parameter grids in
-  one numpy iteration with per-point convergence masking.
+  approximate MVA, single- and multi-class, over whole
+  ``(points, [classes,] centres)`` parameter grids in one numpy
+  iteration with per-point convergence masking.
 """
 
 from repro.mva.bard import arrival_queue_bard, arrival_queue_exact_mva
@@ -33,12 +37,20 @@ from repro.mva.chandy_lakshmi import (
 )
 from repro.mva.batch import (
     BatchMVAResult,
+    BatchMultiClassMVAResult,
     batch_bard_amva,
     batch_exact_mva,
+    batch_multiclass_amva,
+    batch_multiclass_mva,
     batch_schweitzer_amva,
 )
 from repro.mva.exact import ExactMVAResult, exact_mva
-from repro.mva.multiclass import MultiClassMVAResult, multiclass_mva
+from repro.mva.multiclass import (
+    MultiClassAMVAResult,
+    MultiClassMVAResult,
+    multiclass_amva,
+    multiclass_mva,
+)
 from repro.mva.amva import AMVAResult, schweitzer_amva, bard_amva
 from repro.mva.littles_law import (
     customers_from_throughput,
@@ -55,19 +67,24 @@ from repro.mva.residual import (
 __all__ = [
     "AMVAResult",
     "BatchMVAResult",
+    "BatchMultiClassMVAResult",
     "ExactMVAResult",
+    "MultiClassAMVAResult",
     "MultiClassMVAResult",
     "arrival_queue_bard",
     "arrival_queue_exact_mva",
     "bard_amva",
     "batch_bard_amva",
     "batch_exact_mva",
+    "batch_multiclass_amva",
+    "batch_multiclass_mva",
     "batch_schweitzer_amva",
     "bkt_residence_time",
     "chandy_lakshmi_residence",
     "customers_from_throughput",
     "exact_mva",
     "mean_residual_life",
+    "multiclass_amva",
     "multiclass_mva",
     "queue_delay",
     "residual_correction",

@@ -17,6 +17,16 @@ simultaneously:
   have stopped, so batch and scalar results agree bit-for-bit (the
   update arithmetic is the same IEEE elementwise operations).
 
+The multi-class solvers follow the same pattern one axis higher:
+``demands`` is ``(points, classes, centres)`` and
+
+* :func:`batch_multiclass_mva` runs the exact lattice recursion over
+  the union lattice of all points' population vectors, masking each
+  lattice node to the points whose population dominates it;
+* :func:`batch_multiclass_amva` runs the Bard/Schweitzer multi-class
+  fixed point (:func:`repro.mva.multiclass.multiclass_amva`) with
+  per-point convergence masking.
+
 All points share one ``kinds`` vector (a sweep varies demands,
 populations and think times, not the network topology); per-kind
 heterogeneity is a separate solve.  Degenerate zero-demand /
@@ -26,22 +36,28 @@ solvers (:mod:`repro.mva.network`).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.mva.amva import AMVAResult
+from repro.mva.multiclass import MultiClassAMVAResult, MultiClassMVAResult
 from repro.mva.network import (
     as_integer_array,
     check_degenerate_batch,
+    check_degenerate_multiclass_batch,
     normalize_kinds,
 )
 
 __all__ = [
     "BatchMVAResult",
+    "BatchMultiClassMVAResult",
     "batch_bard_amva",
     "batch_exact_mva",
+    "batch_multiclass_amva",
+    "batch_multiclass_mva",
     "batch_schweitzer_amva",
 ]
 
@@ -314,4 +330,337 @@ def batch_schweitzer_amva(
     """Schweitzer AMVA over a batch: arrival factor ``(N_p - 1)/N_p``."""
     return _batch_amva(
         demands, populations, think_times, kinds, "schweitzer", tol, max_iter
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-class solvers
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchMultiClassMVAResult:
+    """Solutions of many closed multi-class networks, stacked.
+
+    Attributes
+    ----------
+    method:
+        ``"exact"``, ``"bard"`` or ``"schweitzer"``.
+    populations:
+        ``(points, classes)`` population vectors.
+    throughputs:
+        ``(points, classes)`` per-class throughputs ``X_c``.
+    response_times, class_queue_lengths:
+        ``(points, classes, centres)`` arrays.
+    queue_lengths:
+        ``(points, centres)`` total mean customers per centre.
+    cycle_times:
+        ``(points, classes)`` per-class cycles ``Z_c + sum_k R_{c,k}``.
+    iterations:
+        ``(points,)`` -- fixed-point iterations for the AMVA variants;
+        for the exact recursion, the total population ``sum_c N_c``.
+    converged:
+        ``(points,)`` bool -- always True for the exact recursion.
+    """
+
+    method: str
+    populations: np.ndarray
+    throughputs: np.ndarray
+    response_times: np.ndarray
+    queue_lengths: np.ndarray
+    class_queue_lengths: np.ndarray
+    cycle_times: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.populations.shape[0])
+
+    def point(self, i: int) -> MultiClassMVAResult | MultiClassAMVAResult:
+        """The ``i``-th point as a scalar-shaped result.
+
+        Returns a :class:`~repro.mva.multiclass.MultiClassMVAResult` for
+        ``method="exact"`` and a
+        :class:`~repro.mva.multiclass.MultiClassAMVAResult` otherwise.
+        """
+        fields = dict(
+            populations=tuple(int(n) for n in self.populations[i]),
+            throughputs=self.throughputs[i].copy(),
+            response_times=self.response_times[i].copy(),
+            queue_lengths=self.queue_lengths[i].copy(),
+            class_queue_lengths=self.class_queue_lengths[i].copy(),
+            cycle_times=self.cycle_times[i].copy(),
+        )
+        if self.method == "exact":
+            return MultiClassMVAResult(**fields)
+        return MultiClassAMVAResult(
+            method=self.method,
+            iterations=int(self.iterations[i]),
+            converged=bool(self.converged[i]),
+            **fields,
+        )
+
+
+def _normalize_multiclass_batch(
+    demands,
+    populations,
+    think_times,
+    kinds: Sequence[str] | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[str], np.ndarray]:
+    """Validate and broadcast to ``(points, classes, centres)`` shape."""
+    demand_arr = np.asarray(demands, dtype=float)
+    if demand_arr.ndim == 2:
+        demand_arr = demand_arr[np.newaxis, :, :]
+    if (
+        demand_arr.ndim != 3
+        or demand_arr.shape[1] == 0
+        or demand_arr.shape[2] == 0
+    ):
+        raise ValueError(
+            "demands must be a (points, classes, centres) array with >= 1 "
+            f"class and centre, got shape {demand_arr.shape}"
+        )
+    if np.any(demand_arr < 0):
+        raise ValueError("demands must be >= 0")
+    n_classes = demand_arr.shape[1]
+
+    pop_arr = as_integer_array(populations, "populations")
+    if pop_arr.ndim == 1:
+        pop_arr = pop_arr[np.newaxis, :]
+    if pop_arr.ndim != 2 or pop_arr.shape[1] != n_classes:
+        raise ValueError(
+            f"populations must be (points, {n_classes}) for "
+            f"{n_classes} classes, got shape {pop_arr.shape}"
+        )
+    if np.any(pop_arr < 0):
+        raise ValueError("populations must be >= 0")
+
+    if think_times is None:
+        think_arr = np.zeros((1, n_classes))
+    else:
+        think_arr = np.asarray(think_times, dtype=float)
+        if think_arr.ndim == 1:
+            think_arr = think_arr[np.newaxis, :]
+        if think_arr.ndim != 2 or think_arr.shape[1] != n_classes:
+            raise ValueError(
+                f"think_times must be (points, {n_classes}) for "
+                f"{n_classes} classes, got shape {think_arr.shape}"
+            )
+        if np.any(think_arr < 0):
+            raise ValueError("think_times must be >= 0")
+
+    input_counts = (demand_arr.shape[0], pop_arr.shape[0], think_arr.shape[0])
+    n_points = max(input_counts)
+    try:
+        demand_arr = np.ascontiguousarray(
+            np.broadcast_to(
+                demand_arr, (n_points,) + demand_arr.shape[1:]
+            )
+        )
+        pop_arr = np.broadcast_to(pop_arr, (n_points, n_classes)).copy()
+        think_arr = np.broadcast_to(think_arr, (n_points, n_classes)).copy()
+    except ValueError:
+        raise ValueError(
+            f"batch inputs do not broadcast: demands has "
+            f"{input_counts[0]} points, populations {input_counts[1]}, "
+            f"think_times {input_counts[2]}"
+        ) from None
+
+    kinds_list, is_queueing = normalize_kinds(kinds, demand_arr.shape[2])
+    check_degenerate_multiclass_batch(demand_arr, pop_arr, think_arr)
+    return demand_arr, pop_arr, think_arr, kinds_list, is_queueing
+
+
+def batch_multiclass_mva(
+    demands,
+    populations,
+    think_times=None,
+    kinds: Sequence[str] | None = None,
+) -> BatchMultiClassMVAResult:
+    """Exact multi-class MVA over a batch of networks.
+
+    Parameters broadcast on the points axis: ``demands`` is
+    ``(points, classes, centres)`` (or ``(classes, centres)`` shared by
+    all points), ``populations`` and ``think_times`` are
+    ``(points, classes)`` or ``(classes,)``.  ``kinds`` is one
+    per-centre vector shared by the whole batch.
+
+    The recursion walks the *union* lattice ``prod_c (max_p N_{p,c} + 1)``
+    in order of total population; at each lattice node only the points
+    whose population vector dominates the node update, so every point
+    reproduces exactly the lattice walk its scalar
+    :func:`repro.mva.multiclass.multiclass_mva` solve performs --
+    bit-identical results, one numpy pass per lattice node instead of a
+    Python recursion per point.
+    """
+    demand_arr, pops, thinks, _, is_queueing = _normalize_multiclass_batch(
+        demands, populations, think_times, kinds
+    )
+    n_points, n_classes, n_centers = demand_arr.shape
+
+    max_pop = pops.max(axis=0) if n_points else np.zeros(n_classes, dtype=int)
+    total_lattice = int(np.prod(max_pop + 1))
+    if total_lattice > 2_000_000:
+        raise ValueError(
+            f"union population lattice has {total_lattice} points; this "
+            "exact solver is meant for validation-sized problems"
+        )
+    if total_lattice * n_points * n_centers > 200_000_000:
+        raise ValueError(
+            f"batch lattice is too large ({total_lattice} lattice points x "
+            f"{n_points} batch points x {n_centers} centres); split the "
+            "batch into chunks"
+        )
+
+    responses = np.zeros((n_points, n_classes, n_centers))
+    throughputs = np.zeros((n_points, n_classes))
+    queue_lengths = np.zeros((n_points, n_centers))
+
+    # Queue store per lattice node, kept two total-population levels deep
+    # (node n only ever reads n - e_c, one level down).
+    queue_store: dict[tuple[int, ...], np.ndarray] = {
+        tuple([0] * n_classes): np.zeros((n_points, n_centers))
+    }
+
+    lattice = sorted(
+        itertools.product(*(range(int(n) + 1) for n in max_pop)), key=sum
+    )
+    level = 0
+    current_level: dict[tuple[int, ...], np.ndarray] = dict(queue_store)
+    for node in lattice:
+        s = sum(node)
+        if s == 0:
+            continue
+        if s != level:
+            # Entering a new total-population level: everything below the
+            # previous level can no longer be read.
+            queue_store = current_level
+            current_level = {}
+            level = s
+        node_arr = np.asarray(node)
+        idx = np.flatnonzero(np.all(pops >= node_arr, axis=1))
+        if idx.size == 0:
+            continue
+        resp = np.zeros((idx.size, n_classes, n_centers))
+        x = np.zeros((idx.size, n_classes))
+        for c in range(n_classes):
+            if node[c] == 0:
+                continue
+            prev = list(node)
+            prev[c] -= 1
+            q_prev = queue_store[tuple(prev)][idx]
+            resp[:, c, :] = np.where(
+                is_queueing,
+                demand_arr[idx, c, :] * (1.0 + q_prev),
+                demand_arr[idx, c, :],
+            )
+            # denom > 0 always: degenerate classes were rejected up front.
+            denom = thinks[idx, c] + resp[:, c, :].sum(axis=1)
+            x[:, c] = node[c] / denom
+        q_node = (x[:, :, None] * resp).sum(axis=1)
+        stored = np.zeros((n_points, n_centers))
+        stored[idx] = q_node
+        current_level[node] = stored
+
+        at_full = np.all(pops[idx] == node_arr, axis=1)
+        if np.any(at_full):
+            hit = idx[at_full]
+            responses[hit] = resp[at_full]
+            throughputs[hit] = x[at_full]
+            queue_lengths[hit] = q_node[at_full]
+
+    return BatchMultiClassMVAResult(
+        method="exact",
+        populations=pops,
+        throughputs=throughputs,
+        response_times=responses,
+        queue_lengths=queue_lengths,
+        class_queue_lengths=throughputs[:, :, None] * responses,
+        cycle_times=thinks + responses.sum(axis=2),
+        iterations=pops.sum(axis=1),
+        converged=np.ones(n_points, dtype=bool),
+    )
+
+
+def batch_multiclass_amva(
+    demands,
+    populations,
+    think_times=None,
+    kinds: Sequence[str] | None = None,
+    method: str = "bard",
+    tol: float = 1e-12,
+    max_iter: int = 100_000,
+) -> BatchMultiClassMVAResult:
+    """Multi-class AMVA over a batch: one masked fixed point.
+
+    Each point freezes at the iteration where its scalar
+    :func:`repro.mva.multiclass.multiclass_amva` solve would stop, so
+    the batch result matches the scalar result exactly (same elementwise
+    updates, same stopping rule, defaults included).
+    """
+    if method not in ("bard", "schweitzer"):
+        raise ValueError(
+            f"unknown AMVA method {method!r}; use one of ('bard', 'schweitzer')"
+        )
+    demand_arr, pops, thinks, _, is_queueing = _normalize_multiclass_batch(
+        demands, populations, think_times, kinds
+    )
+    n_points, n_classes, n_centers = demand_arr.shape
+    pop_f = pops.astype(float)
+    active_classes = pop_f > 0.0
+
+    n_queueing = max(int(is_queueing.sum()), 1)
+    queues = np.where(is_queueing, pop_f[:, :, None] / n_queueing, 0.0)
+    self_factor = np.where(
+        active_classes, (pop_f - 1.0) / np.maximum(pop_f, 1.0), 0.0
+    )
+
+    responses = np.ascontiguousarray(
+        np.broadcast_to(demand_arr, queues.shape)
+    ).copy()
+    throughputs = np.zeros((n_points, n_classes))
+    cycle_times = thinks + responses.sum(axis=2)
+    iterations = np.zeros(n_points, dtype=np.int64)
+    converged = np.zeros(n_points, dtype=bool)
+    active = np.ones(n_points, dtype=bool)
+
+    for iteration in range(1, max_iter + 1):
+        if not active.any():
+            break
+        idx = active
+        q = queues[idx]
+        total_q = q.sum(axis=1)
+        if method == "bard":
+            arrival = np.broadcast_to(
+                total_q[:, None, :], q.shape
+            )
+        else:
+            arrival = (total_q[:, None, :] - q) + q * self_factor[idx][:, :, None]
+        resp = np.where(
+            is_queueing, demand_arr[idx] * (1.0 + arrival), demand_arr[idx]
+        )
+        totals = thinks[idx] + resp.sum(axis=2)
+        x = np.zeros(totals.shape)
+        np.divide(pop_f[idx], totals, out=x, where=active_classes[idx])
+        new_q = x[:, :, None] * resp
+        delta = np.max(np.abs(new_q - q), axis=(1, 2))
+
+        queues[idx] = new_q
+        responses[idx] = resp
+        throughputs[idx] = x
+        cycle_times[idx] = totals
+        iterations[idx] = iteration
+
+        done = np.flatnonzero(idx)[delta < tol]
+        converged[done] = True
+        active[done] = False
+
+    return BatchMultiClassMVAResult(
+        method=method,
+        populations=pops,
+        throughputs=throughputs,
+        response_times=responses,
+        queue_lengths=queues.sum(axis=1),
+        class_queue_lengths=queues,
+        cycle_times=cycle_times,
+        iterations=iterations,
+        converged=converged,
     )

@@ -32,7 +32,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.mva.network import (
-    CENTER_KINDS as _CENTER_KINDS,
     check_degenerate,
     check_network_scalars,
     normalize_demands,

@@ -1,4 +1,4 @@
-"""Exact MVA for closed *multi-class* product-form networks.
+"""Exact and approximate MVA for closed *multi-class* networks.
 
 The single-class recursion (:mod:`repro.mva.exact`) extends to ``C``
 customer classes with population vector ``N = (N_1, ..., N_C)``,
@@ -16,6 +16,20 @@ cases this library needs (e.g. a workpile with two client classes of
 different chunk sizes, which is product-form when handlers are
 exponential and therefore provides *ground truth* for the heterogeneous
 Appendix-A LoPC model).
+
+:func:`multiclass_amva` is the approximate counterpart: like the
+single-class Bard/Schweitzer iteration (:mod:`repro.mva.amva`) it
+replaces the Arrival Theorem's ``Q_k(N - e_c)`` with an estimate built
+from the full-population queues, turning the lattice recursion into a
+fixed point whose cost is independent of the populations:
+
+* **Bard**:        ``A_{c,k} ~= Q_k(N)``
+* **Schweitzer**:  ``A_{c,k} ~= Q_k(N) - Q_{c,k}(N) / N_c``
+
+(Schweitzer removes exactly the class's own average self-term.)  For a
+single class both reduce to the :func:`repro.mva.amva` iterations
+bit for bit -- the update arithmetic is the same IEEE elementwise
+operations, which the test suite asserts.
 """
 
 from __future__ import annotations
@@ -26,9 +40,16 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["MultiClassMVAResult", "multiclass_mva"]
+from repro.mva.network import normalize_multiclass
 
-_CENTER_KINDS = ("queueing", "delay")
+__all__ = [
+    "MultiClassAMVAResult",
+    "MultiClassMVAResult",
+    "multiclass_amva",
+    "multiclass_mva",
+]
+
+_AMVA_METHODS = ("bard", "schweitzer")
 
 
 @dataclass(frozen=True)
@@ -59,6 +80,25 @@ class MultiClassMVAResult:
     cycle_times: np.ndarray
 
 
+@dataclass(frozen=True)
+class MultiClassAMVAResult:
+    """Fixed point of a multi-class approximate-MVA iteration.
+
+    Same solution fields as :class:`MultiClassMVAResult` plus the
+    fixed-point diagnostics (``method``, ``iterations``, ``converged``).
+    """
+
+    method: str
+    populations: tuple[int, ...]
+    throughputs: np.ndarray
+    response_times: np.ndarray
+    queue_lengths: np.ndarray
+    class_queue_lengths: np.ndarray
+    cycle_times: np.ndarray
+    iterations: int
+    converged: bool
+
+
 def multiclass_mva(
     demands: Sequence[Sequence[float]],
     populations: Sequence[int],
@@ -81,49 +121,21 @@ def multiclass_mva(
     Notes
     -----
     Runtime and memory are ``O(K * prod(N_c + 1))``; intended for the
-    modest populations used in validation, not capacity planning.
+    modest populations used in validation, not capacity planning.  A
+    class with ``N_c >= 1``, zero think time and all-zero demands has no
+    finite steady state and raises :class:`ValueError`, matching the
+    single-class validation in :mod:`repro.mva.network`.
     """
-    demand_arr = np.asarray(demands, dtype=float)
-    if demand_arr.ndim != 2 or demand_arr.size == 0:
-        raise ValueError("demands must be a non-empty C x K matrix")
-    if np.any(demand_arr < 0):
-        raise ValueError("demands must be >= 0")
+    demand_arr, pops, think, _, is_queueing = normalize_multiclass(
+        demands, populations, think_times, kinds
+    )
     n_classes, n_centers = demand_arr.shape
-
-    pops = tuple(int(n) for n in populations)
-    if len(pops) != n_classes:
-        raise ValueError(
-            f"populations has {len(pops)} entries for {n_classes} classes"
-        )
-    if any(n < 0 for n in pops):
-        raise ValueError("populations must be >= 0")
     total_points = int(np.prod([n + 1 for n in pops]))
     if total_points > 2_000_000:
         raise ValueError(
             f"population lattice has {total_points} points; this exact "
             "solver is meant for validation-sized problems"
         )
-
-    if think_times is None:
-        think = np.zeros(n_classes)
-    else:
-        think = np.asarray(think_times, dtype=float)
-        if think.shape != (n_classes,):
-            raise ValueError(
-                f"think_times must have length {n_classes}, got {think.shape}"
-            )
-        if np.any(think < 0):
-            raise ValueError("think_times must be >= 0")
-
-    if kinds is None:
-        kinds = ["queueing"] * n_centers
-    kinds = list(kinds)
-    if len(kinds) != n_centers:
-        raise ValueError(f"kinds has {len(kinds)} entries for {n_centers} centres")
-    for kind in kinds:
-        if kind not in _CENTER_KINDS:
-            raise ValueError(f"unknown centre kind {kind!r}; use {_CENTER_KINDS}")
-    is_queueing = np.array([k == "queueing" for k in kinds])
 
     # Iterate the lattice in order of total population so that n - e_c is
     # always already solved.  Store Q_k(n) per lattice point.
@@ -151,8 +163,10 @@ def multiclass_mva(
             responses_at[c] = np.where(
                 is_queueing, demand_arr[c] * (1.0 + q_prev), demand_arr[c]
             )
+            # denom > 0 always: a class that can be populated here has a
+            # positive demand or think time (degenerate inputs rejected).
             denom = think[c] + responses_at[c].sum()
-            x_at[c] = point[c] / denom if denom > 0 else np.inf
+            x_at[c] = point[c] / denom
         queue_store[point] = (x_at[:, None] * responses_at).sum(axis=0)
         if point == pops:
             responses = responses_at
@@ -167,4 +181,92 @@ def multiclass_mva(
         queue_lengths=queue_store[full],
         class_queue_lengths=class_queues,
         cycle_times=think + responses.sum(axis=1),
+    )
+
+
+def multiclass_amva(
+    demands: Sequence[Sequence[float]],
+    populations: Sequence[int],
+    think_times: Sequence[float] | None = None,
+    kinds: Sequence[str] | None = None,
+    method: str = "bard",
+    tol: float = 1e-12,
+    max_iter: int = 100_000,
+) -> MultiClassAMVAResult:
+    """Approximate MVA for a closed multi-class network.
+
+    The fixed point iterates, from an even per-class split of each
+    population over the queueing centres::
+
+        A_{c,k} = Q_k                                       (Bard)
+                = sum_{j != c} Q_{j,k} + Q_{c,k} (N_c-1)/N_c  (Schweitzer)
+        R_{c,k} = D_{c,k} (1 + A_{c,k})    queueing centre
+        X_c     = N_c / (Z_c + sum_k R_{c,k})
+        Q_{c,k} = X_c R_{c,k}
+
+    until the class-queue matrix moves less than ``tol`` (absolute
+    infinity norm, the single-class :mod:`repro.mva.amva` convention).
+    Classes with ``N_c = 0`` are inert: zero throughput and queues, but
+    their response times still report what a class customer *would* see.
+    """
+    if method not in _AMVA_METHODS:
+        raise ValueError(
+            f"unknown AMVA method {method!r}; use one of {_AMVA_METHODS}"
+        )
+    demand_arr, pops, think, _, is_queueing = normalize_multiclass(
+        demands, populations, think_times, kinds
+    )
+    n_classes, n_centers = demand_arr.shape
+    pop_arr = np.asarray(pops, dtype=float)
+    active = pop_arr > 0
+
+    # Same start as the single-class solver, per class: an even split of
+    # the class population over the queueing centres.
+    n_queueing = max(int(is_queueing.sum()), 1)
+    queues = np.where(is_queueing, pop_arr[:, None] / n_queueing, 0.0)
+    # Schweitzer's self-term factor (N_c - 1) / N_c; inert classes have
+    # zero queues so the guard value never contributes.
+    self_factor = np.where(active, (pop_arr - 1.0) / np.maximum(pop_arr, 1.0),
+                           0.0)
+
+    responses = demand_arr.copy()
+    throughputs = np.zeros(n_classes)
+    totals = think + responses.sum(axis=1)
+    iterations = 0
+    converged = False
+    for iteration in range(1, max_iter + 1):
+        total_q = queues.sum(axis=0)
+        if method == "bard":
+            arrival = np.broadcast_to(total_q, (n_classes, n_centers))
+        else:
+            # (total - self) + self * (N_c-1)/N_c: for a single class the
+            # left term is exactly 0.0, so this reduces bit-for-bit to
+            # the single-class Schweitzer arrival `factor * queues`.
+            arrival = (total_q[None, :] - queues) + queues * self_factor[:, None]
+        responses = np.where(
+            is_queueing, demand_arr * (1.0 + arrival), demand_arr
+        )
+        totals = think + responses.sum(axis=1)
+        # Inert classes (and only those) may have totals == 0; the
+        # where= mask keeps the division warning-free.
+        throughputs = np.zeros(n_classes)
+        np.divide(pop_arr, totals, out=throughputs, where=active)
+        new_queues = throughputs[:, None] * responses
+        delta = np.max(np.abs(new_queues - queues))
+        queues = new_queues
+        iterations = iteration
+        if delta < tol:
+            converged = True
+            break
+
+    return MultiClassAMVAResult(
+        method=method,
+        populations=tuple(pops),
+        throughputs=throughputs,
+        response_times=responses,
+        queue_lengths=queues.sum(axis=0),
+        class_queue_lengths=queues,
+        cycle_times=totals,
+        iterations=iterations,
+        converged=converged,
     )

@@ -30,9 +30,12 @@ __all__ = [
     "as_integer_array",
     "check_degenerate",
     "check_degenerate_batch",
+    "check_degenerate_multiclass",
+    "check_degenerate_multiclass_batch",
     "check_network_scalars",
     "normalize_demands",
     "normalize_kinds",
+    "normalize_multiclass",
 ]
 
 _DEGENERATE_MESSAGE = (
@@ -131,3 +134,91 @@ def check_degenerate_batch(
             f"degenerate network at point(s) {bad.tolist()}: "
             f"{_DEGENERATE_MESSAGE}"
         )
+
+
+def check_degenerate_multiclass(
+    demand_arr: np.ndarray, populations: np.ndarray, think_times: np.ndarray
+) -> None:
+    """Per-class :func:`check_degenerate` for a ``(classes, centres)`` network.
+
+    A class with ``N_c >= 1`` customers, zero think time and no service
+    demand anywhere cycles infinitely fast -- exactly the single-class
+    degeneracy, applied row by row.  Classes with ``N_c = 0`` are inert
+    and therefore never degenerate.
+    """
+    degenerate = (
+        (populations > 0)
+        & (think_times == 0.0)
+        & ~np.any(demand_arr > 0.0, axis=1)
+    )
+    if np.any(degenerate):
+        bad = np.flatnonzero(degenerate)
+        raise ValueError(
+            f"degenerate network: class(es) {bad.tolist()}: "
+            f"{_DEGENERATE_MESSAGE}"
+        )
+
+
+def check_degenerate_multiclass_batch(
+    demand_arr: np.ndarray, populations: np.ndarray, think_times: np.ndarray
+) -> None:
+    """Vectorized :func:`check_degenerate_multiclass` over a
+    ``(points, classes, centres)`` batch."""
+    degenerate = (
+        (populations > 0)
+        & (think_times == 0.0)
+        & ~np.any(demand_arr > 0.0, axis=2)
+    )
+    if np.any(degenerate):
+        bad = np.flatnonzero(np.any(degenerate, axis=1))
+        raise ValueError(
+            f"degenerate network at point(s) {bad.tolist()}: "
+            f"{_DEGENERATE_MESSAGE}"
+        )
+
+
+def normalize_multiclass(
+    demands,
+    populations,
+    think_times,
+    kinds: Sequence[str] | None,
+) -> tuple[np.ndarray, tuple[int, ...], np.ndarray, list[str], np.ndarray]:
+    """Validate a scalar multi-class network description.
+
+    Shared by :func:`repro.mva.multiclass.multiclass_mva` and
+    :func:`repro.mva.multiclass.multiclass_amva` so the exact and
+    approximate solvers (and, through the batch normaliser, the
+    vectorized kernels) agree on what inputs are legal.
+
+    Returns ``(demand_arr (C, K), populations tuple, think (C,),
+    kinds list, is_queueing mask)``.
+    """
+    demand_arr = np.asarray(demands, dtype=float)
+    if demand_arr.ndim != 2 or demand_arr.size == 0:
+        raise ValueError("demands must be a non-empty C x K matrix")
+    if np.any(demand_arr < 0):
+        raise ValueError("demands must be >= 0")
+    n_classes, n_centers = demand_arr.shape
+
+    pops = tuple(int(n) for n in populations)
+    if len(pops) != n_classes:
+        raise ValueError(
+            f"populations has {len(pops)} entries for {n_classes} classes"
+        )
+    if any(n < 0 for n in pops):
+        raise ValueError("populations must be >= 0")
+
+    if think_times is None:
+        think = np.zeros(n_classes)
+    else:
+        think = np.asarray(think_times, dtype=float)
+        if think.shape != (n_classes,):
+            raise ValueError(
+                f"think_times must have length {n_classes}, got {think.shape}"
+            )
+        if np.any(think < 0):
+            raise ValueError("think_times must be >= 0")
+
+    kinds_list, is_queueing = normalize_kinds(kinds, n_centers)
+    check_degenerate_multiclass(demand_arr, np.asarray(pops), think)
+    return demand_arr, pops, think, kinds_list, is_queueing

@@ -20,6 +20,9 @@ Built-in evaluators
 ``workpile-model``    LoPC client-server workpile solution (Chapter 6).
 ``workpile-sim``      Simulated workpile for one ``(Ps, Pc)`` split.
 ``workpile-bounds``   LogP-style optimistic saturation bounds.
+``multiclass-mva``    Exact or approximate multi-class MVA (Chapter-6
+                      heterogeneous studies); classes are encoded as
+                      flat ``N{c}`` / ``Z{c}`` / ``D{c}_{k}`` scalars.
 
 Batch capability
 ----------------
@@ -28,7 +31,10 @@ Analytic evaluators can additionally *advertise batch capability* via
 whole list of cache-miss parameter dicts and evaluates them in one
 vectorized call (the LoPC models route through
 :func:`repro.core.alltoall.solve_batch` /
-:func:`repro.core.client_server.solve_workpile_batch`).  The sweep
+:func:`repro.core.client_server.solve_workpile_batch`, the bounds
+through :func:`repro.core.client_server.workpile_bounds_batch`, and
+multi-class networks through the :mod:`repro.mva.batch` multi-class
+kernels).  The sweep
 runner prefers the batch path when one is registered -- one masked numpy
 fixed point instead of thousands of scalar solves or process-pool
 round-trips -- and the values are bit-identical to the scalar
@@ -38,14 +44,23 @@ Simulation evaluators register no batch function and keep the pool.
 
 from __future__ import annotations
 
+import re
 import time
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.alltoall import AllToAllModel, solve_batch
-from repro.core.client_server import ClientServerModel, solve_workpile_batch
+from repro.core.client_server import (
+    ClientServerModel,
+    solve_workpile_batch,
+    workpile_bounds_batch,
+)
 from repro.core.logp import LogPModel
 from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
 from repro.core.rule_of_thumb import contention_bounds
+from repro.mva.batch import batch_multiclass_amva, batch_multiclass_mva
+from repro.mva.multiclass import MultiClassAMVAResult, multiclass_amva, multiclass_mva
 from repro.sim.machine import MachineConfig
 
 __all__ = [
@@ -395,3 +410,181 @@ def _workpile_bounds(params: Mapping[str, object]) -> dict[str, object]:
         "server_bound": logp.workpile_server_bound(servers),
         "client_bound": logp.workpile_client_bound(clients, float(params["W"])),
     }
+
+
+@register_batch_evaluator("workpile-bounds")
+def _workpile_bounds_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    # Validate each machine exactly like the scalar path, then evaluate
+    # the LogP closed forms for the whole grid in one vectorized call.
+    for params in params_list:
+        machine_from_params(params)
+    arrays = workpile_bounds_batch(
+        [float(p["W"]) for p in params_list],
+        [float(p["St"]) for p in params_list],
+        [float(p["So"]) for p in params_list],
+        [int(p["P"]) for p in params_list],
+        [int(p["Ps"]) for p in params_list],
+    )
+    return [
+        {
+            "server_bound": float(arrays["server_bound"][i]),
+            "client_bound": float(arrays["client_bound"][i]),
+        }
+        for i in range(len(params_list))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Multi-class MVA (Chapter-6 heterogeneous studies)
+# ---------------------------------------------------------------------------
+def _multiclass_network_from_params(
+    params: Mapping[str, object],
+) -> tuple[list[list[float]], list[int], list[float], list[str] | None, str]:
+    """Decode a multi-class network from flat sweep parameters.
+
+    Classes and centres are encoded as JSON scalars so multi-class
+    networks stay sweepable and cacheable: populations ``N0, N1, ...``,
+    optional think times ``Z{c}`` (default 0), demands ``D{c}_{k}``, an
+    optional comma-separated ``kinds`` string and a ``method`` of
+    ``"exact"`` (default), ``"bard"`` or ``"schweitzer"``.
+    """
+    n_classes = 0
+    while f"N{n_classes}" in params:
+        n_classes += 1
+    if n_classes == 0:
+        raise ValueError(
+            "multiclass-mva needs class populations N0, N1, ... in params"
+        )
+    n_centers = 0
+    while f"D0_{n_centers}" in params:
+        n_centers += 1
+    if n_centers == 0:
+        raise ValueError(
+            "multiclass-mva needs per-centre demands D0_0, D0_1, ... in params"
+        )
+    # Reject class/centre keys beyond the contiguous N0.. / D0_0.. runs:
+    # a gapped index (a typo'd N2 without N1, a D0_3 without D0_2) would
+    # otherwise silently drop part of the network from the solution.
+    for key in params:
+        match = re.fullmatch(r"N(\d+)|Z(\d+)|D(\d+)_(\d+)", key)
+        if match is None:
+            continue
+        n_idx, z_idx, d_cls, d_ctr = match.groups()
+        cls = int(n_idx or z_idx or d_cls)
+        if cls >= n_classes:
+            raise ValueError(
+                f"multiclass-mva param {key!r} names class {cls}, but only "
+                f"classes 0..{n_classes - 1} are defined -- N0..N{{c}} must "
+                "be contiguous"
+            )
+        if d_ctr is not None and int(d_ctr) >= n_centers:
+            raise ValueError(
+                f"multiclass-mva param {key!r} names centre {int(d_ctr)}, "
+                f"but only centres 0..{n_centers - 1} are defined -- "
+                "D0_0..D0_{k} must be contiguous"
+            )
+    try:
+        demands = [
+            [float(params[f"D{c}_{k}"]) for k in range(n_centers)]
+            for c in range(n_classes)
+        ]
+    except KeyError as exc:
+        raise ValueError(
+            f"multiclass-mva params missing demand {exc.args[0]!r}: every "
+            f"class needs demands D{{c}}_0..D{{c}}_{n_centers - 1}"
+        ) from None
+    populations = [int(params[f"N{c}"]) for c in range(n_classes)]
+    think_times = [float(params.get(f"Z{c}", 0.0)) for c in range(n_classes)]
+    kinds_param = params.get("kinds")
+    kinds = str(kinds_param).split(",") if kinds_param else None
+    return demands, populations, think_times, kinds, str(params.get("method", "exact"))
+
+
+def _multiclass_values(res) -> dict[str, object]:
+    """The ``multiclass-mva`` value columns of one scalar-shaped result."""
+    values: dict[str, object] = {"X": float(res.throughputs.sum())}
+    for c in range(len(res.populations)):
+        values[f"X{c}"] = float(res.throughputs[c])
+        values[f"R{c}"] = float(res.cycle_times[c])
+    for k in range(res.queue_lengths.size):
+        values[f"Q{k}"] = float(res.queue_lengths[k])
+    if isinstance(res, MultiClassAMVAResult):
+        values["_iterations"] = int(res.iterations)
+        values["_converged"] = bool(res.converged)
+    return values
+
+
+def _multiclass_values_from_batch(batch, j: int) -> dict[str, object]:
+    """One point's value columns straight from the stacked batch arrays.
+
+    Same keys and (bit-identical) numbers as
+    ``_multiclass_values(batch.point(j))`` without the per-point array
+    copies -- the batch fast path assembles thousands of these.
+    """
+    throughputs = batch.throughputs[j]
+    values: dict[str, object] = {"X": float(throughputs.sum())}
+    cycles = batch.cycle_times[j]
+    for c in range(throughputs.size):
+        values[f"X{c}"] = float(throughputs[c])
+        values[f"R{c}"] = float(cycles[c])
+    queues = batch.queue_lengths[j]
+    for k in range(queues.size):
+        values[f"Q{k}"] = float(queues[k])
+    if batch.method != "exact":
+        values["_iterations"] = int(batch.iterations[j])
+        values["_converged"] = bool(batch.converged[j])
+    return values
+
+
+@register_evaluator("multiclass-mva", defaults={"method": "exact"})
+def _multiclass_model(params: Mapping[str, object]) -> dict[str, object]:
+    demands, populations, think_times, kinds, method = (
+        _multiclass_network_from_params(params)
+    )
+    if method == "exact":
+        res = multiclass_mva(demands, populations, think_times=think_times,
+                             kinds=kinds)
+    else:
+        res = multiclass_amva(demands, populations, think_times=think_times,
+                              kinds=kinds, method=method)
+    return _multiclass_values(res)
+
+
+@register_batch_evaluator("multiclass-mva")
+def _multiclass_model_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    # Points sharing a structure (method, kinds, class/centre counts)
+    # batch into one vectorized kernel call; a heterogeneous miss list
+    # (e.g. a method axis) becomes one call per group, in order.
+    parsed = [_multiclass_network_from_params(p) for p in params_list]
+    groups: dict[tuple, list[int]] = {}
+    for i, (demands, populations, _, kinds, method) in enumerate(parsed):
+        signature = (
+            method,
+            tuple(kinds) if kinds is not None else None,
+            len(populations),
+            len(demands[0]),
+        )
+        groups.setdefault(signature, []).append(i)
+
+    out: list[dict[str, object] | None] = [None] * len(parsed)
+    for (method, kinds, _, _), indices in groups.items():
+        demands = np.array([parsed[i][0] for i in indices])
+        populations = np.array([parsed[i][1] for i in indices])
+        think_times = np.array([parsed[i][2] for i in indices])
+        kinds_list = list(kinds) if kinds is not None else None
+        if method == "exact":
+            batch = batch_multiclass_mva(
+                demands, populations, think_times, kinds=kinds_list
+            )
+        else:
+            batch = batch_multiclass_amva(
+                demands, populations, think_times, kinds=kinds_list,
+                method=method,
+            )
+        for j, i in enumerate(indices):
+            out[i] = _multiclass_values_from_batch(batch, j)
+    return out

@@ -67,8 +67,6 @@ class NonBlockingMeasurement:
     @property
     def overlap_speedup(self) -> float:
         """Issue rate gain vs a blocking thread with the same components."""
-        blocking_cycle = self.cycle_time - 0.0  # placeholder for symmetry
-        del blocking_cycle
         return (self.work + self.round_trip) / self.cycle_time
 
 

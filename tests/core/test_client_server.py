@@ -2,11 +2,13 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.client_server import ClientServerModel
+from repro.core.client_server import ClientServerModel, workpile_bounds_batch
+from repro.core.logp import LogPModel
 from repro.core.params import MachineParams
 
 
@@ -197,3 +199,51 @@ class TestSolveWorkpileBatch:
         # Integer-valued floats are fine.
         (sol,) = solve_workpile_batch([10.0], [1.0], [2.0], [0.0], [8.0], [2.0])
         assert sol.servers == 2
+
+
+class TestWorkpileBoundsBatch:
+    """Vectorized LogP closed forms vs the scalar LogPModel methods."""
+
+    def test_bitwise_parity_with_logp_model(self):
+        rng = np.random.default_rng(23)
+        n = 80
+        works = rng.uniform(0.0, 3000.0, n)
+        latencies = rng.uniform(1.0, 60.0, n)
+        handlers = rng.uniform(40.0, 300.0, n)
+        processors = rng.integers(4, 64, n)
+        servers = np.minimum(rng.integers(1, 8, n), processors - 1)
+        arrays = workpile_bounds_batch(works, latencies, handlers,
+                                       processors, servers)
+        for i in range(n):
+            logp = LogPModel(MachineParams(
+                latency=float(latencies[i]),
+                handler_time=float(handlers[i]),
+                processors=int(processors[i]),
+            ))
+            ps, pc = int(servers[i]), int(processors[i] - servers[i])
+            assert arrays["server_bound"][i] == logp.workpile_server_bound(ps)
+            assert arrays["client_bound"][i] == logp.workpile_client_bound(
+                pc, float(works[i])
+            )
+            assert arrays["bound"][i] == logp.workpile_bound(
+                ps, float(works[i])
+            )
+
+    def test_scalar_inputs_broadcast(self):
+        arrays = workpile_bounds_batch(
+            100.0, 10.0, 131.0, 32, [1, 4, 16, 31]
+        )
+        assert arrays["server_bound"].shape == (4,)
+        assert arrays["server_bound"][1] == 4 / 131.0
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValueError, match=r"\[1, P-1\]"):
+            workpile_bounds_batch([100.0], [10.0], [131.0], [32], [32])
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError, match="work"):
+            workpile_bounds_batch([-1.0], [10.0], [131.0], [32], [4])
+
+    def test_rejects_zero_handler_time(self):
+        with pytest.raises(ValueError, match="handler_time"):
+            workpile_bounds_batch([1.0], [10.0], [0.0], [32], [4])

@@ -5,7 +5,11 @@ import pytest
 
 from repro.core.alltoall import AllToAllModel
 from repro.core.client_server import ClientServerModel
-from repro.core.general import GeneralLoPCModel, ThreadClass
+from repro.core.general import (
+    GeneralLoPCModel,
+    ThreadClass,
+    solve_general_batch,
+)
 from repro.core.params import MachineParams
 
 
@@ -219,3 +223,99 @@ class TestHeterogeneous:
             machine, 500.0, protocol_processor=True
         ).solve()
         assert np.allclose(sol.compute_residences, 500.0)
+
+
+class TestSolveGeneralBatch:
+    """The vectorized Appendix-A entry point vs per-model solves."""
+
+    @staticmethod
+    def _mixed_models(p=8, n=12):
+        rng = np.random.default_rng(17)
+        models = []
+        for i in range(n):
+            m = MachineParams(
+                latency=float(rng.uniform(5, 50)),
+                handler_time=float(rng.uniform(50, 200)),
+                processors=p,
+                handler_cv2=float(rng.choice([0.0, 1.0, 2.0])),
+            )
+            work = float(rng.uniform(500, 3000))
+            if i % 3 == 0:
+                models.append(GeneralLoPCModel.homogeneous_alltoall(m, work))
+            elif i % 3 == 1:
+                models.append(GeneralLoPCModel.client_server(m, work,
+                                                             servers=2))
+            else:
+                models.append(GeneralLoPCModel.random_multihop(
+                    m, work, hops=2, protocol_processor=True
+                ))
+        return models
+
+    def test_mixed_grid_matches_scalar_solves(self, machine):
+        models = self._mixed_models()
+        batch = solve_general_batch(models)
+        assert len(batch) == len(models)
+        for model, b in zip(models, batch):
+            s = model.solve()
+            # Batched matmul reproduces the scalar matrix-vector
+            # products bitwise on this BLAS; the contract everywhere
+            # else is solver tolerance, so assert that bound too.
+            for field in ("response_times", "throughputs",
+                          "request_residences", "reply_residences",
+                          "request_queues", "request_utilizations"):
+                sv, bv = getattr(s, field), getattr(b, field)
+                finite = np.isfinite(sv)
+                assert np.array_equal(finite, np.isfinite(bv))
+                assert np.allclose(sv[finite], bv[finite],
+                                   rtol=1e-9, atol=1e-12), field
+            assert b.meta["batched"] is True
+            assert b.meta["model"] == "lopc-general"
+
+    def test_passive_threads_stay_passive(self):
+        m = MachineParams(latency=10.0, handler_time=100.0, processors=6)
+        models = [GeneralLoPCModel.client_server(m, 800.0, servers=2)]
+        (b,) = solve_general_batch(models)
+        assert np.all(~b.active[:2])
+        assert np.all(b.throughputs[:2] == 0.0)
+        assert np.all(np.isinf(b.response_times[:2]))
+
+    def test_system_throughput_matches_scalar(self):
+        m = MachineParams(latency=40.0, handler_time=200.0, processors=8)
+        model = GeneralLoPCModel.homogeneous_alltoall(m, 1000.0)
+        (b,) = solve_general_batch([model])
+        assert b.system_throughput == pytest.approx(
+            model.solve().system_throughput, rel=1e-10
+        )
+
+    def test_empty_batch(self):
+        assert solve_general_batch([]) == []
+
+    def test_rejects_mixed_processor_counts(self):
+        m8 = MachineParams(latency=10.0, handler_time=100.0, processors=8)
+        m6 = MachineParams(latency=10.0, handler_time=100.0, processors=6)
+        models = [
+            GeneralLoPCModel.homogeneous_alltoall(m8, 500.0),
+            GeneralLoPCModel.homogeneous_alltoall(m6, 500.0),
+        ]
+        with pytest.raises(ValueError, match="share P"):
+            solve_general_batch(models)
+
+    def test_rejects_mixed_solver_controls(self):
+        m = MachineParams(latency=10.0, handler_time=100.0, processors=6)
+        models = [
+            GeneralLoPCModel.homogeneous_alltoall(m, 500.0),
+            GeneralLoPCModel.homogeneous_alltoall(m, 500.0, tol=1e-8),
+        ]
+        with pytest.raises(ValueError, match="damping/tol/max_iter"):
+            solve_general_batch(models)
+
+    def test_saturated_point_raises_like_scalar(self):
+        # 63 zero-work clients hammering one server push its
+        # request-handler utilisation past the Uq < 1 feasibility bound.
+        m = MachineParams(latency=1.0, handler_time=100.0, processors=64)
+        hot = GeneralLoPCModel.client_server(m, 0.0, servers=1)
+        fine = GeneralLoPCModel.client_server(m, 5000.0, servers=8)
+        with pytest.raises(ValueError, match="saturates node"):
+            hot.solve()
+        with pytest.raises(ValueError, match="saturates node"):
+            solve_general_batch([fine, hot])

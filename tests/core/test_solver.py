@@ -178,10 +178,63 @@ class TestSolveFixedPointBatch:
             solve_fixed_point_batch(batched, np.zeros((2, 2)))
 
     def test_parameter_validation(self):
-        ok = lambda x, rows: x
+        def ok(x, rows):
+            return x
+
         with pytest.raises(ValueError, match="damping"):
             solve_fixed_point_batch(ok, np.zeros((1, 1)), damping=0.0)
         with pytest.raises(ValueError, match="tol"):
             solve_fixed_point_batch(ok, np.zeros((1, 1)), tol=0.0)
         with pytest.raises(ValueError, match="max_iter"):
             solve_fixed_point_batch(ok, np.zeros((1, 1)), max_iter=0)
+
+
+class TestBatchStructuredState:
+    """The multiclass-aware path: states with trailing structure axes."""
+
+    def test_3d_state_matches_flattened_2d_solve_bitwise(self):
+        rng = np.random.default_rng(9)
+        targets = rng.uniform(0.5, 8.0, size=(5, 2, 3))
+
+        def structured(x, rows):
+            return (x + targets[rows]) / 2.0
+
+        def flat(x, rows):
+            return (x + targets.reshape(5, 6)[rows]) / 2.0
+
+        a = solve_fixed_point_batch(structured, np.zeros((5, 2, 3)))
+        b = solve_fixed_point_batch(flat, np.zeros((5, 6)))
+        assert a.value.shape == (5, 2, 3)
+        assert np.array_equal(a.value.reshape(5, 6), b.value)
+        assert np.array_equal(a.iterations, b.iterations)
+        assert np.array_equal(a.residual, b.residual)
+
+    def test_3d_points_freeze_independently(self):
+        targets = np.stack([np.full((2, 2), 5.0), np.full((2, 2), 50.0)])
+
+        def structured(x, rows):
+            return (x + targets[rows]) / 2.0
+
+        initial = np.stack([np.full((2, 2), 5.0), np.zeros((2, 2))])
+        batch = solve_fixed_point_batch(structured, initial, tol=1e-12)
+        assert batch.iterations[0] < batch.iterations[1]
+        assert np.all(batch.value[0] == 5.0)
+
+    def test_3d_nonfinite_point_isolated(self):
+        def structured(x, rows):
+            out = (x + 1.0) / 2.0
+            out[rows == 0, 1, 1] = np.nan
+            return out
+
+        result = solve_fixed_point_batch(
+            structured, np.zeros((2, 2, 2)), raise_on_failure=False
+        )
+        assert not result.converged[0]
+        assert result.converged[1]
+
+    def test_3d_shape_mismatch_rejected(self):
+        def structured(x, rows):
+            return x.reshape(x.shape[0], -1)
+
+        with pytest.raises(ValueError, match="shape"):
+            solve_fixed_point_batch(structured, np.zeros((2, 2, 2)))

@@ -30,7 +30,9 @@ class TestAsciiChart:
         text = ascii_chart(
             [0, 1, 2], {"s": [1.0, math.nan, 3.0]}, width=20, height=5
         )
-        plot_area = "\n".join(l for l in text.splitlines() if "|" in l)
+        plot_area = "\n".join(
+            line for line in text.splitlines() if "|" in line
+        )
         assert plot_area.count("o") == 2
 
     def test_flat_series_renders(self):

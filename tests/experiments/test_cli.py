@@ -7,6 +7,11 @@ import pytest
 from repro.cli import main
 
 
+def strip_timing(text, needle="completed in"):
+    """Drop the wall-clock report lines that vary run to run."""
+    return [line for line in text.splitlines() if needle not in line]
+
+
 class TestList:
     def test_lists_experiments(self, capsys):
         assert main(["list"]) == 0
@@ -55,8 +60,7 @@ class TestRun:
         assert main(["run", "fig-5.2", "--fast", "--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
         # Strip the trailing "(completed in Xs)" timing lines.
-        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
-        assert strip(serial) == strip(parallel)
+        assert strip_timing(serial) == strip_timing(parallel)
 
     def test_seed_flag_changes_simulator_column(self, capsys):
         assert main(["run", "fig-5.2", "--fast"]) == 0
@@ -71,8 +75,7 @@ class TestRun:
         first = capsys.readouterr().out
         assert main(["run", "fig-6.2", "--fast", "--seed", "7"]) == 0
         second = capsys.readouterr().out
-        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
-        assert strip(first) == strip(second)
+        assert strip_timing(first) == strip_timing(second)
 
     def test_seed_flag_ignored_by_deterministic_experiments(self, capsys):
         # table-3.1 takes no seed; the flag must not break it.
@@ -96,11 +99,13 @@ class TestRun:
         assert main(["run", "fig-5.2", "--fast",
                      "--cache-dir", str(cache)]) == 0
         warm = capsys.readouterr().out
-        strip = lambda s: [l for l in s.splitlines() if "completed in" not in l]
-        assert strip(cold) == strip(warm)
+        assert strip_timing(cold) == strip_timing(warm)
 
 
 class TestRunAll:
+    # Whole-figure simulation runs: excluded from the fast PR gate.
+    pytestmark = pytest.mark.slow
+
     def test_run_all_fast(self, capsys, tmp_path):
         assert main(["run-all", "--fast", "--out", str(tmp_path)]) == 0
         out = capsys.readouterr().out
@@ -161,8 +166,8 @@ class TestSweepCommand:
         first = capsys.readouterr().out
         assert main(["sweep", str(spec), "--seed", "3"]) == 0
         second = capsys.readouterr().out
-        strip = lambda s: [l for l in s.splitlines() if "elapsed" not in l]
-        assert strip(first) == strip(second)
+        assert strip_timing(first, needle="elapsed") == strip_timing(
+            second, needle="elapsed")
 
     def test_sweep_unknown_evaluator_raises(self, tmp_path):
         spec = self._spec(tmp_path, evaluator="bogus")

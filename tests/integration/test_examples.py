@@ -10,6 +10,9 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
+# Simulation-heavy: excluded from the fast PR gate (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def run_example(name: str, capsys) -> str:
     spec = importlib.util.spec_from_file_location(

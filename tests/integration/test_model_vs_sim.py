@@ -19,6 +19,9 @@ from repro.workloads.alltoall import run_alltoall
 from repro.workloads.nonblocking import run_nonblocking_alltoall
 from repro.workloads.workpile import run_workpile
 
+# Simulation-heavy: excluded from the fast PR gate (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 MACHINE = MachineParams(latency=40.0, handler_time=200.0, processors=16,
                         handler_cv2=0.0)
 CONFIG = MachineConfig(processors=16, latency=40.0, handler_time=200.0,

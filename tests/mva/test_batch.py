@@ -216,3 +216,182 @@ class TestBatchValidation:
         scalar = bard_amva(demands[0], 5, 0.0,
                            ["queueing", "delay", "queueing"])
         assert_point_matches(scalar, result, 0)
+
+
+# ---------------------------------------------------------------------------
+# Multi-class kernels
+# ---------------------------------------------------------------------------
+from repro.mva import (  # noqa: E402 - extends the import block above
+    batch_multiclass_amva,
+    batch_multiclass_mva,
+    multiclass_amva,
+    multiclass_mva,
+)
+from repro.mva.batch import BatchMultiClassMVAResult  # noqa: E402
+from repro.mva.multiclass import (  # noqa: E402
+    MultiClassAMVAResult,
+    MultiClassMVAResult,
+)
+
+
+def random_multiclass_grid(seed, n_points=80, n_classes=2, n_centers=3,
+                           max_pop=5):
+    rng = np.random.default_rng(seed)
+    demands = rng.uniform(0.0, 5.0, size=(n_points, n_classes, n_centers))
+    populations = rng.integers(0, max_pop + 1, size=(n_points, n_classes))
+    think_times = np.where(
+        rng.random((n_points, n_classes)) < 0.3,
+        0.0,
+        rng.uniform(0.0, 20.0, (n_points, n_classes)),
+    )
+    # Keep zero-demand classes non-degenerate: give them think time.
+    dead = (
+        ~np.any(demands > 0, axis=2)
+        & (think_times == 0.0)
+        & (populations > 0)
+    )
+    think_times[dead] = 1.0
+    kinds = ["queueing", "delay", "queueing"][:n_centers]
+    return demands, populations, think_times, kinds
+
+
+def assert_multiclass_point_matches(scalar, batch_result, i):
+    b = batch_result.point(i)
+    assert b.populations == scalar.populations
+    for f in ("throughputs", "response_times", "queue_lengths",
+              "class_queue_lengths", "cycle_times"):
+        assert np.array_equal(getattr(scalar, f), getattr(b, f)), f
+
+
+class TestBatchMulticlassExactParity:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_randomized_grid_bitwise(self, seed):
+        demands, pops, thinks, kinds = random_multiclass_grid(seed)
+        result = batch_multiclass_mva(demands, pops, thinks, kinds=kinds)
+        assert isinstance(result, BatchMultiClassMVAResult)
+        assert result.method == "exact"
+        assert len(result) == demands.shape[0]
+        for i in range(demands.shape[0]):
+            scalar = multiclass_mva(demands[i], pops[i], thinks[i],
+                                    kinds=kinds)
+            assert_multiclass_point_matches(scalar, result, i)
+
+    def test_point_returns_exact_result_type(self):
+        result = batch_multiclass_mva([[1.0], [2.0]], [2, 1])
+        assert isinstance(result.point(0), MultiClassMVAResult)
+
+    def test_three_classes(self):
+        demands, pops, thinks, kinds = random_multiclass_grid(
+            3, n_points=25, n_classes=3, max_pop=3
+        )
+        result = batch_multiclass_mva(demands, pops, thinks, kinds=kinds)
+        for i in (0, 12, 24):
+            scalar = multiclass_mva(demands[i], pops[i], thinks[i],
+                                    kinds=kinds)
+            assert_multiclass_point_matches(scalar, result, i)
+
+    def test_shared_network_broadcasts(self):
+        """A (classes, centres) demand matrix is shared by all points."""
+        demands = [[1.0, 0.5], [2.0, 0.25]]
+        pops = [[1, 1], [2, 3], [4, 0]]
+        result = batch_multiclass_mva(demands, pops, [5.0, 10.0])
+        assert len(result) == 3
+        for i, pop in enumerate(pops):
+            scalar = multiclass_mva(demands, pop, [5.0, 10.0])
+            assert_multiclass_point_matches(scalar, result, i)
+
+    def test_all_zero_population_point(self):
+        result = batch_multiclass_mva(
+            [[1.0], [2.0]], [[0, 0], [2, 1]], [0.0, 0.0]
+        )
+        scalar = multiclass_mva([[1.0], [2.0]], [0, 0])
+        assert_multiclass_point_matches(scalar, result, 0)
+        assert result.throughputs[0].sum() == 0.0
+
+    def test_union_lattice_masking(self):
+        """Points far below the union lattice's corner stay exact."""
+        demands = [[2.0], [1.0]]
+        pops = [[1, 0], [0, 1], [6, 6]]
+        result = batch_multiclass_mva(demands, pops)
+        for i, pop in enumerate(pops):
+            scalar = multiclass_mva(demands, pop)
+            assert_multiclass_point_matches(scalar, result, i)
+
+
+class TestBatchMulticlassAMVAParity:
+    @pytest.mark.parametrize("method", ["bard", "schweitzer"])
+    @pytest.mark.parametrize("seed", [1, 11])
+    def test_randomized_grid_bitwise(self, method, seed):
+        demands, pops, thinks, kinds = random_multiclass_grid(seed)
+        result = batch_multiclass_amva(demands, pops, thinks, kinds=kinds,
+                                       method=method)
+        assert result.method == method
+        for i in range(demands.shape[0]):
+            scalar = multiclass_amva(demands[i], pops[i], thinks[i],
+                                     kinds=kinds, method=method)
+            assert_multiclass_point_matches(scalar, result, i)
+            assert scalar.iterations == result.iterations[i]
+            assert scalar.converged == bool(result.converged[i])
+
+    def test_point_returns_amva_result_type(self):
+        result = batch_multiclass_amva([[1.0], [2.0]], [2, 1])
+        point = result.point(0)
+        assert isinstance(point, MultiClassAMVAResult)
+        assert point.method == "bard"
+        assert point.converged
+
+    def test_iteration_cap_matches_scalar(self):
+        demands, pops, thinks, kinds = random_multiclass_grid(5, n_points=12)
+        capped = batch_multiclass_amva(demands, pops, thinks, kinds=kinds,
+                                       max_iter=3)
+        for i in range(12):
+            scalar = multiclass_amva(demands[i], pops[i], thinks[i],
+                                     kinds=kinds, max_iter=3)
+            assert scalar.converged == bool(capped.converged[i])
+            assert np.array_equal(scalar.class_queue_lengths,
+                                  capped.class_queue_lengths[i])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            batch_multiclass_amva([[1.0]], [1], method="warp")
+
+
+class TestBatchMulticlassValidation:
+    def test_rejects_bad_demand_shape(self):
+        with pytest.raises(ValueError, match="classes, centres"):
+            batch_multiclass_mva(np.zeros((3,)), [1])
+
+    def test_rejects_population_shape_mismatch(self):
+        with pytest.raises(ValueError, match="populations"):
+            batch_multiclass_mva([[1.0, 2.0]], [1, 2, 3])
+
+    def test_rejects_negative_population(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            batch_multiclass_mva([[1.0]], [[-1]])
+
+    def test_rejects_fractional_population(self):
+        with pytest.raises(ValueError, match="integers"):
+            batch_multiclass_mva([[1.0]], [[1.5]])
+
+    def test_rejects_degenerate_class_points(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            batch_multiclass_mva(
+                [[[1.0], [0.0]]], [[1, 1]], [[0.0, 0.0]]
+            )
+
+    def test_rejects_mismatched_point_counts(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            batch_multiclass_mva(
+                np.ones((3, 1, 2)), np.ones((2, 1), dtype=int)
+            )
+
+    def test_rejects_huge_union_lattice(self):
+        with pytest.raises(ValueError, match="lattice"):
+            batch_multiclass_mva(
+                np.ones((1, 4, 1)), [[200, 200, 200, 200]]
+            )
+
+    def test_degenerate_message_matches_single_class(self):
+        """Multi-class degeneracy raises the single-class wording."""
+        with pytest.raises(ValueError, match="all demands are zero"):
+            batch_multiclass_mva([[[0.0]]], [[2]])

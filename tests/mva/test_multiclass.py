@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mva.exact import exact_mva
-from repro.mva.multiclass import multiclass_mva
+from repro.mva.multiclass import multiclass_amva, multiclass_mva
 
 
 class TestReductions:
@@ -137,3 +137,121 @@ class TestAgainstGeneralLoPC:
         # Bard stays pessimistic on both classes.
         assert x_fast_lopc <= x_fast_exact * 1.001
         assert x_slow_lopc <= x_slow_exact * 1.001
+
+
+class TestEdgeCases:
+    """The PR-3 satellite contract: single-class reduction is bit-exact,
+    inert classes are handled, degenerate networks raise like the
+    single-class validation."""
+
+    def test_single_class_matches_exact_mva_bitwise(self):
+        demands = [3.0, 1.5, 0.5]
+        single = exact_mva(demands, population=7, think_time=10.0)
+        multi = multiclass_mva([demands], [7], think_times=[10.0])
+        assert multi.throughputs[0] == single.throughput
+        assert np.array_equal(multi.response_times[0], single.response_times)
+        assert np.array_equal(multi.queue_lengths, single.queue_lengths)
+        assert multi.cycle_times[0] == single.cycle_time
+
+    def test_all_classes_zero_population(self):
+        res = multiclass_mva([[1.0], [2.0]], [0, 0])
+        assert np.all(res.throughputs == 0.0)
+        assert np.all(res.queue_lengths == 0.0)
+
+    def test_all_zero_demand_raises_like_single_class(self):
+        with pytest.raises(ValueError, match="all demands are zero"):
+            multiclass_mva([[0.0, 0.0]], [3])
+
+    def test_zero_demand_class_raises_only_when_populated(self):
+        # The empty class has no customers, so nothing diverges.
+        res = multiclass_mva([[0.0], [1.0]], [0, 2])
+        assert res.throughputs[0] == 0.0
+        # Populate it and the same network is degenerate.
+        with pytest.raises(ValueError, match="degenerate"):
+            multiclass_mva([[0.0], [1.0]], [1, 2])
+
+    def test_zero_demand_class_with_think_time_is_fine(self):
+        res = multiclass_mva([[0.0], [1.0]], [2, 2], think_times=[4.0, 0.0])
+        # Pure thinkers: X = N / Z.
+        assert res.throughputs[0] == pytest.approx(2.0 / 4.0)
+
+
+class TestAMVA:
+    def test_single_class_bard_reduces_bitwise(self):
+        from repro.mva.amva import bard_amva
+
+        demands = [2.0, 1.0, 0.5]
+        scalar = bard_amva(demands, 9, 12.0)
+        multi = multiclass_amva([demands], [9], think_times=[12.0],
+                                method="bard")
+        assert multi.throughputs[0] == scalar.throughput
+        assert np.array_equal(multi.queue_lengths, scalar.queue_lengths)
+        assert np.array_equal(multi.response_times[0], scalar.response_times)
+        assert multi.iterations == scalar.iterations
+        assert multi.converged == scalar.converged
+
+    def test_single_class_schweitzer_reduces_bitwise(self):
+        from repro.mva.amva import schweitzer_amva
+
+        demands = [2.0, 1.0, 0.5]
+        scalar = schweitzer_amva(demands, 9, 12.0)
+        multi = multiclass_amva([demands], [9], think_times=[12.0],
+                                method="schweitzer")
+        assert multi.throughputs[0] == scalar.throughput
+        assert np.array_equal(multi.queue_lengths, scalar.queue_lengths)
+        assert multi.iterations == scalar.iterations
+
+    def test_bard_tracks_exact_within_few_percent(self):
+        # Paper-like regime: think times dominate demands (Uq well
+        # below 1); at heavy load Bard's self-term error grows.
+        demands = [[0.5, 0.2], [0.3, 0.4]]
+        pops = [3, 4]
+        think = [10.0, 20.0]
+        exact = multiclass_mva(demands, pops, think_times=think)
+        approx = multiclass_amva(demands, pops, think_times=think)
+        assert approx.converged
+        for c in range(2):
+            assert approx.throughputs[c] == pytest.approx(
+                exact.throughputs[c], rel=0.02
+            )
+        # Bard over-estimates queues, so it stays pessimistic on X.
+        assert approx.throughputs.sum() <= exact.throughputs.sum() * 1.001
+
+    def test_schweitzer_at_least_as_accurate_as_bard_here(self):
+        demands = [[2.0, 0.5], [1.0, 1.5]]
+        pops = [3, 4]
+        think = [2.0, 8.0]
+        exact = multiclass_mva(demands, pops, think_times=think)
+        bard = multiclass_amva(demands, pops, think_times=think,
+                               method="bard")
+        schw = multiclass_amva(demands, pops, think_times=think,
+                               method="schweitzer")
+        err_bard = abs(bard.throughputs.sum() - exact.throughputs.sum())
+        err_schw = abs(schw.throughputs.sum() - exact.throughputs.sum())
+        assert err_schw <= err_bard + 1e-12
+
+    def test_zero_population_class_is_inert(self):
+        with_ghost = multiclass_amva([[2.0], [9.0]], [5, 0])
+        alone = multiclass_amva([[2.0]], [5])
+        assert with_ghost.throughputs[0] == alone.throughputs[0]
+        assert with_ghost.throughputs[1] == 0.0
+        assert np.all(with_ghost.class_queue_lengths[1] == 0.0)
+
+    def test_delay_centres(self):
+        res = multiclass_amva([[5.0], [3.0]], [2, 2], kinds=["delay"])
+        assert res.response_times[0, 0] == 5.0
+        assert res.response_times[1, 0] == 3.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            multiclass_amva([[1.0]], [1], method="newton")
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError, match="all demands are zero"):
+            multiclass_amva([[0.0]], [1])
+
+    def test_iteration_cap_reports_unconverged(self):
+        res = multiclass_amva([[2.0, 1.0]], [6], think_times=[1.0],
+                              max_iter=2)
+        assert res.iterations == 2
+        assert not res.converged

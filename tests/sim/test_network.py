@@ -3,12 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.sim.distributions import Constant, Exponential
+from repro.sim.distributions import Exponential
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine, MachineConfig
 from repro.sim.messages import Message
 from repro.sim.network import ContentionFreeNetwork
-from repro.sim.threads import Compute, Send
+from repro.sim.threads import Send
 
 
 def test_constant_latency_delivery_time():

@@ -32,11 +32,12 @@ def _model_spec(works=(2.0, 64.0, 1024.0), name="batch-test"):
 
 class TestBatchRegistry:
     def test_analytic_evaluators_advertise_batch(self):
-        for name in ("alltoall-model", "alltoall-bounds", "workpile-model"):
+        for name in ("alltoall-model", "alltoall-bounds", "workpile-model",
+                     "workpile-bounds", "multiclass-mva"):
             assert get_batch_evaluator(name) is not None
 
     def test_sim_evaluators_do_not(self):
-        for name in ("alltoall-sim", "workpile-sim", "workpile-bounds"):
+        for name in ("alltoall-sim", "workpile-sim"):
             assert get_batch_evaluator(name) is None
 
     def test_unknown_evaluator_raises(self):
@@ -202,3 +203,106 @@ class TestFigureParity:
             fast = run_sweep(spec)
             slow = run_sweep(spec, batch=False)
             assert [r.values for r in fast] == [r.values for r in slow]
+
+
+class TestMulticlassAndBoundsFastPath:
+    """PR-3: the last analytic evaluators gain batch companions."""
+
+    @staticmethod
+    def _multiclass_spec(method="exact", name="mc-batch-test"):
+        return SweepSpec(
+            name=name, evaluator="multiclass-mva",
+            base={"D0_0": 0.5, "D0_1": 1.0, "D1_0": 2.0, "D1_1": 0.25,
+                  "Z0": 5.0, "Z1": 50.0, "method": method},
+            axes=(GridAxis("N0", (0, 1, 3, 5)), GridAxis("N1", (1, 2, 4))),
+        )
+
+    @pytest.mark.parametrize("method", ["exact", "bard", "schweitzer"])
+    def test_multiclass_byte_identical_to_scalar_path(self, method):
+        spec = self._multiclass_spec(method)
+        batch = run_sweep(spec)
+        scalar = run_sweep(spec, batch=False)
+        assert batch.metadata["batched"] is True
+        assert scalar.metadata["batched"] is False
+        assert [r.values for r in batch] == [r.values for r in scalar]
+
+    def test_multiclass_amva_meta_carries_iterations(self):
+        result = run_sweep(self._multiclass_spec("bard"))
+        fresh = [r for r in result if r.params["N0"] or r.params["N1"]]
+        assert all(r.meta["iterations"] >= 1 for r in fresh)
+        assert all(r.meta["converged"] for r in fresh)
+        assert all(r.meta["batched"] for r in result)
+
+    def test_mixed_method_axis_groups_per_kernel(self):
+        spec = SweepSpec(
+            name="mc-mixed", evaluator="multiclass-mva",
+            base={"D0_0": 1.0, "N0": 4, "Z0": 2.0},
+            axes=(GridAxis("method", ("exact", "bard", "schweitzer")),),
+        )
+        batch = run_sweep(spec)
+        scalar = run_sweep(spec, batch=False)
+        assert [r.values for r in batch] == [r.values for r in scalar]
+
+    def test_multiclass_batch_and_scalar_share_cache_records(self, tmp_path):
+        spec = self._multiclass_spec()
+        cache = ResultCache(tmp_path)
+        run_sweep(spec, cache=cache)
+        assert cache.stats.misses == len(spec)
+        second = run_sweep(spec, cache=cache, batch=False)
+        assert cache.stats.hits == len(spec)
+        assert all(r.meta["cached"] for r in second)
+
+    def test_workpile_bounds_byte_identical_to_scalar_path(self):
+        spec = SweepSpec(
+            name="bounds-batch-test", evaluator="workpile-bounds",
+            base={"P": 32, "St": 40.0, "So": 200.0},
+            axes=(GridAxis("Ps", tuple(range(1, 16))),
+                  GridAxis("W", (0.0, 250.0, 2000.0))),
+        )
+        batch = run_sweep(spec)
+        scalar = run_sweep(spec, batch=False)
+        assert batch.metadata["batched"] is True
+        assert [r.values for r in batch] == [r.values for r in scalar]
+
+    def test_multiclass_kinds_string_round_trips(self):
+        spec = SweepSpec(
+            name="mc-kinds", evaluator="multiclass-mva",
+            base={"D0_0": 1.0, "D0_1": 3.0, "N0": 4, "Z0": 1.0,
+                  "kinds": "queueing,delay"},
+            axes=(GridAxis("D0_2", (0.5, 2.0)),),
+        )
+        # D0_2 exists but kinds only names two centres -> length mismatch.
+        with pytest.raises(ValueError, match="kinds"):
+            run_sweep(spec)
+
+    def test_multiclass_missing_demands_raise(self):
+        spec = SweepSpec(
+            name="mc-bad", evaluator="multiclass-mva",
+            base={"N0": 2},
+        )
+        with pytest.raises(ValueError, match="D0_0"):
+            run_sweep(spec)
+
+    def test_multiclass_gapped_class_index_rejected(self):
+        spec = SweepSpec(
+            name="mc-gap", evaluator="multiclass-mva",
+            base={"N0": 4, "N2": 2, "D0_0": 1.0, "D2_0": 3.0, "Z0": 1.0},
+        )
+        with pytest.raises(ValueError, match="class 2"):
+            run_sweep(spec)
+
+    def test_multiclass_gapped_centre_index_rejected(self):
+        spec = SweepSpec(
+            name="mc-gap-k", evaluator="multiclass-mva",
+            base={"N0": 4, "D0_0": 1.0, "D0_2": 3.0, "Z0": 1.0},
+        )
+        with pytest.raises(ValueError, match="centre 2"):
+            run_sweep(spec)
+
+    def test_multiclass_missing_class_demands_raise_value_error(self):
+        spec = SweepSpec(
+            name="mc-missing-row", evaluator="multiclass-mva",
+            base={"N0": 2, "N1": 3, "D0_0": 1.0, "Z0": 1.0},
+        )
+        with pytest.raises(ValueError, match="D1_0"):
+            run_sweep(spec)

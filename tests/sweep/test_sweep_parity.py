@@ -11,6 +11,9 @@ import repro.sweep.evaluators as evaluators_mod
 from repro.experiments import format_table, get_experiment
 from repro.sweep import ResultCache
 
+# Simulation-heavy: excluded from the fast PR gate (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 _FAST = {"cycles": 120, "works": (2, 32, 256, 1024)}
 
 

@@ -11,6 +11,9 @@ from repro.validation.sensitivity import (
     workpile_sensitivity,
 )
 
+# Simulation-heavy: excluded from the fast PR gate (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 class TestAllToAllSensitivity:
     @pytest.fixture(scope="class")
