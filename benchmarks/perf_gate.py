@@ -1,11 +1,12 @@
 """Benchmark-regression gate: raw pytest-benchmark JSON -> BENCH_*.json.
 
-CI runs the batch-solver benchmarks with ``--benchmark-json=<raw>``,
-then calls this script to (a) distill the raw report into a compact,
-machine-readable ``BENCH_*.json`` artifact -- points/sec and speedup vs
-the scalar path per benchmark -- and (b) fail the build when any
-speedup regresses more than ``--max-regression`` (default 30%) against
-the committed baseline under ``benchmarks/baselines/``.
+CI runs the batch-solver and simulator benchmarks with
+``--benchmark-json=<raw>``, then calls this script to (a) distill each
+raw report into a compact, machine-readable ``BENCH_*.json`` artifact
+-- points/sec (or events/sec) and speedup vs the scalar path per
+benchmark -- and (b) fail the build when any speedup regresses more
+than ``--max-regression`` (default 30%) against the committed baseline
+under ``benchmarks/baselines/``.
 
 Speedups are *ratios measured on one machine* (batch vs scalar on the
 same runner), so they transfer across hardware far better than absolute
@@ -30,21 +31,17 @@ import json
 import sys
 from pathlib import Path
 
-#: extra_info keys lifted into the artifact, when the benchmark sets them.
-_METRICS = (
-    "points",
-    "scalar_points_per_sec",
-    "batch_points_per_sec",
-    "speedup",
-)
-
-
 def distill(raw: dict) -> dict:
-    """Compact a pytest-benchmark raw report into the artifact payload."""
+    """Compact a pytest-benchmark raw report into the artifact payload.
+
+    Every ``extra_info`` metric a benchmark records is lifted into the
+    artifact (points/sec for the batch solvers, events/sec for the
+    simulator, the speedup ratio for both), plus the measured mean; the
+    regression gate itself only reads ``speedup``.
+    """
     benchmarks = {}
     for bench in raw.get("benchmarks", []):
-        extra = bench.get("extra_info", {})
-        entry = {key: extra[key] for key in _METRICS if key in extra}
+        entry = dict(bench.get("extra_info", {}))
         entry["mean_seconds"] = bench.get("stats", {}).get("mean")
         benchmarks[bench["name"]] = entry
     return {
@@ -97,12 +94,14 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
     for name, entry in sorted(current["benchmarks"].items()):
         speedup = entry.get("speedup")
-        rate = entry.get("batch_points_per_sec")
-        print(
-            f"{name}: "
-            + (f"{speedup:.1f}x vs scalar" if speedup is not None else "-")
-            + (f", {rate:,.0f} points/sec" if rate is not None else "")
+        line = f"{name}: " + (
+            f"{speedup:.1f}x vs scalar" if speedup is not None else "-"
         )
+        if entry.get("batch_points_per_sec") is not None:
+            line += f", {entry['batch_points_per_sec']:,.0f} points/sec"
+        elif entry.get("streamed_events_per_sec") is not None:
+            line += f", {entry['streamed_events_per_sec']:,.0f} events/sec"
+        print(line)
     print(f"wrote {args.out}")
 
     if args.baseline is None:

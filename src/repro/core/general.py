@@ -382,7 +382,8 @@ class GeneralLoPCModel:
 
 
 def residual_correction_vec(utilization: np.ndarray, cv2: float) -> np.ndarray:
-    """Vectorised ``(C^2 - 1)/2 * U`` (see :func:`repro.mva.residual.residual_correction`)."""
+    """Vectorised ``(C^2 - 1)/2 * U``
+    (see :func:`repro.mva.residual.residual_correction`)."""
     if cv2 < 0:
         raise ValueError(f"cv2 must be >= 0, got {cv2!r}")
     return 0.5 * (cv2 - 1.0) * np.asarray(utilization, dtype=float)

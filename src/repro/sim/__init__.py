@@ -43,6 +43,14 @@ from repro.sim.stats import (
     batch_means_ci,
     summarize_cycles,
 )
+from repro.sim.streams import (
+    IntegerStream,
+    SampleStream,
+    ScalarIntegerStream,
+    ScalarSampleStream,
+    StreamExhausted,
+    StreamRegistry,
+)
 from repro.sim.threads import Compute, Done, Send, Wait
 from repro.sim.trace import TraceEvent, TraceRecorder
 
@@ -56,14 +64,20 @@ __all__ = [
     "Exponential",
     "Gamma",
     "HyperExponential",
+    "IntegerStream",
     "Machine",
     "MachineConfig",
     "Message",
     "Node",
     "NodeStats",
+    "SampleStream",
+    "ScalarIntegerStream",
+    "ScalarSampleStream",
     "Send",
     "ServiceDistribution",
     "Simulator",
+    "StreamExhausted",
+    "StreamRegistry",
     "TraceEvent",
     "TraceRecorder",
     "Uniform",

@@ -63,8 +63,14 @@ class ServiceDistribution(ABC):
         per-sample Python loop.  Draws are deterministic for a given
         ``Generator`` state, though a vectorized draw may consume the
         stream differently than ``size`` repeated :meth:`sample` calls;
-        use one or the other consistently when replaying seeds.  This
-        base fallback (a ``sample`` loop) exists only for third-party
+        use one or the other consistently when replaying seeds.  Every
+        built-in *does* consume the generator element-wise, so chunked
+        bulk draws concatenate to one large draw --
+        ``sample_many(rng, a)`` then ``sample_many(rng, b)`` equals
+        ``sample_many(rng, a + b)`` bit for bit.  The
+        :mod:`repro.sim.streams` refill logic relies on this, so
+        subclasses used with streams must preserve it.  This base
+        fallback (a ``sample`` loop) exists only for third-party
         subclasses that cannot vectorize.
         """
         size = _check_size(size)
@@ -250,13 +256,23 @@ class HyperExponential(ServiceDistribution):
         return float(rng.exponential(m))
 
     def sample_many(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        size = _check_size(size)
         if self._mean == 0.0:
-            return np.zeros(_check_size(size))
-        # Two native draws (branch picks, then unit exponentials scaled
-        # by the branch mean) instead of a per-sample Python loop.
-        fast = rng.random(_check_size(size)) < self._p
-        means = np.where(fast, self._m1, self._m2)
-        return rng.exponential(1.0, size=means.size) * means
+            return np.zeros(size)
+        # One native draw of (size, 2) doubles per bulk call: row i is
+        # the branch pick and the magnitude (exponential by inversion,
+        # -m * log1p(-U)) of sample i, so every sample consumes a fixed
+        # two doubles in order and chunked bulk draws concatenate to one
+        # large draw bit for bit -- the stream layer's refill-boundary
+        # contract.  The previous implementation drew all branch picks
+        # first and all magnitudes second, which broke that property
+        # (and silently skewed nothing else: moments are identical, as
+        # the property tests pin).  The *scalar* path keeps numpy's
+        # ziggurat exponential above, unchanged from the seed repo, so
+        # bulk and scalar draws agree in distribution but not bit-wise.
+        u = rng.random((size, 2))
+        means = np.where(u[:, 0] < self._p, self._m1, self._m2)
+        return -means * np.log1p(-u[:, 1])
 
 
 def from_mean_cv2(mean: float, cv2: float) -> ServiceDistribution:

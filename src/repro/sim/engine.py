@@ -12,12 +12,28 @@ Cancellation is lazy: :meth:`Simulator.schedule` returns an
 it when popped.  This is how the node model implements preempt-resume
 computation (the pending completion event of an interrupted computation
 is cancelled and a new one scheduled at resume).
+
+Two event representations share the one heap:
+
+* :meth:`Simulator.schedule` -- the original API: allocates an
+  :class:`EventHandle` (cancellable, closure callback).  The scalar
+  simulator path uses only this, unchanged from the seed.
+* :meth:`Simulator.schedule_call` -- the streamed fast path: pushes a
+  plain ``(time, seq, func, arg)`` tuple.  No handle, no closure, not
+  cancellable; the heap compares tuples entirely in C (the unique
+  ``seq`` decides ties before the payload is ever compared).  Message
+  deliveries and handler completions -- the bulk of all events, never
+  cancelled -- take this path, and :meth:`Simulator.run_fast` drains a
+  mixed heap with one pop per event.
+
+Mixed heaps order correctly because :class:`EventHandle` compares
+against tuples by ``(time, seq)`` (``__lt__``/``__gt__`` below).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Any, Callable
 
 __all__ = ["EventHandle", "Simulator"]
 
@@ -38,10 +54,25 @@ class EventHandle:
         self.cancelled = True
         self.callback = _noop  # drop references early
 
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+    def __lt__(self, other: "EventHandle | tuple") -> bool:
+        if type(other) is tuple:
+            other_time, other_seq = other[0], other[1]
+        else:
+            other_time, other_seq = other.time, other.seq
+        if self.time != other_time:
+            return self.time < other_time
+        return self.seq < other_seq
+
+    def __gt__(self, other: "EventHandle | tuple") -> bool:
+        # tuple.__lt__(EventHandle) returns NotImplemented, so mixed-heap
+        # sift comparisons fall back to this reflected operator.
+        if type(other) is tuple:
+            other_time, other_seq = other[0], other[1]
+        else:
+            other_time, other_seq = other.time, other.seq
+        if self.time != other_time:
+            return self.time > other_time
+        return self.seq > other_seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -66,7 +97,7 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self.events_processed: int = 0
-        self._heap: list[EventHandle] = []
+        self._heap: list[EventHandle | tuple] = []
         self._seq: int = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -82,6 +113,21 @@ class Simulator:
         heapq.heappush(self._heap, handle)
         return handle
 
+    def schedule_call(self, delay: float, func: Callable[[Any], None],
+                      arg: Any = None) -> None:
+        """Schedule ``func(arg)`` -- the allocation-free fast path.
+
+        No :class:`EventHandle` is created and the event cannot be
+        cancelled; ordering (time, then scheduling FIFO) is identical to
+        :meth:`schedule`.  The streamed simulator path uses this for
+        message deliveries and handler completions, which dominate the
+        event count and are never cancelled.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past: delay={delay!r}")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, func, arg))
+        self._seq += 1
+
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at an absolute simulation time."""
         return self.schedule(time - self.now, callback)
@@ -93,23 +139,34 @@ class Simulator:
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if type(entry) is tuple:
+                return entry[0]
+            if not entry.cancelled:
+                return entry.time
+            heapq.heappop(heap)
+        return None
 
     def step(self) -> bool:
         """Run the next live event.  Returns False if none remain."""
         while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
+            entry = heapq.heappop(self._heap)
+            if type(entry) is tuple:
+                self.now = entry[0]
+                self.events_processed += 1
+                entry[2](entry[3])
+                return True
+            if entry.cancelled:
                 continue
-            if handle.time < self.now:  # pragma: no cover - invariant guard
+            if entry.time < self.now:  # pragma: no cover - invariant guard
                 raise RuntimeError(
-                    f"event time {handle.time} precedes clock {self.now}"
+                    f"event time {entry.time} precedes clock {self.now}"
                 )
-            self.now = handle.time
+            self.now = entry.time
             self.events_processed += 1
-            handle.callback()
+            entry.callback()
             return True
         return False
 
@@ -149,4 +206,51 @@ class Simulator:
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events} "
                     f"(clock at {self.now}); likely a livelock in the workload"
+                )
+
+    def run_fast(
+        self,
+        until: float | None = None,
+        max_events: int = 100_000_000,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        """Drain the event queue with one heap pop per event.
+
+        Semantically identical to :meth:`run` (same ordering, same
+        ``until``/``stop``/``max_events`` behaviour, same
+        ``events_processed`` accounting) but restructured for the
+        streamed simulator: the common case pops each entry exactly once
+        instead of peeking then stepping, dispatches ``schedule_call``
+        tuples without attribute lookups, and only falls back to the
+        peek-based loop when an ``until`` horizon needs events left on
+        the heap.  :meth:`run` is kept verbatim as the seed-scalar loop
+        so streamed-vs-scalar benchmarks compare against the original
+        path.
+        """
+        if until is not None:
+            self.run(until=until, max_events=max_events, stop=stop)
+            return
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        while heap:
+            entry = pop(heap)
+            if type(entry) is tuple:
+                self.now = entry[0]
+                self.events_processed += 1
+                entry[2](entry[3])
+            else:
+                if entry.cancelled:
+                    continue
+                self.now = entry.time
+                self.events_processed += 1
+                entry.callback()
+            executed += 1
+            if stop is not None and stop():
+                return
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events} "
+                    f"(clock at {self.now}); likely a livelock in the "
+                    "workload"
                 )

@@ -21,6 +21,7 @@ from repro.sim.distributions import ServiceDistribution, from_mean_cv2
 from repro.sim.engine import Simulator
 from repro.sim.network import ContentionFreeNetwork
 from repro.sim.node import Node
+from repro.sim.streams import StreamRegistry
 from repro.sim.threads import ThreadEffect
 
 __all__ = ["Machine", "MachineConfig"]
@@ -100,15 +101,31 @@ class MachineConfig:
 
 
 class Machine:
-    """A running instance of the simulated active-message multiprocessor."""
+    """A running instance of the simulated active-message multiprocessor.
+
+    Parameters
+    ----------
+    use_streams:
+        Route every service/latency/destination draw through the
+        bulk-drawn :mod:`~repro.sim.streams` layer and run the engine's
+        fast event loop (the default).  ``False`` reproduces the seed
+        simulator exactly -- scalar draw-per-event sampling, handle-based
+        scheduling and the original run loop -- with bit-identical
+        trajectories to the pre-stream repo; benchmarks compare the two
+        paths end to end.  The per-node ``SeedSequence`` spawns are the
+        same in both modes; only the draw *order* against each generator
+        differs (see the README's determinism contract).
+    """
 
     def __init__(
         self,
         config: MachineConfig,
         latency_dist: ServiceDistribution | None = None,
         handler_dist: ServiceDistribution | None = None,
+        use_streams: bool = True,
     ) -> None:
         self.config = config
+        self.use_streams = bool(use_streams)
         self.sim = Simulator()
         seeds = np.random.SeedSequence(config.seed).spawn(config.processors + 1)
         network_rng = np.random.default_rng(seeds[0])
@@ -120,19 +137,28 @@ class Machine:
             )
         else:
             latency = latency_dist
-        self.network = ContentionFreeNetwork(self.sim, latency, network_rng)
+        self.network = ContentionFreeNetwork(
+            self.sim, latency, network_rng, use_streams=self.use_streams
+        )
         if handler_dist is None:
             handler_dist = from_mean_cv2(config.handler_time, config.handler_cv2)
         self.handler_dist = handler_dist
+        node_rngs = [
+            np.random.default_rng(seeds[i + 1])
+            for i in range(config.processors)
+        ]
         self.nodes: list[Node] = [
             Node(
                 node_id=i,
                 sim=self.sim,
                 network=self.network,
                 handler_dist=handler_dist,
-                rng=np.random.default_rng(seeds[i + 1]),
+                rng=rng,
+                # The registry shares the node's generator, preserving
+                # the seed repo's one-SeedSequence-spawn-per-node seeding.
+                streams=StreamRegistry(rng, scalar=not self.use_streams),
             )
-            for i in range(config.processors)
+            for i, rng in enumerate(node_rngs)
         ]
         self.network.attach(self.nodes)
         self._threads_remaining = 0
@@ -169,6 +195,28 @@ class Machine:
         return self._threads_remaining == 0
 
     # ------------------------------------------------------------------
+    def reserve_streams(
+        self,
+        service_draws_per_node: int = 0,
+        latency_draws: int = 0,
+    ) -> None:
+        """Pre-size the machine-level streams from expected draw counts.
+
+        Workload runners (and through them the sweep evaluators) call
+        this with the event counts a point is expected to generate --
+        handler dispatches per node and total message sends -- so the
+        first refill covers the whole run instead of ramping up
+        geometrically.  A cheap no-op on scalar machines.
+        """
+        if not self.use_streams:
+            return
+        if latency_draws:
+            self.network.reserve(latency_draws)
+        if service_draws_per_node:
+            for node in self.nodes:
+                node.streams.reserve(self.handler_dist, service_draws_per_node)
+
+    # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         """Warm-up boundary: drop per-node time-weighted statistics."""
         now = self.sim.now
@@ -198,7 +246,10 @@ class Machine:
         deadlock).  An explicit ``stop`` predicate ends the run early
         (used for warm-up phases).
         """
-        self.sim.run(until=until, stop=stop, max_events=max_events)
+        if self.use_streams:
+            self.sim.run_fast(until=until, stop=stop, max_events=max_events)
+        else:
+            self.sim.run(until=until, stop=stop, max_events=max_events)
         if (
             until is None
             and stop is None

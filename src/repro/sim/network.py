@@ -24,6 +24,7 @@ import numpy as np
 from repro.sim.distributions import Constant, ServiceDistribution
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
+from repro.sim.streams import SampleStream
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.node import Node
@@ -41,6 +42,12 @@ class ContentionFreeNetwork:
     wire_time_total:
         Accumulated wire time, so tests can verify the realised mean
         latency matches the configured ``St``.
+    latency_stream:
+        The bulk-drawn :class:`~repro.sim.streams.SampleStream` serving
+        wire delays when built with ``use_streams=True`` (the default
+        for :class:`~repro.sim.machine.Machine`); ``None`` in scalar
+        mode, where every send draws ``latency_dist.sample(rng)``
+        exactly like the seed simulator.
     """
 
     def __init__(
@@ -48,6 +55,7 @@ class ContentionFreeNetwork:
         sim: Simulator,
         latency: float | ServiceDistribution,
         rng: np.random.Generator,
+        use_streams: bool = False,
     ) -> None:
         if isinstance(latency, ServiceDistribution):
             self.latency_dist: ServiceDistribution = latency
@@ -57,6 +65,9 @@ class ContentionFreeNetwork:
             self.latency_dist = Constant(latency)
         self._sim = sim
         self._rng = rng
+        self.latency_stream: SampleStream | None = (
+            SampleStream(self.latency_dist, rng) if use_streams else None
+        )
         self._nodes: Sequence["Node"] | None = None
         self.messages_sent: int = 0
         self.wire_time_total: float = 0.0
@@ -79,6 +90,11 @@ class ContentionFreeNetwork:
             raise RuntimeError("network is already attached to a machine")
         self._nodes = nodes
 
+    def reserve(self, draws: int) -> None:
+        """Pre-size the latency stream for ``draws`` sends (no-op scalar)."""
+        if self.latency_stream is not None:
+            self.latency_stream.reserve(draws)
+
     def send(self, message: Message) -> None:
         """Inject a message; it arrives ``latency`` cycles later."""
         if self._nodes is None:
@@ -89,13 +105,25 @@ class ContentionFreeNetwork:
                 f"{len(self._nodes)} nodes"
             )
         message.sent_at = self._sim.now
-        delay = self.latency_dist.sample(self._rng)
-        self.messages_sent += 1
-        self.wire_time_total += delay
-        if self.on_send is not None:
-            self.on_send(message)
-        dest = self._nodes[message.dest]
-        self._sim.schedule(delay, lambda: dest.deliver(message))
+        stream = self.latency_stream
+        if stream is not None:
+            delay = stream.draw()
+            self.messages_sent += 1
+            self.wire_time_total += delay
+            if self.on_send is not None:
+                self.on_send(message)
+            # Deliveries are never cancelled: allocation-free tuple path.
+            self._sim.schedule_call(
+                delay, self._nodes[message.dest].deliver, message
+            )
+        else:
+            delay = self.latency_dist.sample(self._rng)
+            self.messages_sent += 1
+            self.wire_time_total += delay
+            if self.on_send is not None:
+                self.on_send(message)
+            dest = self._nodes[message.dest]
+            self._sim.schedule(delay, lambda: dest.deliver(message))
 
     @property
     def mean_realized_latency(self) -> float:

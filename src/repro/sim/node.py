@@ -27,11 +27,19 @@ import numpy as np
 
 from repro.sim.messages import Message
 from repro.sim.stats import NodeStats
+from repro.sim.streams import StreamRegistry
 from repro.sim.threads import Compute, Done, Send, ThreadEffect, Wait
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.distributions import ServiceDistribution
     from repro.sim.engine import EventHandle, Simulator
     from repro.sim.network import ContentionFreeNetwork
+    from repro.sim.streams import (
+        IntegerStream,
+        SampleStream,
+        ScalarIntegerStream,
+        ScalarSampleStream,
+    )
 
 __all__ = ["Node"]
 
@@ -58,6 +66,14 @@ class Node:
         Default service-time distribution for handlers dispatched here.
     rng:
         Node-private random stream (handler times, workload choices).
+    streams:
+        Optional :class:`~repro.sim.streams.StreamRegistry` over ``rng``.
+        When given a *buffered* registry (the default for machines built
+        with ``use_streams=True``), handler service times come from a
+        bulk-drawn stream and handler completions are scheduled through
+        the engine's allocation-free fast path.  When omitted, a
+        seed-exact scalar registry is created and the node draws and
+        schedules exactly like the pre-stream simulator.
 
     Attributes
     ----------
@@ -77,12 +93,22 @@ class Node:
         network: "ContentionFreeNetwork",
         handler_dist: Any,
         rng: np.random.Generator,
+        streams: StreamRegistry | None = None,
     ) -> None:
         self.id = node_id
         self.sim = sim
         self.network = network
         self.handler_dist = handler_dist
         self.rng = rng
+        if streams is None:
+            streams = StreamRegistry(rng, scalar=True)
+        self.streams = streams
+        # In scalar mode the dispatch path must stay bit- and
+        # cost-identical to the seed simulator, so the stream is only
+        # materialised for buffered registries.
+        self._service_stream = (
+            None if streams.scalar else streams.stream(handler_dist)
+        )
         self.memory: dict[str, Any] = {}
         self.stats = NodeStats(node_id)
         self.cycles: list[Any] = []
@@ -95,6 +121,10 @@ class Node:
         self._remaining = 0.0
         self._compute_started = 0.0
         self._completion: "EventHandle | None" = None
+        # Streamed mode schedules compute completions as plain tuples
+        # (no cancellable handle); preemption invalidates the pending
+        # one by bumping this epoch instead of cancelling.
+        self._compute_epoch = 0
         #: Called once when the thread generator finishes.
         self.on_thread_done: Callable[["Node"], None] | None = None
         #: Optional trace recorder (see :mod:`repro.sim.trace`).
@@ -152,6 +182,31 @@ class Node:
         """
 
     # ------------------------------------------------------------------
+    # Random streams (workload draws)
+    # ------------------------------------------------------------------
+    def sample_stream(
+        self, dist: "ServiceDistribution"
+    ) -> "SampleStream | ScalarSampleStream":
+        """This node's stream for ``dist`` (bulk-buffered or seed-scalar).
+
+        Workloads draw compute bursts and other per-cycle service values
+        through this instead of ``dist.sample(node.rng)`` so the draws
+        are bulked on streamed machines and bit-identical to the seed on
+        scalar ones.
+        """
+        return self.streams.stream(dist)
+
+    def pick_stream(
+        self, high: int
+    ) -> "IntegerStream | ScalarIntegerStream":
+        """This node's uniform pick stream on ``[0, high)``.
+
+        Replaces ``int(node.rng.integers(high))`` at the workload
+        destination-pick sites.
+        """
+        return self.streams.integers(high)
+
+    # ------------------------------------------------------------------
     # Message path
     # ------------------------------------------------------------------
     def deliver(self, message: Message) -> None:
@@ -180,18 +235,25 @@ class Node:
     def _dispatch(self, message: Message) -> None:
         message.dispatched_at = self.sim.now
         self._active = message
-        service = (
-            message.service_time
-            if message.service_time is not None
-            else float(self.handler_dist.sample(self.rng))
-        )
+        stream = self._service_stream
+        if message.service_time is not None:
+            service = message.service_time
+        elif stream is not None:
+            service = stream.draw()
+        else:
+            service = float(self.handler_dist.sample(self.rng))
         if self.tracer is not None:
             self.tracer.record(
                 self.sim.now, self.id, "handler-dispatched",
                 f"{message.kind} from node {message.source} "
                 f"(service {service:.2f})",
             )
-        self.sim.schedule(service, self._handler_end)
+        if stream is not None:
+            # Handler completions are never cancelled: take the
+            # allocation-free tuple path in streamed mode.
+            self.sim.schedule_call(service, Node._handler_end, self)
+        else:
+            self.sim.schedule(service, self._handler_end)
 
     def _handler_end(self) -> None:
         message = self._active
@@ -216,9 +278,14 @@ class Node:
     # Thread scheduling internals
     # ------------------------------------------------------------------
     def _preempt(self) -> None:
-        assert self._completion is not None
-        self._completion.cancel()
-        self._completion = None
+        if self._service_stream is None:
+            assert self._completion is not None
+            self._completion.cancel()
+            self._completion = None
+        else:
+            # Invalidate the pending completion tuple; when it fires it
+            # sees a stale epoch and counts itself back out.
+            self._compute_epoch += 1
         ran = self.sim.now - self._compute_started
         self._remaining -= ran
         if self._remaining < 0.0:  # numerical guard
@@ -254,7 +321,29 @@ class Node:
                 self.sim.now, self.id, "compute-started",
                 f"{self._remaining:.2f} cycles",
             )
-        self._completion = self.sim.schedule(self._remaining, self._compute_done)
+        if self._service_stream is None:
+            self._completion = self.sim.schedule(
+                self._remaining, self._compute_done
+            )
+        else:
+            self.sim.schedule_call(
+                self._remaining, Node._compute_fired,
+                (self, self._compute_epoch),
+            )
+
+    @staticmethod
+    def _compute_fired(pair: "tuple[Node, int]") -> None:
+        """Streamed-mode completion: run unless preemption staled it.
+
+        The scalar path cancels a preempted completion before it fires,
+        so a stale firing here corrects ``events_processed`` back to the
+        seed's live-event accounting.
+        """
+        node, epoch = pair
+        if epoch != node._compute_epoch:
+            node.sim.events_processed -= 1
+            return
+        node._compute_done()
 
     def _compute_done(self) -> None:
         self.stats.on_thread_ran(self.sim.now - self._compute_started)

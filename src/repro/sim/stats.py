@@ -255,7 +255,8 @@ class NodeStats:
         elapsed = self.elapsed(now)
         if elapsed <= 0:
             return 0.0
-        return (self.handler_queue_area + self.present * (now - self.last_change)) / elapsed
+        area = self.handler_queue_area + self.present * (now - self.last_change)
+        return area / elapsed
 
     def utilization(self, now: float, kind: str | None = None) -> float:
         """Fraction of the window spent in handlers (optionally one kind)."""

@@ -1,0 +1,468 @@
+"""Bulk-drawn RNG streams for the event-driven simulator.
+
+The simulator's hot paths used to pay one scalar ``Generator`` call per
+event -- ``ServiceDistribution.sample(rng)`` for every handler dispatch,
+wire delay and compute burst, and ``rng.integers(...)`` for every
+destination pick.  A scalar numpy draw costs ~1-3 microseconds of
+Python/C boundary overhead; the *vectorized* draw of the same value
+costs ~0.15 microseconds.  This module moves the boundary: a
+:class:`SampleStream` wraps a ``(ServiceDistribution, Generator)`` pair
+and serves draws from a refillable buffer filled by one
+``sample_many`` call at a time, and an :class:`IntegerStream` does the
+same for bounded integer picks.
+
+Buffering policy
+----------------
+A stream is created with an ``initial`` buffer size and refills by a
+``refill`` policy:
+
+``"grow"``
+    (default) each refill doubles the request up to ``max_buffer`` --
+    geometric growth amortises refills for long runs without
+    over-drawing short ones;
+``"fixed"``
+    every refill re-draws ``initial`` values -- predictable memory for
+    callers that sized the buffer themselves;
+``"error"``
+    never refill: draining the buffer raises :class:`StreamExhausted`.
+    For strictly pre-sized runs where an unplanned refill is a bug.
+
+:meth:`SampleStream.reserve` pre-sizes the *next* refill so a caller
+that knows its draw count up front (a workload knows its cycle count;
+the sweep evaluators know the expected event count per point) pays one
+bulk draw instead of a geometric ramp.
+
+Determinism contract
+--------------------
+Draws come from the caller's ``Generator``, so a fixed seed plus a
+fixed buffering schedule (same initial size, same reserves, same draw
+sequence) reproduces the identical value sequence, run after run.  Two
+caveats, both documented in the README:
+
+* the stream consumes the generator in bulk, so the *draw order*
+  differs from the seed repo's scalar path -- fixed-seed trajectories
+  changed when the simulator adopted streams (the distributions are
+  identical; golden values were re-pinned);
+* changing a buffer size changes how bulk draws interleave with any
+  scalar draws on the same generator, so buffer sizes are part of the
+  determinism contract, exactly like the seed.
+
+The scalar adapters (:class:`ScalarSampleStream`,
+:class:`ScalarIntegerStream`) keep the seed repo's draw-per-event
+behaviour -- bit-identical values *and* cost -- behind the same
+interface, so ``Machine(config, use_streams=False)`` reproduces seed
+trajectories and benchmarks can compare the two paths end to end.
+
+:class:`StreamRegistry` owns one stream per ``(owner, distribution)``
+pair; each :class:`~repro.sim.node.Node` carries a registry over its
+private generator, and the network wraps its latency distribution the
+same way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.distributions import ServiceDistribution
+
+__all__ = [
+    "DEFAULT_INITIAL_BUFFER",
+    "DEFAULT_MAX_BUFFER",
+    "IntegerStream",
+    "SampleStream",
+    "ScalarIntegerStream",
+    "ScalarSampleStream",
+    "StreamExhausted",
+    "StreamRegistry",
+]
+
+#: First refill size of a stream nobody pre-sized.
+DEFAULT_INITIAL_BUFFER = 256
+#: Geometric growth stops here; reserves are clamped to it as well.
+DEFAULT_MAX_BUFFER = 1 << 16
+
+_REFILL_POLICIES = ("grow", "fixed", "error")
+
+
+class StreamExhausted(RuntimeError):
+    """A ``refill="error"`` stream was drawn past its buffered values."""
+
+
+def _check_buffer_sizes(initial: int, max_buffer: int) -> tuple[int, int]:
+    if int(initial) != initial or initial < 1:
+        raise ValueError(f"initial buffer must be an integer >= 1, got {initial!r}")
+    if int(max_buffer) != max_buffer or max_buffer < initial:
+        raise ValueError(
+            f"max_buffer must be an integer >= initial ({initial}), "
+            f"got {max_buffer!r}"
+        )
+    return int(initial), int(max_buffer)
+
+
+def _check_refill(refill: str) -> str:
+    if refill not in _REFILL_POLICIES:
+        raise ValueError(
+            f"refill must be one of {_REFILL_POLICIES}, got {refill!r}"
+        )
+    return refill
+
+
+class _BulkStream:
+    """Shared refillable-buffer machinery behind both stream types.
+
+    Subclasses supply :meth:`_bulk_values` (one vectorized draw of
+    ``size`` values as a plain list) and :meth:`_label` (for error
+    messages); everything else -- the buffering policy, geometric
+    growth, reserve clamping and draw accounting -- lives here once.
+    """
+
+    __slots__ = (
+        "rng",
+        "refill_policy",
+        "max_buffer",
+        "refills",
+        "_values",
+        "_pos",
+        "_len",
+        "_next_size",
+        "_filled",
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        initial: int,
+        max_buffer: int,
+        refill: str,
+    ) -> None:
+        initial, max_buffer = _check_buffer_sizes(initial, max_buffer)
+        self.rng = rng
+        self.refill_policy = _check_refill(refill)
+        self.max_buffer = max_buffer
+        #: Number of bulk refills performed so far.
+        self.refills = 0
+        self._values: list = []
+        self._pos = 0
+        self._len = 0
+        self._next_size = initial
+        self._filled = 0
+
+    def _bulk_values(self, size: int) -> list:
+        raise NotImplementedError  # pragma: no cover - abstract hook
+
+    def _label(self) -> str:
+        raise NotImplementedError  # pragma: no cover - abstract hook
+
+    # ------------------------------------------------------------------
+    @property
+    def draws(self) -> int:
+        """Values handed out so far (buffered-but-unseen ones excluded)."""
+        return self._filled - (self._len - self._pos)
+
+    @property
+    def buffered(self) -> int:
+        """Values currently sitting in the buffer, ready to draw."""
+        return self._len - self._pos
+
+    def reserve(self, draws: int) -> None:
+        """Size the next refill so ``draws`` upcoming draws need one fill.
+
+        Clamped to ``max_buffer``; never shrinks an already larger
+        pending request.  A no-op on ``refill="error"`` streams that
+        already hold enough values (they have no next refill).
+        """
+        if int(draws) != draws or draws < 0:
+            raise ValueError(f"draws must be an integer >= 0, got {draws!r}")
+        need = int(draws) - self.buffered
+        if need > self._next_size:
+            self._next_size = min(need, self.max_buffer)
+
+    def prefill(self, draws: int) -> None:
+        """Top the buffer up to cover ``draws`` upcoming draws *now*.
+
+        An explicit fill rather than a refill-policy event, so it works
+        on ``refill="error"`` streams (it is how they are provisioned);
+        already-buffered values are kept, preserving the draw sequence.
+        """
+        if int(draws) != draws or draws < 0:
+            raise ValueError(f"draws must be an integer >= 0, got {draws!r}")
+        need = int(draws) - self.buffered
+        if need <= 0:
+            return
+        self._values = self._values[self._pos :] + self._bulk_values(need)
+        self._pos = 0
+        self._len = len(self._values)
+        self._filled += need
+        self.refills += 1
+
+    def draw(self):
+        """One value from the buffer, refilling when it runs dry."""
+        pos = self._pos
+        if pos >= self._len:
+            self._fill()
+            pos = 0
+        self._pos = pos + 1
+        return self._values[pos]
+
+    def _fill(self) -> None:
+        if self.refill_policy == "error":
+            raise StreamExhausted(
+                f"{self._label()} exhausted after "
+                f"{self.draws} draws (refill='error')"
+            )
+        size = self._next_size
+        self._values = self._bulk_values(size)
+        self._pos = 0
+        self._len = size
+        self._filled += size
+        self.refills += 1
+        if self.refill_policy == "grow":
+            self._next_size = min(size * 2, self.max_buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self._label()}, draws={self.draws}, "
+            f"buffered={self.buffered}, refill={self.refill_policy!r})"
+        )
+
+
+class SampleStream(_BulkStream):
+    """Bulk-buffered draws from one ``(distribution, Generator)`` pair.
+
+    ``draw()`` is the hot-path call: a list index plus a bounds check,
+    refilling the buffer through ``dist.sample_many`` only when it runs
+    dry.  Values are bit-identical to what direct ``sample_many`` calls
+    of the same total size would produce on the same generator (every
+    built-in distribution draws element-wise, so chunked bulk draws
+    split cleanly -- see ``tests/sim/test_streams.py``).
+    """
+
+    __slots__ = ("dist",)
+
+    def __init__(
+        self,
+        dist: "ServiceDistribution",
+        rng: np.random.Generator,
+        initial: int = DEFAULT_INITIAL_BUFFER,
+        max_buffer: int = DEFAULT_MAX_BUFFER,
+        refill: str = "grow",
+    ) -> None:
+        self.dist = dist
+        super().__init__(rng, initial, max_buffer, refill)
+
+    def _bulk_values(self, size: int) -> list:
+        # .tolist() converts to machine floats in one C pass, so draw()
+        # hands out plain floats with no per-value numpy boxing.
+        return self.dist.sample_many(self.rng, size).tolist()
+
+    def _label(self) -> str:
+        return f"stream over {self.dist!r}"
+
+    def draw_many(self, size: int) -> np.ndarray:
+        """The next ``size`` values as an array.
+
+        Consumes the buffer first, then draws any remainder in one
+        direct bulk call -- the returned values are exactly the ones
+        ``size`` repeated :meth:`draw` calls would have produced.
+        """
+        if int(size) != size or size < 0:
+            raise ValueError(f"size must be an integer >= 0, got {size!r}")
+        size = int(size)
+        take = min(size, self.buffered)
+        head = self._values[self._pos : self._pos + take]
+        self._pos += take
+        rest = size - take
+        if rest == 0:
+            return np.array(head, dtype=float)
+        if self.refill_policy == "error":
+            raise StreamExhausted(
+                f"{self._label()} exhausted: {rest} draws remain "
+                f"after its buffer emptied (refill='error')"
+            )
+        tail = self.dist.sample_many(self.rng, rest)
+        self._filled += rest
+        return np.concatenate([np.array(head, dtype=float), tail])
+
+
+class IntegerStream(_BulkStream):
+    """Bulk-buffered uniform integer picks on ``[0, high)``.
+
+    The destination picks of the random workloads (``rng.integers`` is
+    the single most expensive scalar generator call numpy offers --
+    ~2.5us per pick against ~0.1us bulked).
+    """
+
+    __slots__ = ("high",)
+
+    def __init__(
+        self,
+        high: int,
+        rng: np.random.Generator,
+        initial: int = DEFAULT_INITIAL_BUFFER,
+        max_buffer: int = DEFAULT_MAX_BUFFER,
+        refill: str = "grow",
+    ) -> None:
+        if int(high) != high or high < 1:
+            raise ValueError(f"high must be an integer >= 1, got {high!r}")
+        self.high = int(high)
+        super().__init__(rng, initial, max_buffer, refill)
+
+    def _bulk_values(self, size: int) -> list:
+        return self.rng.integers(self.high, size=size).tolist()
+
+    def _label(self) -> str:
+        return f"integer stream on [0, {self.high})"
+
+
+class ScalarSampleStream:
+    """Seed-exact adapter: one ``dist.sample(rng)`` call per draw.
+
+    Same interface as :class:`SampleStream`, same values *and* generator
+    consumption order as the seed repo's scalar hot path, so
+    ``use_streams=False`` machines reproduce pre-stream trajectories
+    bit for bit and benchmarks can measure streamed-vs-scalar honestly.
+    """
+
+    __slots__ = ("dist", "rng", "draws")
+
+    refills = 0
+    buffered = 0
+
+    def __init__(self, dist: "ServiceDistribution", rng: np.random.Generator) -> None:
+        self.dist = dist
+        self.rng = rng
+        self.draws = 0
+
+    def reserve(self, draws: int) -> None:
+        """No-op: scalar draws have nothing to pre-size."""
+
+    def prefill(self, draws: int) -> None:
+        """No-op: scalar draws have nothing to pre-size."""
+
+    def draw(self) -> float:
+        self.draws += 1
+        return float(self.dist.sample(self.rng))
+
+    def draw_many(self, size: int) -> np.ndarray:
+        if int(size) != size or size < 0:
+            raise ValueError(f"size must be an integer >= 0, got {size!r}")
+        self.draws += int(size)
+        return np.array(
+            [float(self.dist.sample(self.rng)) for _ in range(int(size))],
+            dtype=float,
+        )
+
+
+class ScalarIntegerStream:
+    """Seed-exact adapter: one ``rng.integers(high)`` call per pick."""
+
+    __slots__ = ("high", "rng", "draws")
+
+    refills = 0
+    buffered = 0
+
+    def __init__(self, high: int, rng: np.random.Generator) -> None:
+        if int(high) != high or high < 1:
+            raise ValueError(f"high must be an integer >= 1, got {high!r}")
+        self.high = int(high)
+        self.rng = rng
+        self.draws = 0
+
+    def reserve(self, draws: int) -> None:
+        """No-op: scalar draws have nothing to pre-size."""
+
+    def draw(self) -> int:
+        self.draws += 1
+        return int(self.rng.integers(self.high))
+
+
+class StreamRegistry:
+    """One stream per ``(owner, distribution)`` pair over one generator.
+
+    Each node owns a registry over its private generator (and the
+    network wraps its latency distribution directly), so every
+    ``(node, distribution)`` pair draws from exactly one stream and the
+    per-node seeding of the seed repo is preserved.  Distributions are
+    keyed by identity -- the registry holds a reference, so two nodes
+    sharing one distribution object still get independent streams from
+    their own registries.
+
+    ``scalar=True`` registries hand out the seed-exact scalar adapters
+    instead, keeping every call site uniform across both modes.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        scalar: bool = False,
+        initial: int = DEFAULT_INITIAL_BUFFER,
+        max_buffer: int = DEFAULT_MAX_BUFFER,
+    ) -> None:
+        self.rng = rng
+        self.scalar = bool(scalar)
+        self.initial, self.max_buffer = _check_buffer_sizes(initial, max_buffer)
+        self._samples: dict[
+            "ServiceDistribution", SampleStream | ScalarSampleStream
+        ] = {}
+        self._integers: dict[int, IntegerStream | ScalarIntegerStream] = {}
+
+    def stream(
+        self, dist: "ServiceDistribution"
+    ) -> SampleStream | ScalarSampleStream:
+        """The stream for ``dist``, created on first use."""
+        stream = self._samples.get(dist)
+        if stream is None:
+            if self.scalar:
+                stream = ScalarSampleStream(dist, self.rng)
+            else:
+                stream = SampleStream(
+                    dist, self.rng, initial=self.initial,
+                    max_buffer=self.max_buffer,
+                )
+            self._samples[dist] = stream
+        return stream
+
+    def integers(self, high: int) -> IntegerStream | ScalarIntegerStream:
+        """The pick stream for ``[0, high)``, created on first use."""
+        stream = self._integers.get(high)
+        if stream is None:
+            if self.scalar:
+                stream = ScalarIntegerStream(high, self.rng)
+            else:
+                stream = IntegerStream(
+                    high, self.rng, initial=self.initial,
+                    max_buffer=self.max_buffer,
+                )
+            self._integers[high] = stream
+        return stream
+
+    def reserve(self, dist: "ServiceDistribution", draws: int) -> None:
+        """Pre-size the stream for ``dist`` (creating it if needed)."""
+        self.stream(dist).reserve(draws)
+
+    @property
+    def sample_streams(
+        self,
+    ) -> Mapping["ServiceDistribution", SampleStream | ScalarSampleStream]:
+        """Read-only view of the distribution streams (introspection)."""
+        return dict(self._samples)
+
+    def __iter__(self) -> Iterator[SampleStream | ScalarSampleStream]:
+        return iter(self._samples.values())
+
+    @property
+    def total_draws(self) -> int:
+        """Draws served across every stream in this registry."""
+        return sum(s.draws for s in self._samples.values()) + sum(
+            s.draws for s in self._integers.values()
+        )
+
+    @property
+    def total_refills(self) -> int:
+        """Bulk refills across every stream in this registry."""
+        return sum(s.refills for s in self._samples.values()) + sum(
+            s.refills for s in self._integers.values()
+        )

@@ -33,7 +33,10 @@ __all__ = [
 
 #: Version of the model/simulator semantics baked into cache keys.
 #: Bump on any change that alters solver or simulator *results*.
-SOLVER_VERSION = "1"
+#: "2": bulk-drawn RNG streams changed the draw order of fixed-seed
+#: simulations (repro.sim.streams), so pre-stream simulator records are
+#: stale.
+SOLVER_VERSION = "2"
 
 
 def canonical_json(obj: object) -> str:

@@ -299,7 +299,14 @@ def _alltoall_bounds_batch(
 
 @register_evaluator(
     "alltoall-sim",
-    defaults={"cycles": 300, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0},
+    # `streams` is result-affecting (bulk draws change the trajectory a
+    # fixed seed produces), so it lives in the cache key like any other
+    # parameter; the pre-stream scalar path stays reachable as
+    # streams=False.  Buffers are pre-sized from the expected per-point
+    # event count (2 handler draws/node/cycle, 2 wire hops/cycle) by the
+    # runner, so each stream refills once per point.
+    defaults={"cycles": 300, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0,
+              "streams": True},
 )
 def _alltoall_sim(params: Mapping[str, object]) -> dict[str, object]:
     from repro.workloads.alltoall import run_alltoall
@@ -310,6 +317,7 @@ def _alltoall_sim(params: Mapping[str, object]) -> dict[str, object]:
         work=float(params["W"]),
         cycles=int(params.get("cycles", 300)),
         work_cv2=float(params.get("work_cv2", 0.0)),
+        use_streams=bool(params.get("streams", True)),
     )
     return {
         "R": measured.response_time,
@@ -374,7 +382,10 @@ def _workpile_model_batch(
 @register_evaluator(
     "workpile-sim",
     # chunks matches fig-6.2's default, not run_workpile's 300.
-    defaults={"chunks": 250, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0},
+    # `streams` keys the cache exactly like alltoall-sim's; the runner
+    # pre-sizes buffers from the expected chunk/request counts per point.
+    defaults={"chunks": 250, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0,
+              "streams": True},
 )
 def _workpile_sim(params: Mapping[str, object]) -> dict[str, object]:
     from repro.workloads.workpile import run_workpile
@@ -386,6 +397,7 @@ def _workpile_sim(params: Mapping[str, object]) -> dict[str, object]:
         work=float(params["W"]),
         chunks=int(params.get("chunks", 250)),
         work_cv2=float(params.get("work_cv2", 0.0)),
+        use_streams=bool(params.get("streams", True)),
     )
     return {
         "X": measured.throughput,

@@ -84,13 +84,19 @@ class AllToAllWorkload:
         """The per-node thread program (Figure 4-2's blocking request)."""
         p = node.network.node_count
         work_dist = from_mean_cv2(self.work, self.work_cv2)
+        # Bulk-drawn streams over the node's private generator: the
+        # thread knows its own draw budget, so it pre-sizes both.
+        work = node.sample_stream(work_dist)
+        work.reserve(self.cycles)
+        pick = node.pick_stream(p - 1)
+        pick.reserve(self.cycles)
         unblocked_at = node.sim.now
         for _ in range(self.cycles):
             record = CycleRecord(node=node.id, start=unblocked_at)
-            yield Compute(float(work_dist.sample(node.rng)))
+            yield Compute(work.draw())
             record.send = node.sim.now
             # Uniform over the P-1 other nodes.
-            dest = int(node.rng.integers(p - 1))
+            dest = pick.draw()
             if dest >= node.id:
                 dest += 1
             node.memory[_REPLIED] = False
@@ -104,6 +110,12 @@ class AllToAllWorkload:
     def install(self, machine: Machine) -> None:
         """Install one copy of the thread program on every node."""
         machine.install_threads([self.thread_body] * machine.config.processors)
+        # Each cycle costs one request + one reply handler per node and
+        # two wire hops machine-wide; size the shared streams to match.
+        machine.reserve_streams(
+            service_draws_per_node=2 * self.cycles,
+            latency_draws=2 * self.cycles * machine.config.processors,
+        )
 
 
 def run_alltoall(
@@ -113,6 +125,7 @@ def run_alltoall(
     warmup: int | None = None,
     cooldown: int | None = None,
     work_cv2: float = 0.0,
+    use_streams: bool = True,
 ) -> SimulationMeasurement:
     """Simulate homogeneous all-to-all traffic and return measured means.
 
@@ -126,6 +139,9 @@ def run_alltoall(
         Requests per node; more cycles tighten the estimates.
     warmup, cooldown:
         Records trimmed per node (default 10 % each, at least 1).
+    use_streams:
+        Bulk-drawn RNG streams + fast event loop (default); ``False``
+        reproduces the seed repo's scalar trajectories bit for bit.
 
     Returns
     -------
@@ -142,7 +158,7 @@ def run_alltoall(
             f"from {cycles} cycles"
         )
     workload = AllToAllWorkload(work=work, cycles=cycles, work_cv2=work_cv2)
-    machine = Machine(config)
+    machine = Machine(config, use_streams=use_streams)
     workload.install(machine)
     machine.start()
     # Warm-up phase: run until every node completed `warmup` cycles, then
@@ -156,5 +172,5 @@ def run_alltoall(
         warmup=warmup,
         cooldown=cooldown,
         extra_meta={"workload": "alltoall", "cycles": cycles,
-                    "work_cv2": work_cv2},
+                    "work_cv2": work_cv2, "streamed": use_streams},
     )

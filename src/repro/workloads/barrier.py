@@ -143,6 +143,7 @@ def run_barrier_alltoall(
     warmup: int | None = None,
     cooldown: int | None = None,
     work_cv2: float = 0.0,
+    use_streams: bool = True,
 ) -> BarrierMeasurement:
     """Run the phased permutation all-to-all.
 
@@ -177,11 +178,14 @@ def run_barrier_alltoall(
     barrier_times: list[float] = []
 
     def body(node: Node) -> Generator[ThreadEffect, None, None]:
+        # Bulk-drawn compute bursts, pre-sized to the phase count.
+        work_stream = node.sample_stream(work_dist)
+        work_stream.reserve(phases)
         node.memory[_GENERATION] = 0
         unblocked_at = node.sim.now
         for phase in range(phases):
             record = CycleRecord(node=node.id, start=unblocked_at)
-            yield Compute(float(work_dist.sample(node.rng)))
+            yield Compute(work_stream.draw())
             record.send = node.sim.now
             # Phase-shifted permutation: every node receives exactly one
             # request per phase (shift cycles through 1..P-1).
@@ -208,8 +212,15 @@ def run_barrier_alltoall(
             else:
                 unblocked_at = record.reply_done
 
-    machine = Machine(config)
+    machine = Machine(config, use_streams=use_streams)
     machine.install_threads([body] * p)
+    # Two service draws (request + reply) and two wire hops per node per
+    # phase; barrier traffic carries explicit zero service times but
+    # still crosses the wire when barriers are on.
+    machine.reserve_streams(
+        service_draws_per_node=2 * phases,
+        latency_draws=(4 if use_barriers else 2) * phases * p,
+    )
     machine.run_to_completion()
 
     records = []
@@ -237,5 +248,6 @@ def run_barrier_alltoall(
             "seed": config.seed,
             "events": machine.sim.events_processed,
             "work_cv2": work_cv2,
+            "streamed": use_streams,
         },
     )

@@ -78,6 +78,7 @@ def run_nonblocking_alltoall(
     warmup: int | None = None,
     cooldown: int | None = None,
     work_cv2: float = 0.0,
+    use_streams: bool = True,
 ) -> NonBlockingMeasurement:
     """Simulate k-outstanding non-blocking all-to-all traffic.
 
@@ -112,17 +113,23 @@ def run_nonblocking_alltoall(
     p = config.processors
 
     def body(node: Node) -> Generator[ThreadEffect, None, None]:
+        # Bulk-drawn compute bursts and destination picks, pre-sized to
+        # the issue count.
+        work_stream = node.sample_stream(work_dist)
+        work_stream.reserve(cycles)
+        pick = node.pick_stream(p - 1)
+        pick.reserve(cycles)
         node.memory[_OUTSTANDING] = 0
         node.memory[_ISSUES] = []
         node.memory[_TRIPS] = []
         for _ in range(cycles):
-            yield Compute(float(work_dist.sample(node.rng)))
+            yield Compute(work_stream.draw())
             if math.isfinite(window):
                 yield Wait(
                     lambda n: n.memory[_OUTSTANDING] < window,
                     label="await-window",
                 )
-            dest = int(node.rng.integers(p - 1))
+            dest = pick.draw()
             if dest >= node.id:
                 dest += 1
             node.memory[_OUTSTANDING] += 1
@@ -136,8 +143,13 @@ def run_nonblocking_alltoall(
         # Drain: wait for every reply so round-trip stats are complete.
         yield Wait(lambda n: n.memory[_OUTSTANDING] == 0, label="drain")
 
-    machine = Machine(config)
+    machine = Machine(config, use_streams=use_streams)
     machine.install_threads([body] * p)
+    # One request + one reply handler per issue per node, two hops each.
+    machine.reserve_streams(
+        service_draws_per_node=2 * cycles,
+        latency_draws=2 * cycles * p,
+    )
     machine.run_to_completion()
 
     inter_issue: list[float] = []
@@ -165,6 +177,7 @@ def run_nonblocking_alltoall(
             "workload": "nonblocking-alltoall",
             "seed": config.seed,
             "cycles": cycles,
+            "streamed": use_streams,
             "events": machine.sim.events_processed,
         },
     )

@@ -91,6 +91,7 @@ def run_workpile(
     warmup: int | None = None,
     cooldown: int | None = None,
     work_cv2: float = 0.0,
+    use_streams: bool = True,
 ) -> WorkpileMeasurement:
     """Simulate the workpile for one split and return measured means.
 
@@ -107,6 +108,9 @@ def run_workpile(
     work_cv2:
         Squared CV of chunk size (chunk sizes are "highly variable" in
         real workpiles; the model depends only on the mean).
+    use_streams:
+        Bulk-drawn RNG streams + fast event loop (default); ``False``
+        reproduces the seed repo's scalar trajectories bit for bit.
     """
     p = config.processors
     if not 1 <= servers <= p - 1:
@@ -126,12 +130,18 @@ def run_workpile(
     work_dist = from_mean_cv2(work, work_cv2)
 
     def client_body(node: Node) -> Generator[ThreadEffect, None, None]:
+        # Bulk-drawn chunk sizes and server picks; the client knows its
+        # own draw budget, so it pre-sizes both streams.
+        work_stream = node.sample_stream(work_dist)
+        work_stream.reserve(chunks)
+        pick = node.pick_stream(servers)
+        pick.reserve(chunks)
         unblocked_at = node.sim.now
         for _ in range(chunks):
             record = CycleRecord(node=node.id, start=unblocked_at)
-            yield Compute(float(work_dist.sample(node.rng)))
+            yield Compute(work_stream.draw())
             record.send = node.sim.now
-            dest = int(node.rng.integers(servers))
+            dest = pick.draw()
             node.memory[_GOT_CHUNK] = False
             yield Send(dest, _chunk_request_handler, kind="request",
                        payload=record)
@@ -139,9 +149,17 @@ def run_workpile(
             unblocked_at = record.reply_done
             node.cycles.append(record)
 
-    machine = Machine(config)
+    machine = Machine(config, use_streams=use_streams)
     bodies: list = [None] * servers + [client_body] * (p - servers)
     machine.install_threads(bodies)
+    # Servers each absorb ~chunks*clients/servers request handlers,
+    # clients one reply handler per chunk; two wire hops per chunk.
+    n_clients = p - servers
+    per_node = max(-(-chunks * n_clients // servers), chunks)
+    machine.reserve_streams(
+        service_draws_per_node=per_node,
+        latency_draws=2 * chunks * n_clients,
+    )
     machine.start()
     client_ids = list(range(servers, p))
     machine.run(
@@ -187,6 +205,7 @@ def run_workpile(
             "seed": config.seed,
             "chunks": chunks,
             "work_cv2": work_cv2,
+            "streamed": use_streams,
             "events": machine.sim.events_processed,
         },
     )

@@ -135,6 +135,49 @@ def test_factory_moments_match_request(mean, cv2):
     assert d.cv2 == pytest.approx(cv2, abs=1e-12)
 
 
+@given(
+    kind=st.sampled_from(
+        ["constant", "exponential", "uniform", "gamma", "hyper"]
+    ),
+    mean=st.floats(min_value=0.5, max_value=500.0),
+    shape=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_sample_many_moments_agree_with_scalar_draws(kind, mean, shape, seed):
+    """Property: bulk and scalar draws estimate the same two moments.
+
+    For every family, sample_many(rng, n) and n repeated sample() calls
+    are estimators of the same distribution; their sample means (and
+    variances) must agree within wide sampling-error bands computed from
+    the draws themselves.  Guards against a vectorized implementation
+    drifting from the documented scalar semantics (the original
+    HyperExponential.sample_many bug class).
+    """
+    dist = {
+        "constant": lambda: Constant(mean),
+        "exponential": lambda: Exponential(mean),
+        "uniform": lambda: Uniform(mean * shape, mean),
+        "gamma": lambda: Gamma(mean, 4.0 * shape),
+        "hyper": lambda: HyperExponential(mean, 1.0 + 4.0 * shape),
+    }[kind]()
+    n = 2000
+    bulk = dist.sample_many(np.random.default_rng(seed), n)
+    rng = np.random.default_rng(seed + 1)
+    scalar = np.array([dist.sample(rng) for _ in range(n)])
+    # 8-sigma bands on the difference of two independent sample means /
+    # variances: deterministic under the derandomized hypothesis profile
+    # and far outside any correct implementation's sampling error.
+    pooled_var = 0.5 * (bulk.var() + scalar.var())
+    mean_band = 8.0 * np.sqrt(2.0 * pooled_var / n) + 1e-12
+    assert abs(bulk.mean() - scalar.mean()) <= mean_band
+    fourth = 0.5 * (
+        ((bulk - bulk.mean()) ** 4).mean()
+        + ((scalar - scalar.mean()) ** 4).mean()
+    )
+    var_band = 8.0 * np.sqrt(2.0 * max(fourth - pooled_var**2, 0.0) / n) + 1e-12
+    assert abs(bulk.var() - scalar.var()) <= var_band
+
+
 def test_seeded_reproducibility():
     d = Gamma(50.0, 0.5)
     a = d.sample_many(np.random.default_rng(42), 100)
@@ -185,6 +228,42 @@ class TestSampleManyVectorized:
                                          n=200_000)
         assert mean == pytest.approx(dist.mean, rel=0.02)
         assert cv2 == pytest.approx(dist.cv2, abs=0.05 * max(1.0, dist.cv2))
+
+    @pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+    def test_chunked_draws_match_one_large_draw(self, dist):
+        """Bulk draws consume the generator element-wise (stream contract).
+
+        sample_many(rng, a) followed by sample_many(rng, b) must equal
+        one sample_many(rng, a+b) bit for bit -- the property the stream
+        layer's refill boundaries rely on.  HyperExponential violated
+        this before its two-doubles-per-sample rewrite (it drew all
+        branch picks first, then all magnitudes).
+        """
+        r1 = np.random.default_rng(31)
+        chunks = np.concatenate(
+            [dist.sample_many(r1, n) for n in (1, 9, 40, 0, 50)]
+        )
+        one = dist.sample_many(np.random.default_rng(31), 100)
+        assert np.array_equal(chunks, one)
+
+    def test_hyperexponential_scalar_path_unchanged_from_seed(self):
+        """The scalar path still draws branch-pick + ziggurat exponential.
+
+        ``use_streams=False`` machines promise bit-identical
+        trajectories to the pre-stream repo, so the scalar ``sample``
+        must keep consuming the generator exactly as the seed did even
+        though ``sample_many`` moved to the fixed-consumption inversion
+        construction.
+        """
+        d = HyperExponential(100.0, 4.0)
+        rng = np.random.default_rng(13)
+        drawn = [d.sample(rng) for _ in range(50)]
+        ref = np.random.default_rng(13)
+        expected = []
+        for _ in range(50):
+            m = d._m1 if ref.random() < d.branch_probability else d._m2
+            expected.append(float(ref.exponential(m)))
+        assert drawn == expected
 
     def test_base_fallback_matches_scalar_loop(self):
         # A third-party subclass without an override still works through

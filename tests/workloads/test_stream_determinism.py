@@ -1,0 +1,182 @@
+"""Stream determinism contract at the workload and sweep level.
+
+The contract (README "Bulk-drawn RNG streams"): a fixed seed plus a
+fixed buffering schedule reproduces identical trajectories; buffer
+sizes are part of the contract; the scalar path remains available and
+independently reproducible; both paths measure the same physics.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.machine import Machine, MachineConfig
+from repro.sweep import SweepSpec, run_sweep
+from repro.workloads.alltoall import AllToAllWorkload, run_alltoall
+from repro.workloads.barrier import run_barrier_alltoall
+from repro.workloads.nonblocking import run_nonblocking_alltoall
+from repro.workloads.workpile import run_workpile
+
+
+def _config(seed=7, p=6, cv2=1.0):
+    return MachineConfig(processors=p, latency=10.0, handler_time=50.0,
+                         handler_cv2=cv2, latency_cv2=cv2, seed=seed)
+
+
+def _float_fields(measurement):
+    return {
+        f.name: getattr(measurement, f.name)
+        for f in dataclasses.fields(measurement)
+        if isinstance(getattr(measurement, f.name), (int, float))
+    }
+
+
+class TestSameSeedSameBuffers:
+    """Same seed + same buffer schedule => identical tables."""
+
+    @pytest.mark.parametrize("use_streams", [True, False],
+                             ids=["streamed", "scalar"])
+    def test_alltoall_measurement_identical(self, use_streams):
+        a = run_alltoall(_config(), work=120.0, cycles=60,
+                         work_cv2=1.0, use_streams=use_streams)
+        b = run_alltoall(_config(), work=120.0, cycles=60,
+                         work_cv2=1.0, use_streams=use_streams)
+        assert _float_fields(a) == _float_fields(b)
+
+    @pytest.mark.parametrize("use_streams", [True, False],
+                             ids=["streamed", "scalar"])
+    def test_workpile_measurement_identical(self, use_streams):
+        a = run_workpile(_config(p=8), servers=2, work=200.0, chunks=50,
+                         work_cv2=1.0, use_streams=use_streams)
+        b = run_workpile(_config(p=8), servers=2, work=200.0, chunks=50,
+                         work_cv2=1.0, use_streams=use_streams)
+        assert _float_fields(a) == _float_fields(b)
+
+    def test_barrier_and_nonblocking_identical(self):
+        kw = dict(work=150.0, work_cv2=0.5)
+        a = run_barrier_alltoall(_config(), phases=30, **kw)
+        b = run_barrier_alltoall(_config(), phases=30, **kw)
+        assert _float_fields(a) == _float_fields(b)
+        c = run_nonblocking_alltoall(_config(cv2=0.5), work=150.0,
+                                     window=4, cycles=40)
+        d = run_nonblocking_alltoall(_config(cv2=0.5), work=150.0,
+                                     window=4, cycles=40)
+        assert _float_fields(c) == _float_fields(d)
+
+    def test_sweep_tables_identical(self):
+        """The figure-table view: one spec, two runs, equal values."""
+        spec = SweepSpec.from_json_dict(
+            {
+                "name": "determinism",
+                "evaluator": "alltoall-sim",
+                "axes": [
+                    {"type": "grid", "name": "W", "values": [100.0, 400.0]},
+                ],
+                "base": {"P": 6, "St": 10.0, "So": 50.0, "C2": 1.0,
+                         "cycles": 60, "seed": 3},
+            }
+        )
+        r1 = run_sweep(spec)
+        r2 = run_sweep(spec)
+        assert [rec.values for rec in r1.records] == [
+            rec.values for rec in r2.records
+        ]
+
+    def test_different_seed_differs(self):
+        a = run_alltoall(_config(seed=1), work=120.0, cycles=60, work_cv2=1.0)
+        b = run_alltoall(_config(seed=2), work=120.0, cycles=60, work_cv2=1.0)
+        assert a.response_time != b.response_time
+
+
+class TestBufferScheduleMatters:
+    """Buffer sizes are part of the determinism contract.
+
+    Streams sharing one generator interleave their bulk refills; change
+    a buffer size and the interleaving -- hence the trajectory -- changes
+    (deterministically).  The built-in workloads pre-size every stream
+    to the whole run, so their tables only depend on the seed; this
+    pins the underlying contract with an *unreserved* stream.
+    """
+
+    @staticmethod
+    def _run(initial):
+        from repro.sim.distributions import Exponential
+        from repro.sim.streams import SampleStream
+        from repro.sim.threads import Compute, Send, Wait
+
+        work_dist = Exponential(120.0)
+
+        def body(node):
+            # Deliberately unreserved: refills at `initial` granularity
+            # interleave with the (bulk) destination picks on node.rng.
+            work = SampleStream(work_dist, node.rng, initial=initial)
+            pick = node.pick_stream(node.network.node_count - 1)
+            for _ in range(40):
+                yield Compute(work.draw())
+                dest = pick.draw()
+                if dest >= node.id:
+                    dest += 1
+                node.memory["done"] = False
+
+                def handler(n, m):
+                    m.payload.memory["done"] = True
+                    m.payload.notify()
+
+                yield Send(dest, lambda n, m: n.send(
+                    m.source, handler, kind="reply", payload=m.payload
+                ), payload=node)
+                yield Wait(lambda n: n.memory["done"], label="await")
+
+        machine = Machine(_config())
+        machine.install_threads([body] * machine.config.processors)
+        machine.run_to_completion()
+        return machine.sim.now
+
+    def test_buffer_size_changes_interleaving(self):
+        assert self._run(4) == self._run(4)
+        assert self._run(64) == self._run(64)
+        assert self._run(4) != self._run(64)
+
+
+class TestScalarStreamedEquivalence:
+    """Both paths simulate the same machine physics."""
+
+    def test_alltoall_means_agree(self):
+        streamed = run_alltoall(_config(p=8), work=300.0, cycles=400,
+                                work_cv2=1.0)
+        scalar = run_alltoall(_config(p=8), work=300.0, cycles=400,
+                              work_cv2=1.0, use_streams=False)
+        assert streamed.response_time == pytest.approx(
+            scalar.response_time, rel=0.05
+        )
+        assert streamed.request_utilization == pytest.approx(
+            scalar.request_utilization, rel=0.08
+        )
+
+    def test_meta_records_the_path(self):
+        streamed = run_alltoall(_config(), work=100.0, cycles=30)
+        scalar = run_alltoall(_config(), work=100.0, cycles=30,
+                              use_streams=False)
+        assert streamed.meta["streamed"] is True
+        assert scalar.meta["streamed"] is False
+
+    def test_machine_modes_expose_streams(self):
+        streamed = Machine(_config())
+        scalar = Machine(_config(), use_streams=False)
+        assert streamed.use_streams and not scalar.use_streams
+        assert streamed.network.latency_stream is not None
+        assert scalar.network.latency_stream is None
+        assert not streamed.nodes[0].streams.scalar
+        assert scalar.nodes[0].streams.scalar
+
+    def test_streams_actually_bulk_draw(self):
+        machine = Machine(_config())
+        AllToAllWorkload(work=120.0, cycles=60, work_cv2=1.0).install(machine)
+        machine.run_to_completion()
+        # 60 cycles * (1 request + 1 reply) handlers per node, served by
+        # a couple of bulk refills instead of per-event scalar draws.
+        node = machine.nodes[0]
+        service = node.streams.stream(machine.handler_dist)
+        assert service.draws >= 100
+        assert service.refills <= 3
+        assert machine.network.latency_stream.refills <= 3
