@@ -12,14 +12,17 @@ and the final histogram is verified.
 
 Because destinations are data-dependent (hashes), the traffic is
 exactly the homogeneous irregular pattern of the paper's Section 5, so
-LoPC should predict the phase's runtime where LogP cannot.
+LoPC should predict the phase's runtime where LogP cannot -- the
+predictions at the end come from one ``alltoall`` scenario of the
+facade (``analytic()`` for LoPC, the ``bounds()`` lower edge for the
+contention-free LogP).
 
 Run:  python examples/histogram_sort.py
 """
 
 import numpy as np
 
-from repro import AllToAllModel, LogPModel, MachineParams
+from repro import MachineParams, scenario
 from repro.sim.machine import Machine, MachineConfig
 from repro.sim.threads import Compute, Send, Wait
 
@@ -83,15 +86,15 @@ def main() -> None:
     print(f"Histogram over {p * keys_per_node} keys verified: "
           f"{merged.sum()} counts in {p * buckets_per_node} buckets.\n")
 
-    # Model the phase.  Remote fraction of keys ~ (P-1)/P; W per remote
-    # request = work per key / remote fraction.
+    # Model the phase through the facade.  Remote fraction of keys
+    # ~ (P-1)/P; W per remote request = work per key / remote fraction.
     remote_fraction = (p - 1) / p
     remote_keys = keys_per_node * remote_fraction
     work_per_request = WORK_PER_KEY / remote_fraction
-    lopc = AllToAllModel(machine).solve_work(work_per_request)
-    logp = LogPModel(machine).cycle_time(work_per_request)
-    predicted_lopc = remote_keys * lopc.response_time
-    predicted_logp = remote_keys * logp
+    sc = scenario("alltoall", P=p, St=40.0, So=150.0, C2=0.0,
+                  W=work_per_request)
+    predicted_lopc = remote_keys * sc.analytic().response_time
+    predicted_logp = remote_keys * sc.bounds()["lower"]
     measured = sim_machine.sim.now
 
     print(f"Measured phase time:   {measured:10.0f} cycles")

@@ -8,8 +8,10 @@ cyclically distributed matrix and put+ack communication:
 * runs the *actual program* on the simulated active-message machine
   (the put handlers really store ``y_i`` into remote memory; the result
   is verified against ``A @ x``);
-* compares the measured put-cycle time against the LoPC and LogP
-  predictions built from the Section 3 parameterisation;
+* feeds the measured Section 3 parameterisation into the scenario
+  facade -- ``scenario("alltoall", ..., W=algo.work).analytic()`` --
+  and compares LoPC and LogP predictions against the measured put-cycle
+  time;
 * demonstrates the Brewer/Kuszmaul self-synchronisation effect the
   paper's introduction cites: the deterministic cyclic put order is
   nearly contention-free on a variance-free machine, while a randomised
@@ -18,27 +20,29 @@ cyclically distributed matrix and put+ack communication:
 Run:  python examples/matvec_analysis.py
 """
 
-from repro import AllToAllModel, LogPModel, MachineParams
+from repro import scenario
 from repro.sim.machine import MachineConfig
 from repro.workloads.matvec import run_matvec
 
 
 def main() -> None:
-    machine = MachineParams(latency=10.0, handler_time=100.0, processors=8,
-                            handler_cv2=0.0)
-    config = MachineConfig.from_machine_params(machine, seed=42)
+    p, st, so = 8, 10.0, 100.0
+    config = MachineConfig(processors=p, latency=st, handler_time=so,
+                           handler_cv2=0.0, seed=42)
     size = 64
     madd = 2.0  # cycles per multiply-add
 
-    print(f"y = A x with N={size}, P={machine.processors}, "
+    print(f"y = A x with N={size}, P={p}, "
           f"t_madd={madd:g} cycles, put+ack communication\n")
 
     for randomize in (False, True):
         result = run_matvec(config, size=size, madd_cycles=madd,
                             randomize_order=randomize)
         algo = result.algorithm
-        lopc = AllToAllModel(machine).solve(algo)
-        logp = LogPModel(machine).solve(algo)
+        # The Section 3 characterisation, solved through the facade.
+        sc = scenario("alltoall", P=p, St=st, So=so, C2=0.0, W=algo.work)
+        lopc = sc.analytic()
+        logp = sc.bounds()["lower"]  # W + 2 St + 2 So, contention-free
         order = "randomised" if randomize else "cyclic (paper's order)"
         print(f"--- put order: {order} ---")
         print(f"  numerically correct:   {result.correct} "
@@ -46,12 +50,12 @@ def main() -> None:
         print(f"  LoPC parameters:       W = {algo.work:.1f} cycles/put, "
               f"n = {algo.requests} puts/node")
         print(f"  measured put cycle:    {result.response_time:8.1f}")
-        print(f"  LogP prediction:       {logp.response_time:8.1f}  "
-              f"({100 * (logp.response_time / result.response_time - 1):+.1f}%)")
-        print(f"  LoPC prediction:       {lopc.response_time:8.1f}  "
-              f"({100 * (lopc.response_time / result.response_time - 1):+.1f}%)")
+        print(f"  LogP prediction:       {logp:8.1f}  "
+              f"({100 * (logp / result.response_time - 1):+.1f}%)")
+        print(f"  LoPC prediction:       {lopc.R:8.1f}  "
+              f"({100 * (lopc.R / result.response_time - 1):+.1f}%)")
         print(f"  total runtime:         {result.runtime:8.0f} cycles "
-              f"(LoPC predicts {lopc.runtime(algo.requests):.0f})")
+              f"(LoPC predicts {lopc.R * algo.requests:.0f})")
         print()
 
     print("Reading: with the deterministic cyclic order the machine")

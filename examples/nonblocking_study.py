@@ -2,33 +2,34 @@
 """Chapter 7's future work, built: non-blocking requests with a window.
 
 The thesis closes by proposing a LoPC extension for non-blocking
-communication.  This example exercises our implementation
-(:class:`repro.core.nonblocking.NonBlockingModel` + the matching
-simulator workload): for a range of send windows ``k`` it compares the
-predicted and measured issue rates, finds the critical window ``k*``
-(the bandwidth-delay product), and quantifies what overlap buys over
+communication.  This example exercises our implementation through the
+``nonblocking`` scenario of the facade: for a range of send windows
+``k`` it compares the predicted (``analytic()``) and measured
+(``simulate()``) issue rates, derives the critical window ``k*`` (the
+bandwidth-delay product ``round_trip / Rw``) straight from the
+unbounded solution's columns, and quantifies what overlap buys over
 blocking requests.
+
+The window parameter is spelled ``k`` with ``k=0`` meaning *unbounded*
+(scenario parameters are JSON scalars, so there is no infinity).
 
 Run:  python examples/nonblocking_study.py
 """
 
-import math
-
-from repro import AllToAllModel, MachineParams, NonBlockingModel
-from repro.sim.machine import MachineConfig
-from repro.workloads.nonblocking import run_nonblocking_alltoall
+from repro import scenario
 
 
 def main() -> None:
-    machine = MachineParams(latency=300.0, handler_time=100.0,
-                            processors=16, handler_cv2=0.0)
-    config = MachineConfig.from_machine_params(machine, seed=7)
+    machine = dict(P=16, St=300.0, So=100.0, C2=0.0)
     work = 400.0
+    nb = scenario("nonblocking", W=work, seed=7, cycles=300, **machine)
 
-    blocking = AllToAllModel(machine).solve_work(work)
-    kstar = NonBlockingModel(machine).critical_window(work)
-    print(f"Machine: St={machine.latency:g}, So={machine.handler_time:g}, "
-          f"P={machine.processors}; W={work:g}")
+    # Blocking baseline: the same machine under the Chapter 5 model.
+    blocking = scenario("alltoall", W=work, **machine).analytic()
+    unbounded = nb.analytic()  # k=0: no window limit
+    kstar = unbounded["round_trip"] / unbounded["Rw"]
+    print(f"Machine: St={machine['St']:g}, So={machine['So']:g}, "
+          f"P={machine['P']}; W={work:g}")
     print(f"Blocking cycle (Chapter 5 model): {blocking.response_time:.1f} "
           "cycles")
     print(f"Critical window k* = {kstar:.2f} "
@@ -36,15 +37,14 @@ def main() -> None:
 
     print("  k  | model cycle | sim cycle |  err%  | speedup vs blocking")
     print("-----+-------------+-----------+--------+--------------------")
-    for k in (1, 2, 3, 4, 8, math.inf):
-        model = NonBlockingModel(machine, window=k).solve(work)
-        meas = run_nonblocking_alltoall(config, work=work, window=k,
-                                        cycles=300)
-        err = 100 * (model.cycle_time - meas.cycle_time) / meas.cycle_time
-        speedup = blocking.response_time / meas.cycle_time
-        label = "inf" if math.isinf(k) else f"{k:3.0f}"
-        print(f" {label} | {model.cycle_time:8.1f}    | "
-              f"{meas.cycle_time:8.1f}  | {err:+5.1f}% | {speedup:10.2f}x")
+    for k in (1, 2, 3, 4, 8, 0):  # 0 = unbounded
+        model = nb.analytic(k=float(k))
+        meas = nb.simulate(k=float(k))
+        err = 100 * (model.R - meas.R) / meas.R
+        speedup = blocking.R / meas.R
+        label = "inf" if k == 0 else f"{k:3.0f}"
+        print(f" {label} | {model.R:8.1f}    | "
+              f"{meas.R:8.1f}  | {err:+5.1f}% | {speedup:10.2f}x")
 
     print("\nReading: throughput climbs with the window until k* and then")
     print("saturates at the compute-bound rate; the window law")

@@ -1,77 +1,74 @@
 #!/usr/bin/env python
-"""Quickstart: predict and measure contention for an all-to-all algorithm.
+"""Quickstart: predict and measure contention with one fluent API.
 
-The 60-second tour of the library:
+The 60-second tour of the library, on the scenario facade
+(:mod:`repro.api`):
 
-1. describe the machine with the LoPC architectural parameters
-   (``St``, ``So``, ``P``, optional ``C^2`` -- Table 3.1 of the paper);
-2. describe the algorithm with the LogP-style parameters (``W``, ``n``);
-3. ask three models for the compute/request cycle time:
-   the contention-free LogP baseline, the LoPC bounds, and the full
-   LoPC AMVA solution;
-4. check them against the event-driven simulator.
+1. describe the workload once -- ``repro.scenario("alltoall", ...)``
+   binds the machine (``St``, ``So``, ``P``, optional ``C^2`` -- Table
+   3.1 of the paper) and the algorithm (``W``) in the paper's notation;
+2. ask the three backends of that one scenario for the compute/request
+   cycle time: ``bounds()`` (the contention-free LogP baseline and the
+   rule-of-thumb cap, Eq. 5.12), ``analytic()`` (the full LoPC AMVA
+   solution), and ``simulate()`` (the event-driven machine);
+3. every call returns the same uniform ``Solution`` -- paper-notation
+   columns (``sol.R``, ``sol["X"]``), spelled-out aliases
+   (``sol.response_time``), and a JSON round trip via ``to_dict()``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AlgorithmParams,
-    AllToAllModel,
-    LogPModel,
-    MachineParams,
-    contention_bounds,
-)
-from repro.sim.machine import MachineConfig
-from repro.workloads.alltoall import run_alltoall
+from repro import scenario
 
 
 def main() -> None:
-    # 1. The machine: a 32-node Alewife-like multiprocessor.
-    machine = MachineParams(
-        latency=40.0,  # St: one-way wire time, cycles
-        handler_time=200.0,  # So: interrupt + handler service, cycles
-        processors=32,  # P
-        handler_cv2=0.0,  # C^2: deterministic handlers
+    # One scenario: a 32-node Alewife-like machine running an irregular
+    # all-to-all workload -- 1000 cycles of work between blocking
+    # requests, 300 requests per node (e.g. a hash-table phase).
+    sc = scenario(
+        "alltoall",
+        P=32,  # processors
+        St=40.0,  # one-way wire time, cycles
+        So=200.0,  # interrupt + handler service, cycles
+        C2=0.0,  # deterministic handlers
+        W=1000.0,  # compute between blocking requests
     )
+    requests = 300
 
-    # 2. The algorithm: 1000 cycles of work between blocking requests,
-    #    300 requests per node (e.g. an irregular hash-table workload).
-    algorithm = AlgorithmParams(work=1000.0, requests=300)
-
-    # 3. Model predictions.
-    logp = LogPModel(machine).solve(algorithm)
-    lopc = AllToAllModel(machine).solve(algorithm)
-    lower, upper = contention_bounds(machine, algorithm.work)
+    # Model predictions: bounds bracket, LoPC solves.
+    lopc = sc.analytic()
+    bounds = sc.bounds()
+    logp_r = bounds["lower"]  # W + 2 St + 2 So: the contention-free LogP
 
     print("Per compute/request cycle (cycles):")
-    print(f"  LogP (contention free): {logp.response_time:10.1f}")
-    print(f"  LoPC lower bound:       {lower:10.1f}")
+    print(f"  LogP (contention free): {logp_r:10.1f}")
+    print(f"  LoPC lower bound:       {bounds['lower']:10.1f}")
     print(f"  LoPC solution:          {lopc.response_time:10.1f}")
-    print(f"  LoPC upper bound:       {upper:10.1f}")
+    print(f"  LoPC upper bound:       {bounds['upper']:10.1f}")
     print(f"  ... of which contention: {lopc.total_contention:9.1f}"
-          f"  (~{lopc.total_contention / machine.handler_time:.2f} extra"
+          f"  (~{lopc.total_contention / sc.params['So']:.2f} extra"
           " handlers -- the paper's rule of thumb)")
     print()
-    print(f"Total predicted runtime for n={algorithm.requests} requests:")
-    print(f"  LogP: {logp.runtime(algorithm.requests):12.0f} cycles")
-    print(f"  LoPC: {lopc.runtime(algorithm.requests):12.0f} cycles")
+    print(f"Total predicted runtime for n={requests} requests:")
+    print(f"  LogP: {logp_r * requests:12.0f} cycles")
+    print(f"  LoPC: {lopc.R * requests:12.0f} cycles")
     print()
 
-    # 4. Measure on the simulated machine.
-    config = MachineConfig.from_machine_params(machine, seed=2025)
-    measured = run_alltoall(config, work=algorithm.work, cycles=200)
-    lopc_err = 100 * (lopc.response_time - measured.response_time) / (
-        measured.response_time
-    )
-    logp_err = 100 * (logp.response_time - measured.response_time) / (
-        measured.response_time
-    )
+    # Measure on the simulated machine: same scenario, sim backend.
+    measured = sc.simulate(seed=2025, cycles=200)
+    lopc_err = 100 * (lopc.R - measured.R) / measured.R
+    logp_err = 100 * (logp_r - measured.R) / measured.R
     print("Simulator measurement:")
     print(f"  measured cycle: {measured.response_time:10.1f}")
     print(f"  LoPC error: {lopc_err:+6.2f}%   (paper: within ~6%,"
           " pessimistic)")
     print(f"  LogP error: {logp_err:+6.2f}%   (paper: underpredicts,"
           " ~constant absolute error)")
+
+    # The same Solution, round-tripped through plain JSON.
+    as_dict = measured.to_dict()
+    print(f"\nSolution round trip: {sorted(as_dict)} -> "
+          f"{measured.summary()}")
 
 
 if __name__ == "__main__":

@@ -3,51 +3,65 @@
 
 The paper's opening argument: designers need a model that accounts for
 contention, because a contention-free analysis (LogP) keeps promising
-speedup after communication has actually taken over.  This example uses
-``repro.core.scaling`` to plot predicted speedup of Section 3's
-matrix-vector multiply under both models, locate the runtime-optimal
-machine size, and find the crossover between two algorithm variants.
+speedup after communication has actually taken over.  This example
+derives Section 3's matvec characterisation ``W(P)`` per machine size,
+sweeps the ``(P, W)`` pairs through one facade study (a
+:class:`~repro.sweep.ZipAxis` keeps them in lockstep -- the batch
+solver evaluates the whole curve in one vectorized call), and reads the
+speedup story off the LoPC and contention-free columns.  The
+design-space utilities (:mod:`repro.core.scaling`) then locate the
+runtime-optimal machine size and the crossover between two algorithm
+variants.
 
 Run:  python examples/scaling_study.py
 """
 
-from repro import MachineParams
+from repro import scenario
+from repro.core.params import AlgorithmParams, MachineParams
 from repro.core.scaling import (
     AlgorithmSpec,
     crossover,
     matvec_spec,
     optimal_processors,
-    runtime_curve,
 )
-from repro.core.params import AlgorithmParams
+from repro.sweep import ZipAxis
 
 
 def main() -> None:
-    machine = MachineParams(latency=40.0, handler_time=200.0, processors=2,
-                            handler_cv2=0.0)
+    st, so = 40.0, 200.0
     size, madd = 512, 8.0
     spec = matvec_spec(size=size, madd_cycles=madd)
     counts = [2, 4, 8, 16, 32, 64, 128]
 
-    lopc = runtime_curve(spec, machine, counts, model="lopc")
-    logp = runtime_curve(spec, machine, counts, model="logp")
+    # One study over (P, W(P)) pairs; bounds() gives the contention-free
+    # LogP cycle (its lower bound), analytic() the LoPC cycle.
+    algos = {p: spec.params_for(p) for p in counts}
+    axis = ZipAxis(("P", "W"), [(p, algos[p].work) for p in counts])
+    study = scenario("alltoall", St=st, So=so, C2=0.0).study(PW=axis)
+    lopc = study.analytic()
+    logp = study.bounds()
 
-    print(f"matvec N={size} on St=40 / So=200 machines "
+    print(f"matvec N={size} on St={st:g} / So={so:g} machines "
           f"(serial time {spec.serial_time:.0f} cycles)\n")
     print("   P |   W(P)  | LogP speedup | LoPC speedup | LoPC efficiency")
     print("-----+---------+--------------+--------------+----------------")
-    for a, b in zip(logp, lopc):
-        print(f" {a.processors:3d} | {a.work:7.1f} | {a.speedup:9.2f}x   | "
-              f"{b.speedup:9.2f}x   | {b.efficiency:8.1%}")
+    speedups = {}
+    for p, a, b in zip(counts, lopc, logp):
+        n = algos[p].requests
+        lopc_speedup = spec.serial_time / (n * a["R"])
+        logp_speedup = spec.serial_time / (n * b["lower"])
+        speedups[p] = lopc_speedup
+        print(f" {p:3d} | {algos[p].work:7.1f} | {logp_speedup:9.2f}x   | "
+              f"{lopc_speedup:9.2f}x   | {lopc_speedup / p:8.1%}")
 
-    half = next(pt for pt in lopc if pt.processors == 16)
-    full = lopc[-1]
-    print(f"\nSpeedup saturates: 16 -> {full.processors} processors buys "
-          f"only {full.speedup / half.speedup:.2f}x more (LoPC), while "
-          "LogP keeps promising more.")
+    print(f"\nSpeedup saturates: 16 -> {counts[-1]} processors buys "
+          f"only {speedups[counts[-1]] / speedups[16]:.2f}x more (LoPC), "
+          "while LogP keeps promising more.")
     print("The gap between the columns *is* the contention term C.")
 
     # Algorithm comparison: per-element puts vs row-blocked puts.
+    machine = MachineParams(latency=st, handler_time=so, processors=2,
+                            handler_cv2=0.0)
     fine = matvec_spec(size=size, madd_cycles=madd)
 
     def blocked_params(p: int) -> AlgorithmParams:

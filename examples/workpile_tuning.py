@@ -2,16 +2,15 @@
 """Chapter 6's application: how many servers should a workpile use?
 
 Given a machine and a chunk size, LoPC answers in closed form
-(Eq. 6.8); this example sweeps every split on the simulator, overlays
-the model curve, the closed-form optimum, and the optimistic LogP
-bounds -- an ASCII rendition of the paper's Figure 6-2.
+(Eq. 6.8); this example builds one ``workpile`` scenario, sweeps every
+split through its ``study(Ps=...)`` (simulator, model, and LogP bounds
+all riding the same cached sweep engine as Figure 6-2), and overlays
+the closed-form optimum -- an ASCII rendition of the paper's Figure 6-2.
 
 Run:  python examples/workpile_tuning.py
 """
 
-from repro import ClientServerModel, LogPModel, MachineParams
-from repro.sim.machine import MachineConfig
-from repro.workloads.workpile import run_workpile
+from repro import ClientServerModel, MachineParams, scenario
 
 
 def bar(value: float, scale: float, width: int = 40) -> str:
@@ -20,17 +19,18 @@ def bar(value: float, scale: float, width: int = 40) -> str:
 
 
 def main() -> None:
+    work = 250.0
+    sc = scenario("workpile", P=32, St=10.0, So=131.0, C2=0.0, W=work,
+                  seed=1997, chunks=200)
+
+    # The closed forms still come from the model object (Eq. 6.6/6.8).
     machine = MachineParams(latency=10.0, handler_time=131.0, processors=32,
                             handler_cv2=0.0)
-    work = 250.0
     model = ClientServerModel(machine, work=work)
-    logp = LogPModel(machine)
-    config = MachineConfig.from_machine_params(machine, seed=1997)
-
     ps_star = model.optimal_servers_exact()
     best = model.optimal_servers()
-    print(f"Machine: P={machine.processors}, St={machine.latency:g}, "
-          f"So={machine.handler_time:g}, C^2={machine.handler_cv2:g}; "
+    print(f"Machine: P={sc.params['P']}, St={sc.params['St']:g}, "
+          f"So={sc.params['So']:g}, C^2={sc.params['C2']:g}; "
           f"W={work:g} cycles/chunk")
     print(f"Eq. 6.8 optimal servers: Ps* = {ps_star:.2f} "
           f"(best integer split: {best})")
@@ -38,13 +38,16 @@ def main() -> None:
           f"{model.optimal_server_residence():.1f} cycles "
           "(mean queue per server = 1)\n")
 
-    splits = [1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28]
-    rows = []
-    for ps in splits:
-        sim = run_workpile(config, servers=ps, work=work, chunks=200)
-        pred = model.solve(ps)
-        bound = logp.workpile_bound(ps, work)
-        rows.append((ps, sim.throughput, pred.throughput, bound))
+    # One study, three backends -- simulator, LoPC curve, LogP bounds.
+    splits = (1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28)
+    study = sc.study(Ps=splits)
+    sim = study.simulate()
+    lopc = study.analytic()
+    bounds = study.bounds()
+    rows = [
+        (ps, s["X"], m["X"], min(b["server_bound"], b["client_bound"]))
+        for ps, s, m, b in zip(splits, sim, lopc, bounds)
+    ]
     scale = max(r[1] for r in rows)
 
     print(" Ps |   sim X   |  LoPC X   | LogP bound | throughput")

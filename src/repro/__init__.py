@@ -29,16 +29,31 @@ Package layout
 ``repro.validation``
     Model-vs-simulation comparison utilities.
 
+``repro.api``
+    The fluent scenario facade over all of the above: one
+    :func:`scenario` entry point with ``analytic()`` / ``bounds()`` /
+    ``simulate()`` backends and cache-backed ``study()`` sweeps.
+
 Quick start
 -----------
->>> from repro import MachineParams, AllToAllModel
->>> machine = MachineParams(latency=40, handler_time=200, processors=32,
-...                         handler_cv2=0.0)
->>> solution = AllToAllModel(machine).solve_work(1024.0)
->>> round(solution.response_time, 1)  # doctest: +SKIP
+>>> from repro import scenario
+>>> sc = scenario("alltoall", P=32, St=40.0, So=200.0, C2=0.0, W=1024.0)
+>>> round(sc.analytic().response_time, 1)  # doctest: +SKIP
 1510.3
+>>> sc.bounds()["upper"] >= sc.analytic().R  # doctest: +SKIP
+True
+
+(The model classes underneath -- ``AllToAllModel`` and friends -- stay
+importable for code that wants the full solution objects.)
 """
 
+from repro.api import (
+    Scenario,
+    Solution,
+    Study,
+    list_scenarios,
+    scenario,
+)
 from repro.core import (
     AlgorithmParams,
     AllToAllModel,
@@ -66,8 +81,12 @@ __all__ = [
     "MachineParams",
     "ModelSolution",
     "NonBlockingModel",
+    "Scenario",
     "SharedMemoryModel",
+    "Solution",
+    "Study",
     "__version__",
     "contention_bounds",
+    "list_scenarios",
     "rule_of_thumb_response",
 ]

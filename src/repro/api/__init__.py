@@ -1,0 +1,71 @@
+"""repro.api -- the fluent scenario facade over the whole system.
+
+One coherent entry point to the three engines the reproduction grew:
+the analytic LoPC/MVA solvers (:mod:`repro.core`, :mod:`repro.mva`),
+the event-driven simulator (:mod:`repro.sim`), and the cached parallel
+sweep runner (:mod:`repro.sweep`)::
+
+    from repro import scenario
+
+    sc = scenario("alltoall", P=32, St=40.0, So=200.0, C2=0.0, W=1000.0)
+    sc.analytic().response_time        # LoPC AMVA prediction
+    sc.bounds()["upper"]               # Eq. 5.12 rule-of-thumb bound
+    sc.simulate(seed=7, cycles=200).R  # event-driven measurement
+
+    study = sc.study(W=range(2, 2049, 64), jobs=4, cache=".lopc-cache")
+    study.analytic()                   # SweepResult via the sweep engine
+
+Layers
+------
+:mod:`repro.api.solution`
+    :class:`Solution` -- the uniform typed result every backend returns
+    (JSON round trip via ``to_dict``/``from_dict``).
+:mod:`repro.api.scenario`
+    The machinery: parameter schemas (:class:`Param`,
+    :class:`ParamFamily`), :class:`Backend` declarations, the
+    :class:`Scenario` base class and the :func:`scenario` factory.
+:mod:`repro.api.scenarios`
+    The built-in workloads -- all-to-all, workpile, multi-class MVA,
+    non-blocking -- each declaring schema + backends + batch kernels in
+    one class.  :mod:`repro.sweep.evaluators` registers these same
+    backends under their legacy string names, so facade and string
+    registry share one implementation and one result cache.
+:mod:`repro.api.study`
+    :class:`Study` -- sweeps expressed on the facade, compiled down to
+    the existing :class:`~repro.sweep.spec.SweepSpec` runner (cache
+    keys unchanged).
+"""
+
+from repro.api.scenario import (
+    Backend,
+    Param,
+    ParamFamily,
+    Scenario,
+    get_scenario_class,
+    list_scenarios,
+    scenario,
+)
+from repro.api.solution import Solution
+from repro.api.scenarios import (
+    AllToAllScenario,
+    MultiClassScenario,
+    NonBlockingScenario,
+    WorkpileScenario,
+)
+from repro.api.study import Study
+
+__all__ = [
+    "AllToAllScenario",
+    "Backend",
+    "MultiClassScenario",
+    "NonBlockingScenario",
+    "Param",
+    "ParamFamily",
+    "Scenario",
+    "Solution",
+    "Study",
+    "WorkpileScenario",
+    "get_scenario_class",
+    "list_scenarios",
+    "scenario",
+]

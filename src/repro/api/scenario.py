@@ -1,0 +1,555 @@
+"""Scenario machinery: typed schemas, backends, and the fluent facade.
+
+A *scenario class* declares, in one place, everything the system knows
+about one workload: its parameter schema (:class:`Param` entries in the
+paper's notation, plus :class:`ParamFamily` patterns for open-ended
+parameter sets like the multi-class ``N{c}``/``D{c}_{k}`` encoding) and
+its :class:`Backend` implementations -- ``analytic``, ``bounds`` and
+``sim`` functions with their result-affecting defaults and optional
+vectorized batch kernels.  The concrete declarations live in
+:mod:`repro.api.scenarios`; :mod:`repro.sweep.evaluators` registers the
+same backends under their legacy string names, so the facade and the
+string-keyed sweep API are two views of one registry.
+
+Instantiating a scenario class (usually via the :func:`scenario`
+factory) binds parameter values::
+
+    sc = scenario("alltoall", P=32, St=40.0, So=200.0, C2=0.0, W=1000.0)
+    sc.analytic().response_time     # LoPC AMVA solution
+    sc.bounds()["upper"]            # Eq. 5.12 rule-of-thumb bound
+    sc.simulate(seed=7).R           # event-driven measurement
+    sc.study(W=range(2, 2049, 64))  # -> Study over the existing sweeps
+
+Parameter values are kept *verbatim* (no silent coercion): the sweep
+cache keys on the canonical JSON of the parameters, so ``W=2`` and
+``W=2.0`` are different cache records and the facade must hand the
+runner exactly what the caller wrote, just like a hand-built
+:class:`~repro.sweep.spec.SweepSpec` would.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "Param",
+    "ParamFamily",
+    "REQUIRED",
+    "Scenario",
+    "get_scenario_class",
+    "list_scenarios",
+    "scenario",
+]
+
+
+class _Required:
+    """Sentinel: a schema parameter with no default."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "REQUIRED"
+
+
+#: Marks a :class:`Param` the caller must supply (directly or on an axis).
+REQUIRED = _Required()
+
+
+@dataclass(frozen=True)
+class Param:
+    """One named scenario parameter.
+
+    ``type`` drives CLI string parsing and loose validation only --
+    values are *not* converted, so cache keys match hand-built sweeps.
+    ``control=True`` marks simulation controls (``cycles``, ``seed``,
+    ``streams`` ...) that only the ``sim`` backend consumes.
+    """
+
+    name: str
+    type: type
+    default: object = REQUIRED
+    doc: str = ""
+    control: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+        if self.type not in (int, float, bool, str):
+            raise ValueError(
+                f"parameter {self.name!r} type must be int/float/bool/str, "
+                f"got {self.type!r}"
+            )
+
+    @property
+    def required(self) -> bool:
+        """True when the caller must supply this parameter."""
+        return self.default is REQUIRED
+
+
+@dataclass(frozen=True)
+class ParamFamily:
+    """An open-ended parameter set matched by pattern.
+
+    The multi-class scenario encodes classes and centres as flat scalars
+    (``N0``, ``Z1``, ``D0_2`` ...) so networks of any shape stay
+    sweepable and cacheable; a family declares one such pattern with a
+    display ``template`` for docs and CLI help.
+    """
+
+    template: str
+    pattern: str
+    type: type
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        re.compile(self.pattern)  # fail fast on a bad declaration
+
+    def matches(self, name: str) -> bool:
+        """True when ``name`` belongs to this family."""
+        return re.fullmatch(self.pattern, name) is not None
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One way of evaluating a scenario point.
+
+    Attributes
+    ----------
+    role:
+        ``"analytic"``, ``"bounds"`` or ``"sim"`` -- the facade method
+        this backend serves.
+    evaluator:
+        Legacy registry name (:mod:`repro.sweep.evaluators` registers
+        ``func``/``batch`` under it, preserving every existing cache
+        key and spec file).
+    func:
+        The point evaluator: flat params mapping -> flat values dict
+        (``_``-prefixed keys become metadata).  Exactly the callable the
+        string registry serves, so facade and legacy results are
+        bit-identical by construction.
+    uses:
+        Schema parameter names this backend consumes, or ``None`` for
+        every schema parameter (families included).  Parameters outside
+        ``uses`` are silently dropped when compiling for this backend,
+        so one scenario instance can carry both model and simulation
+        parameters.
+    defaults:
+        Result-affecting defaults, merged into the parameters *before*
+        cache keying (mirrors ``register_evaluator(defaults=...)``).
+    batch:
+        Optional vectorized companion over a list of param dicts
+        (bit-identical values; the sweep runner's fast path).
+    """
+
+    role: str
+    evaluator: str
+    func: Callable[[Mapping[str, object]], dict]
+    uses: tuple[str, ...] | None = None
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    batch: Callable[[Sequence[Mapping[str, object]]], list] | None = None
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.role not in ("analytic", "bounds", "sim"):
+            raise ValueError(
+                f"backend role must be analytic/bounds/sim, got {self.role!r}"
+            )
+        if not self.evaluator:
+            raise ValueError("backend evaluator name must be non-empty")
+
+
+_SCENARIOS: dict[str, type["Scenario"]] = {}
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class Scenario:
+    """Base class: a declared workload bound to parameter values.
+
+    Subclasses set ``name``, ``title``, ``schema`` (a tuple of
+    :class:`Param`/:class:`ParamFamily`) and ``backends`` (a tuple of
+    :class:`Backend`); defining ``name`` registers the class, making it
+    reachable through :func:`scenario` and listing in
+    :func:`list_scenarios`.
+
+    Instances are immutable in spirit: :meth:`with_params` returns a new
+    instance rather than mutating, so partially-specified scenarios can
+    be shared and specialised (a machine description reused across
+    studies, say).
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: One-line human description.
+    title: str = ""
+    #: Parameter schema (Param and ParamFamily entries).
+    schema: tuple = ()
+    #: Backend declarations (at most one per role).
+    backends: tuple = ()
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            return  # abstract intermediates stay unregistered
+        if cls.name in _SCENARIOS:
+            other = _SCENARIOS[cls.name]
+            raise ValueError(
+                f"scenario {cls.name!r} already registered by "
+                f"{other.__module__}.{other.__qualname__}"
+            )
+        roles = [b.role for b in cls.backends]
+        if len(set(roles)) != len(roles):
+            raise ValueError(
+                f"scenario {cls.name!r} declares duplicate backend roles: "
+                f"{roles}"
+            )
+        # Backend defaults feed cache keys, schema defaults feed docs;
+        # both are declared by hand, so drift between them would make
+        # `--describe` and the runtime silently disagree.  Fail at class
+        # definition instead.
+        for backend in cls.backends:
+            for key, value in backend.defaults.items():
+                entry = cls.find_param(key)
+                if entry is None:
+                    raise ValueError(
+                        f"scenario {cls.name!r} {backend.role} backend "
+                        f"declares a default for undeclared parameter "
+                        f"{key!r}"
+                    )
+                if (isinstance(entry, Param) and not entry.required
+                        and entry.default != value):
+                    raise ValueError(
+                        f"scenario {cls.name!r} {backend.role} backend "
+                        f"default {key}={value!r} disagrees with the "
+                        f"schema default {entry.default!r}"
+                    )
+        _SCENARIOS[cls.name] = cls
+
+    # -- schema helpers (classmethods: usable without parameters) ------
+    @classmethod
+    def params_schema(cls) -> tuple:
+        """The declared schema entries, in declaration order."""
+        return tuple(cls.schema)
+
+    @classmethod
+    def param_names(cls) -> list[str]:
+        """Fixed parameter names (family templates excluded)."""
+        return [p.name for p in cls.schema if isinstance(p, Param)]
+
+    @classmethod
+    def find_param(cls, name: str) -> Param | ParamFamily | None:
+        """The schema entry governing ``name``, or None."""
+        for entry in cls.schema:
+            if isinstance(entry, Param):
+                if entry.name == name:
+                    return entry
+            elif entry.matches(name):
+                return entry
+        return None
+
+    @classmethod
+    def accepts(cls, name: str) -> bool:
+        """True when ``name`` is a declared parameter of this scenario."""
+        return cls.find_param(name) is not None
+
+    @classmethod
+    def backend(cls, role: str) -> Backend:
+        """The backend declared for ``role``; raises with the known list."""
+        for candidate in cls.backends:
+            if candidate.role == role:
+                return candidate
+        known = ", ".join(sorted(b.role for b in cls.backends)) or "(none)"
+        raise ValueError(
+            f"scenario {cls.name!r} has no {role!r} backend; "
+            f"available: {known}"
+        )
+
+    @classmethod
+    def backend_roles(cls) -> list[str]:
+        """Declared backend roles, sorted for stable display."""
+        return sorted(b.role for b in cls.backends)
+
+    @classmethod
+    def backend_accepts(cls, backend: Backend, name: str) -> bool:
+        """True when ``backend`` consumes parameter ``name``."""
+        if backend.uses is None:
+            return cls.accepts(name)
+        return name in backend.uses
+
+    @classmethod
+    def parse_value(cls, name: str, text: str) -> object:
+        """Parse a CLI ``KEY=VALUE`` string by the schema's declared type."""
+        entry = cls.find_param(name)
+        if entry is None:
+            raise ValueError(
+                f"unknown parameter {name!r} for scenario {cls.name!r}; "
+                f"known: {', '.join(cls.param_names())}"
+            )
+        kind = entry.type
+        if kind is bool:
+            lowered = text.strip().lower()
+            if lowered in ("true", "1", "yes", "on"):
+                return True
+            if lowered in ("false", "0", "no", "off"):
+                return False
+            raise ValueError(f"parameter {name!r} expects a boolean, got {text!r}")
+        if kind is int:
+            return int(text)
+        if kind is float:
+            return float(text)
+        return text
+
+    @classmethod
+    def describe(cls) -> str:
+        """Human-readable schema + backend summary (CLI ``scenario show``)."""
+        lines = [f"{cls.name}: {cls.title}".rstrip(": "), "", "parameters:"]
+        for entry in cls.schema:
+            if isinstance(entry, Param):
+                default = ("required" if entry.required
+                           else f"default {entry.default!r}")
+                tag = " [sim control]" if entry.control else ""
+                lines.append(
+                    f"  {entry.name:<12} {entry.type.__name__:<6} "
+                    f"{default:<18} {entry.doc}{tag}"
+                )
+            else:
+                lines.append(
+                    f"  {entry.template:<12} {entry.type.__name__:<6} "
+                    f"{'(family)':<18} {entry.doc}"
+                )
+        lines.append("")
+        lines.append("backends:")
+        for backend in sorted(cls.backends, key=lambda b: b.role):
+            lines.append(
+                f"  {backend.role:<9} -> {backend.evaluator}"
+                + (f"  {backend.doc}" if backend.doc else "")
+            )
+        return "\n".join(lines)
+
+    # -- instances -----------------------------------------------------
+    def __init__(self, **params: object) -> None:
+        cls = type(self)
+        if not cls.name:
+            raise TypeError(
+                "Scenario is abstract; instantiate a registered subclass "
+                "or call repro.scenario(name, ...)"
+            )
+        self.given: dict[str, object] = {}
+        for key, value in params.items():
+            checked = self._check_value(key, value)
+            if checked is None:
+                continue  # explicit None == "leave unset" (see below)
+            self.given[key] = checked
+
+    @classmethod
+    def _check_value(cls, name: str, value: object) -> object:
+        entry = cls.find_param(name)
+        if entry is None:
+            raise ValueError(
+                f"unknown parameter {name!r} for scenario {cls.name!r}; "
+                f"known: {', '.join(cls.param_names())}"
+            )
+        if isinstance(value, np.generic):
+            value = value.item()
+        if value is None:
+            # Accepted only where the schema's default *is* None (an
+            # optional parameter like multiclass `kinds`); it means
+            # "leave unset", so it never lands in params or cache keys.
+            if isinstance(entry, Param) and entry.default is None:
+                return None
+            raise TypeError(
+                f"parameter {name!r} does not accept None"
+            )
+        if not isinstance(value, _SCALAR_TYPES):
+            raise TypeError(
+                f"parameter {name!r} must be a JSON scalar, got "
+                f"{type(value).__name__}: {value!r} (sweep an axis via "
+                ".study(...) instead)"
+            )
+        kind = entry.type
+        if kind is bool:
+            if not isinstance(value, bool):
+                raise TypeError(
+                    f"parameter {name!r} expects a bool, got {value!r}"
+                )
+        elif kind in (int, float):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(
+                    f"parameter {name!r} expects a number, got {value!r}"
+                )
+            if kind is int and isinstance(value, float) and not value.is_integer():
+                raise TypeError(
+                    f"parameter {name!r} expects an integer, got {value!r}"
+                )
+            if isinstance(value, float) and not np.isfinite(value):
+                raise ValueError(
+                    f"parameter {name!r} must be finite, got {value!r}"
+                )
+        elif kind is str and not isinstance(value, str):
+            raise TypeError(
+                f"parameter {name!r} expects a string, got {value!r}"
+            )
+        return value
+
+    @property
+    def params(self) -> dict[str, object]:
+        """The explicitly-bound parameters (defaults not filled in)."""
+        return dict(self.given)
+
+    def with_params(self, **updates: object) -> "Scenario":
+        """A new instance with ``updates`` merged over these parameters."""
+        merged = dict(self.given)
+        merged.update(updates)
+        return type(self)(**merged)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.given.items()))
+        return f"scenario({type(self).name!r}, {inner})"
+
+    # -- point evaluation ----------------------------------------------
+    def resolve(self, role: str, overrides: Mapping[str, object] | None = None,
+                ) -> dict[str, object]:
+        """The full parameter dict one ``role`` evaluation runs with.
+
+        Backend defaults first, then the bound parameters, then
+        ``overrides`` -- restricted to what the backend consumes, and
+        checked for missing required parameters.  This is byte-identical
+        to the params the sweep runner caches the same point under.
+        """
+        cls = type(self)
+        backend = cls.backend(role)
+        merged: dict[str, object] = dict(backend.defaults)
+        for key, value in self.given.items():
+            if cls.backend_accepts(backend, key):
+                merged[key] = value
+        for key, value in dict(overrides or {}).items():
+            if not cls.backend_accepts(backend, key):
+                raise ValueError(
+                    f"parameter {key!r} is not used by the {role!r} backend "
+                    f"of scenario {cls.name!r}"
+                )
+            checked = self._check_value(key, value)
+            if checked is None:
+                merged.pop(key, None)  # explicit None unsets the parameter
+            else:
+                merged[key] = checked
+        missing = [
+            p.name
+            for p in cls.schema
+            if isinstance(p, Param)
+            and p.required
+            and cls.backend_accepts(backend, p.name)
+            and p.name not in merged
+        ]
+        if missing:
+            raise ValueError(
+                f"scenario {cls.name!r} {role} backend is missing required "
+                f"parameter(s): {', '.join(missing)}"
+            )
+        return merged
+
+    def _solve(self, role: str, overrides: Mapping[str, object]) -> object:
+        # Deferred import: the evaluator shim imports the scenario
+        # declarations at its bottom, so this module cannot depend on it
+        # at import time.
+        from repro.api.solution import Solution
+        from repro.sweep import evaluators
+
+        backend = type(self).backend(role)
+        params = self.resolve(role, overrides)
+        try:
+            registered = evaluators.get_evaluator(backend.evaluator)
+        except KeyError:
+            registered = None
+        if registered is backend.func:
+            # The normal path: one record shape, one timing convention,
+            # shared *by construction* with every sweep record.
+            record = evaluators.evaluate_point((backend.evaluator, params))
+        else:
+            # A scenario class declared outside the built-ins (or a
+            # test-patched registry): evaluate directly, through the
+            # same record splitter.
+            start = time.perf_counter()
+            raw = backend.func(params)
+            record = evaluators._split_record(
+                raw, time.perf_counter() - start
+            )
+        return Solution(
+            scenario=type(self).name,
+            backend=role,
+            evaluator=backend.evaluator,
+            params=params,
+            values=record["values"],
+            meta=record["meta"],
+        )
+
+    def analytic(self, **overrides: object):
+        """Solve the scenario's analytic model; returns a Solution.
+
+        Keyword arguments override bound parameters for this call only
+        (e.g. ``method="bard"`` on the multi-class scenario).
+        """
+        return self._solve("analytic", overrides)
+
+    def bounds(self, **overrides: object):
+        """Evaluate the scenario's closed-form bounds; returns a Solution."""
+        return self._solve("bounds", overrides)
+
+    def simulate(self, **overrides: object):
+        """Measure the scenario on the event-driven simulator.
+
+        Returns a Solution; ``seed=``, ``cycles=`` and the other
+        simulation controls are ordinary parameter overrides.
+        """
+        return self._solve("sim", overrides)
+
+    # -- studies -------------------------------------------------------
+    def study(self, *, jobs: int = 1, cache: object = None,
+              seed: int | None = None, batch: bool = True,
+              name: str | None = None, **axes: object):
+        """A :class:`~repro.api.study.Study` sweeping ``axes`` over this
+        scenario.
+
+        Each keyword names a schema parameter and gives an iterable of
+        values (``W=range(2, 2049, 2)``); the cross product of the axes
+        over the bound parameters compiles to the existing
+        :class:`~repro.sweep.spec.SweepSpec` machinery, preserving cache
+        keys and the vectorized batch fast path.  ``jobs``, ``cache``,
+        ``seed`` (spec-level, an int that derives per-point seeds) and
+        ``batch`` plumb straight through to
+        :func:`repro.sweep.runner.run_sweep`.  To sweep the *scenario's*
+        ``seed`` parameter itself, pass an axis instance under any other
+        keyword: ``study(seeds=GridAxis("seed", (1, 2, 3)))``.
+        """
+        from repro.api.study import Study
+
+        return Study(self, axes, jobs=jobs, cache=cache, seed=seed,
+                     batch=batch, name=name)
+
+
+def scenario(name: str, **params: object) -> Scenario:
+    """Instantiate the registered scenario class ``name`` with ``params``.
+
+    The one facade entry point::
+
+        sc = repro.scenario("alltoall", P=32, St=40.0, So=200.0, W=1000.0)
+    """
+    return get_scenario_class(name)(**params)
+
+
+def get_scenario_class(name: str) -> type[Scenario]:
+    """The registered scenario class, or KeyError with the known list."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS)) or "(none)"
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def list_scenarios() -> list[str]:
+    """Registered scenario names, sorted for stable docs and CLI help."""
+    return sorted(_SCENARIOS)

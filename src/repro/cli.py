@@ -7,6 +7,11 @@ Usage::
                            [--seed S] [--cache-dir .lopc-cache]
     lopc-repro run-all [--out results/] [--fast] [--jobs 4] [...]
     lopc-repro sweep spec.json [--jobs 4] [--cache-dir D] [--out results/]
+    lopc-repro scenario --list
+    lopc-repro scenario alltoall --describe
+    lopc-repro scenario alltoall P=32 St=40 So=200 W=1000
+    lopc-repro scenario alltoall P=32 St=40 So=200 --sweep W=2,32,512 \\
+                        --backend sim [--jobs 4] [--cache-dir D]
 
 ``--fast`` shrinks simulation lengths (for smoke testing); published
 numbers should use the defaults.  With ``--out``, each experiment writes
@@ -18,6 +23,13 @@ runs are bit-reproducible; ``--cache-dir`` enables the content-addressed
 result cache, so repeated and overlapping runs skip already-solved
 points.  ``sweep`` runs a declarative :class:`~repro.sweep.SweepSpec`
 from a JSON file (see :mod:`repro.sweep.spec` for the format).
+
+``scenario`` is the CLI face of the :mod:`repro.api` facade: name a
+registered scenario, give ``KEY=VALUE`` parameters in the paper's
+notation, pick a backend (``analytic`` default, ``bounds``, ``sim``),
+and optionally sweep axes with ``--sweep KEY=V1,V2,...`` (repeatable;
+multiple axes cross-product, sharing the sweep cache with the figure
+experiments).
 """
 
 from __future__ import annotations
@@ -122,6 +134,79 @@ def _run_sweep_file(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> int:
+    from repro.api import get_scenario_class, list_scenarios
+
+    if args.list or args.name is None:
+        for name in list_scenarios():
+            cls = get_scenario_class(name)
+            print(f"{name:<12} {cls.title}")
+        return 0
+    cls = get_scenario_class(args.name)
+    if args.describe:
+        print(cls.describe())
+        return 0
+
+    params: dict[str, object] = {}
+    for item in args.params:
+        key, sep, text = item.partition("=")
+        if not sep:
+            parser.error(f"scenario parameters are KEY=VALUE, got {item!r}")
+        params[key] = cls.parse_value(key, text)
+    sc = cls(**params)
+
+    from repro.sweep import GridAxis
+
+    axes: dict[str, object] = {}
+    for item in args.sweep or ():
+        key, sep, text = item.partition("=")
+        if not sep:
+            parser.error(f"--sweep takes KEY=V1,V2,..., got {item!r}")
+        # Axis instances under a mangled keyword, so a swept `seed`
+        # cannot collide with study()'s spec-level seed argument.
+        axes[f"sweep_{key}"] = GridAxis(
+            key, tuple(cls.parse_value(key, v) for v in text.split(","))
+        )
+        if key == "seed" and args.seed is not None:
+            # The spec-level seed would derive one per-point seed and
+            # clobber every swept value with it.
+            parser.error(
+                "--seed derives per-point seeds and cannot be combined "
+                "with --sweep seed=...; drop one of the two"
+            )
+
+    if axes:
+        study = sc.study(jobs=args.jobs if args.jobs is not None else 1,
+                         cache=args.cache_dir, seed=args.seed, **axes)
+        result = study.run(args.backend)
+        print(format_table(result.to_experiment_result()))
+        print(f"\n({result.spec_name}: {result.summary()})\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            stem = f"{args.name}_{args.backend}"
+            (args.out / f"{stem}.csv").write_text(result.to_csv())
+        return 0
+
+    solve = {"analytic": sc.analytic, "bounds": sc.bounds,
+             "sim": sc.simulate}[args.backend]
+    solution = solve()
+    print(f"scenario {solution.scenario} / {solution.backend} "
+          f"(evaluator {solution.evaluator})")
+    print("params: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(solution.params.items())))
+    width = max(len(c) for c in solution.columns)
+    for column in solution.columns:
+        value = solution.values[column]
+        rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+        print(f"  {column:<{width}}  {rendered}")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"{args.name}_{args.backend}.json"
+        path.write_text(solution.to_json() + "\n")
+    return 0
+
+
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for .txt/.csv outputs")
@@ -173,6 +258,41 @@ def main(argv: list[str] | None = None) -> int:
     sweep_p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                          help="content-addressed result cache directory")
 
+    scenario_p = sub.add_parser(
+        "scenario",
+        help="evaluate a scenario through the fluent facade (repro.api)",
+    )
+    scenario_p.add_argument("name", nargs="?", default=None,
+                            help="scenario name (see --list)")
+    scenario_p.add_argument("params", nargs="*", metavar="KEY=VALUE",
+                            help="scenario parameters in the paper's "
+                                 "notation (P=32 St=40 So=200 W=1000 ...)")
+    scenario_p.add_argument("--list", action="store_true",
+                            help="list registered scenarios and exit")
+    scenario_p.add_argument("--describe", action="store_true",
+                            help="print the scenario's parameter schema "
+                                 "and backends")
+    scenario_p.add_argument("--backend", default="analytic",
+                            choices=("analytic", "bounds", "sim"),
+                            help="which backend to evaluate "
+                                 "(default: analytic)")
+    scenario_p.add_argument("--sweep", action="append", metavar="KEY=V1,V2",
+                            help="sweep an axis (repeatable; axes "
+                                 "cross-product into a cached study)")
+    scenario_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes for study cache misses "
+                                 "(0 = one per CPU)")
+    scenario_p.add_argument("--seed", type=int, default=None, metavar="S",
+                            help="study-level seed (derives per-point "
+                                 "seeds; for a single run pass seed=S as "
+                                 "a parameter)")
+    scenario_p.add_argument("--cache-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="content-addressed result cache directory")
+    scenario_p.add_argument("--out", type=Path, default=None,
+                            help="directory for the .csv (study) or "
+                                 ".json (single point) export")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -195,6 +315,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep_file(args)
+
+    if args.command == "scenario":
+        return _run_scenario(args, parser)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

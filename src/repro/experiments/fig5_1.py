@@ -22,8 +22,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api import Study, scenario
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sweep import GridAxis, SweepSpec, run_sweep
+from repro.sweep import SweepSpec
 from repro.sweep.runner import CacheLike
 
 __all__ = ["run", "sweep_spec"]
@@ -31,14 +32,15 @@ __all__ = ["run", "sweep_spec"]
 DEFAULT_HANDLERS = (128, 256, 512, 1024)
 
 
-def sweep_spec(
+def _study(
     work: float,
     handlers: Sequence[float],
     cv2_values: Sequence[float],
     latency: float,
     processors: int,
-) -> SweepSpec:
-    """One model sweep over the ``C^2 x So`` grid.
+    **run_options: object,
+) -> Study:
+    """The figure's study: an all-to-all scenario over the C^2 x So grid.
 
     ``C^2 = 0`` and ``C^2 = 1`` ride along even when outside
     ``cv2_values``: the paper's "about 6%" claim compares exactly those
@@ -49,11 +51,20 @@ def sweep_spec(
     for v in list(cv2_values) + [0.0, 1.0]:  # dedupe, preserving order
         if v not in cv2_grid:
             cv2_grid.append(v)
-    return SweepSpec(
-        name="fig-5.1/model",
-        evaluator="alltoall-model",
-        base={"P": processors, "St": latency, "W": work},
-        axes=(GridAxis("C2", cv2_grid), GridAxis("So", tuple(handlers))),
+    sc = scenario("alltoall", P=processors, St=latency, W=work)
+    return sc.study(C2=cv2_grid, So=tuple(handlers), **run_options)
+
+
+def sweep_spec(
+    work: float,
+    handlers: Sequence[float],
+    cv2_values: Sequence[float],
+    latency: float,
+    processors: int,
+) -> SweepSpec:
+    """The compiled model sweep over the ``C^2 x So`` grid."""
+    return _study(work, handlers, cv2_values, latency, processors).spec(
+        "analytic", name="fig-5.1/model"
     )
 
 
@@ -70,8 +81,9 @@ def run(
     """Sweep handler C^2 and occupancy; report contention fractions."""
     if cv2_values is None:
         cv2_values = np.round(np.arange(0.0, 2.0 + 1e-9, 0.25), 4).tolist()
-    spec = sweep_spec(work, handlers, cv2_values, latency, processors)
-    sweep = run_sweep(spec, cache=cache, jobs=jobs)
+    study = _study(work, handlers, cv2_values, latency, processors,
+                   jobs=jobs, cache=cache)
+    sweep = study.analytic(name="fig-5.1/model")
 
     columns = ["C2"] + [f"handler {int(so)}" for so in handlers]
     rows = []

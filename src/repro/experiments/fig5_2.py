@@ -20,13 +20,39 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api import Study, scenario
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sweep import GridAxis, SweepSpec, run_sweep
+from repro.sweep import SweepSpec
 from repro.sweep.runner import CacheLike
 
 __all__ = ["run", "DEFAULT_WORK_SWEEP", "sweep_specs"]
 
 DEFAULT_WORK_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+def _studies(
+    works: Sequence[float],
+    processors: int,
+    latency: float,
+    handler_time: float,
+    handler_cv2: float,
+    cycles: int,
+    seed: int,
+    **run_options: object,
+) -> tuple[Study, Study]:
+    """One all-to-all scenario, two studies: analytic/bounds and sim.
+
+    The single construction point for the figure, so the exported
+    :func:`sweep_specs` view and the executed :func:`run` sweep cannot
+    drift apart.
+    """
+    sc = scenario("alltoall", P=processors, St=latency, So=handler_time,
+                  C2=handler_cv2)
+    study = sc.study(W=tuple(works), **run_options)
+    sim_study = sc.with_params(cycles=cycles, seed=seed).study(
+        W=tuple(works), **run_options
+    )
+    return study, sim_study
 
 
 def sweep_specs(
@@ -40,20 +66,16 @@ def sweep_specs(
 ) -> tuple[SweepSpec, SweepSpec, SweepSpec]:
     """The figure's three sweeps: Eq. 5.12 bounds, LoPC model, simulator.
 
-    Declared separately (rather than one fused per-point evaluator) so
-    the simulator grid's cache records are shared with Figure 5-3, which
-    sweeps the identical machine.
+    Compiled from one scenario rather than one fused per-point
+    evaluator, so the simulator grid's cache records are shared with
+    Figure 5-3, which sweeps the identical machine.
     """
-    base = {"P": processors, "St": latency, "So": handler_time,
-            "C2": handler_cv2}
-    axis = GridAxis("W", tuple(works))
+    study, sim_study = _studies(works, processors, latency, handler_time,
+                                handler_cv2, cycles, seed)
     return (
-        SweepSpec(name="fig-5.2/bounds", evaluator="alltoall-bounds",
-                  base=base, axes=(axis,)),
-        SweepSpec(name="fig-5.2/model", evaluator="alltoall-model",
-                  base=base, axes=(axis,)),
-        SweepSpec(name="fig-5.2/sim", evaluator="alltoall-sim",
-                  base=dict(base, cycles=cycles, seed=seed), axes=(axis,)),
+        study.spec("bounds", name="fig-5.2/bounds"),
+        study.spec("analytic", name="fig-5.2/model"),
+        sim_study.spec("sim", name="fig-5.2/sim"),
     )
 
 
@@ -70,12 +92,12 @@ def run(
     cache: CacheLike = None,
 ) -> ExperimentResult:
     """Run the Figure 5-2 sweep: bounds + model + simulation."""
-    bounds_spec, model_spec, sim_spec = sweep_specs(
-        works, processors, latency, handler_time, handler_cv2, cycles, seed
-    )
-    bounds = run_sweep(bounds_spec, cache=cache, jobs=jobs)
-    model = run_sweep(model_spec, cache=cache, jobs=jobs)
-    sim = run_sweep(sim_spec, cache=cache, jobs=jobs)
+    study, sim_study = _studies(works, processors, latency, handler_time,
+                                handler_cv2, cycles, seed,
+                                jobs=jobs, cache=cache)
+    bounds = study.bounds(name="fig-5.2/bounds")
+    model = study.analytic(name="fig-5.2/model")
+    sim = sim_study.simulate(name="fig-5.2/sim")
 
     rows = []
     lopc_errors = []

@@ -21,7 +21,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sweep import GridAxis, SweepSpec, run_sweep
+
+# One construction point for the all-to-all work-sweep studies: this
+# figure *must* share Figure 5-2's machine so a warm cache serves both,
+# and importing its helper makes that a structural fact, not a
+# convention two files keep in sync by hand.
+from repro.experiments.fig5_2 import _studies
+from repro.sweep import SweepSpec
 from repro.sweep.runner import CacheLike
 
 __all__ = ["run", "DEFAULT_WORK_SWEEP", "sweep_specs"]
@@ -43,14 +49,11 @@ def sweep_specs(
     The machine matches Figure 5-2's, so with a shared cache the
     simulator points solved there are reused here verbatim.
     """
-    base = {"P": processors, "St": latency, "So": handler_time,
-            "C2": handler_cv2}
-    axis = GridAxis("W", tuple(works))
+    study, sim_study = _studies(works, processors, latency, handler_time,
+                                handler_cv2, cycles, seed)
     return (
-        SweepSpec(name="fig-5.3/model", evaluator="alltoall-model",
-                  base=base, axes=(axis,)),
-        SweepSpec(name="fig-5.3/sim", evaluator="alltoall-sim",
-                  base=dict(base, cycles=cycles, seed=seed), axes=(axis,)),
+        study.spec("analytic", name="fig-5.3/model"),
+        sim_study.spec("sim", name="fig-5.3/sim"),
     )
 
 
@@ -67,11 +70,11 @@ def run(
     cache: CacheLike = None,
 ) -> ExperimentResult:
     """Run the Figure 5-3 sweep: per-component contention, model vs sim."""
-    model_spec, sim_spec = sweep_specs(
-        works, processors, latency, handler_time, handler_cv2, cycles, seed
-    )
-    model = run_sweep(model_spec, cache=cache, jobs=jobs)
-    sim = run_sweep(sim_spec, cache=cache, jobs=jobs)
+    study, sim_study = _studies(works, processors, latency, handler_time,
+                                handler_cv2, cycles, seed,
+                                jobs=jobs, cache=cache)
+    model = study.analytic(name="fig-5.3/model")
+    sim = sim_study.simulate(name="fig-5.3/sim")
 
     rows = []
     totals_in_handlers = []

@@ -22,13 +22,37 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.api import Study, scenario
 from repro.core.client_server import ClientServerModel
 from repro.core.params import MachineParams
 from repro.experiments.common import ExperimentResult, ShapeCheck, register
-from repro.sweep import GridAxis, SweepSpec, run_sweep
+from repro.sweep import SweepSpec
 from repro.sweep.runner import CacheLike
 
 __all__ = ["run", "sweep_specs"]
+
+
+def _studies(
+    servers: Sequence[int],
+    processors: int,
+    latency: float,
+    handler_time: float,
+    handler_cv2: float,
+    work: float,
+    chunks: int,
+    seed: int,
+    work_cv2: float,
+    **run_options: object,
+) -> tuple[Study, Study]:
+    """One workpile scenario, two studies -- the single construction point."""
+    sc = scenario("workpile", P=processors, St=latency, So=handler_time,
+                  C2=handler_cv2, W=work)
+    axis = tuple(int(ps) for ps in servers)
+    study = sc.study(Ps=axis, **run_options)
+    sim_study = sc.with_params(chunks=chunks, seed=seed,
+                               work_cv2=work_cv2).study(Ps=axis,
+                                                        **run_options)
+    return study, sim_study
 
 
 def sweep_specs(
@@ -43,18 +67,12 @@ def sweep_specs(
     work_cv2: float,
 ) -> tuple[SweepSpec, SweepSpec, SweepSpec]:
     """The figure's three sweeps over the server-count axis."""
-    base = {"P": processors, "St": latency, "So": handler_time,
-            "C2": handler_cv2, "W": work}
-    axis = GridAxis("Ps", tuple(int(ps) for ps in servers))
+    study, sim_study = _studies(servers, processors, latency, handler_time,
+                                handler_cv2, work, chunks, seed, work_cv2)
     return (
-        SweepSpec(name="fig-6.2/model", evaluator="workpile-model",
-                  base=base, axes=(axis,)),
-        SweepSpec(name="fig-6.2/bounds", evaluator="workpile-bounds",
-                  base=base, axes=(axis,)),
-        SweepSpec(name="fig-6.2/sim", evaluator="workpile-sim",
-                  base=dict(base, chunks=chunks, seed=seed,
-                            work_cv2=work_cv2),
-                  axes=(axis,)),
+        study.spec("analytic", name="fig-6.2/model"),
+        study.spec("bounds", name="fig-6.2/bounds"),
+        sim_study.spec("sim", name="fig-6.2/sim"),
     )
 
 
@@ -83,13 +101,12 @@ def run(
         handler_cv2=handler_cv2,
     )
     model = ClientServerModel(machine, work=work)
-    model_spec, bounds_spec, sim_spec = sweep_specs(
-        servers, processors, latency, handler_time, handler_cv2, work,
-        chunks, seed, work_cv2,
-    )
-    predicted = run_sweep(model_spec, cache=cache, jobs=jobs)
-    bounds = run_sweep(bounds_spec, cache=cache, jobs=jobs)
-    sim = run_sweep(sim_spec, cache=cache, jobs=jobs)
+    study, sim_study = _studies(servers, processors, latency, handler_time,
+                                handler_cv2, work, chunks, seed, work_cv2,
+                                jobs=jobs, cache=cache)
+    predicted = study.analytic(name="fig-6.2/model")
+    bounds = study.bounds(name="fig-6.2/bounds")
+    sim = sim_study.simulate(name="fig-6.2/sim")
 
     rows = []
     errors = []

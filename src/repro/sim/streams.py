@@ -77,6 +77,8 @@ __all__ = [
     "ScalarSampleStream",
     "StreamExhausted",
     "StreamRegistry",
+    "stream_sample",
+    "stream_shuffle",
 ]
 
 #: First refill size of a stream nobody pre-sized.
@@ -377,6 +379,42 @@ class ScalarIntegerStream:
     def draw(self) -> int:
         self.draws += 1
         return int(self.rng.integers(self.high))
+
+
+def stream_shuffle(streams: "StreamRegistry", seq: list) -> None:
+    """In-place Fisher-Yates shuffle drawing from registry pick streams.
+
+    The stream-honouring replacement for ``rng.shuffle(seq)`` at
+    workload call sites: every index pick comes from the registry's
+    ``[0, i+1)`` integer streams, so shuffles are bulk-drawn on
+    buffered registries, plain scalar ``rng.integers`` calls on
+    seed-exact scalar ones, and deterministic for a fixed seed and
+    buffering schedule either way (the stream determinism contract).
+    Uniform over all permutations, like ``rng.shuffle``; the draw
+    *sequence* differs, so fixed-seed trajectories change when a
+    workload switches over.
+    """
+    for i in range(len(seq) - 1, 0, -1):
+        j = streams.integers(i + 1).draw()
+        seq[i], seq[j] = seq[j], seq[i]
+
+
+def stream_sample(streams: "StreamRegistry", n: int, k: int) -> list[int]:
+    """``k`` distinct uniform indices from ``range(n)``, stream-drawn.
+
+    The stream-honouring replacement for
+    ``rng.choice(n, size=k, replace=False)``: a partial Fisher-Yates
+    over ``range(n)`` whose ``k`` index picks come from the registry's
+    integer streams.  Uniform over all ``k``-permutations (order is
+    random, as with ``rng.choice``'s permutation method).
+    """
+    if not 0 <= k <= n:
+        raise ValueError(f"need 0 <= k <= n, got k={k!r}, n={n!r}")
+    indices = list(range(n))
+    for i in range(k):
+        j = i + streams.integers(n - i).draw()
+        indices[i], indices[j] = indices[j], indices[i]
+    return indices[:k]
 
 
 class StreamRegistry:

@@ -1,4 +1,4 @@
-"""Named point evaluators: the functions a sweep maps over its grid.
+"""Named point evaluators: the string-keyed registry the sweeps map over.
 
 An evaluator is a plain top-level function ``params -> values`` where
 both sides are flat JSON-serialisable mappings -- top-level so it
@@ -7,61 +7,47 @@ JSON-flat so results cache and export without adapters.  Value keys
 beginning with ``_`` (e.g. ``_events``) are lifted into the record's
 ``meta`` by :func:`evaluate_point` rather than appearing as columns.
 
-Parameter naming follows the paper's symbols throughout: ``P``, ``St``,
-``So``, ``C2`` for the machine; ``W`` for work; ``Ps`` for the workpile
-server count; plus simulation controls (``cycles`` / ``chunks``,
-``seed``, ``work_cv2``).
+Since the scenario facade landed, this module is a *compatibility
+shim*: the built-in evaluators are declared once, as backends of the
+:class:`~repro.api.scenario.Scenario` classes in
+:mod:`repro.api.scenarios`, and registered here under their historical
+string names at import time.  Existing spec files, cached records and
+the ``register_evaluator`` API are unaffected -- same names, same
+parameters, same cache keys -- and runtime registration of new
+evaluators keeps working exactly as before.
 
-Built-in evaluators
--------------------
-``alltoall-model``    LoPC AMVA solution of the Section-5 all-to-all.
-``alltoall-sim``      Event-driven simulation of the same workload.
-``alltoall-bounds``   Eq. 5.12 contention-free / rule-of-thumb bounds.
-``workpile-model``    LoPC client-server workpile solution (Chapter 6).
-``workpile-sim``      Simulated workpile for one ``(Ps, Pc)`` split.
-``workpile-bounds``   LogP-style optimistic saturation bounds.
-``multiclass-mva``    Exact or approximate multi-class MVA (Chapter-6
-                      heterogeneous studies); classes are encoded as
-                      flat ``N{c}`` / ``Z{c}`` / ``D{c}_{k}`` scalars.
+Built-in evaluators (see :mod:`repro.api.scenarios` for the bodies)
+-------------------------------------------------------------------
+``alltoall-model``     LoPC AMVA solution of the Section-5 all-to-all.
+``alltoall-sim``       Event-driven simulation of the same workload.
+``alltoall-bounds``    Eq. 5.12 contention-free / rule-of-thumb bounds.
+``workpile-model``     LoPC client-server workpile solution (Chapter 6).
+``workpile-sim``       Simulated workpile for one ``(Ps, Pc)`` split.
+``workpile-bounds``    LogP-style optimistic saturation bounds.
+``multiclass-mva``     Exact or approximate multi-class MVA; classes are
+                       encoded as flat ``N{c}`` / ``Z{c}`` / ``D{c}_{k}``
+                       scalars.
+``nonblocking-model``  Windowed non-blocking LoPC fixed point (k=0 means
+                       an unbounded window).
+``nonblocking-sim``    Measured issue rate of the non-blocking workload.
 
 Batch capability
 ----------------
 Analytic evaluators can additionally *advertise batch capability* via
 :func:`register_batch_evaluator`: a companion function that takes the
 whole list of cache-miss parameter dicts and evaluates them in one
-vectorized call (the LoPC models route through
-:func:`repro.core.alltoall.solve_batch` /
-:func:`repro.core.client_server.solve_workpile_batch`, the bounds
-through :func:`repro.core.client_server.workpile_bounds_batch`, and
-multi-class networks through the :mod:`repro.mva.batch` multi-class
-kernels).  The sweep
-runner prefers the batch path when one is registered -- one masked numpy
-fixed point instead of thousands of scalar solves or process-pool
-round-trips -- and the values are bit-identical to the scalar
-evaluator's, so cache records from either path are interchangeable.
-Simulation evaluators register no batch function and keep the pool.
+vectorized call.  The sweep runner prefers the batch path when one is
+registered -- one masked numpy fixed point instead of thousands of
+scalar solves or process-pool round-trips -- and the values are
+bit-identical to the scalar evaluator's, so cache records from either
+path are interchangeable.  Simulation evaluators register no batch
+function and keep the pool.
 """
 
 from __future__ import annotations
 
-import re
 import time
 from typing import Callable, Mapping, Sequence
-
-import numpy as np
-
-from repro.core.alltoall import AllToAllModel, solve_batch
-from repro.core.client_server import (
-    ClientServerModel,
-    solve_workpile_batch,
-    workpile_bounds_batch,
-)
-from repro.core.logp import LogPModel
-from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
-from repro.core.rule_of_thumb import contention_bounds
-from repro.mva.batch import batch_multiclass_amva, batch_multiclass_mva
-from repro.mva.multiclass import MultiClassAMVAResult, multiclass_amva, multiclass_mva
-from repro.sim.machine import MachineConfig
 
 __all__ = [
     "evaluate_batch",
@@ -101,8 +87,13 @@ def register_evaluator(
     """
 
     def deco(func: Evaluator) -> Evaluator:
-        if name in _EVALUATORS:
-            raise ValueError(f"evaluator {name!r} already registered")
+        existing = _EVALUATORS.get(name)
+        if existing is not None:
+            raise ValueError(
+                f"evaluator {name!r} already registered by module "
+                f"{existing.__module__} ({existing.__qualname__}); "
+                "pick a different name"
+            )
         _EVALUATORS[name] = func
         if defaults:
             _DEFAULTS[name] = dict(defaults)
@@ -126,8 +117,13 @@ def register_batch_evaluator(
 
     def deco(func: BatchEvaluator) -> BatchEvaluator:
         get_evaluator(name)  # batch capability extends a scalar evaluator
-        if name in _BATCH_EVALUATORS:
-            raise ValueError(f"batch evaluator {name!r} already registered")
+        existing = _BATCH_EVALUATORS.get(name)
+        if existing is not None:
+            raise ValueError(
+                f"batch evaluator {name!r} already registered by module "
+                f"{existing.__module__} ({existing.__qualname__}); "
+                "pick a different name"
+            )
         _BATCH_EVALUATORS[name] = func
         return func
 
@@ -155,6 +151,7 @@ def get_evaluator(name: str) -> Evaluator:
 
 
 def list_evaluators() -> list[str]:
+    """Registered evaluator names, sorted so docs and CLI help are stable."""
     return sorted(_EVALUATORS)
 
 
@@ -214,389 +211,22 @@ def evaluate_batch(
 
 
 # ---------------------------------------------------------------------------
-# Shared parameter plumbing
+# Built-in registration: one walk over the scenario declarations.
+#
+# These imports sit at the *bottom* deliberately: repro.api.study pulls
+# the runner (and therefore this module) back in, and the import cycle
+# only resolves because everything the runner needs is already defined
+# by the time the scenario classes load.  `machine_from_params` is
+# re-exported for compatibility -- it predates the facade.
 # ---------------------------------------------------------------------------
-def machine_from_params(params: Mapping[str, object]) -> MachineParams:
-    """Build :class:`MachineParams` from paper-notation sweep parameters."""
-    return MachineParams(
-        latency=float(params["St"]),
-        handler_time=float(params["So"]),
-        processors=int(params["P"]),
-        handler_cv2=float(params.get("C2", 0.0)),
-    )
+from repro.api.scenarios import SCENARIO_CLASSES as _SCENARIO_CLASSES  # noqa: E402
+from repro.api.scenarios import machine_from_params  # noqa: E402,F401
 
-
-def _config_from_params(params: Mapping[str, object]) -> MachineConfig:
-    return MachineConfig(
-        processors=int(params["P"]),
-        latency=float(params["St"]),
-        handler_time=float(params["So"]),
-        handler_cv2=float(params.get("C2", 0.0)),
-        latency_cv2=float(params.get("latency_cv2", 0.0)),
-        seed=int(params.get("seed", 0)),
-    )
-
-
-# ---------------------------------------------------------------------------
-# All-to-all (paper Section 5)
-# ---------------------------------------------------------------------------
-def _alltoall_values(sol) -> dict[str, object]:
-    """The ``alltoall-model`` value columns of one :class:`ModelSolution`."""
-    return {
-        "R": sol.response_time,
-        "Rw": sol.compute_residence,
-        "Rq": sol.request_residence,
-        "Ry": sol.reply_residence,
-        "X": sol.throughput,
-        "Uq": sol.request_utilization,
-        "Uy": sol.reply_utilization,
-        "total_contention": sol.total_contention,
-        "compute_contention": sol.compute_contention,
-        "request_contention": sol.request_contention,
-        "reply_contention": sol.reply_contention,
-        "contention_fraction": sol.contention_fraction,
-    }
-
-
-@register_evaluator("alltoall-model")
-def _alltoall_model(params: Mapping[str, object]) -> dict[str, object]:
-    machine = machine_from_params(params)
-    sol = AllToAllModel(machine).solve_work(float(params["W"]))
-    return _alltoall_values(sol)
-
-
-@register_batch_evaluator("alltoall-model")
-def _alltoall_model_batch(
-    params_list: Sequence[Mapping[str, object]],
-) -> list[dict[str, object]]:
-    grid = [
-        LoPCParams(
-            machine=machine_from_params(params),
-            algorithm=AlgorithmParams(work=float(params["W"])),
-        )
-        for params in params_list
-    ]
-    return [_alltoall_values(sol) for sol in solve_batch(grid)]
-
-
-@register_evaluator("alltoall-bounds")
-def _alltoall_bounds(params: Mapping[str, object]) -> dict[str, object]:
-    machine = machine_from_params(params)
-    lower, upper = contention_bounds(machine, float(params["W"]))
-    return {"lower": lower, "upper": upper}
-
-
-@register_batch_evaluator("alltoall-bounds")
-def _alltoall_bounds_batch(
-    params_list: Sequence[Mapping[str, object]],
-) -> list[dict[str, object]]:
-    # Closed forms: the only iterative work is the Eq. 5.12 constant
-    # kappa(C^2), lru-cached per distinct C^2 (upper_bound_constant), so
-    # one Brent solve serves the whole grid.  Batch capability here buys
-    # in-process dispatch (no pool round-trip per point).
-    return [_alltoall_bounds(params) for params in params_list]
-
-
-@register_evaluator(
-    "alltoall-sim",
-    # `streams` is result-affecting (bulk draws change the trajectory a
-    # fixed seed produces), so it lives in the cache key like any other
-    # parameter; the pre-stream scalar path stays reachable as
-    # streams=False.  Buffers are pre-sized from the expected per-point
-    # event count (2 handler draws/node/cycle, 2 wire hops/cycle) by the
-    # runner, so each stream refills once per point.
-    defaults={"cycles": 300, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0,
-              "streams": True},
-)
-def _alltoall_sim(params: Mapping[str, object]) -> dict[str, object]:
-    from repro.workloads.alltoall import run_alltoall
-
-    config = _config_from_params(params)
-    measured = run_alltoall(
-        config,
-        work=float(params["W"]),
-        cycles=int(params.get("cycles", 300)),
-        work_cv2=float(params.get("work_cv2", 0.0)),
-        use_streams=bool(params.get("streams", True)),
-    )
-    return {
-        "R": measured.response_time,
-        "Rw": measured.compute_residence,
-        "Rq": measured.request_residence,
-        "Ry": measured.reply_residence,
-        "X": measured.throughput,
-        "Uq": measured.request_utilization,
-        "Uy": measured.reply_utilization,
-        "total_contention": measured.total_contention,
-        "compute_contention": measured.compute_contention,
-        "request_contention": measured.request_contention,
-        "reply_contention": measured.reply_contention,
-        "handler_queue": measured.handler_queue,
-        "cycles_measured": measured.cycles_measured,
-        "sim_time": measured.sim_time,
-        "_events": measured.meta["events"],
-    }
-
-
-# ---------------------------------------------------------------------------
-# Client-server workpile (paper Chapter 6)
-# ---------------------------------------------------------------------------
-def _workpile_values(sol) -> dict[str, object]:
-    """The ``workpile-model`` value columns of one :class:`WorkpileSolution`."""
-    return {
-        "X": sol.throughput,
-        "R": sol.response_time,
-        "Rs": sol.server_residence,
-        "Qs": sol.server_queue,
-        "Us": sol.server_utilization,
-    }
-
-
-@register_evaluator("workpile-model")
-def _workpile_model(params: Mapping[str, object]) -> dict[str, object]:
-    machine = machine_from_params(params)
-    model = ClientServerModel(machine, work=float(params["W"]))
-    sol = model.solve(int(params["Ps"]))
-    return _workpile_values(sol)
-
-
-@register_batch_evaluator("workpile-model")
-def _workpile_model_batch(
-    params_list: Sequence[Mapping[str, object]],
-) -> list[dict[str, object]]:
-    # Validate each machine exactly like the scalar path before the
-    # vectorized solve.
-    for params in params_list:
-        machine_from_params(params)
-    solutions = solve_workpile_batch(
-        [float(p["W"]) for p in params_list],
-        [float(p["St"]) for p in params_list],
-        [float(p["So"]) for p in params_list],
-        [float(p.get("C2", 0.0)) for p in params_list],
-        [int(p["P"]) for p in params_list],
-        [int(p["Ps"]) for p in params_list],
-    )
-    return [_workpile_values(sol) for sol in solutions]
-
-
-@register_evaluator(
-    "workpile-sim",
-    # chunks matches fig-6.2's default, not run_workpile's 300.
-    # `streams` keys the cache exactly like alltoall-sim's; the runner
-    # pre-sizes buffers from the expected chunk/request counts per point.
-    defaults={"chunks": 250, "seed": 0, "work_cv2": 0.0, "latency_cv2": 0.0,
-              "streams": True},
-)
-def _workpile_sim(params: Mapping[str, object]) -> dict[str, object]:
-    from repro.workloads.workpile import run_workpile
-
-    config = _config_from_params(params)
-    measured = run_workpile(
-        config,
-        servers=int(params["Ps"]),
-        work=float(params["W"]),
-        chunks=int(params.get("chunks", 250)),
-        work_cv2=float(params.get("work_cv2", 0.0)),
-        use_streams=bool(params.get("streams", True)),
-    )
-    return {
-        "X": measured.throughput,
-        "wall_X": measured.wall_throughput,
-        "R": measured.response_time,
-        "Rs": measured.server_residence,
-        "Qs": measured.server_queue,
-        "Us": measured.server_utilization,
-        "cycles_measured": measured.cycles_measured,
-        "sim_time": measured.sim_time,
-        "_events": measured.meta["events"],
-    }
-
-
-@register_evaluator("workpile-bounds")
-def _workpile_bounds(params: Mapping[str, object]) -> dict[str, object]:
-    machine = machine_from_params(params)
-    logp = LogPModel(machine)
-    servers = int(params["Ps"])
-    clients = machine.processors - servers
-    return {
-        "server_bound": logp.workpile_server_bound(servers),
-        "client_bound": logp.workpile_client_bound(clients, float(params["W"])),
-    }
-
-
-@register_batch_evaluator("workpile-bounds")
-def _workpile_bounds_batch(
-    params_list: Sequence[Mapping[str, object]],
-) -> list[dict[str, object]]:
-    # Validate each machine exactly like the scalar path, then evaluate
-    # the LogP closed forms for the whole grid in one vectorized call.
-    for params in params_list:
-        machine_from_params(params)
-    arrays = workpile_bounds_batch(
-        [float(p["W"]) for p in params_list],
-        [float(p["St"]) for p in params_list],
-        [float(p["So"]) for p in params_list],
-        [int(p["P"]) for p in params_list],
-        [int(p["Ps"]) for p in params_list],
-    )
-    return [
-        {
-            "server_bound": float(arrays["server_bound"][i]),
-            "client_bound": float(arrays["client_bound"][i]),
-        }
-        for i in range(len(params_list))
-    ]
-
-
-# ---------------------------------------------------------------------------
-# Multi-class MVA (Chapter-6 heterogeneous studies)
-# ---------------------------------------------------------------------------
-def _multiclass_network_from_params(
-    params: Mapping[str, object],
-) -> tuple[list[list[float]], list[int], list[float], list[str] | None, str]:
-    """Decode a multi-class network from flat sweep parameters.
-
-    Classes and centres are encoded as JSON scalars so multi-class
-    networks stay sweepable and cacheable: populations ``N0, N1, ...``,
-    optional think times ``Z{c}`` (default 0), demands ``D{c}_{k}``, an
-    optional comma-separated ``kinds`` string and a ``method`` of
-    ``"exact"`` (default), ``"bard"`` or ``"schweitzer"``.
-    """
-    n_classes = 0
-    while f"N{n_classes}" in params:
-        n_classes += 1
-    if n_classes == 0:
-        raise ValueError(
-            "multiclass-mva needs class populations N0, N1, ... in params"
-        )
-    n_centers = 0
-    while f"D0_{n_centers}" in params:
-        n_centers += 1
-    if n_centers == 0:
-        raise ValueError(
-            "multiclass-mva needs per-centre demands D0_0, D0_1, ... in params"
-        )
-    # Reject class/centre keys beyond the contiguous N0.. / D0_0.. runs:
-    # a gapped index (a typo'd N2 without N1, a D0_3 without D0_2) would
-    # otherwise silently drop part of the network from the solution.
-    for key in params:
-        match = re.fullmatch(r"N(\d+)|Z(\d+)|D(\d+)_(\d+)", key)
-        if match is None:
-            continue
-        n_idx, z_idx, d_cls, d_ctr = match.groups()
-        cls = int(n_idx or z_idx or d_cls)
-        if cls >= n_classes:
-            raise ValueError(
-                f"multiclass-mva param {key!r} names class {cls}, but only "
-                f"classes 0..{n_classes - 1} are defined -- N0..N{{c}} must "
-                "be contiguous"
-            )
-        if d_ctr is not None and int(d_ctr) >= n_centers:
-            raise ValueError(
-                f"multiclass-mva param {key!r} names centre {int(d_ctr)}, "
-                f"but only centres 0..{n_centers - 1} are defined -- "
-                "D0_0..D0_{k} must be contiguous"
-            )
-    try:
-        demands = [
-            [float(params[f"D{c}_{k}"]) for k in range(n_centers)]
-            for c in range(n_classes)
-        ]
-    except KeyError as exc:
-        raise ValueError(
-            f"multiclass-mva params missing demand {exc.args[0]!r}: every "
-            f"class needs demands D{{c}}_0..D{{c}}_{n_centers - 1}"
-        ) from None
-    populations = [int(params[f"N{c}"]) for c in range(n_classes)]
-    think_times = [float(params.get(f"Z{c}", 0.0)) for c in range(n_classes)]
-    kinds_param = params.get("kinds")
-    kinds = str(kinds_param).split(",") if kinds_param else None
-    return demands, populations, think_times, kinds, str(params.get("method", "exact"))
-
-
-def _multiclass_values(res) -> dict[str, object]:
-    """The ``multiclass-mva`` value columns of one scalar-shaped result."""
-    values: dict[str, object] = {"X": float(res.throughputs.sum())}
-    for c in range(len(res.populations)):
-        values[f"X{c}"] = float(res.throughputs[c])
-        values[f"R{c}"] = float(res.cycle_times[c])
-    for k in range(res.queue_lengths.size):
-        values[f"Q{k}"] = float(res.queue_lengths[k])
-    if isinstance(res, MultiClassAMVAResult):
-        values["_iterations"] = int(res.iterations)
-        values["_converged"] = bool(res.converged)
-    return values
-
-
-def _multiclass_values_from_batch(batch, j: int) -> dict[str, object]:
-    """One point's value columns straight from the stacked batch arrays.
-
-    Same keys and (bit-identical) numbers as
-    ``_multiclass_values(batch.point(j))`` without the per-point array
-    copies -- the batch fast path assembles thousands of these.
-    """
-    throughputs = batch.throughputs[j]
-    values: dict[str, object] = {"X": float(throughputs.sum())}
-    cycles = batch.cycle_times[j]
-    for c in range(throughputs.size):
-        values[f"X{c}"] = float(throughputs[c])
-        values[f"R{c}"] = float(cycles[c])
-    queues = batch.queue_lengths[j]
-    for k in range(queues.size):
-        values[f"Q{k}"] = float(queues[k])
-    if batch.method != "exact":
-        values["_iterations"] = int(batch.iterations[j])
-        values["_converged"] = bool(batch.converged[j])
-    return values
-
-
-@register_evaluator("multiclass-mva", defaults={"method": "exact"})
-def _multiclass_model(params: Mapping[str, object]) -> dict[str, object]:
-    demands, populations, think_times, kinds, method = (
-        _multiclass_network_from_params(params)
-    )
-    if method == "exact":
-        res = multiclass_mva(demands, populations, think_times=think_times,
-                             kinds=kinds)
-    else:
-        res = multiclass_amva(demands, populations, think_times=think_times,
-                              kinds=kinds, method=method)
-    return _multiclass_values(res)
-
-
-@register_batch_evaluator("multiclass-mva")
-def _multiclass_model_batch(
-    params_list: Sequence[Mapping[str, object]],
-) -> list[dict[str, object]]:
-    # Points sharing a structure (method, kinds, class/centre counts)
-    # batch into one vectorized kernel call; a heterogeneous miss list
-    # (e.g. a method axis) becomes one call per group, in order.
-    parsed = [_multiclass_network_from_params(p) for p in params_list]
-    groups: dict[tuple, list[int]] = {}
-    for i, (demands, populations, _, kinds, method) in enumerate(parsed):
-        signature = (
-            method,
-            tuple(kinds) if kinds is not None else None,
-            len(populations),
-            len(demands[0]),
-        )
-        groups.setdefault(signature, []).append(i)
-
-    out: list[dict[str, object] | None] = [None] * len(parsed)
-    for (method, kinds, _, _), indices in groups.items():
-        demands = np.array([parsed[i][0] for i in indices])
-        populations = np.array([parsed[i][1] for i in indices])
-        think_times = np.array([parsed[i][2] for i in indices])
-        kinds_list = list(kinds) if kinds is not None else None
-        if method == "exact":
-            batch = batch_multiclass_mva(
-                demands, populations, think_times, kinds=kinds_list
-            )
-        else:
-            batch = batch_multiclass_amva(
-                demands, populations, think_times, kinds=kinds_list,
-                method=method,
-            )
-        for j, i in enumerate(indices):
-            out[i] = _multiclass_values_from_batch(batch, j)
-    return out
+for _scenario_cls in _SCENARIO_CLASSES:
+    for _backend in _scenario_cls.backends:
+        register_evaluator(
+            _backend.evaluator, defaults=_backend.defaults or None
+        )(_backend.func)
+        if _backend.batch is not None:
+            register_batch_evaluator(_backend.evaluator)(_backend.batch)
+del _scenario_cls, _backend

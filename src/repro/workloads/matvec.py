@@ -32,6 +32,7 @@ from repro.sim.machine import Machine, MachineConfig
 from repro.sim.messages import Message
 from repro.sim.node import Node
 from repro.sim.stats import CycleRecord, summarize_cycles
+from repro.sim.streams import stream_shuffle
 from repro.sim.threads import Compute, Send, ThreadEffect, Wait
 from repro.workloads.base import trim_records
 
@@ -142,7 +143,9 @@ class MatVecWorkload:
             first_put_of_row = True
             offsets = list(range(1, p))
             if self.randomize_order:
-                node.rng.shuffle(offsets)
+                # Stream-drawn so the determinism contract holds: bulk
+                # picks on streamed machines, seed-exact scalars otherwise.
+                stream_shuffle(node.streams, offsets)
             for offset in offsets:
                 dest = (node.id + offset) % p
                 record = CycleRecord(node=node.id, start=unblocked_at)

@@ -26,10 +26,12 @@ import numpy as np
 
 from repro.core.general import GeneralLoPCModel
 from repro.core.params import MachineParams
+from repro.sim.distributions import Uniform
 from repro.sim.machine import Machine, MachineConfig
 from repro.sim.messages import Message
 from repro.sim.node import Node
 from repro.sim.stats import CycleRecord
+from repro.sim.streams import stream_sample
 from repro.sim.threads import Compute, Send, ThreadEffect, Wait
 from repro.workloads.base import SimulationMeasurement, measurement_from_machine
 
@@ -43,6 +45,11 @@ __all__ = [
 ]
 
 _DONE_FLAG = "pattern.replied"
+
+#: Shared unit-uniform distribution for probabilistic branch draws
+#: (e.g. the hotspot coin flip).  One shared instance so every node's
+#: registry keys the same distribution identity and owns one stream.
+_UNIT_UNIFORM = Uniform(0.0, 1.0)
 
 
 def _pattern_reply_handler(node: Node, message: Message) -> None:
@@ -145,7 +152,9 @@ class RandomMultiHopPattern:
         if self.hops > p - 1:
             raise ValueError(f"hops={self.hops} too large for P={p}")
         others = [k for k in range(p) if k != node.id]
-        picks = node.rng.choice(len(others), size=self.hops, replace=False)
+        # Stream-drawn distinct picks (partial Fisher-Yates), honouring
+        # the stream determinism contract on both machine modes.
+        picks = stream_sample(node.streams, len(others), self.hops)
         return [others[i] for i in picks]
 
     def model(self, machine: MachineParams) -> GeneralLoPCModel:
@@ -184,7 +193,7 @@ class HeterogeneousUniformPattern:
 
     def path_of(self, node: Node) -> list[int]:
         p = node.network.node_count
-        dest = int(node.rng.integers(p - 1))
+        dest = node.pick_stream(p - 1).draw()
         if dest >= node.id:
             dest += 1
         return [dest]
@@ -223,11 +232,12 @@ class HotspotPattern:
 
     def path_of(self, node: Node) -> list[int]:
         p = node.network.node_count
-        rng = node.rng
-        if node.id != self.hot_node and rng.random() < self.hot_fraction:
+        if (node.id != self.hot_node
+                and node.sample_stream(_UNIT_UNIFORM).draw()
+                < self.hot_fraction):
             return [self.hot_node]
         # Uniform over the other nodes (excluding self).
-        dest = int(rng.integers(p - 1))
+        dest = node.pick_stream(p - 1).draw()
         if dest >= node.id:
             dest += 1
         return [dest]

@@ -1,0 +1,92 @@
+"""Unit tests for the uniform Solution result type."""
+
+import pytest
+
+from repro.api import Solution
+
+
+@pytest.fixture
+def solution() -> Solution:
+    return Solution(
+        scenario="alltoall",
+        backend="analytic",
+        evaluator="alltoall-model",
+        params={"P": 32, "St": 40.0, "So": 200.0, "C2": 0.0, "W": 1000.0},
+        values={"R": 1689.25, "X": 0.0189, "Rw": 1165.0, "Rq": 228.9,
+                "Ry": 215.2, "total_contention": 209.2},
+        meta={"wall_time": 0.001},
+    )
+
+
+class TestColumnAccess:
+    def test_mapping_style(self, solution):
+        assert solution["R"] == 1689.25
+        assert "R" in solution
+        assert "bogus" not in solution
+
+    def test_attribute_style(self, solution):
+        assert solution.R == solution["R"]
+        assert solution.X == solution["X"]
+
+    def test_spelled_out_aliases(self, solution):
+        assert solution.response_time == solution["R"]
+        assert solution.throughput == solution["X"]
+        assert solution.compute_residence == solution["Rw"]
+        assert solution.request_residence == solution["Rq"]
+        assert solution.reply_residence == solution["Ry"]
+
+    def test_unknown_column_raises_with_known_list(self, solution):
+        with pytest.raises(AttributeError, match="R"):
+            solution.no_such_column
+        with pytest.raises(KeyError):
+            solution["no_such_column"]
+
+    def test_columns_sorted(self, solution):
+        assert solution.columns == sorted(solution.values)
+
+    def test_dataclass_fields_win_over_columns(self):
+        # A value column named like a field must not shadow the field.
+        sol = Solution(scenario="s", backend="analytic", evaluator="e",
+                       params={}, values={"scenario": 9.0})
+        assert sol.scenario == "s"
+        assert sol["scenario"] == 9.0
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict(self, solution):
+        assert Solution.from_dict(solution.to_dict()) == solution
+
+    def test_to_json_from_json(self, solution):
+        assert Solution.from_json(solution.to_json()) == solution
+
+    def test_meta_survives_round_trip(self, solution):
+        rebuilt = Solution.from_json(solution.to_json())
+        assert rebuilt.meta == {"wall_time": 0.001}
+
+    def test_meta_not_compared(self, solution):
+        other = Solution.from_dict(
+            dict(solution.to_dict(), meta={"wall_time": 99.0})
+        )
+        assert other == solution  # meta is provenance, not identity
+
+    def test_unknown_keys_rejected(self, solution):
+        data = dict(solution.to_dict(), surprise=1)
+        with pytest.raises(ValueError, match="surprise"):
+            Solution.from_dict(data)
+
+    def test_missing_meta_defaults_empty(self, solution):
+        data = solution.to_dict()
+        del data["meta"]
+        assert Solution.from_dict(data).meta == {}
+
+
+class TestSummary:
+    def test_summary_names_scenario_and_headline(self, solution):
+        text = solution.summary()
+        assert "alltoall/analytic" in text
+        assert "R=" in text and "X=" in text
+
+    def test_summary_without_headline_columns(self):
+        sol = Solution(scenario="s", backend="bounds", evaluator="e",
+                       params={}, values={"lower": 1.0, "upper": 2.0})
+        assert "no R/X" in sol.summary()

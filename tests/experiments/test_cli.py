@@ -119,6 +119,93 @@ class TestRunAll:
         assert "all shape checks passed" in capsys.readouterr().out
 
 
+class TestScenarioCommand:
+    def test_list_names_builtin_scenarios(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alltoall", "workpile", "multiclass", "nonblocking"):
+            assert name in out
+
+    def test_bare_scenario_command_lists(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "alltoall" in capsys.readouterr().out
+
+    def test_describe_prints_schema(self, capsys):
+        assert main(["scenario", "workpile", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "Ps" in out and "workpile-model" in out
+
+    def test_single_point_analytic(self, capsys):
+        assert main(["scenario", "alltoall", "P=32", "St=40", "So=200",
+                     "W=1000"]) == 0
+        out = capsys.readouterr().out
+        assert "alltoall / analytic" in out
+        assert "R" in out and "total_contention" in out
+
+    def test_single_point_matches_facade(self, capsys):
+        from repro.api import scenario
+
+        assert main(["scenario", "alltoall", "P=32", "St=40.0", "So=200.0",
+                     "W=1000.0", "--backend", "bounds"]) == 0
+        out = capsys.readouterr().out
+        expected = scenario("alltoall", P=32, St=40.0, So=200.0,
+                            W=1000.0).bounds()
+        assert f"{expected['upper']:.6f}" in out
+
+    def test_sweep_axis_renders_table(self, capsys):
+        assert main(["scenario", "workpile", "P=16", "St=10", "So=131",
+                     "W=250", "--sweep", "Ps=2,4,8"]) == 0
+        out = capsys.readouterr().out
+        assert "workpile-model" in out
+        assert "3 point(s)" in out
+
+    def test_out_writes_json_and_csv(self, tmp_path, capsys):
+        assert main(["scenario", "alltoall", "P=8", "St=40", "So=200",
+                     "W=64", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "alltoall_analytic.json").exists()
+        assert main(["scenario", "alltoall", "P=8", "St=40", "So=200",
+                     "--sweep", "W=2,64", "--out", str(tmp_path)]) == 0
+        csv_text = (tmp_path / "alltoall_analytic.csv").read_text()
+        assert csv_text.splitlines()[0].startswith("P,So,St,W")
+
+    def test_sweep_with_cache_and_jobs(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["scenario", "alltoall", "P=8", "St=40", "So=200",
+                "--sweep", "W=2,64", "--cache-dir", str(cache)]
+        assert main(args + ["--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cache 2 hit(s) / 0 miss(es)" in capsys.readouterr().out
+
+    def test_sweep_of_seed_parameter_works(self, capsys):
+        # `seed` is both a scenario parameter and study()'s spec-level
+        # keyword; the CLI must still be able to sweep it.
+        assert main(["scenario", "alltoall", "P=8", "St=40", "So=200",
+                     "W=64", "cycles=30", "--backend", "sim",
+                     "--sweep", "seed=1,2"]) == 0
+        assert "2 point(s)" in capsys.readouterr().out
+
+    def test_sweep_seed_with_spec_seed_rejected(self):
+        # --seed derives per-point seeds and would clobber every swept
+        # value with the same derived seed; refuse the combination.
+        with pytest.raises(SystemExit):
+            main(["scenario", "alltoall", "P=8", "St=40", "So=200",
+                  "W=64", "cycles=30", "--backend", "sim",
+                  "--sweep", "seed=1,2", "--seed", "3"])
+
+    def test_unknown_scenario_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="alltoall"):
+            main(["scenario", "bogus", "P=2"])
+
+    def test_malformed_param_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "alltoall", "P32"])
+
+    def test_unknown_param_name_raises(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            main(["scenario", "alltoall", "Q=1"])
+
+
 class TestSweepCommand:
     def _spec(self, tmp_path, **overrides):
         spec = {

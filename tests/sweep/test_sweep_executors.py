@@ -16,8 +16,19 @@ class TestEvaluators:
     def test_registry_lists_builtins(self):
         names = list_evaluators()
         for name in ("alltoall-model", "alltoall-sim", "alltoall-bounds",
-                     "workpile-model", "workpile-sim", "workpile-bounds"):
+                     "workpile-model", "workpile-sim", "workpile-bounds",
+                     "multiclass-mva", "nonblocking-model",
+                     "nonblocking-sim"):
             assert name in names
+        assert names == sorted(names)  # stable for docs and CLI help
+
+    def test_duplicate_registration_names_colliding_module(self):
+        from repro.sweep.evaluators import register_evaluator
+
+        # The built-ins are declared in repro.api.scenarios; a clashing
+        # runtime registration must say so, not just repeat the name.
+        with pytest.raises(ValueError, match="repro.api.scenarios"):
+            register_evaluator("alltoall-model")(lambda params: {})
 
     def test_unknown_evaluator_raises_with_known_list(self):
         with pytest.raises(KeyError, match="alltoall-model"):

@@ -7,6 +7,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.mva",
     "repro.sim",
@@ -16,6 +17,10 @@ PACKAGES = [
 ]
 
 MODULES = [
+    "repro.api.scenario",
+    "repro.api.scenarios",
+    "repro.api.solution",
+    "repro.api.study",
     "repro.cli",
     "repro.core.alltoall",
     "repro.core.client_server",
@@ -92,11 +97,20 @@ def test_top_level_reexports_are_canonical():
     assert repro.AllToAllModel is importlib.import_module(
         "repro.core.alltoall"
     ).AllToAllModel
+    assert repro.scenario is importlib.import_module(
+        "repro.api.scenario"
+    ).scenario
+    assert repro.Solution is importlib.import_module(
+        "repro.api.solution"
+    ).Solution
 
 
 @pytest.mark.parametrize(
     "cls_path",
     [
+        "repro.api.scenario.Scenario",
+        "repro.api.solution.Solution",
+        "repro.api.study.Study",
         "repro.core.alltoall.AllToAllModel",
         "repro.core.client_server.ClientServerModel",
         "repro.core.general.GeneralLoPCModel",

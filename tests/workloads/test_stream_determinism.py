@@ -14,7 +14,13 @@ from repro.sim.machine import Machine, MachineConfig
 from repro.sweep import SweepSpec, run_sweep
 from repro.workloads.alltoall import AllToAllWorkload, run_alltoall
 from repro.workloads.barrier import run_barrier_alltoall
+from repro.workloads.matvec import run_matvec
 from repro.workloads.nonblocking import run_nonblocking_alltoall
+from repro.workloads.patterns import (
+    HotspotPattern,
+    RandomMultiHopPattern,
+    run_pattern,
+)
 from repro.workloads.workpile import run_workpile
 
 
@@ -62,6 +68,31 @@ class TestSameSeedSameBuffers:
         d = run_nonblocking_alltoall(_config(cv2=0.5), work=150.0,
                                      window=4, cycles=40)
         assert _float_fields(c) == _float_fields(d)
+
+    def test_matvec_random_order_identical(self):
+        """The shuffle now draws through streams; same seed, same run."""
+        a = run_matvec(_config(seed=5, p=4, cv2=0.0), size=16,
+                       randomize_order=True)
+        b = run_matvec(_config(seed=5, p=4, cv2=0.0), size=16,
+                       randomize_order=True)
+        assert a.correct and b.correct
+        assert _float_fields(a) == _float_fields(b)
+        c = run_matvec(_config(seed=6, p=4, cv2=0.0), size=16,
+                       randomize_order=True)
+        assert a.response_time != c.response_time
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [RandomMultiHopPattern(work=300.0, hops=2),
+         HotspotPattern(work=300.0, hot_node=1, hot_fraction=0.4)],
+        ids=["multihop", "hotspot"],
+    )
+    def test_pattern_measurement_identical(self, pattern):
+        """Pattern destination draws honour the stream contract too."""
+        a = run_pattern(_config(cv2=0.0), pattern, cycles=40)
+        b = run_pattern(_config(cv2=0.0), pattern, cycles=40)
+        assert _float_fields(a) == _float_fields(b)
+        assert (a.meta["per_node_response"] == b.meta["per_node_response"])
 
     def test_sweep_tables_identical(self):
         """The figure-table view: one spec, two runs, equal values."""
