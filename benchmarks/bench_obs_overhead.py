@@ -1,0 +1,150 @@
+"""Telemetry-overhead gate: dormant hooks must stay free on the hot path.
+
+Every solver, kernel, and sweep hook added by ``repro.obs`` is a single
+``is None`` check against the module-global bundle when no telemetry is
+active, and the metrics-only sweep path deliberately keeps the
+single-shot batch evaluation (chunking only kicks in for progress or
+event sinks).  This script enforces that design: it times the same
+dense all-to-all batch sweep with telemetry off and with a metrics
+registry attached, and fails if the instrumented run is more than
+``--max-overhead`` (default 2%) slower than the dormant one,
+best-of-``--repeats`` on both sides with a few retries to ride out
+scheduler noise.
+
+It also runs one fully-instrumented sweep (metrics + events + progress)
+and writes its telemetry snapshot -- counters, iteration statistics,
+routing split, the ``sweep.run`` timer -- as a ``METRICS_sweep.json``
+CI artifact, so every build leaves a machine-readable record of solver
+behaviour next to the ``BENCH_*.json`` perf artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        --out METRICS_sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.obs import EventLog, MetricsRegistry
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+
+
+def make_spec(points: int) -> SweepSpec:
+    """A dense analytic batch sweep: the CI batch-gate workload shape."""
+    return SweepSpec(
+        name="obs-overhead",
+        evaluator="alltoall-model",
+        base={"P": 32, "St": 40.0, "So": 200.0, "C2": 0.0},
+        axes=(
+            GridAxis("W", tuple(2.0 + 10.0 * i for i in range(points))),
+        ),
+    )
+
+
+def best_of(spec: SweepSpec, repeats: int, **kwargs) -> float:
+    """Minimum wall-clock over ``repeats`` uncached sweep runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_sweep(spec, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_overhead(spec: SweepSpec, repeats: int) -> tuple[float, float]:
+    """(disabled_best, enabled_best) with interleaved runs.
+
+    Alternating disabled/enabled runs inside one pass keeps both
+    measurements exposed to the same machine state, so a frequency
+    ramp or background task cannot penalise only one side.
+    """
+    disabled = float("inf")
+    enabled = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_sweep(spec)
+        disabled = min(disabled, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_sweep(spec, metrics=MetricsRegistry())
+        enabled = min(enabled, time.perf_counter() - start)
+    return disabled, enabled
+
+
+def metrics_artifact(spec: SweepSpec) -> dict:
+    """Snapshot of one fully-instrumented sweep (all sinks attached)."""
+    result = run_sweep(
+        spec,
+        metrics=True,
+        events=EventLog(),
+        progress=lambda done, total, info: None,
+    )
+    meta = result.metadata
+    return {
+        "spec": spec.name,
+        "evaluator": spec.evaluator,
+        "points": len(result),
+        "routing": meta["routing"],
+        "elapsed": meta.get("elapsed"),
+        "metrics": meta["telemetry"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--points", type=int, default=400,
+                        help="sweep grid size (default 400)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N repeats per side (default 5)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="full re-measurements before failing (default 3)")
+    parser.add_argument("--max-overhead", type=float, default=0.02,
+                        help="allowed fractional slowdown (default 0.02)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write METRICS_sweep.json artifact here")
+    args = parser.parse_args(argv)
+
+    spec = make_spec(args.points)
+    run_sweep(spec)  # warm imports and numpy caches off the clock
+
+    if args.out is not None:
+        payload = metrics_artifact(spec)
+        args.out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        iters = payload["metrics"]["stats"].get(
+            "solver.fixed_point_batch.iterations", {}
+        )
+        print(
+            f"wrote {args.out} ({payload['points']} points, "
+            f"mean {iters.get('mean', 0):.1f} solver iterations/point)"
+        )
+
+    overhead = float("inf")
+    for attempt in range(1, args.retries + 1):
+        disabled, enabled = measure_overhead(spec, args.repeats)
+        overhead = enabled / disabled - 1.0
+        print(
+            f"attempt {attempt}: disabled {disabled * 1e3:.1f} ms, "
+            f"metrics-enabled {enabled * 1e3:.1f} ms, "
+            f"overhead {overhead:+.2%} (limit {args.max_overhead:.0%})"
+        )
+        if overhead <= args.max_overhead:
+            print("telemetry overhead gate ok")
+            return 0
+
+    print(
+        f"telemetry overhead gate FAILED: {overhead:+.2%} exceeds "
+        f"{args.max_overhead:.0%} after {args.retries} attempts",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,30 +9,29 @@ computation thread is never interrupted (``Rw = W``), but handlers
 still queue against each other.
 
 This example sweeps controller occupancy and network latency for both
-node types -- the message-passing comparisons come from the ``alltoall``
-scenario of the facade, the protocol-processor numbers from the
-shared-memory model variant -- and shows (a) occupancy hurts much more
-than latency, and (b) how much the protocol processor buys over
-interrupt-driven nodes.
+node types entirely through the scenario facade -- the protocol
+processor is the ``sharedmem`` scenario, the interrupt-driven
+comparison the ``alltoall`` scenario on the same machine -- and shows
+(a) occupancy hurts much more than latency, and (b) how much the
+protocol processor buys over interrupt-driven nodes.
 
 Run:  python examples/shared_memory_study.py
 """
 
-from repro import MachineParams, SharedMemoryModel, scenario
-from repro.core.shared_memory import occupancy_sweep
+from repro import scenario
 
 
 def main() -> None:
-    base = MachineParams(latency=40.0, handler_time=100.0, processors=32,
-                         handler_cv2=0.0)
     work = 1000.0
+    shared_memory = scenario("sharedmem", P=32, St=40.0, C2=0.0, W=work)
+    message_passing = scenario("alltoall", P=32, St=40.0, C2=0.0, W=work)
 
     print("Occupancy sweep (St = 40, W = 1000):")
     print("  So  | shared-memory R | message-passing R | protocol-proc. gain")
     print("------+-----------------+-------------------+--------------------")
-    for so, shared, message in occupancy_sweep(
-        base, work, [25.0, 50.0, 100.0, 200.0, 400.0]
-    ):
+    for so in (25.0, 50.0, 100.0, 200.0, 400.0):
+        shared = shared_memory.analytic(So=so)
+        message = message_passing.analytic(So=so)
         gain = 100 * (message.response_time / shared.response_time - 1)
         print(f" {so:4.0f} | {shared.response_time:12.1f}    | "
               f"{message.response_time:14.1f}    | {gain:+8.1f}%")
@@ -41,9 +40,7 @@ def main() -> None:
     print("  St  |     R     | contention")
     print("------+-----------+-----------")
     for st in (10.0, 40.0, 160.0, 640.0):
-        machine = MachineParams(latency=st, handler_time=100.0,
-                                processors=32, handler_cv2=0.0)
-        s = SharedMemoryModel(machine).solve_work(work)
+        s = shared_memory.analytic(St=st, So=100.0)
         print(f" {st:4.0f} | {s.response_time:8.1f}  | "
               f"{s.total_contention:8.1f}")
 
@@ -54,14 +51,10 @@ def main() -> None:
 
     # A concrete design question the model answers instantly: at what
     # occupancy does an interrupt-driven node lose 25% vs a protocol
-    # processor?  The interrupt-driven side is the facade's alltoall
-    # scenario; So varies, everything else stays bound.
-    interrupt_driven = scenario("alltoall", P=32, St=40.0, C2=0.0, W=work)
+    # processor?  Same two scenarios; only So varies.
     for so in range(25, 401, 25):
-        mp = interrupt_driven.analytic(So=float(so)).response_time
-        machine = MachineParams(latency=40.0, handler_time=float(so),
-                                processors=32, handler_cv2=0.0)
-        sm = SharedMemoryModel(machine).solve_work(work).response_time
+        mp = message_passing.analytic(So=float(so)).response_time
+        sm = shared_memory.analytic(So=float(so)).response_time
         if mp / sm > 1.25:
             print(f"\nInterrupt-driven nodes fall 25% behind at So ~ {so} "
                   "cycles.")

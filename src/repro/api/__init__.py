@@ -50,6 +50,7 @@ from repro.api.scenarios import (
     AllToAllScenario,
     MultiClassScenario,
     NonBlockingScenario,
+    SharedMemoryScenario,
     WorkpileScenario,
 )
 from repro.api.study import Study
@@ -62,6 +63,7 @@ __all__ = [
     "Param",
     "ParamFamily",
     "Scenario",
+    "SharedMemoryScenario",
     "Solution",
     "Study",
     "WorkpileScenario",

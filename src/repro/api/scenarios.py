@@ -45,6 +45,7 @@ from repro.core.logp import LogPModel
 from repro.core.nonblocking import NonBlockingModel
 from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
 from repro.core.rule_of_thumb import contention_bounds
+from repro.core.shared_memory import SharedMemoryModel
 from repro.mva.batch import batch_multiclass_amva, batch_multiclass_mva
 from repro.mva.multiclass import MultiClassAMVAResult, multiclass_amva, multiclass_mva
 from repro.sim.machine import MachineConfig
@@ -54,6 +55,7 @@ __all__ = [
     "MultiClassScenario",
     "NonBlockingScenario",
     "SCENARIO_CLASSES",
+    "SharedMemoryScenario",
     "WorkpileScenario",
     "machine_from_params",
 ]
@@ -237,6 +239,62 @@ class AllToAllScenario(Scenario):
             defaults={"cycles": 300, "seed": 0, "work_cv2": 0.0,
                       "latency_cv2": 0.0, "streams": True},
             doc="event-driven simulation of the same workload",
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared memory with a protocol processor (paper Section 5.1)
+# ---------------------------------------------------------------------------
+def _sharedmem_model(params: Mapping[str, object]) -> dict[str, object]:
+    machine = machine_from_params(params)
+    sol = SharedMemoryModel(machine).solve_work(float(params["W"]))
+    return _alltoall_values(sol)
+
+
+def _sharedmem_model_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    grid = [
+        LoPCParams(
+            machine=machine_from_params(params),
+            algorithm=AlgorithmParams(work=float(params["W"])),
+        )
+        for params in params_list
+    ]
+    # SharedMemoryModel delegates to AllToAllModel(protocol_processor=
+    # True) with identical solver settings, so the shared batch kernel
+    # is bit-identical to the scalar path here too.
+    return [
+        _alltoall_values(sol)
+        for sol in solve_batch(grid, protocol_processor=True)
+    ]
+
+
+class SharedMemoryScenario(Scenario):
+    """Shared-memory node with a protocol processor (paper Section 5.1).
+
+    The same all-to-all traffic as :class:`AllToAllScenario`, but the
+    handlers run on dedicated protocol-processor hardware: the compute
+    thread is never interrupted (``Rw = W``) and contention appears only
+    as queueing at the protocol processor (``Rq``, ``Ry``).  Analytic
+    only -- the Holt-style occupancy study contrasts it against the
+    ``alltoall`` scenario on the same machine.
+    """
+
+    name = "sharedmem"
+    title = "shared-memory node with a protocol processor (Section 5.1)"
+    schema = _MACHINE_PARAMS + (
+        Param("W", float, doc="compute between remote accesses, cycles"),
+    )
+    backends = (
+        Backend(
+            role="analytic",
+            evaluator="sharedmem-model",
+            func=_sharedmem_model,
+            uses=("P", "St", "So", "C2", "W"),
+            batch=_sharedmem_model_batch,
+            doc="LoPC AMVA with handlers on a protocol processor",
         ),
     )
 
@@ -679,6 +737,7 @@ class NonBlockingScenario(Scenario):
 #: Declaration order drives registration order in the legacy registry.
 SCENARIO_CLASSES: tuple[type[Scenario], ...] = (
     AllToAllScenario,
+    SharedMemoryScenario,
     WorkpileScenario,
     MultiClassScenario,
     NonBlockingScenario,

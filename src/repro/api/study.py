@@ -189,26 +189,45 @@ class Study:
         )
 
     # -- execution -----------------------------------------------------
-    def run(self, role: str = "analytic", name: str | None = None) -> SweepResult:
-        """Evaluate every point through the existing sweep runner."""
+    def run(
+        self,
+        role: str = "analytic",
+        name: str | None = None,
+        *,
+        metrics: object = None,
+        progress: object = None,
+        events: object = None,
+    ) -> SweepResult:
+        """Evaluate every point through the existing sweep runner.
+
+        ``metrics`` / ``progress`` / ``events`` plumb straight to
+        :func:`~repro.sweep.runner.run_sweep`'s telemetry arguments:
+        pass ``metrics=True`` (or a registry) to get solver iteration
+        stats, cache traffic and routing splits in the result metadata,
+        ``progress=`` a reporter or callable for live updates, and
+        ``events=`` a JSONL path or sink for structured events.
+        """
         return run_sweep(
             self.spec(role, name),
             cache=self.cache,
             jobs=self.jobs,
             batch=self.batch,
+            metrics=metrics,
+            progress=progress,
+            events=events,
         )
 
-    def analytic(self, name: str | None = None) -> SweepResult:
+    def analytic(self, name: str | None = None, **telemetry: object) -> SweepResult:
         """Run the analytic backend over the grid; returns a SweepResult."""
-        return self.run("analytic", name)
+        return self.run("analytic", name, **telemetry)
 
-    def bounds(self, name: str | None = None) -> SweepResult:
+    def bounds(self, name: str | None = None, **telemetry: object) -> SweepResult:
         """Run the bounds backend over the grid; returns a SweepResult."""
-        return self.run("bounds", name)
+        return self.run("bounds", name, **telemetry)
 
-    def simulate(self, name: str | None = None) -> SweepResult:
+    def simulate(self, name: str | None = None, **telemetry: object) -> SweepResult:
         """Run the simulation backend over the grid; returns a SweepResult."""
-        return self.run("sim", name)
+        return self.run("sim", name, **telemetry)
 
     def solutions(self, role: str = "analytic",
                   name: str | None = None) -> list[Solution]:

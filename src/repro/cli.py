@@ -12,10 +12,20 @@ Usage::
     lopc-repro scenario alltoall P=32 St=40 So=200 W=1000
     lopc-repro scenario alltoall P=32 St=40 So=200 --sweep W=2,32,512 \\
                         --backend sim [--jobs 4] [--cache-dir D]
+    lopc-repro scenario alltoall --sweep W=2,32,512 ... \\
+                        --metrics m.json --progress
+    lopc-repro stats m.json
 
 ``--fast`` shrinks simulation lengths (for smoke testing); published
 numbers should use the defaults.  With ``--out``, each experiment writes
 ``<id>.txt`` (ASCII table) and ``<id>.csv`` next to the printed output.
+
+``--metrics FILE`` records solver/simulator/cache telemetry
+(:mod:`repro.obs`) during a ``sweep`` or ``scenario`` run and writes the
+snapshot as JSON; ``--progress`` prints live per-chunk progress lines to
+stderr; ``--events FILE`` streams structured JSONL events.  ``stats``
+renders a ``--metrics`` file back into tables.  Telemetry never changes
+results -- values and cache keys are bit-identical either way.
 
 ``--jobs N`` evaluates sweep points on ``N`` worker processes (``0`` =
 one per CPU); ``--seed`` overrides the experiment's simulation seed so
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 from pathlib import Path
@@ -117,6 +128,43 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
     return result.all_checks_passed
 
 
+def _telemetry_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """``--metrics`` / ``--progress`` / ``--events`` as run_sweep kwargs."""
+    from repro.obs import ConsoleProgress
+
+    kwargs: dict[str, object] = {}
+    if getattr(args, "metrics", None) is not None:
+        kwargs["metrics"] = True
+    if getattr(args, "progress", False):
+        kwargs["progress"] = ConsoleProgress()
+    if getattr(args, "events", None) is not None:
+        kwargs["events"] = args.events
+    return kwargs
+
+
+def _write_metrics(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _sweep_metrics_payload(result) -> dict:
+    """The ``--metrics`` file for a sweep: registry + routing + cache."""
+    meta = result.metadata
+    return {
+        "spec": meta.get("spec"),
+        "evaluator": meta.get("evaluator"),
+        "points": meta.get("points"),
+        "cache": {
+            "hits": meta.get("cache_hits", 0),
+            "misses": meta.get("cache_misses", 0),
+            "writes": meta.get("cache_writes", 0),
+        },
+        "routing": meta.get("routing"),
+        "elapsed": meta.get("elapsed"),
+        "metrics": meta.get("telemetry"),
+    }
+
+
 def _run_sweep_file(args: argparse.Namespace) -> int:
     from repro.sweep import SweepSpec, run_sweep
 
@@ -124,9 +172,12 @@ def _run_sweep_file(args: argparse.Namespace) -> int:
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
     result = run_sweep(spec, cache=args.cache_dir,
-                       jobs=args.jobs if args.jobs is not None else 1)
+                       jobs=args.jobs if args.jobs is not None else 1,
+                       **_telemetry_kwargs(args))
     print(format_table(result.to_experiment_result()))
     print(f"\n({spec.name}: {result.summary()})\n")
+    if args.metrics is not None:
+        _write_metrics(args.metrics, _sweep_metrics_payload(result))
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
         stem = spec.name.replace(".", "_").replace("/", "_")
@@ -179,9 +230,11 @@ def _run_scenario(args: argparse.Namespace,
     if axes:
         study = sc.study(jobs=args.jobs if args.jobs is not None else 1,
                          cache=args.cache_dir, seed=args.seed, **axes)
-        result = study.run(args.backend)
+        result = study.run(args.backend, **_telemetry_kwargs(args))
         print(format_table(result.to_experiment_result()))
         print(f"\n({result.spec_name}: {result.summary()})\n")
+        if args.metrics is not None:
+            _write_metrics(args.metrics, _sweep_metrics_payload(result))
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             stem = f"{args.name}_{args.backend}"
@@ -190,7 +243,20 @@ def _run_scenario(args: argparse.Namespace,
 
     solve = {"analytic": sc.analytic, "bounds": sc.bounds,
              "sim": sc.simulate}[args.backend]
-    solution = solve()
+    if args.metrics is not None or args.events is not None:
+        from repro import obs
+
+        with obs.telemetry(metrics=args.metrics is not None,
+                           events=args.events) as tel:
+            solution = solve()
+        if args.metrics is not None:
+            _write_metrics(args.metrics, {
+                "scenario": args.name,
+                "backend": args.backend,
+                "metrics": tel.metrics.as_dict(),
+            })
+    else:
+        solution = solve()
     print(f"scenario {solution.scenario} / {solution.backend} "
           f"(evaluator {solution.evaluator})")
     print("params: " + ", ".join(
@@ -205,6 +271,83 @@ def _run_scenario(args: argparse.Namespace,
         path = args.out / f"{args.name}_{args.backend}.json"
         path.write_text(solution.to_json() + "\n")
     return 0
+
+
+def _render_stats_section(title: str, rows: list[tuple[str, str]]) -> None:
+    if not rows:
+        return
+    width = max(len(name) for name, _ in rows)
+    print(f"{title}:")
+    for name, rendered in rows:
+        print(f"  {name:<{width}}  {rendered}")
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """Render a ``--metrics`` JSON file back into readable tables."""
+    data = json.loads(Path(args.metrics_file).read_text())
+    # Accept both the sweep payload (registry under "metrics") and a
+    # bare MetricsRegistry.as_dict() dump.
+    registry = data.get("metrics") if "metrics" in data else data
+    header = [
+        f"{key}={data[key]}"
+        for key in ("spec", "scenario", "evaluator", "backend", "points")
+        if data.get(key) is not None
+    ]
+    if header:
+        print(" ".join(header))
+    cache = data.get("cache")
+    if cache:
+        print(
+            f"cache: {cache.get('hits', 0)} hit(s) / "
+            f"{cache.get('misses', 0)} miss(es) / "
+            f"{cache.get('writes', 0)} write(s)"
+        )
+    routing = data.get("routing")
+    if routing:
+        print("routing: " + ", ".join(
+            f"{count} {route}" for route, count in sorted(routing.items())
+            if count
+        ))
+    if not isinstance(registry, dict) or not any(
+        registry.get(k) for k in ("counters", "gauges", "stats", "timers")
+    ):
+        print("(no metrics recorded)")
+        return 0
+    _render_stats_section("counters", [
+        (name, f"{value:,}")
+        for name, value in sorted(registry.get("counters", {}).items())
+    ])
+    _render_stats_section("gauges", [
+        (name, f"{value:g}")
+        for name, value in sorted(registry.get("gauges", {}).items())
+    ])
+    _render_stats_section("stats", [
+        (
+            name,
+            f"count={s['count']:,} mean={s['mean']:g} "
+            f"min={s['min']:g} max={s['max']:g}",
+        )
+        for name, s in sorted(registry.get("stats", {}).items())
+    ])
+    _render_stats_section("timers", [
+        (
+            name,
+            f"count={s['count']:,} total={s['total']:.3f}s "
+            f"mean={s['mean']:.3f}s",
+        )
+        for name, s in sorted(registry.get("timers", {}).items())
+    ])
+    return 0
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", type=Path, default=None, metavar="FILE",
+                        help="record telemetry and write the snapshot as "
+                             "JSON (render it with `lopc-repro stats`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print live progress lines to stderr")
+    parser.add_argument("--events", type=Path, default=None, metavar="FILE",
+                        help="stream structured JSONL events to FILE")
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -257,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="spec-level seed (derives per-point seeds)")
     sweep_p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                          help="content-addressed result cache directory")
+    _add_telemetry_options(sweep_p)
 
     scenario_p = sub.add_parser(
         "scenario",
@@ -292,6 +436,13 @@ def main(argv: list[str] | None = None) -> int:
     scenario_p.add_argument("--out", type=Path, default=None,
                             help="directory for the .csv (study) or "
                                  ".json (single point) export")
+    _add_telemetry_options(scenario_p)
+
+    stats_p = sub.add_parser(
+        "stats", help="render a --metrics JSON file as readable tables"
+    )
+    stats_p.add_argument("metrics_file", type=Path,
+                         help="file written by --metrics")
 
     args = parser.parse_args(argv)
 
@@ -318,6 +469,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "scenario":
         return _run_scenario(args, parser)
+
+    if args.command == "stats":
+        return _run_stats(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

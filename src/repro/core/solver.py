@@ -37,6 +37,13 @@ from typing import Callable, Sequence
 import numpy as np
 from scipy.optimize import brentq
 
+from repro.obs import (
+    TRAJECTORY_CAP,
+    observe_batch_solve,
+    observe_scalar_solve,
+)
+from repro.obs import context as _obs_context
+
 __all__ = [
     "BatchFixedPointResult",
     "FixedPointResult",
@@ -113,6 +120,13 @@ def solve_fixed_point(
     if x.ndim != 1:
         raise ValueError("initial must be scalar or 1-D")
 
+    # Telemetry is one `is None` check when disabled; the residual
+    # trajectory is only collected when an event sink is listening.
+    tel = _obs_context.active()
+    trajectory: list[float] | None = (
+        [] if tel is not None and tel.events is not None else None
+    )
+
     residual = float("inf")
     for iteration in range(1, max_iter + 1):
         fx = np.atleast_1d(np.asarray(func(x), dtype=float))
@@ -127,10 +141,21 @@ def solve_fixed_point(
             )
         scale = np.maximum(1.0, np.abs(x))
         residual = float(np.max(np.abs(fx - x) / scale))
+        if trajectory is not None and len(trajectory) < TRAJECTORY_CAP:
+            trajectory.append(residual)
         x = (1.0 - damping) * x + damping * fx
         if residual <= tol:
+            if tel is not None:
+                observe_scalar_solve(
+                    tel, "solver.fixed_point", iteration, residual, True,
+                    trajectory,
+                )
             return FixedPointResult(x, iteration, residual, True)
 
+    if tel is not None:
+        observe_scalar_solve(
+            tel, "solver.fixed_point", max_iter, residual, False, trajectory
+        )
     if raise_on_failure:
         raise ConvergenceError(
             f"fixed point not reached after {max_iter} iterations "
@@ -217,6 +242,11 @@ def solve_fixed_point_batch(
     converged = np.zeros(n_points, dtype=bool)
     active = np.ones(n_points, dtype=bool)
 
+    tel = _obs_context.active()
+    trajectory: list[float] | None = (
+        [] if tel is not None and tel.events is not None else None
+    )
+
     for iteration in range(1, max_iter + 1):
         if not active.any():
             break
@@ -248,7 +278,17 @@ def solve_fixed_point_batch(
         done = rows[good][residual[good] <= tol]
         converged[done] = True
         active[done] = False
+        if trajectory is not None and len(trajectory) < TRAJECTORY_CAP:
+            finite_res = residual[good]
+            trajectory.append(
+                float(finite_res.max()) if finite_res.size else float("inf")
+            )
 
+    if tel is not None:
+        observe_batch_solve(
+            tel, "solver.fixed_point_batch", iterations, converged,
+            residuals, trajectory,
+        )
     if raise_on_failure and not converged.all():
         failed = np.flatnonzero(~converged)
         nonfinite = failed[np.isinf(residuals[failed])]

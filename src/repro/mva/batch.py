@@ -44,6 +44,8 @@ import numpy as np
 
 from repro.mva.amva import AMVAResult
 from repro.mva.multiclass import MultiClassAMVAResult, MultiClassMVAResult
+from repro.obs import context as _obs_context
+from repro.obs import observe_batch_solve
 from repro.mva.network import (
     as_integer_array,
     check_degenerate_batch,
@@ -211,7 +213,7 @@ def batch_exact_mva(
         throughput[idx] = x
         cycle_time[idx] = total
 
-    return BatchMVAResult(
+    result = BatchMVAResult(
         method="exact",
         populations=pops,
         throughput=throughput,
@@ -222,6 +224,13 @@ def batch_exact_mva(
         iterations=pops.copy(),
         converged=np.ones(n_points, dtype=bool),
     )
+    tel = _obs_context.active()
+    if tel is not None:
+        # For the exact recursion "iterations" is the recursion depth N_p.
+        observe_batch_solve(
+            tel, "mva.batch.exact", result.iterations, result.converged
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -286,7 +295,7 @@ def _batch_amva(
         converged[done] = True
         active[done] = False
 
-    return BatchMVAResult(
+    result = BatchMVAResult(
         method=method,
         populations=pops,
         throughput=throughput,
@@ -297,6 +306,12 @@ def _batch_amva(
         iterations=iterations,
         converged=converged,
     )
+    tel = _obs_context.active()
+    if tel is not None:
+        observe_batch_solve(
+            tel, f"mva.batch.{method}", iterations, converged
+        )
+    return result
 
 
 def batch_bard_amva(
@@ -567,7 +582,7 @@ def batch_multiclass_mva(
             throughputs[hit] = x[at_full]
             queue_lengths[hit] = q_node[at_full]
 
-    return BatchMultiClassMVAResult(
+    result = BatchMultiClassMVAResult(
         method="exact",
         populations=pops,
         throughputs=throughputs,
@@ -578,6 +593,13 @@ def batch_multiclass_mva(
         iterations=pops.sum(axis=1),
         converged=np.ones(n_points, dtype=bool),
     )
+    tel = _obs_context.active()
+    if tel is not None:
+        observe_batch_solve(
+            tel, "mva.multiclass.exact", result.iterations, result.converged,
+            lattice=total_lattice,
+        )
+    return result
 
 
 def batch_multiclass_amva(
@@ -653,7 +675,7 @@ def batch_multiclass_amva(
         converged[done] = True
         active[done] = False
 
-    return BatchMultiClassMVAResult(
+    result = BatchMultiClassMVAResult(
         method=method,
         populations=pops,
         throughputs=throughputs,
@@ -664,3 +686,9 @@ def batch_multiclass_amva(
         iterations=iterations,
         converged=converged,
     )
+    tel = _obs_context.active()
+    if tel is not None:
+        observe_batch_solve(
+            tel, f"mva.multiclass.{method}", iterations, converged
+        )
+    return result

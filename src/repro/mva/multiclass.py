@@ -41,6 +41,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.mva.network import normalize_multiclass
+from repro.obs import context as _obs_context
+from repro.obs import observe_scalar_solve
 
 __all__ = [
     "MultiClassAMVAResult",
@@ -234,6 +236,7 @@ def multiclass_amva(
     totals = think + responses.sum(axis=1)
     iterations = 0
     converged = False
+    delta = float("inf")
     for iteration in range(1, max_iter + 1):
         total_q = queues.sum(axis=0)
         if method == "bard":
@@ -259,6 +262,14 @@ def multiclass_amva(
             converged = True
             break
 
+    tel = _obs_context.active()
+    if tel is not None:
+        # Same stat family as the batch kernel, so scalar and batched
+        # solves of the same networks aggregate together.
+        observe_scalar_solve(
+            tel, f"mva.multiclass.{method}", iterations, float(delta),
+            converged,
+        )
     return MultiClassAMVAResult(
         method=method,
         populations=tuple(pops),

@@ -1,0 +1,131 @@
+"""``repro.obs``: the unified telemetry layer.
+
+A dependency-free observability subsystem spanning the whole stack:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` -- thread-safe counters,
+  gauges, summary stats and ``span(name)`` timers;
+* :class:`~repro.obs.events.EventLog` -- a structured JSONL event sink;
+* :class:`~repro.obs.progress.ProgressReporter` /
+  :class:`~repro.obs.progress.ConsoleProgress` -- the progress callback
+  protocol and its console renderer;
+* :mod:`~repro.obs.context` -- the active-bundle context the
+  instrumented layers look up (``telemetry(...)`` to install one).
+
+The design contract, shared with :mod:`repro.sim.trace`: when no bundle
+is active, every hook in the solvers, kernels, simulator and sweep
+runner costs a single ``is None`` check.  Enabling metrics never
+changes results -- instrumentation observes the values the solvers
+already computed (iteration counts, residuals, convergence masks) and
+is covered by bit-identity tests against telemetry-off runs.
+
+The helpers below fold solver diagnostics into a bundle; they live here
+so the solver and kernel hook sites stay one call each.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.obs.context import (
+    Telemetry,
+    activate,
+    active,
+    current_metrics,
+    telemetry,
+)
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ConsoleProgress, ProgressReporter, as_progress
+
+__all__ = [
+    "ConsoleProgress",
+    "EventLog",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "Telemetry",
+    "activate",
+    "active",
+    "as_progress",
+    "current_metrics",
+    "observe_batch_solve",
+    "observe_scalar_solve",
+    "telemetry",
+]
+
+#: Cap on recorded residual trajectories (one float per iteration).
+TRAJECTORY_CAP = 4096
+
+
+def observe_scalar_solve(
+    tel: Telemetry,
+    name: str,
+    iterations: int,
+    residual: float,
+    converged: bool,
+    trajectory: "list[float] | None" = None,
+) -> None:
+    """Fold one scalar solve's diagnostics into a telemetry bundle."""
+    metrics = tel.metrics
+    if metrics is not None:
+        metrics.inc(f"{name}.solves")
+        metrics.inc(f"{name}.converged" if converged else f"{name}.failed")
+        metrics.observe(f"{name}.iterations", iterations)
+        if math.isfinite(residual):
+            metrics.observe(f"{name}.residual", residual)
+    if tel.events is not None:
+        tel.events.emit(
+            name,
+            iterations=int(iterations),
+            residual=float(residual),
+            converged=bool(converged),
+            residual_trajectory=trajectory,
+        )
+
+
+def observe_batch_solve(
+    tel: Telemetry,
+    name: str,
+    iterations: np.ndarray,
+    converged: np.ndarray,
+    residuals: np.ndarray | None = None,
+    trajectory: "list[float] | None" = None,
+    **extra: object,
+) -> None:
+    """Fold one batch kernel's per-point diagnostics into a bundle.
+
+    ``iterations`` and ``converged`` are the kernel's ``(points,)``
+    arrays; the registry sees per-point iteration statistics (via
+    ``observe_many``) and converged/failed counts, the event log one
+    summary event -- never one record per point.
+    """
+    n_points = int(np.asarray(converged).size)
+    if n_points == 0:
+        return
+    iter_arr = np.asarray(iterations)
+    n_converged = int(np.asarray(converged).sum())
+    metrics = tel.metrics
+    if metrics is not None:
+        metrics.inc(f"{name}.solves")
+        metrics.inc(f"{name}.points", n_points)
+        metrics.inc(f"{name}.converged", n_converged)
+        if n_points - n_converged:
+            metrics.inc(f"{name}.failed", n_points - n_converged)
+        metrics.observe_many(f"{name}.iterations", iter_arr)
+        if residuals is not None:
+            res = np.asarray(residuals)
+            finite = res[np.isfinite(res)]
+            if finite.size:
+                metrics.observe_many(f"{name}.residual", finite)
+    if tel.events is not None:
+        tel.events.emit(
+            name,
+            points=n_points,
+            converged=n_converged,
+            iterations_min=int(iter_arr.min()),
+            iterations_max=int(iter_arr.max()),
+            iterations_mean=float(iter_arr.mean()),
+            residual_trajectory=trajectory,
+            **extra,
+        )

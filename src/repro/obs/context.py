@@ -1,0 +1,112 @@
+"""The active-telemetry context: how hooks find the registry.
+
+The instrumented layers (solvers, batch kernels, simulator, executors)
+cannot take a ``metrics=`` argument without threading it through every
+model and evaluator signature -- and through the cache keys those
+signatures feed.  Instead, one module-level *active bundle* is
+installed for the duration of a run (:func:`activate`, used by
+``run_sweep`` and the CLI) and hooks look it up:
+
+    tel = context.active()
+    if tel is None:          # the disabled path: one check, no work
+        ...
+
+``active() is None`` is the whole disabled-overhead story, mirroring
+the ``node.tracer`` idiom of :mod:`repro.sim.trace`.  The bundle is
+process-local: process-pool workers never see the parent's registry
+(their wall time and event counts travel back in record meta instead),
+which is documented behaviour, not an accident.
+
+:func:`telemetry` is the public convenience wrapper: it coerces path /
+callable arguments and activates the bundle around a ``with`` block, so
+any code path -- not just ``run_sweep`` -- can be observed::
+
+    with telemetry(metrics=reg):
+        model.solve_work(1000.0)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.events import EventLog, SinkLike
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressReporter, as_progress
+
+__all__ = ["Telemetry", "activate", "active", "current_metrics", "telemetry"]
+
+
+@dataclass(frozen=True)
+class Telemetry:
+    """The bundle of sinks a run records into (any subset may be None)."""
+
+    metrics: MetricsRegistry | None = None
+    events: EventLog | None = None
+    progress: ProgressReporter | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.metrics is not None
+            or self.events is not None
+            or self.progress is not None
+        )
+
+
+_ACTIVE: Telemetry | None = None
+
+
+def active() -> Telemetry | None:
+    """The currently-installed bundle, or None (telemetry disabled)."""
+    return _ACTIVE
+
+
+def current_metrics() -> MetricsRegistry | None:
+    """Shorthand for the active bundle's registry (hot-path hooks)."""
+    tel = _ACTIVE
+    return tel.metrics if tel is not None else None
+
+
+@contextmanager
+def activate(tel: Telemetry | None) -> Iterator[Telemetry | None]:
+    """Install ``tel`` as the active bundle for the block (re-entrant)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tel
+    try:
+        yield tel
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def telemetry(
+    metrics: MetricsRegistry | bool | None = None,
+    events: SinkLike = None,
+    progress: object = None,
+) -> Iterator[Telemetry]:
+    """Activate a telemetry bundle around a block, coercing sink spellings.
+
+    ``metrics=True`` creates a fresh :class:`MetricsRegistry` (read it
+    off the yielded bundle); ``events`` accepts a path, an open file, or
+    an :class:`EventLog`; ``progress`` accepts a reporter or a bare
+    ``(done, total, info)`` callable.  An event log opened here (from a
+    path) is closed on exit.
+    """
+    if metrics is True:
+        metrics = MetricsRegistry()
+    elif metrics is False:
+        metrics = None
+    own_events = not isinstance(events, (EventLog, type(None)))
+    log = EventLog.coerce(events)
+    tel = Telemetry(
+        metrics=metrics, events=log, progress=as_progress(progress)
+    )
+    try:
+        with activate(tel):
+            yield tel
+    finally:
+        if own_events and log is not None:
+            log.close()

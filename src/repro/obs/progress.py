@@ -1,0 +1,83 @@
+"""Progress reporting: a tiny callback protocol plus a console renderer.
+
+A progress reporter is anything with an ``update(done, total, info)``
+method; :func:`as_progress` also adapts a bare callable of the same
+three arguments, so ``run_sweep(..., progress=print_fn)`` works without
+ceremony.  ``info`` is a flat mapping of whatever the emitter knows --
+the sweep runner sends cache hit/miss counts, the batch/scalar/sim
+routing split so far, elapsed seconds and an ETA.
+
+:class:`ConsoleProgress` renders one line per update to ``stderr``
+(stdout stays clean for result tables), which is what the CLI's
+``--progress`` flag installs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Mapping, Protocol, runtime_checkable
+
+__all__ = ["ConsoleProgress", "ProgressReporter", "as_progress"]
+
+
+@runtime_checkable
+class ProgressReporter(Protocol):
+    """The callback protocol the sweep runner (and Study.run) accept."""
+
+    def update(
+        self, done: int, total: int, info: Mapping[str, object]
+    ) -> None:  # pragma: no cover - protocol signature
+        ...
+
+
+class _CallbackProgress:
+    """Adapter wrapping a plain ``(done, total, info)`` callable."""
+
+    def __init__(self, func: Callable[[int, int, Mapping], None]) -> None:
+        self._func = func
+
+    def update(self, done: int, total: int, info: Mapping[str, object]) -> None:
+        self._func(done, total, info)
+
+
+class ConsoleProgress:
+    """Render progress as one line per update (stderr by default)."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def update(self, done: int, total: int, info: Mapping[str, object]) -> None:
+        pct = 100.0 * done / total if total else 100.0
+        parts = [f"{done}/{total} ({pct:.0f}%)"]
+        label = info.get("spec")
+        if label:
+            parts.insert(0, f"[{label}]")
+        hits = info.get("cache_hits")
+        if hits is not None:
+            parts.append(f"cache {hits} hit(s)")
+        routing = info.get("routing")
+        if routing:
+            split = "/".join(
+                f"{routing[k]} {k}" for k in ("batch", "scalar", "sim")
+                if routing.get(k)
+            )
+            if split:
+                parts.append(split)
+        eta = info.get("eta")
+        if eta is not None:
+            parts.append(f"eta {float(eta):.1f}s")
+        print(" ".join(str(p) for p in parts), file=self.stream, flush=True)
+
+
+def as_progress(progress: object) -> "ProgressReporter | None":
+    """Coerce ``None`` / reporter / bare callable to a reporter (or None)."""
+    if progress is None:
+        return None
+    if hasattr(progress, "update"):
+        return progress  # type: ignore[return-value]
+    if callable(progress):
+        return _CallbackProgress(progress)
+    raise TypeError(
+        f"progress must be None, a reporter with .update(), or a callable; "
+        f"got {progress!r}"
+    )

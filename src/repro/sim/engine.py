@@ -33,7 +33,10 @@ against tuples by ``(time, seq)`` (``__lt__``/``__gt__`` below).
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable
+
+from repro.obs import context as _obs_context
 
 __all__ = ["EventHandle", "Simulator"]
 
@@ -190,6 +193,10 @@ class Simulator:
             once it returns True (used to end a run when all threads have
             completed their measured cycles).
         """
+        metrics = _obs_context.current_metrics()
+        if metrics is not None:
+            self._run_observed(until, max_events, stop, metrics)
+            return
         executed = 0
         while True:
             next_time = self.peek_time()
@@ -230,6 +237,10 @@ class Simulator:
         if until is not None:
             self.run(until=until, max_events=max_events, stop=stop)
             return
+        metrics = _obs_context.current_metrics()
+        if metrics is not None:
+            self._run_fast_observed(max_events, stop, metrics)
+            return
         heap = self._heap
         pop = heapq.heappop
         executed = 0
@@ -254,3 +265,95 @@ class Simulator:
                     f"(clock at {self.now}); likely a livelock in the "
                     "workload"
                 )
+
+    # ------------------------------------------------------------------
+    # Observed run loops.  Semantically identical to run()/run_fast();
+    # chosen once at entry when a metrics registry is active, so the
+    # disabled loops above pay nothing per event.  Heap size is sampled
+    # once per event (in-callback transients between pushes are not
+    # seen, which is fine for a high-water mark).
+    # ------------------------------------------------------------------
+    def _run_observed(
+        self,
+        until: float | None,
+        max_events: int,
+        stop: Callable[[], bool] | None,
+        metrics,
+    ) -> None:
+        start = time.perf_counter()
+        first_event = self.events_processed
+        high_water = len(self._heap)
+        try:
+            executed = 0
+            while True:
+                if len(self._heap) > high_water:
+                    high_water = len(self._heap)
+                next_time = self.peek_time()
+                if next_time is None:
+                    return
+                if until is not None and next_time > until:
+                    self.now = until
+                    return
+                self.step()
+                executed += 1
+                if stop is not None and stop():
+                    return
+                if executed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events} "
+                        f"(clock at {self.now}); likely a livelock in the "
+                        "workload"
+                    )
+        finally:
+            self._record_run(metrics, start, first_event, high_water)
+
+    def _run_fast_observed(
+        self,
+        max_events: int,
+        stop: Callable[[], bool] | None,
+        metrics,
+    ) -> None:
+        start = time.perf_counter()
+        first_event = self.events_processed
+        heap = self._heap
+        pop = heapq.heappop
+        high_water = len(heap)
+        try:
+            executed = 0
+            while heap:
+                if len(heap) > high_water:
+                    high_water = len(heap)
+                entry = pop(heap)
+                if type(entry) is tuple:
+                    self.now = entry[0]
+                    self.events_processed += 1
+                    entry[2](entry[3])
+                else:
+                    if entry.cancelled:
+                        continue
+                    self.now = entry.time
+                    self.events_processed += 1
+                    entry.callback()
+                executed += 1
+                if stop is not None and stop():
+                    return
+                if executed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded max_events={max_events} "
+                        f"(clock at {self.now}); likely a livelock in the "
+                        "workload"
+                    )
+        finally:
+            self._record_run(metrics, start, first_event, high_water)
+
+    def _record_run(
+        self, metrics, start: float, first_event: int, high_water: int
+    ) -> None:
+        wall = time.perf_counter() - start
+        events = self.events_processed - first_event
+        metrics.inc("sim.runs")
+        metrics.inc("sim.events", events)
+        metrics.gauge_max("sim.heap_high_water", high_water)
+        metrics.observe("sim.run_wall", wall)
+        if events and wall > 0.0:
+            metrics.observe("sim.events_per_sec", events / wall)

@@ -17,6 +17,7 @@ from typing import Callable, Generator, Iterable
 import numpy as np
 
 from repro.core.params import MachineParams
+from repro.obs import context as _obs_context
 from repro.sim.distributions import ServiceDistribution, from_mean_cv2
 from repro.sim.engine import Simulator
 from repro.sim.network import ContentionFreeNetwork
@@ -162,6 +163,9 @@ class Machine:
         ]
         self.network.attach(self.nodes)
         self._threads_remaining = 0
+        # Stream traffic already reported to a metrics registry, so a
+        # machine run in phases (warm-up + measured) reports deltas.
+        self._streams_reported = (0, 0)
 
     # ------------------------------------------------------------------
     def install_threads(
@@ -250,6 +254,9 @@ class Machine:
             self.sim.run_fast(until=until, stop=stop, max_events=max_events)
         else:
             self.sim.run(until=until, stop=stop, max_events=max_events)
+        metrics = _obs_context.current_metrics()
+        if metrics is not None:
+            self._record_stream_stats(metrics)
         if (
             until is None
             and stop is None
@@ -270,6 +277,19 @@ class Machine:
         """``start()`` + ``run()`` in one call."""
         self.start()
         self.run(max_events=max_events)
+
+    def _record_stream_stats(self, metrics) -> None:
+        """Report RNG stream traffic (refills/draws) since the last run."""
+        refills = sum(node.streams.total_refills for node in self.nodes)
+        draws = sum(node.streams.total_draws for node in self.nodes)
+        latency_stream = self.network.latency_stream
+        if latency_stream is not None:
+            refills += latency_stream.refills
+            draws += latency_stream.draws
+        prev_refills, prev_draws = self._streams_reported
+        metrics.inc("sim.stream.refills", refills - prev_refills)
+        metrics.inc("sim.stream.draws", draws - prev_draws)
+        self._streams_reported = (refills, draws)
 
     # ------------------------------------------------------------------
     # Aggregated statistics

@@ -22,15 +22,40 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs import context as _obs_context
 from repro.sweep.evaluators import evaluate_point
 
 __all__ = ["ParallelExecutor", "SerialExecutor", "get_executor"]
 
 Task = tuple[str, dict]
+
+
+def _record_dispatch(metrics, workers: int, records: list[dict],
+                     elapsed: float) -> None:
+    """Fold one executor dispatch into the active metrics registry.
+
+    Worker processes never see the parent's registry; utilization is
+    reconstructed parent-side from the per-record ``wall_time`` meta the
+    evaluators already report (busy worker-seconds over the dispatch's
+    worker-second budget).
+    """
+    metrics.gauge("sweep.executor.workers", workers)
+    metrics.inc("sweep.executor.dispatches")
+    metrics.inc("sweep.executor.tasks", len(records))
+    busy = sum(
+        float(r["meta"]["wall_time"])
+        for r in records
+        if "wall_time" in r.get("meta", {})
+    )
+    if elapsed > 0.0 and workers > 0:
+        metrics.observe(
+            "sweep.executor.utilization", busy / (workers * elapsed)
+        )
 
 
 @dataclass(frozen=True)
@@ -40,7 +65,15 @@ class SerialExecutor:
     jobs: int = 1
 
     def map(self, tasks: Sequence[Task]) -> list[dict]:
-        return [evaluate_point(task) for task in tasks]
+        metrics = _obs_context.current_metrics()
+        if metrics is None:
+            return [evaluate_point(task) for task in tasks]
+        started = time.perf_counter()
+        records = [evaluate_point(task) for task in tasks]
+        _record_dispatch(
+            metrics, 1, records, time.perf_counter() - started
+        )
+        return records
 
 
 @dataclass(frozen=True)
@@ -79,11 +112,18 @@ class ParallelExecutor:
         workers = min(self.jobs, len(tasks))
         if workers == 1:
             return SerialExecutor().map(tasks)
+        metrics = _obs_context.current_metrics()
+        started = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(
+            records = list(
                 pool.map(evaluate_point, tasks,
                          chunksize=self._chunksize(len(tasks)))
             )
+        if metrics is not None:
+            _record_dispatch(
+                metrics, workers, records, time.perf_counter() - started
+            )
+        return records
 
 
 def get_executor(jobs: int | None) -> SerialExecutor | ParallelExecutor:

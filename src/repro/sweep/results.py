@@ -155,11 +155,21 @@ class SweepResult:
         """View the sweep through the experiment-result machinery."""
         from repro.experiments.common import ExperimentResult
 
+        if parameters is not None:
+            params = dict(parameters)
+        else:
+            # The nested telemetry/routing dicts would render raw in the
+            # one-line "parameters:" header; the stats subcommand and
+            # --metrics output are their home.
+            params = {
+                k: v
+                for k, v in self.metadata.items()
+                if k not in ("telemetry", "cache_stats", "routing")
+            }
         return ExperimentResult(
             experiment_id=experiment_id or self.spec_name,
             title=title or f"sweep {self.spec_name} ({self.evaluator})",
-            parameters=dict(parameters) if parameters is not None
-            else dict(self.metadata),
+            parameters=params,
             columns=list(columns) if columns is not None else self.columns,
             rows=self.rows,
             checks=tuple(checks),
@@ -172,10 +182,21 @@ class SweepResult:
         meta = self.metadata
         parts = [f"{len(self.records)} point(s)"]
         if "cache_hits" in meta or "cache_misses" in meta:
-            parts.append(
+            line = (
                 f"cache {meta.get('cache_hits', 0)} hit(s) / "
                 f"{meta.get('cache_misses', 0)} miss(es)"
             )
+            if meta.get("cache_enabled"):
+                line += f" / {meta.get('cache_writes', 0)} write(s)"
+            parts.append(line)
+        routing = meta.get("routing")
+        if routing and meta.get("points"):
+            split = "/".join(
+                f"{routing[k]} {k}" for k in ("batch", "scalar", "sim")
+                if routing.get(k)
+            )
+            if split:
+                parts.append(split)
         events = meta.get("events_processed")
         if events:
             parts.append(f"{events:,} simulator event(s)")

@@ -1,0 +1,72 @@
+"""EventLog: in-memory, path-backed, and borrowed-file sinks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import EventLog
+
+
+class TestInMemory:
+    def test_emit_appends_records(self):
+        log = EventLog()
+        log.emit("solve", iterations=7)
+        log.emit("solve", iterations=9)
+        kinds = [r["kind"] for r in log.records]
+        assert kinds == ["solve", "solve"]
+        assert log.records[0]["iterations"] == 7
+
+    def test_records_carry_a_timestamp(self):
+        log = EventLog()
+        log.emit("x")
+        assert log.records[0]["time"] > 0
+
+    def test_records_is_a_copy(self):
+        log = EventLog()
+        log.emit("x")
+        log.records.clear()
+        assert len(log.records) == 1
+
+
+class TestFileBacked:
+    def test_path_sink_writes_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("a", n=1)
+            log.emit("b", n=2)
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["kind"] for l in lines] == ["a", "b"]
+
+    def test_path_sink_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+        assert path.exists()
+
+    def test_file_backed_records_property_is_empty(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            log.emit("a")
+            assert log.records == []
+
+    def test_borrowed_file_not_closed(self):
+        buf = io.StringIO()
+        log = EventLog(buf)
+        log.emit("a", v=1.5)
+        log.close()
+        assert not buf.closed
+        assert json.loads(buf.getvalue())["v"] == 1.5
+
+
+class TestCoerce:
+    def test_none_passes_through(self):
+        assert EventLog.coerce(None) is None
+
+    def test_eventlog_passes_through(self):
+        log = EventLog()
+        assert EventLog.coerce(log) is log
+
+    def test_path_coerces(self, tmp_path):
+        log = EventLog.coerce(tmp_path / "e.jsonl")
+        assert isinstance(log, EventLog)
+        log.close()

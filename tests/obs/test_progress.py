@@ -1,0 +1,58 @@
+"""Progress protocol, callable adapter, and the console renderer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import ConsoleProgress, ProgressReporter, as_progress
+
+
+class TestAsProgress:
+    def test_none_stays_none(self):
+        assert as_progress(None) is None
+
+    def test_reporter_passes_through(self):
+        reporter = ConsoleProgress(stream=io.StringIO())
+        assert as_progress(reporter) is reporter
+
+    def test_callable_adapts(self):
+        calls = []
+        reporter = as_progress(lambda d, t, info: calls.append((d, t)))
+        reporter.update(3, 10, {})
+        assert calls == [(3, 10)]
+        assert isinstance(reporter, ProgressReporter)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            as_progress(42)
+
+
+class TestConsoleProgress:
+    def _line(self, done, total, info):
+        buf = io.StringIO()
+        ConsoleProgress(stream=buf).update(done, total, info)
+        return buf.getvalue()
+
+    def test_basic_line(self):
+        line = self._line(5, 10, {})
+        assert "5/10" in line and "50%" in line
+
+    def test_spec_label_and_cache(self):
+        line = self._line(2, 4, {"spec": "demo", "cache_hits": 1})
+        assert "[demo]" in line
+        assert "cache 1 hit(s)" in line
+
+    def test_routing_split(self):
+        line = self._line(
+            4, 4, {"routing": {"batch": 3, "scalar": 0, "sim": 1}}
+        )
+        assert "3 batch/1 sim" in line
+
+    def test_eta(self):
+        line = self._line(1, 4, {"eta": 2.5})
+        assert "eta 2.5s" in line
+
+    def test_zero_total_does_not_divide(self):
+        assert "100%" in self._line(0, 0, {})

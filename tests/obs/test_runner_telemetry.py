@@ -1,0 +1,153 @@
+"""run_sweep telemetry: metrics folding, progress, events, routing."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import EventLog, MetricsRegistry
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+
+
+def _spec(n=5, **base_extra):
+    base = {"P": 8, "St": 40.0, "So": 200.0, "C2": 0.0}
+    base.update(base_extra)
+    return SweepSpec(
+        name="tel",
+        evaluator="alltoall-model",
+        base=base,
+        axes=(GridAxis("W", tuple(float(w) for w in range(10, 10 * n + 1, 10))),),
+    )
+
+
+class TestMetrics:
+    def test_metrics_true_snapshot_in_metadata(self):
+        result = run_sweep(_spec(), metrics=True)
+        tel = result.metadata["telemetry"]
+        assert tel["counters"]["sweep.runs"] == 1
+        assert tel["counters"]["sweep.points"] == 5
+        assert tel["counters"]["solver.fixed_point_batch.points"] == 5
+        assert "sweep.run" in tel["timers"]
+
+    def test_explicit_registry_receives_counts(self):
+        reg = MetricsRegistry()
+        run_sweep(_spec(), metrics=reg)
+        assert reg.counter("sweep.points") == 5
+        stats = reg.as_dict()["stats"]
+        assert stats["solver.fixed_point_batch.iterations"]["count"] == 5
+
+    def test_disabled_run_has_no_telemetry_key(self):
+        result = run_sweep(_spec())
+        assert "telemetry" not in result.metadata
+
+    def test_cache_counters(self, tmp_path):
+        reg = MetricsRegistry()
+        run_sweep(_spec(), cache=tmp_path, metrics=reg)
+        run_sweep(_spec(), cache=tmp_path, metrics=reg)
+        assert reg.counter("sweep.cache_misses") == 5
+        assert reg.counter("sweep.cache_hits") == 5
+
+
+class TestProgress:
+    def test_progress_updates_reach_callable(self):
+        updates = []
+        run_sweep(_spec(), progress=lambda d, t, i: updates.append((d, t, i)))
+        assert updates[0][0] == 0 and updates[0][1] == 5
+        assert updates[-1][0] == 5
+        # Monotone non-decreasing done counts.
+        dones = [d for d, _, _ in updates]
+        assert dones == sorted(dones)
+        assert updates[-1][2]["routing"]["batch"] == 5
+
+    def test_progress_info_has_spec_and_eta(self):
+        infos = []
+        run_sweep(_spec(), progress=lambda d, t, i: infos.append(i))
+        assert infos[-1]["spec"] == "tel"
+        assert "eta" in infos[-1]
+
+
+class TestEvents:
+    def test_event_stream_shape(self):
+        log = EventLog()
+        run_sweep(_spec(), events=log)
+        kinds = [r["kind"] for r in log.records]
+        assert kinds[0] == "sweep.start"
+        assert kinds[-1] == "sweep.finish"
+        assert "sweep.chunk" in kinds
+        assert "solver.fixed_point_batch" in kinds
+        finish = log.records[-1]
+        assert finish["points"] == 5
+        assert finish["routing"]["batch"] == 5
+
+    def test_solver_events_carry_residual_trajectory(self):
+        log = EventLog()
+        run_sweep(_spec(), events=log)
+        solves = [r for r in log.records
+                  if r["kind"] == "solver.fixed_point_batch"]
+        assert solves
+        trajectory = solves[0]["residual_trajectory"]
+        assert len(trajectory) > 1
+        assert trajectory[-1] < trajectory[0]
+
+    def test_path_sink_written_and_closed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        run_sweep(_spec(), events=path)
+        assert "sweep.finish" in path.read_text()
+
+
+class TestAmbientBundle:
+    def test_enclosing_telemetry_block_is_used(self):
+        with obs.telemetry(metrics=True) as tel:
+            result = run_sweep(_spec())
+        assert tel.metrics.counter("sweep.runs") == 1
+        # And the run folded its snapshot into metadata too.
+        assert result.metadata["telemetry"]["counters"]["sweep.runs"] == 1
+
+    def test_explicit_argument_wins_over_ambient(self):
+        explicit = MetricsRegistry()
+        with obs.telemetry(metrics=True) as tel:
+            run_sweep(_spec(), metrics=explicit)
+        assert explicit.counter("sweep.runs") == 1
+        assert tel.metrics.counter("sweep.runs") == 0
+
+
+class TestMetadata:
+    def test_routing_split_always_present(self):
+        result = run_sweep(_spec())
+        assert result.metadata["routing"] == {
+            "cached": 0, "batch": 5, "scalar": 0, "sim": 0
+        }
+
+    def test_scalar_routing(self):
+        result = run_sweep(_spec(), batch=False)
+        assert result.metadata["routing"]["scalar"] == 5
+
+    def test_cache_writes_and_stats(self, tmp_path):
+        result = run_sweep(_spec(), cache=tmp_path)
+        assert result.metadata["cache_writes"] == 5
+        assert result.metadata["cache_stats"]["writes"] == 5
+        again = run_sweep(_spec(), cache=tmp_path)
+        assert again.metadata["cache_writes"] == 0
+        assert again.metadata["cache_hits"] == 5
+
+    def test_summary_mentions_writes_and_routing(self, tmp_path):
+        result = run_sweep(_spec(), cache=tmp_path)
+        text = result.summary()
+        assert "5 write(s)" in text
+        assert "5 batch" in text
+
+    def test_nested_dicts_filtered_from_parameters(self):
+        result = run_sweep(_spec(), metrics=True)
+        params = result.to_experiment_result().parameters
+        assert "telemetry" not in params
+        assert "routing" not in params
+
+
+class TestExecutorTelemetry:
+    def test_serial_executor_utilization(self):
+        reg = MetricsRegistry()
+        run_sweep(_spec(), metrics=reg, batch=False)
+        d = reg.as_dict()
+        assert d["gauges"]["sweep.executor.workers"] == 1.0
+        assert d["counters"]["sweep.executor.tasks"] == 5
+        util = d["stats"]["sweep.executor.utilization"]
+        assert util["count"] >= 1
+        assert 0.0 <= util["mean"] <= 1.5  # timer noise bound, not exact
