@@ -1,0 +1,196 @@
+"""Benchmark: warm-started sweeps vs cold solves on dense AMVA grids.
+
+The warm-start acceptance number: on a dense 1200-point AMVA grid,
+seeding each refinement pass's iterations from neighbouring points'
+converged states (guarded polynomial extrapolation along the primary
+swept axis) must cut the *mean iteration count* by >= 2x, and the warm
+run must also win on wall clock -- the iteration cut has to pay for
+the scheduler's dispatch, not just look good in a counter.
+
+Two grids, because the two AMVA kernels stress opposite regimes:
+
+- ``multiclass-mva`` (Schweitzer) on a near-balanced two-bottleneck
+  network: the undamped Picard iteration converges slowly there
+  (~750 mean iterations cold), so row-iterations dominate wall time
+  and the warm cut translates directly into a >1x wall-clock win.
+  This grid carries both asserts.
+- ``alltoall-model``: the damped LoPC fixed point converges in ~50
+  iterations regardless of parameters, so per-step numpy dispatch
+  dominates and wall clock is a wash by construction; the grid gates
+  the *iteration* cut of the staged single-call pipeline instead.
+
+The gated ``speedup`` ratios are cold-mean-iterations over
+warm-mean-iterations: pure convergence measures, deterministic for the
+fixed grids, so they transfer across runners far better than raw
+timings.  ``extra_info`` also records the wall-clock ratio and the
+seeded/cold split so benchmark JSONs track the full picture across
+PRs.
+"""
+
+import time
+
+import numpy as np
+
+from repro.obs import MetricsRegistry
+from repro.sweep import GridAxis, SweepSpec, run_sweep
+
+_ITERATION_CUT_FLOOR = 2.0
+
+
+def _multiclass_spec():
+    """40 populations x 30 think times, two near-balanced bottlenecks."""
+    pops = tuple(int(n) for n in np.linspace(4, 120, 40).round())
+    thinks = tuple(float(z) for z in np.linspace(0.0, 8.0, 30))
+    return SweepSpec(
+        name="bench/warm-start-multiclass",
+        evaluator="multiclass-mva",
+        base={
+            "N1": 20, "Z1": 1.0,
+            "D0_0": 1.0, "D0_1": 0.95, "D1_0": 0.9, "D1_1": 1.0,
+            "method": "schweitzer",
+        },
+        # Z0 first: the fixed point is analytic in think time, so the
+        # scheduler's polynomial seeds along Z0 are near-exact, while
+        # integer populations make a kinked, poorly-seeding axis.
+        axes=(GridAxis("Z0", thinks), GridAxis("N0", pops)),
+    )
+
+
+def _alltoall_spec():
+    """40 work points x 30 handler times, the Section-5 grid."""
+    works = tuple(float(w) for w in np.linspace(2, 2048, 40))
+    handlers = tuple(float(s) for s in np.linspace(64, 1024, 30))
+    return SweepSpec(
+        name="bench/warm-start-alltoall",
+        evaluator="alltoall-model",
+        base={"P": 32, "St": 40.0, "C2": 0.0},
+        axes=(GridAxis("W", works), GridAxis("So", handlers)),
+    )
+
+
+def _best_of(func, repeats=3):
+    """Min-of-N wall time (and last result) -- the wall-clock ratio must
+    not hinge on one scheduler stall on a noisy CI runner."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _mean_iterations(run, key):
+    registry = MetricsRegistry()
+    run(registry)
+    return registry.as_dict()["stats"][key]["mean"]
+
+
+def _values_matrix(result):
+    return np.array(
+        [[r.values[k] for k in sorted(r.values)] for r in result]
+    )
+
+
+def test_warm_start_iteration_cut(benchmark):
+    """warm_start=True cuts mean AMVA iterations >= 2x AND wins wall clock.
+
+    The near-balanced multi-class network is the kernel-bound regime:
+    ~750 cold Picard iterations per point make row-iterations the cost,
+    so the iteration cut must show up as real elapsed time.
+    """
+    spec = _multiclass_spec()
+    n_points = 1200
+    key = "mva.multiclass.schweitzer.iterations"
+
+    cold_mean = _mean_iterations(
+        lambda reg: run_sweep(spec, metrics=reg), key
+    )
+    warm_mean = _mean_iterations(
+        lambda reg: run_sweep(spec, warm_start=True, metrics=reg), key
+    )
+
+    cold_elapsed, cold = _best_of(lambda: run_sweep(spec), repeats=2)
+    benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs={"warm_start": True},
+        iterations=1,
+        rounds=3,
+    )
+    warm_elapsed, warm = _best_of(lambda: run_sweep(spec, warm_start=True))
+
+    assert np.allclose(
+        _values_matrix(warm), _values_matrix(cold), rtol=1e-8, atol=1e-8
+    )
+    stats = warm.metadata["warm_start"]
+    assert stats["seeded"] + stats["cold"] == n_points
+
+    iteration_cut = cold_mean / warm_mean
+    wall_clock_ratio = cold_elapsed / warm_elapsed
+    benchmark.extra_info["points"] = n_points
+    benchmark.extra_info["cold_mean_iterations"] = cold_mean
+    benchmark.extra_info["warm_mean_iterations"] = warm_mean
+    benchmark.extra_info["seeded_points"] = stats["seeded"]
+    benchmark.extra_info["cold_points"] = stats["cold"]
+    benchmark.extra_info["wall_clock_ratio"] = wall_clock_ratio
+    benchmark.extra_info["speedup"] = iteration_cut
+    assert iteration_cut >= _ITERATION_CUT_FLOOR, (
+        f"warm start cut mean iterations only {iteration_cut:.2f}x "
+        f"({cold_mean:.1f} -> {warm_mean:.1f}; floor "
+        f"{_ITERATION_CUT_FLOOR:.1f}x) on {n_points} points"
+    )
+    assert wall_clock_ratio > 1.0, (
+        f"warm start lost on wall clock ({warm_elapsed:.3f}s warm vs "
+        f"{cold_elapsed:.3f}s cold) despite the "
+        f"{iteration_cut:.2f}x iteration cut"
+    )
+
+
+def test_warm_start_staged_alltoall_cut(benchmark):
+    """The staged single-call pipeline cuts all-to-all iterations >= 2x.
+
+    The damped LoPC fixed point converges in ~50 iterations cold, so
+    wall clock here is dispatch-bound and not asserted; the gate is the
+    staged scheduler's iteration cut and warm/cold value agreement.
+    """
+    spec = _alltoall_spec()
+    n_points = 1200
+    key = "solver.fixed_point_batch.iterations"
+
+    cold_mean = _mean_iterations(
+        lambda reg: run_sweep(spec, metrics=reg), key
+    )
+    warm_mean = _mean_iterations(
+        lambda reg: run_sweep(spec, warm_start=True, metrics=reg), key
+    )
+
+    cold = run_sweep(spec)
+    benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs={"warm_start": True},
+        iterations=1,
+        rounds=3,
+    )
+    warm = run_sweep(spec, warm_start=True)
+
+    assert np.allclose(
+        _values_matrix(warm), _values_matrix(cold), rtol=1e-8, atol=1e-8
+    )
+    stats = warm.metadata["warm_start"]
+    assert stats["seeded"] + stats["cold"] == n_points
+    assert stats["chunks"] == 1, "staged path should dispatch one call"
+
+    iteration_cut = cold_mean / warm_mean
+    benchmark.extra_info["points"] = n_points
+    benchmark.extra_info["cold_mean_iterations"] = cold_mean
+    benchmark.extra_info["warm_mean_iterations"] = warm_mean
+    benchmark.extra_info["seeded_points"] = stats["seeded"]
+    benchmark.extra_info["cold_points"] = stats["cold"]
+    benchmark.extra_info["speedup"] = iteration_cut
+    assert iteration_cut >= _ITERATION_CUT_FLOOR, (
+        f"staged warm start cut mean iterations only {iteration_cut:.2f}x "
+        f"({cold_mean:.1f} -> {warm_mean:.1f}; floor "
+        f"{_ITERATION_CUT_FLOOR:.1f}x) on {n_points} points"
+    )

@@ -143,6 +143,19 @@ class Backend:
     batch:
         Optional vectorized companion over a list of param dicts
         (bit-identical values; the sweep runner's fast path).
+    warm:
+        Optional warm-start companion ``(params_list, seeds) ->
+        (raw_values_list, states_list)``: like ``batch`` but accepting
+        one initial-state array (or ``None`` for a cold start) per
+        point, and returning each point's converged solver state
+        alongside its values so the sweep runner can seed neighbouring
+        points.  Only meaningful alongside ``batch``.
+    staged:
+        Whether ``warm`` additionally accepts a ``stager`` keyword and
+        forwards it to the batched fixed-point solve, so the sweep
+        runner can stage every refinement pass inside one solver call
+        (see :class:`repro.core.solver.solve_fixed_point_batch`).
+        Only meaningful alongside ``warm``.
     """
 
     role: str
@@ -151,6 +164,8 @@ class Backend:
     uses: tuple[str, ...] | None = None
     defaults: Mapping[str, object] = field(default_factory=dict)
     batch: Callable[[Sequence[Mapping[str, object]]], list] | None = None
+    warm: Callable[..., tuple] | None = None
+    staged: bool = False
     doc: str = ""
 
     def __post_init__(self) -> None:
@@ -160,6 +175,17 @@ class Backend:
             )
         if not self.evaluator:
             raise ValueError("backend evaluator name must be non-empty")
+        if self.warm is not None and self.batch is None:
+            raise ValueError(
+                f"backend {self.evaluator!r} declares a warm companion "
+                "without a batch companion; warm-start rides the batch "
+                "fast path"
+            )
+        if self.staged and self.warm is None:
+            raise ValueError(
+                f"backend {self.evaluator!r} declares staged activation "
+                "without a warm companion; staging extends the warm path"
+            )
 
 
 _SCENARIOS: dict[str, type["Scenario"]] = {}

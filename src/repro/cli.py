@@ -7,6 +7,7 @@ Usage::
                            [--seed S] [--cache-dir .lopc-cache]
     lopc-repro run-all [--out results/] [--fast] [--jobs 4] [...]
     lopc-repro sweep spec.json [--jobs 4] [--cache-dir D] [--out results/]
+                               [--warm-start]
     lopc-repro scenario --list
     lopc-repro scenario alltoall --describe
     lopc-repro scenario alltoall P=32 St=40 So=200 W=1000
@@ -150,7 +151,7 @@ def _write_metrics(path: Path, payload: dict) -> None:
 def _sweep_metrics_payload(result) -> dict:
     """The ``--metrics`` file for a sweep: registry + routing + cache."""
     meta = result.metadata
-    return {
+    payload = {
         "spec": meta.get("spec"),
         "evaluator": meta.get("evaluator"),
         "points": meta.get("points"),
@@ -163,6 +164,9 @@ def _sweep_metrics_payload(result) -> dict:
         "elapsed": meta.get("elapsed"),
         "metrics": meta.get("telemetry"),
     }
+    if meta.get("warm_start") is not None:
+        payload["warm_start"] = meta["warm_start"]
+    return payload
 
 
 def _run_sweep_file(args: argparse.Namespace) -> int:
@@ -173,6 +177,7 @@ def _run_sweep_file(args: argparse.Namespace) -> int:
         spec = spec.with_seed(args.seed)
     result = run_sweep(spec, cache=args.cache_dir,
                        jobs=args.jobs if args.jobs is not None else 1,
+                       warm_start=args.warm_start,
                        **_telemetry_kwargs(args))
     print(format_table(result.to_experiment_result()))
     print(f"\n({spec.name}: {result.summary()})\n")
@@ -227,10 +232,17 @@ def _run_scenario(args: argparse.Namespace,
                 "with --sweep seed=...; drop one of the two"
             )
 
+    if args.warm_start and not axes:
+        parser.error(
+            "--warm-start seeds solves from neighbouring sweep points; "
+            "it needs at least one --sweep axis"
+        )
+
     if axes:
         study = sc.study(jobs=args.jobs if args.jobs is not None else 1,
                          cache=args.cache_dir, seed=args.seed, **axes)
-        result = study.run(args.backend, **_telemetry_kwargs(args))
+        result = study.run(args.backend, warm_start=args.warm_start,
+                           **_telemetry_kwargs(args))
         print(format_table(result.to_experiment_result()))
         print(f"\n({result.spec_name}: {result.summary()})\n")
         if args.metrics is not None:
@@ -308,6 +320,12 @@ def _run_stats(args: argparse.Namespace) -> int:
             f"{count} {route}" for route, count in sorted(routing.items())
             if count
         ))
+    warm = data.get("warm_start")
+    if warm:
+        print(
+            f"warm-start: {warm.get('seeded', 0)} seeded / "
+            f"{warm.get('cold', 0)} cold over {warm.get('chunks', 0)} chunk(s)"
+        )
     if not isinstance(registry, dict) or not any(
         registry.get(k) for k in ("counters", "gauges", "stats", "timers")
     ):
@@ -400,6 +418,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="spec-level seed (derives per-point seeds)")
     sweep_p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                          help="content-addressed result cache directory")
+    sweep_p.add_argument("--warm-start", action="store_true",
+                         help="seed each solve from neighbouring sweep "
+                              "points (same results and cache keys, "
+                              "fewer solver iterations)")
     _add_telemetry_options(sweep_p)
 
     scenario_p = sub.add_parser(
@@ -433,6 +455,10 @@ def main(argv: list[str] | None = None) -> int:
     scenario_p.add_argument("--cache-dir", type=Path, default=None,
                             metavar="DIR",
                             help="content-addressed result cache directory")
+    scenario_p.add_argument("--warm-start", action="store_true",
+                            help="seed each solve from neighbouring sweep "
+                                 "points (same results and cache keys, "
+                                 "fewer solver iterations)")
     scenario_p.add_argument("--out", type=Path, default=None,
                             help="directory for the .csv (study) or "
                                  ".json (single point) export")

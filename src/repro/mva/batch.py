@@ -236,6 +236,34 @@ def batch_exact_mva(
 # ---------------------------------------------------------------------------
 # Approximate MVA (Bard / Schweitzer)
 # ---------------------------------------------------------------------------
+def _overlay_seeds(
+    queues: np.ndarray,
+    x0: np.ndarray | None,
+    eligible: np.ndarray | None = None,
+) -> np.ndarray | None:
+    """Overlay finite warm-start rows of ``x0`` onto ``queues`` in place.
+
+    Returns the per-point seeded mask (None when ``x0`` is None).  A row
+    of ``x0`` with any non-finite entry keeps the kernel's cold start,
+    as does any row outside ``eligible`` (points solved in closed form
+    never consume a seed).
+    """
+    if x0 is None:
+        return None
+    seeds = np.asarray(x0, dtype=float)
+    if seeds.shape != queues.shape:
+        raise ValueError(
+            f"x0 shape {seeds.shape} does not match {queues.shape}"
+        )
+    point_axes = tuple(range(1, queues.ndim))
+    seeded = np.all(np.isfinite(seeds), axis=point_axes)
+    if eligible is not None:
+        seeded &= eligible
+    if seeded.any():
+        queues[seeded] = seeds[seeded]
+    return seeded
+
+
 def _batch_amva(
     demands: Sequence[Sequence[float]] | np.ndarray,
     populations: int | Sequence[int] | np.ndarray,
@@ -244,6 +272,7 @@ def _batch_amva(
     method: str,
     tol: float,
     max_iter: int,
+    x0: np.ndarray | None = None,
 ) -> BatchMVAResult:
     demand_arr, pops, thinks, _, is_queueing = _normalize_batch(
         demands, populations, think_times, kinds
@@ -257,11 +286,14 @@ def _batch_amva(
     else:  # pragma: no cover - internal dispatch
         raise ValueError(f"unknown AMVA method {method!r}")
 
-    # Same start as the scalar solver: even split over queueing centres.
+    # Same start as the scalar solver: even split over queueing centres,
+    # unless a warm-start row was supplied (population-0 points keep the
+    # closed-form zero solution regardless).
     n_queueing = max(int(is_queueing.sum()), 1)
     queues = np.where(
         is_queueing, pops[:, np.newaxis] / n_queueing, 0.0
     )
+    seeded = _overlay_seeds(queues, x0, eligible=pops > 0)
     responses = demand_arr.copy()
     throughput = np.zeros(n_points)
     cycle_time = thinks.copy()
@@ -309,7 +341,7 @@ def _batch_amva(
     tel = _obs_context.active()
     if tel is not None:
         observe_batch_solve(
-            tel, f"mva.batch.{method}", iterations, converged
+            tel, f"mva.batch.{method}", iterations, converged, seeded=seeded
         )
     return result
 
@@ -321,6 +353,7 @@ def batch_bard_amva(
     kinds: Sequence[str] | None = None,
     tol: float = 1e-12,
     max_iter: int = 100_000,
+    x0: np.ndarray | None = None,
 ) -> BatchMVAResult:
     """Bard AMVA over a batch of networks: one masked fixed point.
 
@@ -328,9 +361,16 @@ def batch_bard_amva(
     :func:`repro.mva.amva.bard_amva` solve would stop, so the batch
     result matches the scalar result exactly (same elementwise updates,
     same stopping rule, defaults included).
+
+    ``x0`` optionally warm-starts points from a ``(points, centres)``
+    queue-length array; a row with any non-finite entry (conventionally
+    ``nan``) keeps the cold even-split start, so seeded and cold points
+    mix freely in one call.  Seeding changes iteration counts, not the
+    fixed point (within ``tol``).
     """
     return _batch_amva(
-        demands, populations, think_times, kinds, "bard", tol, max_iter
+        demands, populations, think_times, kinds, "bard", tol, max_iter,
+        x0=x0,
     )
 
 
@@ -341,10 +381,15 @@ def batch_schweitzer_amva(
     kinds: Sequence[str] | None = None,
     tol: float = 1e-12,
     max_iter: int = 100_000,
+    x0: np.ndarray | None = None,
 ) -> BatchMVAResult:
-    """Schweitzer AMVA over a batch: arrival factor ``(N_p - 1)/N_p``."""
+    """Schweitzer AMVA over a batch: arrival factor ``(N_p - 1)/N_p``.
+
+    ``x0`` warm-starts per point exactly as in :func:`batch_bard_amva`.
+    """
     return _batch_amva(
-        demands, populations, think_times, kinds, "schweitzer", tol, max_iter
+        demands, populations, think_times, kinds, "schweitzer", tol, max_iter,
+        x0=x0,
     )
 
 
@@ -610,6 +655,7 @@ def batch_multiclass_amva(
     method: str = "bard",
     tol: float = 1e-12,
     max_iter: int = 100_000,
+    x0: np.ndarray | None = None,
 ) -> BatchMultiClassMVAResult:
     """Multi-class AMVA over a batch: one masked fixed point.
 
@@ -617,6 +663,11 @@ def batch_multiclass_amva(
     :func:`repro.mva.multiclass.multiclass_amva` solve would stop, so
     the batch result matches the scalar result exactly (same elementwise
     updates, same stopping rule, defaults included).
+
+    ``x0`` optionally warm-starts points from a
+    ``(points, classes, centres)`` class-queue array (a neighbouring
+    solve's ``class_queue_lengths``); rows with any non-finite entry
+    keep the cold even-split start.
     """
     if method not in ("bard", "schweitzer"):
         raise ValueError(
@@ -631,6 +682,7 @@ def batch_multiclass_amva(
 
     n_queueing = max(int(is_queueing.sum()), 1)
     queues = np.where(is_queueing, pop_f[:, :, None] / n_queueing, 0.0)
+    seeded = _overlay_seeds(queues, x0)
     self_factor = np.where(
         active_classes, (pop_f - 1.0) / np.maximum(pop_f, 1.0), 0.0
     )
@@ -689,6 +741,7 @@ def batch_multiclass_amva(
     tel = _obs_context.active()
     if tel is not None:
         observe_batch_solve(
-            tel, f"mva.multiclass.{method}", iterations, converged
+            tel, f"mva.multiclass.{method}", iterations, converged,
+            seeded=seeded,
         )
     return result
