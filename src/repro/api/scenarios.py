@@ -41,6 +41,7 @@ from repro.core.client_server import (
     solve_workpile_batch,
     workpile_bounds_batch,
 )
+from repro.core.general import GeneralLoPCModel, solve_general_batch
 from repro.core.logp import LogPModel
 from repro.core.nonblocking import NonBlockingModel
 from repro.core.params import AlgorithmParams, LoPCParams, MachineParams
@@ -52,11 +53,13 @@ from repro.sim.machine import MachineConfig
 
 __all__ = [
     "AllToAllScenario",
+    "GeneralScenario",
     "MultiClassScenario",
     "NonBlockingScenario",
     "SCENARIO_CLASSES",
     "SharedMemoryScenario",
     "WorkpileScenario",
+    "general_network_from_params",
     "machine_from_params",
 ]
 
@@ -762,6 +765,134 @@ class MultiClassScenario(Scenario):
 
 
 # ---------------------------------------------------------------------------
+# General visit-matrix LoPC (paper Appendix A)
+# ---------------------------------------------------------------------------
+def general_network_from_params(
+    params: Mapping[str, object],
+) -> tuple[list[float | None], np.ndarray]:
+    """Decode an Appendix-A network from flat sweep parameters.
+
+    Threads and nodes are encoded as JSON scalars so arbitrary
+    topologies stay sweepable and cacheable: per-thread works ``W{c}``
+    (omitting ``W{c}`` leaves thread ``c`` passive -- a pure server)
+    and visit ratios ``V{c}_{k}`` -- the mean request-handler visits
+    thread ``c``'s cycle makes to node ``k`` (omitted entries are 0).
+    Structural validation (zero diagonal, passive rows empty, at least
+    one active thread) is :class:`GeneralLoPCModel`'s, so the facade and
+    direct model construction reject exactly the same networks.
+    """
+    p = int(params["P"])
+    works: list[float | None] = [None] * p
+    visits = np.zeros((p, p))
+    for key, value in params.items():
+        match = re.fullmatch(r"W(\d+)", key)
+        if match is not None:
+            c = int(match.group(1))
+            if c >= p:
+                raise ValueError(
+                    f"general param {key!r} names thread {c}, but P={p} "
+                    f"defines threads 0..{p - 1}"
+                )
+            works[c] = float(value)  # type: ignore[call-overload]
+            continue
+        match = re.fullmatch(r"V(\d+)_(\d+)", key)
+        if match is not None:
+            c, k = int(match.group(1)), int(match.group(2))
+            if c >= p or k >= p:
+                raise ValueError(
+                    f"general param {key!r} names node {max(c, k)}, but "
+                    f"P={p} defines nodes 0..{p - 1}"
+                )
+            visits[c, k] = float(value)  # type: ignore[call-overload]
+    return works, visits
+
+
+def _general_model_from_params(
+    params: Mapping[str, object],
+) -> GeneralLoPCModel:
+    works, visits = general_network_from_params(params)
+    return GeneralLoPCModel(
+        machine_from_params(params),
+        works,
+        visits,
+        protocol_processor=bool(params.get("protocol_processor", False)),
+    )
+
+
+def _general_values(sol) -> dict[str, object]:
+    """The ``general-model`` value columns of one :class:`GeneralSolution`.
+
+    Passive threads have no cycle, so ``R{c}``/``X{c}`` columns exist
+    for active threads only; the per-node handler figures (``Uq{k}``,
+    ``Qq{k}``) cover every node.
+    """
+    values: dict[str, object] = {"X": sol.system_throughput}
+    for c in np.flatnonzero(sol.active):
+        values[f"R{int(c)}"] = float(sol.response_times[c])
+        values[f"X{int(c)}"] = float(sol.throughputs[c])
+    for k in range(sol.request_utilizations.size):
+        values[f"Uq{k}"] = float(sol.request_utilizations[k])
+        values[f"Qq{k}"] = float(sol.request_queues[k])
+    values["_iterations"] = int(sol.meta["iterations"])
+    return values
+
+
+def _general_model(params: Mapping[str, object]) -> dict[str, object]:
+    return _general_values(_general_model_from_params(params).solve())
+
+
+def _general_model_batch(
+    params_list: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    # solve_general_batch requires one shared node count P; a sweep that
+    # crosses P becomes one masked batch call per P group, in order.
+    models = [_general_model_from_params(p) for p in params_list]
+    groups: dict[int, list[int]] = {}
+    for i, model in enumerate(models):
+        groups.setdefault(model.machine.processors, []).append(i)
+    out: list[dict[str, object] | None] = [None] * len(models)
+    for indices in groups.values():
+        solutions = solve_general_batch([models[i] for i in indices])
+        for j, i in enumerate(indices):
+            out[i] = _general_values(solutions[j])
+    return out  # type: ignore[return-value]
+
+
+class GeneralScenario(Scenario):
+    """General visit-matrix LoPC network (paper Appendix A).
+
+    Each of the ``P`` nodes hosts one thread with its own work ``W{c}``
+    between blocking requests and its own visit ratios ``V{c}_{k}``;
+    rows may sum past 1 (multi-hop forwarding) and threads without a
+    ``W{c}`` are passive servers.  The homogeneous all-to-all and the
+    workpile are exact special cases.  Analytic only -- this is the
+    facade for every topology the fixed workloads cannot express.
+    """
+
+    name = "general"
+    title = "general visit-matrix LoPC network (Appendix A)"
+    schema = _MACHINE_PARAMS + (
+        Param("protocol_processor", bool, default=False,
+              doc="handlers on dedicated protocol processors (Rw = W)"),
+        ParamFamily("W{c}", r"W\d+", float,
+                    "work of thread c between requests (omit = passive)"),
+        ParamFamily("V{c}_{k}", r"V\d+_\d+", float,
+                    "visit ratio of thread c to node k (omit = 0)"),
+    )
+    backends = (
+        Backend(
+            role="analytic",
+            evaluator="general-model",
+            func=_general_model,
+            uses=None,  # the whole schema, families included
+            defaults={"protocol_processor": False},
+            batch=_general_model_batch,
+            doc="Appendix-A AMVA over an arbitrary visit matrix",
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Non-blocking all-to-all (thesis Chapter 7 extension)
 # ---------------------------------------------------------------------------
 def _nonblocking_window(params: Mapping[str, object]) -> float:
@@ -868,5 +999,6 @@ SCENARIO_CLASSES: tuple[type[Scenario], ...] = (
     SharedMemoryScenario,
     WorkpileScenario,
     MultiClassScenario,
+    GeneralScenario,
     NonBlockingScenario,
 )

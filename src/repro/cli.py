@@ -16,6 +16,9 @@ Usage::
     lopc-repro scenario alltoall --sweep W=2,32,512 ... \\
                         --metrics m.json --progress
     lopc-repro stats m.json
+    lopc-repro fuzz [--points 2000] [--seed S] [--scenario NAME ...]
+                    [--budget SECONDS] [--report FILE] [--corpus DIR]
+                    [--sim-points N] [--no-shrink]
 
 ``--fast`` shrinks simulation lengths (for smoke testing); published
 numbers should use the defaults.  With ``--out``, each experiment writes
@@ -41,6 +44,12 @@ notation, pick a backend (``analytic`` default, ``bounds``, ``sim``),
 and optionally sweep axes with ``--sweep KEY=V1,V2,...`` (repeatable;
 multiple axes cross-product, sharing the sweep cache with the figure
 experiments).
+
+``fuzz`` runs a property-based campaign (:mod:`repro.fuzz`): thousands
+of seeded random networks through the batch kernels with bulk invariant
+checks, a sampled simulation cross-check, shrinking of failures to
+minimal params, and an optional JSON report / repro-case corpus for CI.
+Exit code 1 means at least one invariant violated.
 """
 
 from __future__ import annotations
@@ -285,6 +294,44 @@ def _run_scenario(args: argparse.Namespace,
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(
+        points=args.points,
+        seed=args.seed,
+        scenarios=args.scenario or None,
+        sim_points=args.sim_points,
+        budget=args.budget,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus,
+        report_path=args.report,
+    )
+    width = max((len(n) for n in report.scenarios), default=8)
+    for name, entry in report.scenarios.items():
+        print(f"  {name:<{width}}  {entry['checked']:>6} checked  "
+              f"{entry['rejected']:>4} rejected  "
+              f"{entry['violations']:>4} violation(s)")
+    if report.sim_checked:
+        print(f"  {'sim':<{width}}  {report.sim_checked:>6} checked")
+    print(
+        f"fuzz seed={report.seed}: {report.checked} point(s) checked, "
+        f"{report.rejected} rejected, {report.total_violations} "
+        f"violation(s) in {report.elapsed:.1f}s "
+        f"({report.points_per_second:.0f} points/s)"
+        + (" [budget exhausted]" if report.budget_exhausted else "")
+    )
+    for case in report.cases:
+        print(f"  VIOLATION {case['scenario']}/{case['invariant']}: "
+              f"{case['message']}")
+        print(f"    minimal params: {case['params']}")
+    if args.report is not None:
+        print(f"report written to {args.report}")
+    if args.corpus is not None and report.cases:
+        print(f"repro cases written to {args.corpus}")
+    return 0 if report.ok else 1
+
+
 def _render_stats_section(title: str, rows: list[tuple[str, str]]) -> None:
     if not rows:
         return
@@ -470,6 +517,34 @@ def main(argv: list[str] | None = None) -> int:
     stats_p.add_argument("metrics_file", type=Path,
                          help="file written by --metrics")
 
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="bulk-validate model invariants over random networks "
+             "(property-based fuzzing; exit 1 on violation)",
+    )
+    fuzz_p.add_argument("--points", type=int, default=2000, metavar="N",
+                        help="analytic points to generate and check "
+                             "(default: 2000)")
+    fuzz_p.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="master seed; point j of scenario s depends "
+                             "only on (s, S, j), so any failure replays "
+                             "(default: 0)")
+    fuzz_p.add_argument("--scenario", action="append", metavar="NAME",
+                        help="restrict to one scenario (repeatable; "
+                             "default: all with an invariant suite)")
+    fuzz_p.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="soft wall-clock limit; stops between chunks")
+    fuzz_p.add_argument("--report", type=Path, default=None, metavar="FILE",
+                        help="write the campaign report as JSON")
+    fuzz_p.add_argument("--corpus", type=Path, default=None, metavar="DIR",
+                        help="write shrunken repro-case files here")
+    fuzz_p.add_argument("--sim-points", type=int, default=12, metavar="N",
+                        help="sampled simulation cross-checks (default: 12; "
+                             "0 disables)")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report raw failing params without shrinking")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -498,6 +573,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stats":
         return _run_stats(args)
+
+    if args.command == "fuzz":
+        return _run_fuzz(args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -1,0 +1,64 @@
+"""Property-based scenario fuzzing for the LoPC reproduction.
+
+The fuzzer treats the paper's structural truths -- bounds bracket the
+model, Little's law holds, approximations stay ordered, batch kernels
+match scalar solves -- as *properties* asserted over thousands of
+random networks per run, not figures inspected once.  It is CI-gated:
+the PR leg checks ~1,500 analytic points plus a sampled simulation
+subset in seconds, the nightly leg runs ~20,000 points under a fresh
+seed, and every failure ships as a shrunken, self-contained JSON repro
+case that the test suite replays forever after.
+
+Layout:
+
+* :mod:`repro.fuzz.generators` -- seeded random parameter streams, one
+  generator per registered scenario, prefix-stable per (scenario,
+  seed, index);
+* :mod:`repro.fuzz.invariants` -- bulk checking through the batch
+  kernels with per-point predicates shared with the scalar replay path;
+* :mod:`repro.fuzz.shrinker` -- greedy minimisation of failing points;
+* :mod:`repro.fuzz.cases` -- the JSON repro-case format and corpus
+  loader;
+* :mod:`repro.fuzz.runner` -- the campaign driver behind
+  ``lopc-repro fuzz`` and the CI job.
+"""
+
+from repro.fuzz.cases import CASE_FORMAT, ReproCase, load_corpus, replay
+from repro.fuzz.generators import (
+    FUZZ_SCENARIOS,
+    generate_points,
+    generate_stream,
+)
+from repro.fuzz.invariants import (
+    CHECKED_SCENARIOS,
+    PointResult,
+    ScenarioReport,
+    Violation,
+    check_point,
+    check_scenario,
+    check_sim_point,
+)
+from repro.fuzz.runner import FuzzReport, derive_point_seed, run_fuzz
+from repro.fuzz.shrinker import ShrinkResult, shrink_case
+
+__all__ = [
+    "CASE_FORMAT",
+    "CHECKED_SCENARIOS",
+    "FUZZ_SCENARIOS",
+    "FuzzReport",
+    "PointResult",
+    "ReproCase",
+    "ScenarioReport",
+    "ShrinkResult",
+    "Violation",
+    "check_point",
+    "check_scenario",
+    "check_sim_point",
+    "derive_point_seed",
+    "generate_points",
+    "generate_stream",
+    "load_corpus",
+    "replay",
+    "run_fuzz",
+    "shrink_case",
+]

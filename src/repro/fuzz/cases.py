@@ -1,0 +1,139 @@
+"""Self-contained JSON repro cases for fuzzer failures.
+
+A case file carries everything needed to re-fail (or confirm fixed) a
+point with no access to the run that found it: the scenario, the
+(shrunken) params, the violated invariant, the observed figures at
+failure time, and the master seed of the originating run.  The corpus
+under ``tests/fuzz/corpus`` replays every committed case in the fast
+test gate, which is how yesterday's fuzz failure becomes tomorrow's
+regression test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.fuzz.invariants import PointResult, Violation, check_point
+
+__all__ = [
+    "CASE_FORMAT",
+    "ReproCase",
+    "load_corpus",
+    "replay",
+]
+
+#: Format tag embedded in every case file; bump on breaking changes so
+#: stale corpus files fail loudly instead of replaying garbage.
+CASE_FORMAT = "lopc-fuzz-case/1"
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One failing (or once-failing) fuzz point, ready to replay."""
+
+    scenario: str
+    params: dict
+    invariant: str
+    message: str
+    observed: dict = field(default_factory=dict)
+    seed: int | None = None
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_violation(
+        cls,
+        violation: Violation,
+        *,
+        seed: int | None = None,
+        meta: Mapping[str, object] | None = None,
+    ) -> "ReproCase":
+        return cls(
+            scenario=violation.scenario,
+            params=dict(violation.params),
+            invariant=violation.invariant,
+            message=violation.message,
+            observed=dict(violation.observed),
+            seed=seed,
+            meta=dict(meta or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CASE_FORMAT,
+            "scenario": self.scenario,
+            "invariant": self.invariant,
+            "params": self.params,
+            "message": self.message,
+            "observed": self.observed,
+            "seed": self.seed,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ReproCase":
+        fmt = payload.get("format")
+        if fmt != CASE_FORMAT:
+            raise ValueError(
+                f"unsupported repro-case format {fmt!r} "
+                f"(expected {CASE_FORMAT!r})"
+            )
+        return cls(
+            scenario=str(payload["scenario"]),
+            params=dict(payload["params"]),
+            invariant=str(payload["invariant"]),
+            message=str(payload.get("message", "")),
+            observed=dict(payload.get("observed", {})),
+            seed=payload.get("seed"),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproCase":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        canonical = json.dumps(
+            {"scenario": self.scenario, "invariant": self.invariant,
+             "params": self.params},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:8]
+
+    def filename(self) -> str:
+        return f"{self.scenario}-{self.invariant}-{self.digest()}.json"
+
+    def save(self, directory: Path | str) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename()
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "ReproCase":
+        return cls.from_json(Path(path).read_text())
+
+
+def load_corpus(directory: Path | str) -> Iterator[tuple[Path, ReproCase]]:
+    """Yield ``(path, case)`` for every case file under ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, ReproCase.load(path)
+
+
+def replay(case: ReproCase) -> PointResult:
+    """Re-check a case through the scalar path.
+
+    An empty ``violations`` list means the bug the case pinned is fixed
+    (and stayed fixed); the corpus test asserts exactly that.
+    """
+    return check_point(case.scenario, case.params)

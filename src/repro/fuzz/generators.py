@@ -1,0 +1,247 @@
+"""Seeded random scenario generators for the property fuzzer.
+
+Each registered scenario gets a generator that draws one flat params
+dict -- the exact mapping :func:`repro.api.scenario` and the sweep
+evaluators accept, JSON scalars only, so every generated point is also
+a valid repro-case file.
+
+Determinism contract: point ``j`` of scenario ``s`` under master seed
+``S`` depends *only* on ``(s, S, j)`` -- each point derives its own
+:class:`numpy.random.Generator` from that triple.  Requesting more
+points, fewer scenarios, or a different mix never changes the points
+you already saw (prefix stability), which is what makes "replay seed S
+point j" a meaningful bug report.
+
+Parameter ranges deliberately overshoot the paper's operating points
+(``P`` to 256, ``So``/``St`` to 1000 cycles, ``W`` from the pathological
+0 up to 20000) while staying inside each model's validity domain;
+general-scenario topologies can still saturate a handler, which the
+checkers count as a clean rejection, not a failure.  ``C2`` is drawn
+from a small palette so the lru-cached rule-of-thumb constant
+``kappa(C2)`` serves whole runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FUZZ_SCENARIOS",
+    "generate_points",
+    "generate_stream",
+]
+
+#: Root of the fuzzer's seed-derivation tree ("LoPC" in ASCII) --
+#: decouples fuzz streams from every other consumer of the master seed.
+_DOMAIN = 0x4C6F5043
+
+#: Handler-variability palette: the paper's deterministic/exponential
+#: anchors plus hypo- and hyper-exponential extremes.
+_C2_PALETTE = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+def _rng_for(scenario: str, seed: int, index: int) -> np.random.Generator:
+    salt = FUZZ_SCENARIOS.index(scenario)
+    return np.random.default_rng((_DOMAIN, int(seed), salt, int(index)))
+
+
+def _log_uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+def _round(value: float, digits: int = 3) -> float:
+    """Round for readable repro files (validity is range-, not
+    precision-sensitive)."""
+    return float(round(value, digits))
+
+
+def _machine(rng: np.random.Generator, *, max_p: int = 256) -> dict[str, object]:
+    return {
+        "P": max(2, int(round(2.0 ** rng.uniform(1.0, np.log2(max_p))))),
+        "St": 0.0 if rng.random() < 0.2 else _round(_log_uniform(rng, 1.0, 1000.0)),
+        "So": _round(_log_uniform(rng, 1.0, 1000.0)),
+        "C2": float(_C2_PALETTE[rng.integers(len(_C2_PALETTE))]),
+    }
+
+
+def _work(rng: np.random.Generator) -> float:
+    # W = 0 is the paper's hardest point (pure contention); visit it often.
+    return 0.0 if rng.random() < 0.15 else _round(_log_uniform(rng, 1.0, 20000.0))
+
+
+def _gen_alltoall(rng: np.random.Generator) -> dict[str, object]:
+    params = _machine(rng)
+    params["W"] = _work(rng)
+    return params
+
+
+def _gen_sharedmem(rng: np.random.Generator) -> dict[str, object]:
+    params = _machine(rng)
+    params["W"] = _work(rng)
+    return params
+
+
+def _gen_workpile(rng: np.random.Generator) -> dict[str, object]:
+    params = _machine(rng, max_p=128)
+    params["Ps"] = int(rng.integers(1, int(params["P"])))
+    params["W"] = _work(rng)
+    return params
+
+
+def _gen_multiclass(rng: np.random.Generator) -> dict[str, object]:
+    n_classes = int(rng.integers(1, 4))
+    n_centers = int(rng.integers(1, 5))
+    params: dict[str, object] = {}
+    for c in range(n_classes):
+        params[f"N{c}"] = int(rng.integers(1, 7))
+        if rng.random() < 0.5:
+            params[f"Z{c}"] = _round(_log_uniform(rng, 1.0, 200.0))
+        for k in range(n_centers):
+            params[f"D{c}_{k}"] = _round(_log_uniform(rng, 0.05, 10.0), 4)
+    if n_centers > 1 and rng.random() < 0.4:
+        # Mixed station kinds; keep at least one queueing centre so the
+        # network still has contention to model.
+        kinds = ["queueing"] + [
+            "delay" if rng.random() < 0.5 else "queueing"
+            for _ in range(n_centers - 1)
+        ]
+        params["kinds"] = ",".join(kinds)
+    return params
+
+
+def _gen_general(rng: np.random.Generator) -> dict[str, object]:
+    params = _machine(rng, max_p=16)
+    p = max(3, int(params["P"]))
+    params["P"] = p
+    so = float(params["So"])
+    if rng.random() < 0.25:
+        params["protocol_processor"] = True
+    pattern = ("alltoall", "clientserver", "ring", "sparse")[rng.integers(4)]
+    # Work scales with the per-node arrival pressure of the pattern so
+    # most topologies stay feasible (Uq < 1); the low end of the load
+    # factor intentionally brushes saturation, which the model rejects
+    # cleanly and the checkers count as a rejection.
+    if pattern == "alltoall":
+        ratio = _round(1.0 / (p - 1), 6)
+        for c in range(p):
+            params[f"W{c}"] = _round(so * _log_uniform(rng, 1.2, 25.0))
+            for k in range(p):
+                if k != c:
+                    params[f"V{c}_{k}"] = ratio
+    elif pattern == "clientserver":
+        servers = int(rng.integers(1, p))
+        clients = p - servers
+        ratio = _round(1.0 / servers, 6)
+        for c in range(servers, p):
+            params[f"W{c}"] = _round(
+                so * (clients / servers) * _log_uniform(rng, 1.2, 25.0)
+            )
+            for k in range(servers):
+                params[f"V{c}_{k}"] = ratio
+    elif pattern == "ring":
+        hops = int(rng.integers(1, min(4, p)))
+        for c in range(p):
+            params[f"W{c}"] = _round(so * hops * _log_uniform(rng, 1.2, 25.0))
+            for h in range(1, hops + 1):
+                params[f"V{c}_{(c + h) % p}"] = 1.0
+    else:  # sparse random digraph, some threads passive
+        active = [c for c in range(p) if rng.random() < 0.8]
+        if not active:
+            active = [int(rng.integers(p))]
+        for c in active:
+            degree = int(rng.integers(1, min(4, p)))
+            targets = rng.choice(
+                [k for k in range(p) if k != c], size=degree, replace=False
+            )
+            row_sum = 0.0
+            for k in targets:
+                ratio = _round(rng.uniform(0.2, 1.5))
+                params[f"V{c}_{int(k)}"] = ratio
+                row_sum += ratio
+            params[f"W{c}"] = _round(so * row_sum * _log_uniform(rng, 1.5, 30.0))
+    return params
+
+
+def _gen_nonblocking(rng: np.random.Generator) -> dict[str, object]:
+    params = _machine(rng, max_p=64)
+    if rng.random() < 0.3:
+        # Unbounded window (k=0) requires W > 2 So or the node saturates.
+        params["k"] = 0.0
+        params["W"] = _round(
+            float(params["So"]) * (2.0 + _log_uniform(rng, 0.05, 10.0))
+        )
+    else:
+        params["k"] = float(rng.integers(1, 17))
+        params["W"] = _work(rng)
+    return params
+
+
+_GENERATORS = {
+    "alltoall": _gen_alltoall,
+    "sharedmem": _gen_sharedmem,
+    "workpile": _gen_workpile,
+    "multiclass": _gen_multiclass,
+    "general": _gen_general,
+    "nonblocking": _gen_nonblocking,
+}
+
+#: Scenarios the fuzzer knows how to generate, in stream order.
+FUZZ_SCENARIOS: tuple[str, ...] = tuple(_GENERATORS)
+
+#: Default point allocation across scenarios (renormalised over any
+#: ``--scenario`` subset).  Nonblocking is scalar-solved, so it gets
+#: the smallest share.
+_WEIGHTS = {
+    "alltoall": 0.22,
+    "sharedmem": 0.13,
+    "workpile": 0.20,
+    "multiclass": 0.20,
+    "general": 0.15,
+    "nonblocking": 0.10,
+}
+
+
+def generate_points(
+    scenario: str, count: int, seed: int
+) -> list[dict[str, object]]:
+    """``count`` deterministic random parameter dicts for ``scenario``."""
+    if scenario not in _GENERATORS:
+        known = ", ".join(FUZZ_SCENARIOS)
+        raise KeyError(f"no fuzz generator for {scenario!r}; known: {known}")
+    generator = _GENERATORS[scenario]
+    return [
+        generator(_rng_for(scenario, seed, index)) for index in range(count)
+    ]
+
+
+def generate_stream(
+    points: int,
+    seed: int,
+    scenarios: Sequence[str] | None = None,
+) -> list[tuple[str, Mapping[str, object]]]:
+    """A mixed ``(scenario, params)`` stream of roughly ``points`` points.
+
+    Allocation follows the default weights (largest-remainder rounding,
+    so the counts sum exactly to ``points``); pass ``scenarios`` to
+    restrict the mix, weights renormalised.
+    """
+    names = list(scenarios) if scenarios else list(FUZZ_SCENARIOS)
+    for name in names:
+        if name not in _GENERATORS:
+            known = ", ".join(FUZZ_SCENARIOS)
+            raise KeyError(f"no fuzz generator for {name!r}; known: {known}")
+    total_weight = sum(_WEIGHTS[name] for name in names)
+    quotas = [points * _WEIGHTS[name] / total_weight for name in names]
+    counts = [int(q) for q in quotas]
+    remainders = sorted(
+        range(len(names)), key=lambda i: quotas[i] - counts[i], reverse=True
+    )
+    for i in remainders[: points - sum(counts)]:
+        counts[i] += 1
+    stream: list[tuple[str, Mapping[str, object]]] = []
+    for name, count in zip(names, counts):
+        for params in generate_points(name, count, seed):
+            stream.append((name, params))
+    return stream

@@ -1,0 +1,254 @@
+"""The fuzzing campaign driver: generate, bulk-check, shrink, report.
+
+One :func:`run_fuzz` call is one campaign: a deterministic mixed stream
+of scenario points (see :mod:`repro.fuzz.generators`), bulk invariant
+checks through the batch kernels (:mod:`repro.fuzz.invariants`), a
+small sampled-simulation cross-check, shrinking of whatever failed
+(:mod:`repro.fuzz.shrinker`), and a JSON report plus repro-case files
+for CI to upload.  The CLI ``fuzz`` subcommand and the CI job are thin
+wrappers over this function.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.fuzz.cases import ReproCase
+from repro.fuzz.generators import FUZZ_SCENARIOS, generate_stream
+from repro.fuzz.invariants import (
+    ScenarioReport,
+    Violation,
+    check_scenario,
+    check_sim_point,
+)
+from repro.fuzz.shrinker import shrink_case
+
+__all__ = ["FuzzReport", "derive_point_seed", "run_fuzz"]
+
+#: Points per bulk-check chunk.  Chunking bounds how much work a budget
+#: deadline can overshoot by and keeps batch working sets cache-sized.
+_CHUNK = 500
+
+#: Simulated cross-check points use at most this many processors (sim
+#: cost scales with P x cycles) ...
+_SIM_MAX_P = 32
+
+#: ... and, for workpile, at least this many clients: a 1-customer
+#: closed network has no queueing for the model's residual-life term to
+#: model, so model-vs-sim error there says nothing about correctness.
+_SIM_MIN_CLIENTS = 2
+
+
+def derive_point_seed(master_seed: int, params: Mapping[str, object]) -> int:
+    """A stable per-point simulator seed from the campaign seed."""
+    canonical = json.dumps(dict(params), sort_keys=True, default=str)
+    digest = hashlib.sha256(f"{master_seed}:{canonical}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign learned, JSON-serialisable for CI."""
+
+    seed: int
+    requested: int
+    checked: int = 0
+    rejected: int = 0
+    sim_checked: int = 0
+    elapsed: float = 0.0
+    points_per_second: float = 0.0
+    budget_exhausted: bool = False
+    scenarios: dict = field(default_factory=dict)
+    invariant_counts: dict = field(default_factory=dict)
+    violation_counts: dict = field(default_factory=dict)
+    cases: list = field(default_factory=list)  # ReproCase dicts
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.violation_counts.values())
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "lopc-fuzz-report/1",
+            "ok": self.ok,
+            "seed": self.seed,
+            "requested": self.requested,
+            "checked": self.checked,
+            "rejected": self.rejected,
+            "sim_checked": self.sim_checked,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "points_per_second": round(self.points_per_second, 1),
+            "budget_exhausted": self.budget_exhausted,
+            "scenarios": self.scenarios,
+            "invariant_counts": self.invariant_counts,
+            "violation_counts": self.violation_counts,
+            "cases": self.cases,
+        }
+
+    def save(self, path: Path | str) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+
+def _fold_scenario(report: FuzzReport, scenario: ScenarioReport) -> None:
+    entry = report.scenarios.setdefault(
+        scenario.scenario,
+        {"checked": 0, "rejected": 0, "violations": 0},
+    )
+    entry["checked"] += scenario.checked
+    entry["rejected"] += scenario.rejected
+    entry["violations"] += sum(scenario.violation_counts.values())
+    report.checked += scenario.checked
+    report.rejected += scenario.rejected
+    for name, count in scenario.invariant_counts.items():
+        report.invariant_counts[name] = (
+            report.invariant_counts.get(name, 0) + count
+        )
+    for name, count in scenario.violation_counts.items():
+        report.violation_counts[name] = (
+            report.violation_counts.get(name, 0) + count
+        )
+
+
+def _sim_subset(
+    stream: Sequence[tuple[str, Mapping[str, object]]], count: int
+) -> list[tuple[str, Mapping[str, object]]]:
+    """The first ``count`` simulable points of the stream, round-robin
+    across the scenarios that have a sim counterpart."""
+    eligible: dict[str, list[Mapping[str, object]]] = {
+        "alltoall": [], "workpile": [],
+    }
+    for name, params in stream:
+        if name not in eligible or int(params["P"]) > _SIM_MAX_P:
+            continue
+        if (
+            name == "workpile"
+            and int(params["P"]) - int(params["Ps"]) < _SIM_MIN_CLIENTS
+        ):
+            continue
+        eligible[name].append(params)
+    subset: list[tuple[str, Mapping[str, object]]] = []
+    index = 0
+    while len(subset) < count:
+        advanced = False
+        for name, pool in eligible.items():
+            if index < len(pool) and len(subset) < count:
+                subset.append((name, pool[index]))
+                advanced = True
+        if not advanced:
+            break
+        index += 1
+    return subset
+
+
+def run_fuzz(
+    points: int = 2000,
+    seed: int = 0,
+    *,
+    scenarios: Sequence[str] | None = None,
+    sim_points: int = 12,
+    sim_cycles: int = 160,
+    budget: float | None = None,
+    shrink: bool = True,
+    max_shrink: int = 8,
+    corpus_dir: Path | str | None = None,
+    report_path: Path | str | None = None,
+) -> FuzzReport:
+    """Run one fuzzing campaign; returns (and optionally writes) the report.
+
+    ``budget`` is a soft wall-clock limit in seconds: the campaign
+    checks it between chunks and stops early (``budget_exhausted``)
+    rather than abandoning a chunk mid-solve.  Failures are shrunk to
+    minimal params (at most ``max_shrink`` of them, budget permitting)
+    and written as repro-case files into ``corpus_dir``.
+    """
+    t0 = time.perf_counter()
+    deadline = None if budget is None else t0 + float(budget)
+    names = tuple(scenarios) if scenarios else FUZZ_SCENARIOS
+    report = FuzzReport(seed=int(seed), requested=int(points))
+    stream = generate_stream(points, seed, names)
+
+    violations: list[Violation] = []
+    for start in range(0, len(stream), _CHUNK):
+        if deadline is not None and time.perf_counter() > deadline:
+            report.budget_exhausted = True
+            break
+        chunk = stream[start:start + _CHUNK]
+        by_scenario: dict[str, list[Mapping[str, object]]] = {}
+        for name, params in chunk:
+            by_scenario.setdefault(name, []).append(params)
+        for name, items in by_scenario.items():
+            scenario_report = check_scenario(name, items)
+            _fold_scenario(report, scenario_report)
+            violations.extend(scenario_report.violations)
+
+    sim_capable = [n for n in names if n in ("alltoall", "workpile")]
+    if sim_points > 0 and sim_capable and not report.budget_exhausted:
+        for name, params in _sim_subset(stream, sim_points):
+            if deadline is not None and time.perf_counter() > deadline:
+                report.budget_exhausted = True
+                break
+            result = check_sim_point(
+                name, params, cycles=sim_cycles,
+                seed=derive_point_seed(seed, params),
+            )
+            report.sim_checked += 1
+            for invariant in result.counts:
+                report.invariant_counts[invariant] = (
+                    report.invariant_counts.get(invariant, 0)
+                    + result.counts[invariant]
+                )
+            for violation in result.violations:
+                report.violation_counts[violation.invariant] = (
+                    report.violation_counts.get(violation.invariant, 0) + 1
+                )
+                violations.append(violation)
+
+    for i, violation in enumerate(violations):
+        shrunk_evals = 0
+        # Shrinking replays through the scalar path, so a violation the
+        # sim cross-check found (stochastic, seeded differently) is
+        # recorded as-is.
+        if shrink and i < max_shrink and not (
+            deadline is not None and time.perf_counter() > deadline
+        ) and not violation.invariant.startswith("sim-vs-model"):
+            result = shrink_case(
+                violation.scenario, violation.params,
+                invariant=violation.invariant,
+            )
+            shrunk_evals = result.evaluations
+            if result.reproduced and result.violation is not None:
+                violation = result.violation  # carries the minimal params
+        case = ReproCase.from_violation(
+            violation,
+            seed=seed,
+            meta={
+                "campaign_points": points,
+                "shrink_evaluations": shrunk_evals,
+                "original_params": dict(violations[i].params),
+            },
+        )
+        report.cases.append(case.to_dict())
+        if corpus_dir is not None:
+            case.save(corpus_dir)
+
+    report.elapsed = time.perf_counter() - t0
+    total_points = report.checked + report.rejected
+    report.points_per_second = (
+        total_points / report.elapsed if report.elapsed > 0 else 0.0
+    )
+    if report_path is not None:
+        report.save(report_path)
+    return report

@@ -1,0 +1,166 @@
+"""Greedy shrinking of failing fuzz points to minimal repro cases.
+
+A raw fuzz failure is a params dict full of incidental digits; the
+repro case humans debug from should carry only what the bug needs.
+The shrinker repeatedly tries simplifying moves -- dropping optional
+keys, then bisecting each numeric value toward a benign baseline --
+and keeps a move only if the *same invariant* still fails (checked
+through the scalar replay path, so shrinking exercises exactly the
+code the corpus tests replay).
+
+Moves that leave the params invalid are free: :func:`check_point`
+classifies a clean ``ValueError`` as a rejection, which simply fails
+the "still violates" test and the move is discarded.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.fuzz.invariants import Violation, check_point
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+#: Baseline values numeric shrinking bisects toward, per key pattern.
+#: The baseline is the most benign value of the parameter: no work, no
+#: wire latency, unit everything.
+_BASELINES: tuple[tuple[str, float], ...] = (
+    (r"P", 2.0),
+    (r"Ps", 1.0),
+    (r"St", 0.0),
+    (r"So", 1.0),
+    (r"C2", 0.0),
+    (r"W", 0.0),
+    (r"W\d+", 0.0),
+    (r"V\d+_\d+", 1.0),
+    (r"N\d+", 1.0),
+    (r"Z\d+", 0.0),
+    (r"D\d+_\d+", 0.1),
+    (r"k", 1.0),
+)
+
+#: Keys the structural pass may try to remove outright (optional in
+#: every scenario schema that uses them).
+_REMOVABLE = re.compile(r"Z\d+|V\d+_\d+|W\d+|kinds|protocol_processor|C2")
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of shrinking one failing point."""
+
+    params: dict
+    violation: Violation | None
+    evaluations: int
+    reproduced: bool  # did the original params re-fail under replay?
+
+
+def _baseline_for(key: str) -> float | None:
+    for pattern, value in _BASELINES:
+        if re.fullmatch(pattern, key):
+            return value
+    return None
+
+
+def _candidate_moves(params: Mapping[str, object]) -> list[dict]:
+    """Simplified variants of ``params``, most aggressive first."""
+    moves: list[dict] = []
+    # Structural: drop an optional key entirely.
+    for key in params:
+        if _REMOVABLE.fullmatch(key):
+            trimmed = {k: v for k, v in params.items() if k != key}
+            moves.append(trimmed)
+    # Multiclass structure: drop the last whole class / last centre.
+    classes = sorted(
+        int(m.group(1))
+        for k in params
+        if (m := re.fullmatch(r"N(\d+)", k))
+    )
+    if len(classes) > 1:
+        last = classes[-1]
+        drop = re.compile(rf"(N|Z){last}|D{last}_\d+")
+        moves.append({k: v for k, v in params.items() if not drop.fullmatch(k)})
+    centres = sorted(
+        int(m.group(2))
+        for k in params
+        if (m := re.fullmatch(r"D(\d+)_(\d+)", k))
+    )
+    if centres and centres[-1] > 0:
+        last = centres[-1]
+        trimmed = {
+            k: v
+            for k, v in params.items()
+            if not re.fullmatch(rf"D\d+_{last}", k)
+        }
+        kinds = trimmed.get("kinds")
+        if isinstance(kinds, str):
+            trimmed["kinds"] = ",".join(kinds.split(",")[:last])
+        moves.append(trimmed)
+    # Numeric: jump straight to the baseline, else bisect toward it.
+    for key, value in params.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        baseline = _baseline_for(key)
+        if baseline is None or value == baseline:
+            continue
+        jump = dict(params)
+        jump[key] = int(baseline) if isinstance(value, int) else baseline
+        moves.append(jump)
+        mid = (float(value) + baseline) / 2.0
+        # Round so shrunken repro files stay readable; the rounding can
+        # only be kept if the rounded value still violates.
+        mid = float(f"{mid:.4g}")
+        if mid != value and mid != baseline:
+            half = dict(params)
+            half[key] = int(round(mid)) if isinstance(value, int) else mid
+            if half[key] != value:
+                moves.append(half)
+    return moves
+
+
+def shrink_case(
+    scenario: str,
+    params: Mapping[str, object],
+    *,
+    invariant: str | None = None,
+    max_evals: int = 250,
+    check: Callable[[str, Mapping[str, object]], object] = check_point,
+) -> ShrinkResult:
+    """Shrink ``params`` while the invariant keeps failing.
+
+    ``invariant`` pins which failure must be preserved (defaults to the
+    first one the replay produces).  ``check`` is injectable for tests;
+    it must return an object with a ``violations`` list of objects
+    carrying an ``invariant`` attribute.
+    """
+    evaluations = 0
+
+    def failing(candidate: Mapping[str, object]) -> Violation | None:
+        nonlocal evaluations
+        evaluations += 1
+        result = check(scenario, candidate)
+        for violation in result.violations:
+            if invariant is None or violation.invariant == invariant:
+                return violation
+        return None
+
+    current = dict(params)
+    violation = failing(current)
+    if violation is None:
+        return ShrinkResult(current, None, evaluations, reproduced=False)
+    if invariant is None:
+        invariant = violation.invariant
+
+    progress = True
+    while progress and evaluations < max_evals:
+        progress = False
+        for candidate in _candidate_moves(current):
+            if evaluations >= max_evals:
+                break
+            better = failing(candidate)
+            if better is not None:
+                current, violation = dict(candidate), better
+                progress = True
+                break  # restart moves from the simplified point
+    return ShrinkResult(current, violation, evaluations, reproduced=True)

@@ -1,5 +1,6 @@
 """Model-vs-simulation comparison utilities."""
 
+from repro.validation import tolerances
 from repro.validation.compare import (
     ComparisonReport,
     compare_alltoall,
@@ -12,4 +13,5 @@ __all__ = [
     "compare_alltoall",
     "relative_error",
     "signed_error_pct",
+    "tolerances",
 ]

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.results import ModelSolution
+from repro.validation.tolerances import CONTENTION_FLOOR
 from repro.workloads.base import SimulationMeasurement
 
 __all__ = [
@@ -84,13 +85,13 @@ def compare_alltoall(
     queueing above the contention-free floor).
     """
     reply_cont_err: float | None
-    if measurement.reply_contention > 1e-9:
+    if measurement.reply_contention > CONTENTION_FLOOR:
         reply_cont_err = signed_error_pct(
             model.reply_contention, measurement.reply_contention
         )
     else:
         reply_cont_err = None
-    if abs(measurement.total_contention) > 1e-9:
+    if abs(measurement.total_contention) > CONTENTION_FLOOR:
         total_cont_err = signed_error_pct(
             model.total_contention, measurement.total_contention
         )

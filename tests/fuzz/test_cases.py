@@ -1,0 +1,88 @@
+"""Repro-case format round trip and committed-corpus replay.
+
+The corpus replay is the fuzzer's contract with the future: every case
+file under ``tests/fuzz/corpus`` is a point that was once hard (found
+by a campaign or hand-seeded) and must stay clean.  It runs in the fast
+gate -- a handful of scalar solves -- so a regression fails PRs even
+before the fuzz job runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.cases import CASE_FORMAT, ReproCase, load_corpus, replay
+from repro.fuzz.invariants import Violation
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = list(load_corpus(CORPUS_DIR))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        case = ReproCase(
+            scenario="workpile",
+            params={"P": 8, "Ps": 2, "St": 40.0, "So": 200.0, "C2": 0.0,
+                    "W": 100.0},
+            invariant="littles-law",
+            message="X*R != clients",
+            observed={"X": 0.001, "R": 123.4, "clients": 6},
+            seed=17,
+            meta={"campaign_points": 2000},
+        )
+        assert ReproCase.from_json(case.to_json()) == case
+
+    def test_from_violation_carries_the_point(self):
+        violation = Violation("alltoall", "compute-floor",
+                              {"P": 4, "W": 10.0}, {"Rw": 9.0}, "Rw < W")
+        case = ReproCase.from_violation(violation, seed=3)
+        assert case.scenario == "alltoall"
+        assert case.params == {"P": 4, "W": 10.0}
+        assert case.seed == 3
+
+    def test_unsupported_format_fails_loudly(self):
+        with pytest.raises(ValueError, match="lopc-fuzz-case/1"):
+            ReproCase.from_dict({"format": "lopc-fuzz-case/999",
+                                 "scenario": "alltoall", "params": {},
+                                 "invariant": "x"})
+
+    def test_filename_is_stable_and_content_addressed(self, tmp_path):
+        case = ReproCase(scenario="alltoall", params={"W": 1.0},
+                         invariant="compute-floor", message="m")
+        path = case.save(tmp_path)
+        assert path.name == case.filename()
+        assert path.name.startswith("alltoall-compute-floor-")
+        # Same point -> same name (idempotent save); different point ->
+        # different digest.
+        assert case.save(tmp_path) == path
+        other = ReproCase(scenario="alltoall", params={"W": 2.0},
+                          invariant="compute-floor", message="m")
+        assert other.filename() != case.filename()
+
+    def test_load_corpus_on_missing_dir_is_empty(self, tmp_path):
+        assert list(load_corpus(tmp_path / "nope")) == []
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_populated(self):
+        # At least the six hand-seeded hard points must be present.
+        assert len(CORPUS) >= 6
+        scenarios = {case.scenario for _, case in CORPUS}
+        assert {"alltoall", "sharedmem", "workpile", "multiclass",
+                "general", "nonblocking"} <= scenarios
+
+    @pytest.mark.fuzz
+    @pytest.mark.parametrize(
+        "path,case", CORPUS, ids=[p.name for p, _ in CORPUS]
+    )
+    def test_corpus_case_replays_clean(self, path, case):
+        assert case.to_dict()["format"] == CASE_FORMAT
+        result = replay(case)
+        assert result.status == "ok", (
+            f"{path.name}: once-valid point now rejected: {result.reason}"
+        )
+        assert not result.violations, (
+            f"{path.name} regressed: "
+            f"{result.violations[0].invariant}: "
+            f"{result.violations[0].message}"
+        )

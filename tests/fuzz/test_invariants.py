@@ -1,0 +1,137 @@
+"""Invariant suite: bulk pass, planted violations, error taxonomy.
+
+The planted-violation tests are the fuzzer's own regression tests: a
+perturbed solver update must be *caught* (the whole point of CI-gating
+the fuzz pass), and an out-of-domain point must be *rejected*, not
+reported.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.fuzz.invariants as inv
+from repro.fuzz.generators import FUZZ_SCENARIOS, generate_points
+from repro.fuzz.invariants import check_point, check_scenario
+
+
+class TestBulkPass:
+    @pytest.mark.parametrize("name", FUZZ_SCENARIOS)
+    def test_hundred_points_clean(self, name):
+        report = check_scenario(name, generate_points(name, 100, seed=0))
+        assert report.checked + report.rejected == 100
+        assert report.violation_counts == {}, report.violations[:3]
+
+    @pytest.mark.parametrize("name", FUZZ_SCENARIOS)
+    def test_bulk_and_scalar_paths_agree(self, name):
+        # The scalar replay path must classify points exactly like the
+        # bulk path -- it is what the corpus and the shrinker run on.
+        points = generate_points(name, 30, seed=4)
+        bulk = check_scenario(name, points)
+        scalar_violations = 0
+        scalar_rejected = 0
+        for params in points:
+            result = check_point(name, params)
+            scalar_rejected += result.status == "rejected"
+            scalar_violations += len(result.violations)
+        assert scalar_rejected == bulk.rejected
+        assert scalar_violations == sum(bulk.violation_counts.values())
+
+    def test_unknown_scenario_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="alltoall"):
+            check_scenario("bogus", [])
+        with pytest.raises(KeyError, match="bogus"):
+            check_point("bogus", {})
+
+
+class TestErrorTaxonomy:
+    def test_saturating_point_is_rejected_not_violating(self):
+        # W=0 with an unbounded window saturates the request handler;
+        # the model must refuse it cleanly.
+        result = check_point(
+            "nonblocking",
+            {"P": 8, "St": 10.0, "So": 100.0, "C2": 0.0, "W": 0.0,
+             "k": 0.0},
+        )
+        assert result.status == "rejected"
+        assert result.violations == []
+        assert result.reason  # carries the model's message
+
+    def test_invalid_params_rejected(self):
+        result = check_point(
+            "workpile",
+            {"P": 4, "Ps": 9, "St": 1.0, "So": 5.0, "C2": 0.0, "W": 10.0},
+        )
+        assert result.status == "rejected"
+
+    def test_crash_becomes_no_crash_violation(self, monkeypatch):
+        def boom(params):
+            raise ZeroDivisionError("planted crash")
+
+        monkeypatch.setitem(inv._OBS_SCALAR, "alltoall", boom)
+        result = check_point("alltoall", {"P": 4, "St": 1.0, "So": 5.0,
+                                          "C2": 0.0, "W": 10.0})
+        assert result.status == "ok"
+        assert [v.invariant for v in result.violations] == ["no-crash"]
+        assert "ZeroDivisionError" in result.violations[0].message
+
+
+class TestPlantedViolations:
+    def test_perturbed_schweitzer_update_caught(self, monkeypatch):
+        real = inv.batch_multiclass_amva
+
+        def planted(demands, populations, think_times=None, kinds=None,
+                    method="bard", **kw):
+            result = real(demands, populations, think_times, kinds=kinds,
+                          method=method, **kw)
+            if method == "schweitzer":
+                result = dataclasses.replace(
+                    result,
+                    cycle_times=np.asarray(result.cycle_times) * 3.0,
+                )
+            return result
+
+        monkeypatch.setattr(inv, "batch_multiclass_amva", planted)
+        report = check_scenario(
+            "multiclass", generate_points("multiclass", 40, seed=0)
+        )
+        assert report.violation_counts.get("schweitzer-near-exact", 0) >= 30
+        # Stored cases are capped; the full count is not.
+        assert len(report.violations) < sum(
+            report.violation_counts.values()
+        )
+
+    def test_perturbed_bounds_caught(self, monkeypatch):
+        real = inv.contention_bounds
+
+        def planted(machine, work):
+            lower, upper = real(machine, work)
+            return lower * 1.5, upper  # raise the floor above the model
+
+        monkeypatch.setattr(inv, "contention_bounds", planted)
+        report = check_scenario(
+            "alltoall", generate_points("alltoall", 40, seed=0)
+        )
+        assert report.violation_counts.get("bounds-bracket-model", 0) > 0
+
+    def test_violation_params_are_self_contained(self, monkeypatch):
+        real = inv.contention_bounds
+        monkeypatch.setattr(
+            inv, "contention_bounds",
+            lambda machine, work: (real(machine, work)[0] * 2.0,
+                                   real(machine, work)[1]),
+        )
+        report = check_scenario(
+            "alltoall", generate_points("alltoall", 40, seed=0)
+        )
+        violation = report.violations[0]
+        # The recorded params alone must re-produce the failure via the
+        # scalar path (still under the planted perturbation).
+        replay = check_point("alltoall", violation.params)
+        assert violation.invariant in [
+            v.invariant for v in replay.violations
+        ]
+        # Observed values are JSON scalars, ready for the case file.
+        for value in violation.observed.values():
+            assert isinstance(value, (int, float, str, bool, list)), value

@@ -1,0 +1,130 @@
+"""Campaign driver and CLI: reports, budgets, end-to-end planted bug."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro.fuzz.invariants as inv
+from repro.cli import main
+from repro.fuzz.cases import ReproCase
+from repro.fuzz.runner import derive_point_seed, run_fuzz
+
+
+class TestRunFuzz:
+    @pytest.mark.fuzz
+    def test_small_campaign_green(self, tmp_path):
+        report = run_fuzz(points=240, seed=0, sim_points=2,
+                          report_path=tmp_path / "FUZZ_report.json")
+        assert report.ok
+        assert report.checked + report.rejected == 240
+        assert report.sim_checked == 2
+        assert report.points_per_second > 0
+        payload = json.loads((tmp_path / "FUZZ_report.json").read_text())
+        assert payload["ok"] is True
+        assert payload["format"] == "lopc-fuzz-report/1"
+        assert set(payload["scenarios"]) == {
+            "alltoall", "sharedmem", "workpile", "multiclass", "general",
+            "nonblocking",
+        }
+        # Every scenario exercised its suite.
+        assert payload["invariant_counts"]["batch-scalar-bitwise"] > 0
+        assert payload["invariant_counts"]["sim-vs-model-response"] >= 1
+
+    def test_scenario_subset_and_determinism(self):
+        a = run_fuzz(points=80, seed=9, scenarios=("workpile",),
+                     sim_points=0)
+        b = run_fuzz(points=80, seed=9, scenarios=("workpile",),
+                     sim_points=0)
+        assert list(a.scenarios) == ["workpile"]
+        assert a.checked == b.checked == 80
+        assert a.invariant_counts == b.invariant_counts
+
+    def test_budget_stops_early_and_says_so(self):
+        report = run_fuzz(points=5000, seed=0, sim_points=0, budget=0.0)
+        assert report.budget_exhausted
+        assert report.checked < 5000
+
+    def test_planted_bug_end_to_end(self, tmp_path, monkeypatch):
+        # The acceptance path: perturb Schweitzer, run a campaign, get a
+        # failing report with a shrunken case written to the corpus dir.
+        real = inv.batch_multiclass_amva
+
+        def planted(demands, populations, think_times=None, kinds=None,
+                    method="bard", **kw):
+            result = real(demands, populations, think_times, kinds=kinds,
+                          method=method, **kw)
+            if method == "schweitzer":
+                result = dataclasses.replace(
+                    result,
+                    cycle_times=np.asarray(result.cycle_times) * 3.0,
+                )
+            return result
+
+        monkeypatch.setattr(inv, "batch_multiclass_amva", planted)
+        corpus = tmp_path / "corpus"
+        report = run_fuzz(points=60, seed=0, scenarios=("multiclass",),
+                          sim_points=0, max_shrink=2, corpus_dir=corpus,
+                          report_path=tmp_path / "FUZZ_report.json")
+        assert not report.ok
+        assert report.violation_counts["schweitzer-near-exact"] > 0
+        files = sorted(corpus.glob("*.json"))
+        assert files
+        # Only the first max_shrink violations are shrunk; the shrunk
+        # schweitzer case must have reached the minimal one-class
+        # one-centre network, with the original params kept for context.
+        shrunk = [
+            case
+            for case in map(ReproCase.load, files)
+            if case.invariant == "schweitzer-near-exact"
+            and case.meta["shrink_evaluations"] > 0
+        ]
+        assert shrunk, "no shrunk schweitzer-near-exact case written"
+        assert shrunk[0].params == {"N0": 1, "D0_0": 0.1}
+        assert shrunk[0].meta["original_params"]
+        # And the report agrees with the files on disk.
+        payload = json.loads((tmp_path / "FUZZ_report.json").read_text())
+        assert payload["ok"] is False
+        assert payload["cases"]
+
+    def test_derive_point_seed_stable_and_distinct(self):
+        p1 = {"P": 4, "W": 1.0}
+        p2 = {"P": 4, "W": 2.0}
+        assert derive_point_seed(0, p1) == derive_point_seed(0, p1)
+        assert derive_point_seed(0, p1) != derive_point_seed(0, p2)
+        assert derive_point_seed(0, p1) != derive_point_seed(1, p1)
+
+
+class TestCli:
+    @pytest.mark.fuzz
+    def test_cli_green_run_writes_report(self, tmp_path, capsys):
+        report_file = tmp_path / "FUZZ_report.json"
+        code = main(["fuzz", "--points", "120", "--seed", "0",
+                     "--sim-points", "0", "--report", str(report_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert report_file.exists()
+        assert "0 violation(s)" in out
+        assert "points/s" in out
+
+    def test_cli_exit_one_on_violation(self, tmp_path, capsys,
+                                       monkeypatch):
+        real = inv.contention_bounds
+        monkeypatch.setattr(
+            inv, "contention_bounds",
+            lambda machine, work: (real(machine, work)[0] * 2.0,
+                                   real(machine, work)[1]),
+        )
+        code = main(["fuzz", "--points", "40", "--seed", "0",
+                     "--scenario", "alltoall", "--sim-points", "0",
+                     "--corpus", str(tmp_path / "corpus"),
+                     "--no-shrink"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION alltoall/bounds-bracket-model" in out
+        assert list((tmp_path / "corpus").glob("*.json"))
+
+    def test_cli_rejects_unknown_scenario(self):
+        with pytest.raises(KeyError, match="bogus"):
+            main(["fuzz", "--points", "10", "--scenario", "bogus"])

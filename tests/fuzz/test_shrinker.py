@@ -1,0 +1,127 @@
+"""Shrinker convergence: synthetic predicates and a real planted bug."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.fuzz.invariants as inv
+from repro.fuzz.invariants import PointResult, Violation
+from repro.fuzz.shrinker import shrink_case
+
+
+def _fake_check(predicate):
+    """A check_point stand-in failing invariant 'synthetic' iff
+    ``predicate(params)``."""
+
+    def check(scenario, params):
+        if predicate(params):
+            violation = Violation(scenario, "synthetic", dict(params),
+                                  {}, "planted")
+            return PointResult(scenario, dict(params), "ok", [violation],
+                               {"synthetic": 1})
+        return PointResult(scenario, dict(params), "ok", [],
+                           {"synthetic": 1})
+
+    return check
+
+
+class TestSyntheticConvergence:
+    def test_irrelevant_keys_dropped_and_values_baselined(self):
+        # Violation depends only on W being large; everything else is
+        # noise the shrinker must strip or baseline.
+        check = _fake_check(lambda p: p.get("W", 0.0) >= 100.0)
+        result = shrink_case(
+            "alltoall",
+            {"P": 37, "St": 512.7, "So": 81.3, "C2": 4.0, "W": 17345.2},
+            check=check,
+        )
+        assert result.reproduced
+        assert result.params["W"] < 300.0  # bisected close to the cliff
+        assert result.params["W"] >= 100.0  # still failing
+        assert result.params["P"] == 2
+        assert result.params["So"] == 1.0
+        assert result.params["St"] == 0.0
+        assert "C2" not in result.params  # optional key removed
+
+    def test_class_and_centre_dropping(self):
+        # Violation depends only on class 0's demand at centre 0.
+        check = _fake_check(lambda p: p.get("D0_0", 0.0) > 1.0)
+        result = shrink_case(
+            "multiclass",
+            {"N0": 3, "Z0": 55.0, "D0_0": 4.2, "D0_1": 2.0,
+             "N1": 2, "D1_0": 1.5, "D1_1": 0.3, "kinds": "queueing,delay"},
+            check=check,
+        )
+        assert result.reproduced
+        assert "N1" not in result.params  # second class dropped
+        assert "D0_1" not in result.params  # second centre dropped
+        assert "Z0" not in result.params
+        assert "kinds" not in result.params
+
+    def test_non_reproducing_point_reported_as_such(self):
+        check = _fake_check(lambda p: False)
+        result = shrink_case("alltoall", {"W": 5.0}, check=check)
+        assert not result.reproduced
+        assert result.violation is None
+        assert result.evaluations == 1
+
+    def test_evaluation_budget_respected(self):
+        check = _fake_check(lambda p: True)
+        result = shrink_case(
+            "alltoall",
+            {"P": 200, "St": 999.0, "So": 999.0, "W": 19999.0},
+            check=check, max_evals=20,
+        )
+        assert result.evaluations <= 20
+
+    def test_invariant_pinning(self):
+        # With two failing invariants, shrinking must track the pinned
+        # one even if moves stop violating the other.
+        def check(scenario, params):
+            violations = []
+            if params.get("W", 0.0) > 10.0:
+                violations.append(
+                    Violation(scenario, "a", dict(params), {}, "")
+                )
+            if params.get("St", 0.0) > 10.0:
+                violations.append(
+                    Violation(scenario, "b", dict(params), {}, "")
+                )
+            return PointResult(scenario, dict(params), "ok", violations,
+                               {})
+
+        result = shrink_case("alltoall", {"W": 500.0, "St": 500.0},
+                             invariant="b", check=check)
+        assert result.violation.invariant == "b"
+        assert result.params["St"] > 10.0  # kept failing 'b'
+        assert result.params["W"] == 0.0  # baselined, 'a' gone
+
+
+class TestRealPlantedBug:
+    def test_planted_schweitzer_bug_shrinks_to_minimal_network(
+        self, monkeypatch
+    ):
+        real = inv.batch_multiclass_amva
+
+        def planted(demands, populations, think_times=None, kinds=None,
+                    method="bard", **kw):
+            result = real(demands, populations, think_times, kinds=kinds,
+                          method=method, **kw)
+            if method == "schweitzer":
+                result = dataclasses.replace(
+                    result,
+                    cycle_times=np.asarray(result.cycle_times) * 3.0,
+                )
+            return result
+
+        monkeypatch.setattr(inv, "batch_multiclass_amva", planted)
+        start = {"N0": 4, "Z0": 120.0, "D0_0": 3.3, "D0_1": 0.7,
+                 "N1": 2, "D1_0": 0.9, "D1_1": 5.1}
+        result = shrink_case("multiclass", start,
+                             invariant="schweitzer-near-exact")
+        assert result.reproduced
+        # A x3 perturbation violates the band for *any* network, so the
+        # true minimum is one class, one centre, baseline values.
+        assert result.params == {"N0": 1, "D0_0": 0.1}
+        assert result.violation.invariant == "schweitzer-near-exact"

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.sim",
     "repro.workloads",
     "repro.experiments",
+    "repro.fuzz",
     "repro.validation",
 ]
 
@@ -34,6 +35,11 @@ MODULES = [
     "repro.core.shared_memory",
     "repro.core.solver",
     "repro.experiments.common",
+    "repro.fuzz.cases",
+    "repro.fuzz.generators",
+    "repro.fuzz.invariants",
+    "repro.fuzz.runner",
+    "repro.fuzz.shrinker",
     "repro.mva.amva",
     "repro.mva.bard",
     "repro.mva.batch",
@@ -55,6 +61,7 @@ MODULES = [
     "repro.sim.trace",
     "repro.validation.compare",
     "repro.validation.sensitivity",
+    "repro.validation.tolerances",
     "repro.workloads.alltoall",
     "repro.workloads.barrier",
     "repro.workloads.base",
