@@ -51,9 +51,11 @@ from repro.api import (
     Scenario,
     Solution,
     Study,
+    UnsupportedBackend,
     list_scenarios,
     scenario,
 )
+from repro.opt import OptResult
 from repro.core import (
     AlgorithmParams,
     AllToAllModel,
@@ -81,10 +83,12 @@ __all__ = [
     "MachineParams",
     "ModelSolution",
     "NonBlockingModel",
+    "OptResult",
     "Scenario",
     "SharedMemoryModel",
     "Solution",
     "Study",
+    "UnsupportedBackend",
     "__version__",
     "contention_bounds",
     "list_scenarios",

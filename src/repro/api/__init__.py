@@ -41,6 +41,8 @@ from repro.api.scenario import (
     Param,
     ParamFamily,
     Scenario,
+    UnsupportedBackend,
+    find_backend,
     get_scenario_class,
     list_scenarios,
     scenario,
@@ -66,7 +68,9 @@ __all__ = [
     "SharedMemoryScenario",
     "Solution",
     "Study",
+    "UnsupportedBackend",
     "WorkpileScenario",
+    "find_backend",
     "get_scenario_class",
     "list_scenarios",
     "scenario",

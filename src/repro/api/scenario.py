@@ -42,10 +42,31 @@ __all__ = [
     "ParamFamily",
     "REQUIRED",
     "Scenario",
+    "UnsupportedBackend",
+    "find_backend",
     "get_scenario_class",
     "list_scenarios",
     "scenario",
 ]
+
+
+class UnsupportedBackend(ValueError):
+    """A scenario has no backend for the requested role.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; carries the scenario and the roles it
+    *does* support so the message is actionable.
+    """
+
+    def __init__(self, scenario_name: str, role: str, available: Sequence[str]):
+        self.scenario = scenario_name
+        self.role = role
+        self.available = tuple(available)
+        known = ", ".join(self.available) or "(none)"
+        super().__init__(
+            f"scenario {scenario_name!r} has no {role!r} backend; "
+            f"available: {known}"
+        )
 
 
 class _Required:
@@ -67,6 +88,11 @@ class Param:
     values are *not* converted, so cache keys match hand-built sweeps.
     ``control=True`` marks simulation controls (``cycles``, ``seed``,
     ``streams`` ...) that only the ``sim`` backend consumes.
+
+    ``lo``/``hi`` declare an optional numeric validity range.  Besides
+    documentation, they mark the parameter as an *optimizable axis*:
+    ``optimize(over={name: (a, b)})`` validates the search box against
+    them, and :meth:`Scenario.optimizable` lists them.
     """
 
     name: str
@@ -74,6 +100,8 @@ class Param:
     default: object = REQUIRED
     doc: str = ""
     control: bool = False
+    lo: float | None = None
+    hi: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -83,6 +111,24 @@ class Param:
                 f"parameter {self.name!r} type must be int/float/bool/str, "
                 f"got {self.type!r}"
             )
+        if (self.lo is None) != (self.hi is None):
+            raise ValueError(
+                f"parameter {self.name!r} must declare lo and hi together"
+            )
+        if self.lo is not None and self.type not in (int, float):
+            raise ValueError(
+                f"parameter {self.name!r}: lo/hi bounds need a numeric type"
+            )
+        if self.lo is not None and not float(self.lo) < float(self.hi):
+            raise ValueError(
+                f"parameter {self.name!r}: lo ({self.lo}) must be below "
+                f"hi ({self.hi})"
+            )
+
+    @property
+    def optimizable(self) -> bool:
+        """True when the schema declares a search range for this parameter."""
+        return self.lo is not None
 
     @property
     def required(self) -> bool:
@@ -156,6 +202,15 @@ class Backend:
         runner can stage every refinement pass inside one solver call
         (see :class:`repro.core.solver.solve_fixed_point_batch`).
         Only meaningful alongside ``warm``.
+    hints:
+        Declared shape knowledge for the optimizer: solved column ->
+        ``{param: "increasing" | "decreasing" | "unimodal"}``.
+        ``increasing``/``decreasing`` mean the column is monotone in
+        that parameter over its validity range (so inverse queries can
+        bisect); ``unimodal`` means a single interior *maximum* (so
+        ``maximize=`` can golden-section).  Axes without a hint fall
+        back to pattern search.  Hints are facts about the model --
+        declare only what has been verified.
     """
 
     role: str
@@ -166,7 +221,10 @@ class Backend:
     batch: Callable[[Sequence[Mapping[str, object]]], list] | None = None
     warm: Callable[..., tuple] | None = None
     staged: bool = False
+    hints: Mapping[str, Mapping[str, str]] = field(default_factory=dict)
     doc: str = ""
+
+    _HINT_SHAPES = ("increasing", "decreasing", "unimodal")
 
     def __post_init__(self) -> None:
         if self.role not in ("analytic", "bounds", "sim"):
@@ -186,6 +244,14 @@ class Backend:
                 f"backend {self.evaluator!r} declares staged activation "
                 "without a warm companion; staging extends the warm path"
             )
+        for column, shapes in self.hints.items():
+            for param, shape in dict(shapes).items():
+                if shape not in self._HINT_SHAPES:
+                    raise ValueError(
+                        f"backend {self.evaluator!r} hint "
+                        f"{column}/{param}={shape!r} is not one of "
+                        f"{'/'.join(self._HINT_SHAPES)}"
+                    )
 
 
 _SCENARIOS: dict[str, type["Scenario"]] = {}
@@ -253,6 +319,17 @@ class Scenario:
                         f"default {key}={value!r} disagrees with the "
                         f"schema default {entry.default!r}"
                     )
+            # Hints name schema parameters the backend consumes; a typo
+            # here would silently route the optimizer to the wrong
+            # search, so fail at class definition like the defaults.
+            for column, shapes in backend.hints.items():
+                for key in shapes:
+                    if cls.find_param(key) is None:
+                        raise ValueError(
+                            f"scenario {cls.name!r} {backend.role} backend "
+                            f"hints on undeclared parameter {key!r} "
+                            f"(column {column!r})"
+                        )
         _SCENARIOS[cls.name] = cls
 
     # -- schema helpers (classmethods: usable without parameters) ------
@@ -284,15 +361,28 @@ class Scenario:
 
     @classmethod
     def backend(cls, role: str) -> Backend:
-        """The backend declared for ``role``; raises with the known list."""
+        """The backend declared for ``role``; raises
+        :class:`UnsupportedBackend` (a ValueError) with the known list."""
         for candidate in cls.backends:
             if candidate.role == role:
                 return candidate
-        known = ", ".join(sorted(b.role for b in cls.backends)) or "(none)"
-        raise ValueError(
-            f"scenario {cls.name!r} has no {role!r} backend; "
-            f"available: {known}"
+        raise UnsupportedBackend(
+            cls.name, role, sorted(b.role for b in cls.backends)
         )
+
+    @classmethod
+    def optimizable(cls, role: str = "analytic") -> dict[str, tuple[float, float]]:
+        """Parameters with a declared search range the ``role`` backend
+        consumes: name -> ``(lo, hi)``.  The default ``over=`` menu for
+        :meth:`optimize`."""
+        backend = cls.backend(role)
+        return {
+            p.name: (float(p.lo), float(p.hi))
+            for p in cls.schema
+            if isinstance(p, Param)
+            and p.optimizable
+            and cls.backend_accepts(backend, p.name)
+        }
 
     @classmethod
     def backend_roles(cls) -> list[str]:
@@ -556,6 +646,70 @@ class Scenario:
         return Study(self, axes, jobs=jobs, cache=cache, seed=seed,
                      batch=batch, name=name)
 
+    # -- inverse queries -----------------------------------------------
+    def optimize(self, *, minimize: str | None = None,
+                 maximize: str | None = None, knee: str | None = None,
+                 over: Mapping[str, object] | None = None,
+                 subject_to: object = None, backend: str = "analytic",
+                 warm_start: bool = False, max_solves: int = 48,
+                 width: int = 4, xtol: float | None = None,
+                 grid: int = 9, rounds: int = 3,
+                 metrics: object = None, events: object = None):
+        """Answer an inverse query; returns an
+        :class:`~repro.opt.result.OptResult`.
+
+        Exactly one of ``minimize=``/``maximize=``/``knee=`` names the
+        objective -- a solved column (``"R"``, ``"X"`` ...) or, for
+        capacity questions under ``subject_to=`` constraints, one of
+        the searched parameters itself ("largest ``W`` with ``R <=
+        1000``").  ``over`` is the search box, ``{param: (lo, hi)}``;
+        see :meth:`optimizable` for the declared ranges.  Every
+        optimizer iteration is one vectorized batch solve; the method
+        (bisection, golden-section, boundary pick, pattern search) is
+        chosen from the backend's declared monotonicity hints.
+
+        ``metrics=``/``events=`` activate :mod:`repro.obs` telemetry
+        for this query, exactly like ``Study.run``: pass a
+        :class:`~repro.obs.MetricsRegistry` (or ``True`` for a fresh
+        one, snapshot landing in ``result.meta["telemetry"]``) and an
+        event sink (path, file object, or :class:`~repro.obs.EventLog`).
+        """
+        from repro import obs
+        from repro.opt.optimizer import run_optimize
+
+        registry = obs.MetricsRegistry() if metrics is True else metrics
+        event_log = obs.EventLog.coerce(events)
+        tel_kwargs = {}
+        if registry is not None:
+            tel_kwargs["metrics"] = registry
+        if event_log is not None:
+            tel_kwargs["events"] = event_log
+        try:
+            if tel_kwargs:
+                with obs.telemetry(**tel_kwargs):
+                    result = run_optimize(
+                        self, minimize=minimize, maximize=maximize,
+                        knee=knee, over=over, subject_to=subject_to,
+                        role=backend, warm_start=warm_start,
+                        width=width, xtol=xtol, max_solves=max_solves,
+                        grid=grid, rounds=rounds,
+                    )
+            else:
+                result = run_optimize(
+                    self, minimize=minimize, maximize=maximize, knee=knee,
+                    over=over, subject_to=subject_to, role=backend,
+                    warm_start=warm_start, width=width, xtol=xtol,
+                    max_solves=max_solves, grid=grid, rounds=rounds,
+                )
+        finally:
+            if event_log is not None and event_log is not events:
+                event_log.close()
+        if metrics is True and registry is not None:
+            data = result.to_dict()
+            data["meta"]["telemetry"] = registry.as_dict()
+            result = type(result).from_dict(data)
+        return result
+
 
 def scenario(name: str, **params: object) -> Scenario:
     """Instantiate the registered scenario class ``name`` with ``params``.
@@ -579,3 +733,14 @@ def get_scenario_class(name: str) -> type[Scenario]:
 def list_scenarios() -> list[str]:
     """Registered scenario names, sorted for stable docs and CLI help."""
     return sorted(_SCENARIOS)
+
+
+def find_backend(evaluator: str) -> tuple[type[Scenario], Backend] | None:
+    """Reverse lookup: the scenario class and backend registered under a
+    legacy evaluator name, or None for evaluators registered outside the
+    facade (``SweepResult.best`` uses this to type its winning row)."""
+    for cls in _SCENARIOS.values():
+        for backend in cls.backends:
+            if backend.evaluator == evaluator:
+                return cls, backend
+    return None

@@ -89,11 +89,15 @@ def _config_from_params(params: Mapping[str, object]) -> MachineConfig:
 
 
 #: The machine-description parameters every message-passing scenario shares.
+#: The lo/hi ranges mirror the fuzz generator's overshoot domain
+#: (:mod:`repro.fuzz.generators`) -- they mark the parameters as
+#: optimizable axes and bound the search boxes ``optimize()`` accepts.
 _MACHINE_PARAMS = (
-    Param("P", int, doc="processors"),
-    Param("St", float, doc="one-way wire latency, cycles"),
-    Param("So", float, doc="handler service time, cycles"),
-    Param("C2", float, default=0.0, doc="handler service-time CV^2"),
+    Param("P", int, doc="processors", lo=2, hi=256),
+    Param("St", float, doc="one-way wire latency, cycles", lo=0.0, hi=1000.0),
+    Param("So", float, doc="handler service time, cycles", lo=1.0, hi=1000.0),
+    Param("C2", float, default=0.0, doc="handler service-time CV^2",
+          lo=0.0, hi=4.0),
 )
 
 #: Simulation controls shared by the cycle-driven workloads.
@@ -259,7 +263,8 @@ class AllToAllScenario(Scenario):
     name = "alltoall"
     title = "homogeneous all-to-all request/reply traffic (Section 5)"
     schema = _MACHINE_PARAMS + (
-        Param("W", float, doc="compute between blocking requests, cycles"),
+        Param("W", float, doc="compute between blocking requests, cycles",
+              lo=0.0, hi=20000.0),
         Param("cycles", int, default=300, doc="request cycles per node",
               control=True),
     ) + _SIM_CONTROLS
@@ -272,6 +277,17 @@ class AllToAllScenario(Scenario):
             batch=_alltoall_model_batch,
             warm=_alltoall_model_warm,
             staged=True,
+            # Verified numerically over the fuzz domain: per-node R
+            # grows with work and both service costs, throughput falls
+            # with work.  R is *constant in P* for this symmetric
+            # pattern (each node still issues P-1 requests per cycle of
+            # its own), so no P hint -- "size P" questions belong to
+            # workpile or repro.core.scaling, where P changes the work.
+            hints={
+                "R": {"W": "increasing", "So": "increasing",
+                      "St": "increasing"},
+                "X": {"W": "decreasing"},
+            },
             doc="LoPC AMVA solution of the Section-5 all-to-all",
         ),
         Backend(
@@ -363,7 +379,8 @@ class SharedMemoryScenario(Scenario):
     name = "sharedmem"
     title = "shared-memory node with a protocol processor (Section 5.1)"
     schema = _MACHINE_PARAMS + (
-        Param("W", float, doc="compute between remote accesses, cycles"),
+        Param("W", float, doc="compute between remote accesses, cycles",
+              lo=0.0, hi=20000.0),
     )
     backends = (
         Backend(
@@ -374,6 +391,12 @@ class SharedMemoryScenario(Scenario):
             batch=_sharedmem_model_batch,
             warm=_sharedmem_model_warm,
             staged=True,
+            # Same symmetric pattern as alltoall (R constant in P).
+            hints={
+                "R": {"W": "increasing", "So": "increasing",
+                      "St": "increasing"},
+                "X": {"W": "decreasing"},
+            },
             doc="LoPC AMVA with handlers on a protocol processor",
         ),
     )
@@ -511,8 +534,10 @@ class WorkpileScenario(Scenario):
     name = "workpile"
     title = "client-server workpile on a split machine (Chapter 6)"
     schema = _MACHINE_PARAMS + (
-        Param("W", float, doc="client compute per chunk, cycles"),
-        Param("Ps", int, doc="server count (clients = P - Ps)"),
+        Param("W", float, doc="client compute per chunk, cycles",
+              lo=0.0, hi=20000.0),
+        Param("Ps", int, doc="server count (clients = P - Ps)",
+              lo=1, hi=255),
         Param("chunks", int, default=250, doc="chunks per client",
               control=True),
     ) + _SIM_CONTROLS
@@ -524,6 +549,17 @@ class WorkpileScenario(Scenario):
             uses=("P", "St", "So", "C2", "W", "Ps"),
             batch=_workpile_model_batch,
             warm=_workpile_model_warm,
+            # Verified numerically: per-chunk response falls as servers
+            # are added (less queueing) and grows with work and machine
+            # size; aggregate throughput *peaks* at an interior
+            # client/server split -- the fig-6.2 story -- so X over Ps
+            # is the repo's canonical unimodal axis.
+            hints={
+                "R": {"W": "increasing", "Ps": "decreasing",
+                      "P": "increasing"},
+                "X": {"Ps": "unimodal", "W": "decreasing",
+                      "P": "increasing"},
+            },
             doc="LoPC client-server workpile solution",
         ),
         Backend(
@@ -965,7 +1001,8 @@ class NonBlockingScenario(Scenario):
     name = "nonblocking"
     title = "non-blocking all-to-all with a send window (Chapter 7)"
     schema = _MACHINE_PARAMS + (
-        Param("W", float, doc="compute between request issues, cycles"),
+        Param("W", float, doc="compute between request issues, cycles",
+              lo=0.0, hi=20000.0),
         Param("k", float, default=0.0,
               doc="outstanding-request window; 0 = unbounded"),
         Param("cycles", int, default=400, doc="issues per node",
@@ -978,6 +1015,12 @@ class NonBlockingScenario(Scenario):
             func=_nonblocking_model,
             uses=("P", "St", "So", "C2", "W", "k"),
             defaults={"k": 0.0},
+            # Verified numerically over k >= 1: widening the window
+            # never slows the cycle (R non-increasing -- it plateaus
+            # once the window stops binding, which weak "decreasing"
+            # monotonicity covers).  k=0 encodes "unbounded" and sits
+            # outside the monotone run, so boxes should start at 1.
+            hints={"R": {"W": "increasing", "k": "decreasing"}},
             doc="windowed LoPC fixed point (cycle = max(Rw, T/k))",
         ),
         Backend(

@@ -96,6 +96,19 @@ class Solution:
         """Value column names, sorted for stable display."""
         return sorted(self.values)
 
+    def satisfies(self, *constraints: object) -> bool:
+        """Whether this solution meets :mod:`repro.opt` constraint
+        predicates, e.g. ``sol.satisfies("R <= 1000", "X >= 0.01")``.
+
+        Predicates may reference any parameter or value column (values
+        shadow same-named parameters, matching the optimizer's view);
+        an unknown column raises ``KeyError`` naming the known ones.
+        """
+        from repro.opt.space import parse_constraints
+
+        merged = {**dict(self.params), **dict(self.values)}
+        return all(c.ok(merged) for c in parse_constraints(constraints))
+
     # -- round trip ----------------------------------------------------
     def to_dict(self) -> dict[str, object]:
         """Plain-JSON form; inverse of :meth:`from_dict`."""

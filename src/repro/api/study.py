@@ -236,6 +236,64 @@ class Study:
         """Run the simulation backend over the grid; returns a SweepResult."""
         return self.run("sim", name, **telemetry)
 
+    def optimize(
+        self,
+        *,
+        minimize: str | None = None,
+        maximize: str | None = None,
+        knee: str | None = None,
+        subject_to: object = None,
+        role: str = "analytic",
+        **kwargs: object,
+    ):
+        """Answer an inverse query over this study's axes.
+
+        The search box is derived from the axes -- a
+        :class:`~repro.sweep.spec.GridAxis` contributes the min/max of
+        its values, a :class:`~repro.sweep.spec.RandomAxis` its
+        ``low``/``high`` range (``log``/``integer`` geometry preserved)
+        -- so ``study(W=range(2, 2049, 64)).optimize(minimize="R")``
+        asks "over the same space I would sweep, what is the best
+        point?" with a handful of batch solves instead of the full
+        grid.  Remaining keywords plumb to
+        :meth:`~repro.api.scenario.Scenario.optimize`.
+        """
+        from repro.opt.space import AxisSpec
+
+        cls = type(self.scenario)
+        over: dict[str, object] = {}
+        for axis in self.axes:
+            if isinstance(axis, ZipAxis):
+                raise ValueError(
+                    "optimize() cannot derive a box from a ZipAxis "
+                    f"(correlated parameters {'/'.join(axis.names)}); "
+                    "pass explicit bounds via scenario.optimize(over=...)"
+                )
+            if isinstance(axis, RandomAxis):
+                over[axis.name] = AxisSpec(
+                    axis.name, float(axis.low), float(axis.high),
+                    integer=axis.integer, log=axis.log,
+                )
+                continue
+            numeric = [
+                v for v in axis.values
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            ]
+            if not numeric:
+                raise ValueError(
+                    f"optimize() needs numeric values on axis {axis.name!r}"
+                )
+            entry = cls.find_param(axis.name)
+            integer = getattr(entry, "type", float) is int
+            over[axis.name] = AxisSpec(
+                axis.name, float(min(numeric)), float(max(numeric)),
+                integer=integer,
+            )
+        return self.scenario.optimize(
+            minimize=minimize, maximize=maximize, knee=knee, over=over,
+            subject_to=subject_to, backend=role, **kwargs,
+        )
+
     def solutions(self, role: str = "analytic",
                   name: str | None = None) -> list[Solution]:
         """Run ``role`` and wrap every point as a :class:`Solution`.

@@ -15,10 +15,13 @@ Usage::
                         --backend sim [--jobs 4] [--cache-dir D]
     lopc-repro scenario alltoall --sweep W=2,32,512 ... \\
                         --metrics m.json --progress
+    lopc-repro optimize alltoall minimize=R over.W=1:20000 P=32 St=10 ...
+    lopc-repro optimize alltoall maximize=W over.W=1:20000 \\
+                        P=32 St=10 So=131 C2=1 --subject-to "R <= 2000"
     lopc-repro stats m.json
     lopc-repro fuzz [--points 2000] [--seed S] [--scenario NAME ...]
                     [--budget SECONDS] [--report FILE] [--corpus DIR]
-                    [--sim-points N] [--no-shrink]
+                    [--sim-points N] [--opt-queries N] [--no-shrink]
 
 ``--fast`` shrinks simulation lengths (for smoke testing); published
 numbers should use the defaults.  With ``--out``, each experiment writes
@@ -44,6 +47,12 @@ notation, pick a backend (``analytic`` default, ``bounds``, ``sim``),
 and optionally sweep axes with ``--sweep KEY=V1,V2,...`` (repeatable;
 multiple axes cross-product, sharing the sweep cache with the figure
 experiments).
+
+``optimize`` runs an inverse query (:mod:`repro.opt`): name an objective
+(``minimize=COL`` / ``maximize=COL`` / ``knee=COL``), a search box
+(``over.NAME=LO:HI``, repeatable), optional ``--subject-to`` constraints,
+and fixed parameters as ``KEY=VALUE``.  Each optimizer iteration is one
+batched solve; exit code 1 means no feasible point was found.
 
 ``fuzz`` runs a property-based campaign (:mod:`repro.fuzz`): thousands
 of seeded random networks through the batch kernels with bulk invariant
@@ -294,6 +303,76 @@ def _run_scenario(args: argparse.Namespace,
     return 0
 
 
+def _run_optimize(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> int:
+    """``optimize``: the CLI face of ``scenario(...).optimize(...)``."""
+    from repro.api import get_scenario_class
+
+    cls = get_scenario_class(args.name)
+    mode: dict[str, str] = {}
+    over: dict[str, tuple[object, object]] = {}
+    params: dict[str, object] = {}
+    for item in args.tokens:
+        key, sep, text = item.partition("=")
+        if not sep:
+            parser.error(f"optimize arguments are KEY=VALUE, got {item!r}")
+        if key in ("minimize", "maximize", "knee"):
+            mode[key] = text
+        elif key.startswith("over."):
+            axis = key[len("over."):]
+            lo_text, sep2, hi_text = text.partition(":")
+            if not sep2:
+                parser.error(
+                    f"over.{axis} takes LO:HI (a search range), got {item!r}"
+                )
+            over[axis] = (cls.parse_value(axis, lo_text),
+                          cls.parse_value(axis, hi_text))
+        else:
+            params[key] = cls.parse_value(key, text)
+    if len(mode) != 1:
+        parser.error(
+            "pass exactly one objective: minimize=COL, maximize=COL "
+            "or knee=COL"
+        )
+    if not over:
+        parser.error(
+            "optimize needs at least one search axis: over.NAME=LO:HI"
+        )
+    sc = cls(**params)
+    result = sc.optimize(
+        **mode,
+        over=over,
+        subject_to=args.subject_to or None,
+        backend=args.backend,
+        warm_start=args.warm_start,
+        max_solves=args.max_solves,
+        metrics=args.metrics is not None,
+        events=args.events,
+    )
+    print(f"scenario {result.scenario} / {result.backend} "
+          f"(evaluator {result.evaluator})")
+    print(result.summary())
+    if result.constraints:
+        print("subject to: " + "; ".join(result.constraints))
+    if result.feasible:
+        width = max(len(c) for c in result.best_values)
+        for column in sorted(result.best_values):
+            print(f"  {column:<{width}}  {result.best_values[column]:.6f}")
+    else:
+        print("no feasible point in the search box")
+    if args.metrics is not None:
+        _write_metrics(args.metrics, {
+            "scenario": result.scenario,
+            "backend": result.backend,
+            "metrics": result.meta.get("telemetry"),
+        })
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        path = args.out / f"{args.name}_optimize.json"
+        path.write_text(result.to_json() + "\n")
+    return 0 if result.feasible else 1
+
+
 def _run_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import run_fuzz
 
@@ -302,6 +381,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         scenarios=args.scenario or None,
         sim_points=args.sim_points,
+        opt_queries=args.opt_queries,
         budget=args.budget,
         shrink=not args.no_shrink,
         corpus_dir=args.corpus,
@@ -314,6 +394,8 @@ def _run_fuzz(args: argparse.Namespace) -> int:
               f"{entry['violations']:>4} violation(s)")
     if report.sim_checked:
         print(f"  {'sim':<{width}}  {report.sim_checked:>6} checked")
+    if report.opt_checked:
+        print(f"  {'opt':<{width}}  {report.opt_checked:>6} checked")
     print(
         f"fuzz seed={report.seed}: {report.checked} point(s) checked, "
         f"{report.rejected} rejected, {report.total_violations} "
@@ -511,6 +593,37 @@ def main(argv: list[str] | None = None) -> int:
                                  ".json (single point) export")
     _add_telemetry_options(scenario_p)
 
+    optimize_p = sub.add_parser(
+        "optimize",
+        help="answer an inverse query over a scenario (repro.opt): "
+             "minimize/maximize a column or locate a knee",
+    )
+    optimize_p.add_argument("name", help="scenario name (see scenario --list)")
+    optimize_p.add_argument(
+        "tokens", nargs="*", metavar="TOKEN",
+        help="minimize=COL | maximize=COL | knee=COL, search axes as "
+             "over.NAME=LO:HI (repeatable), fixed parameters as KEY=VALUE",
+    )
+    optimize_p.add_argument("--subject-to", action="append", metavar="PRED",
+                            help="constraint like 'R <= 1000' (repeatable)")
+    optimize_p.add_argument("--backend", default="analytic",
+                            help="backend role to solve with "
+                                 "(default: analytic)")
+    optimize_p.add_argument("--warm-start", action="store_true",
+                            help="seed each batch solve from the nearest "
+                                 "already-solved point")
+    optimize_p.add_argument("--max-solves", type=int, default=48, metavar="N",
+                            help="batch-solve budget (default: 48)")
+    optimize_p.add_argument("--out", type=Path, default=None,
+                            help="directory for the OptResult .json export")
+    optimize_p.add_argument("--metrics", type=Path, default=None,
+                            metavar="FILE",
+                            help="record opt.* telemetry and write the "
+                                 "snapshot as JSON")
+    optimize_p.add_argument("--events", type=Path, default=None,
+                            metavar="FILE",
+                            help="stream opt.step/opt.query events as JSONL")
+
     stats_p = sub.add_parser(
         "stats", help="render a --metrics JSON file as readable tables"
     )
@@ -542,6 +655,10 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_p.add_argument("--sim-points", type=int, default=12, metavar="N",
                         help="sampled simulation cross-checks (default: 12; "
                              "0 disables)")
+    fuzz_p.add_argument("--opt-queries", type=int, default=0, metavar="N",
+                        help="optimizer-vs-grid cross-checks: N fuzzed "
+                             "parameter sets per inverse query "
+                             "(default: 0, disabled)")
     fuzz_p.add_argument("--no-shrink", action="store_true",
                         help="report raw failing params without shrinking")
 
@@ -570,6 +687,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "scenario":
         return _run_scenario(args, parser)
+
+    if args.command == "optimize":
+        return _run_optimize(args, parser)
 
     if args.command == "stats":
         return _run_stats(args)

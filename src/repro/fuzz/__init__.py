@@ -20,9 +20,14 @@ Layout:
 * :mod:`repro.fuzz.cases` -- the JSON repro-case format and corpus
   loader;
 * :mod:`repro.fuzz.runner` -- the campaign driver behind
-  ``lopc-repro fuzz`` and the CI job.
+  ``lopc-repro fuzz`` and the CI job;
+* :mod:`repro.fuzz.bridge` -- fuzz streams replayed through the facade
+  Study/sweep machinery (ZipAxis rows, seeded RandomAxis ranges);
+* :mod:`repro.fuzz.opt_invariants` -- the inverse-query optimizer
+  checked against brute-force grid scans of the same boxes.
 """
 
+from repro.fuzz.bridge import fuzz_axis, fuzz_studies, fuzz_study
 from repro.fuzz.cases import CASE_FORMAT, ReproCase, load_corpus, replay
 from repro.fuzz.generators import (
     FUZZ_SCENARIOS,
@@ -38,6 +43,11 @@ from repro.fuzz.invariants import (
     check_scenario,
     check_sim_point,
 )
+from repro.fuzz.opt_invariants import (
+    OPT_QUERIES,
+    check_optimize,
+    check_optimize_query,
+)
 from repro.fuzz.runner import FuzzReport, derive_point_seed, run_fuzz
 from repro.fuzz.shrinker import ShrinkResult, shrink_case
 
@@ -46,15 +56,21 @@ __all__ = [
     "CHECKED_SCENARIOS",
     "FUZZ_SCENARIOS",
     "FuzzReport",
+    "OPT_QUERIES",
     "PointResult",
     "ReproCase",
     "ScenarioReport",
     "ShrinkResult",
     "Violation",
+    "check_optimize",
+    "check_optimize_query",
     "check_point",
     "check_scenario",
     "check_sim_point",
     "derive_point_seed",
+    "fuzz_axis",
+    "fuzz_studies",
+    "fuzz_study",
     "generate_points",
     "generate_stream",
     "load_corpus",

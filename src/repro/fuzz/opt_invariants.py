@@ -1,0 +1,341 @@
+"""Property checks for the inverse-query optimizer (:mod:`repro.opt`).
+
+The optimizer's contract is checkable by construction: whatever
+bisection, golden-section or boundary logic decides, a brute-force scan
+of the same box through the same batch kernels knows the true answer.
+This suite fuzzes that agreement:
+
+* **opt-vs-grid** -- for every scenario axis with a declared
+  monotonicity/unimodality hint, run ``optimize()`` over a seeded
+  random sub-box (fixing the other parameters from the fuzz stream)
+  and demand the found objective come within
+  :data:`repro.validation.tolerances.OPT_VS_GRID_REL` of the dense-grid
+  argmin over the same box;
+* **opt-fewer-points** -- the search must also solve strictly fewer
+  points than the grid it replaces (the optimizer's reason to exist);
+* **opt-infeasible-honest** -- a query whose constraint no grid point
+  satisfies must report infeasibility, not invent a winner.
+
+Violations reuse the fuzzer's :class:`~repro.fuzz.invariants.Violation`
+record, so failures flow through the same report/corpus machinery as
+the model invariants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.fuzz.bridge import _box_for
+from repro.fuzz.generators import generate_points
+from repro.fuzz.invariants import Violation
+from repro.validation import tolerances as tol
+
+__all__ = ["OPT_QUERIES", "check_optimize", "check_optimize_query"]
+
+#: Hinted single-axis queries worth fuzzing, derived from the backends'
+#: declared hints: (scenario, mode, objective column, searched axis).
+#: Ps is the workpile's unimodal throughput axis; the rest are the
+#: monotone work/window axes of the paper's response-time curves.
+OPT_QUERIES: tuple[tuple[str, str, str, str], ...] = (
+    ("alltoall", "minimize", "R", "W"),
+    ("alltoall", "maximize", "R", "W"),
+    ("sharedmem", "minimize", "R", "W"),
+    ("workpile", "maximize", "X", "Ps"),
+    ("workpile", "minimize", "R", "Ps"),
+)
+
+#: Dense-grid resolution for the brute-force cross-check.  33 points
+#: resolves the monotone curves far below OPT_VS_GRID_REL; integer axes
+#: scan every lattice point up to this many.
+_GRID = 33
+
+
+def _grid_best(
+    objective, axis, *, sign: float
+) -> tuple[float | None, float, int]:
+    """Brute-force ``(arg, value, points)`` over a dense grid of ``axis``.
+
+    ``objective`` is a :class:`repro.opt.evaluate.BatchObjective` score
+    function over scalar axis values; infeasible/rejected points score
+    ``inf`` and never win.
+    """
+    xs = axis.grid(_GRID)
+    ys = objective(xs)
+    best_i = min(range(len(xs)), key=lambda i: sign * ys[i]
+                 if math.isfinite(ys[i]) else math.inf)
+    if not math.isfinite(ys[best_i]):
+        return None, math.inf, len(xs)
+    return xs[best_i], ys[best_i], len(xs)
+
+
+def check_optimize_query(
+    scenario: str,
+    mode: str,
+    objective: str,
+    axis_name: str,
+    params: Mapping[str, object],
+    *,
+    seed: int = 0,
+) -> list[Violation]:
+    """Check one optimizer query against brute force; [] when clean."""
+    from repro.api import get_scenario_class
+    from repro.opt.evaluate import BatchObjective
+    from repro.opt.optimizer import build_axes
+
+    cls = get_scenario_class(scenario)
+    fixed = {k: v for k, v in params.items() if k != axis_name}
+    box = _box_for(scenario, axis_name, seed)
+    sc = cls(**fixed)
+    try:
+        result = sc.optimize(**{mode: objective}, over={axis_name: box})
+    except Exception as exc:  # noqa: BLE001 - any crash is a violation
+        return [Violation(
+            scenario=scenario,
+            invariant="opt-no-crash",
+            params=dict(params),
+            observed={"box": list(box), "mode": mode,
+                      "objective": objective},
+            message=f"optimize() raised {type(exc).__name__}: {exc}",
+        )]
+
+    axes = build_axes(cls, "analytic", {axis_name: box})
+    probe = BatchObjective(sc, "analytic", axes)
+    sign = -1.0 if mode == "maximize" else 1.0
+
+    def score(xs: Sequence[float]) -> list[float]:
+        rows = probe.scalar_values(axes[0], xs)
+        return [
+            row[objective] if row is not None and
+            math.isfinite(row.get(objective, math.inf)) else math.inf
+            for row in rows
+        ]
+
+    grid_x, grid_y, grid_points = _grid_best(score, axes[0], sign=sign)
+    violations: list[Violation] = []
+    observed = {
+        "box": list(box),
+        "mode": mode,
+        "objective": objective,
+        "opt_best": result.best if result.feasible else None,
+        "opt_arg": result.argbest,
+        "opt_points": result.points,
+        "grid_best": None if grid_x is None else grid_y,
+        "grid_arg": grid_x,
+        "grid_points": grid_points,
+    }
+
+    if grid_x is None:
+        if result.feasible:
+            violations.append(Violation(
+                scenario=scenario,
+                invariant="opt-infeasible-honest",
+                params=dict(params),
+                observed=observed,
+                message="optimize() found a winner where every grid "
+                        "point is infeasible",
+            ))
+        return violations
+
+    if not result.feasible:
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-vs-grid",
+            params=dict(params),
+            observed=observed,
+            message="optimize() reported infeasible on a feasible box",
+        ))
+        return violations
+
+    # Compare objective values, not argmins: flat stretches make the
+    # argmin non-unique, and matching the achieved extremum is the
+    # contract that matters.
+    scale = max(abs(grid_y), 1e-9)
+    drift = sign * (result.best - grid_y) / scale
+    if drift > tol.OPT_VS_GRID_REL:
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-vs-grid",
+            params=dict(params),
+            observed=observed,
+            message=(
+                f"{mode} {objective}: optimizer found {result.best:.6g}, "
+                f"grid found {grid_y:.6g} "
+                f"({100 * abs(drift):.2f}% worse; band "
+                f"{100 * tol.OPT_VS_GRID_REL:.1f}%)"
+            ),
+        ))
+    if result.points >= grid_points:
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-fewer-points",
+            params=dict(params),
+            observed=observed,
+            message=(
+                f"optimizer solved {result.points} points; the "
+                f"{grid_points}-point grid it replaces is cheaper"
+            ),
+        ))
+    return violations
+
+
+#: Constrained (bisection-path) queries: maximize the axis itself
+#: subject to a budget on the monotone column, the paper's "largest
+#: grain size under a response-time budget" capacity question.
+CONSTRAINED_QUERIES: tuple[tuple[str, str, str], ...] = (
+    ("alltoall", "W", "R"),
+    ("sharedmem", "W", "R"),
+)
+
+
+def check_constrained_query(
+    scenario: str,
+    axis_name: str,
+    column: str,
+    params: Mapping[str, object],
+    *,
+    seed: int = 0,
+) -> list[Violation]:
+    """Check one budgeted inverse query against brute force.
+
+    The budget is the column's value at the box midpoint (always
+    attainable, never trivial), so the true boundary sits strictly
+    inside the box.  Two demands: the bisection answer must (a) be at
+    least as large as the best *feasible grid point* and (b) honestly
+    satisfy the constraint it was given.
+    """
+    from repro.api import get_scenario_class
+    from repro.opt.evaluate import BatchObjective
+    from repro.opt.optimizer import build_axes
+
+    cls = get_scenario_class(scenario)
+    fixed = {k: v for k, v in params.items() if k != axis_name}
+    box = _box_for(scenario, axis_name, seed)
+    sc = cls(**fixed)
+    axes = build_axes(cls, "analytic", {axis_name: box})
+    axis = axes[0]
+    probe = BatchObjective(sc, "analytic", axes)
+
+    mid_row = probe.scalar_values(axis, [axis.snap((box[0] + box[1]) / 2)])[0]
+    if mid_row is None or not math.isfinite(mid_row.get(column, math.inf)):
+        return []  # box midpoint rejected: nothing to anchor a budget on
+    budget = float(mid_row[column])
+    constraint = f"{column} <= {budget!r}"
+
+    try:
+        result = sc.optimize(
+            maximize=axis_name,
+            over={axis_name: box},
+            subject_to=constraint,
+        )
+    except Exception as exc:  # noqa: BLE001 - any crash is a violation
+        return [Violation(
+            scenario=scenario,
+            invariant="opt-no-crash",
+            params=dict(params),
+            observed={"box": list(box), "constraint": constraint},
+            message=f"optimize() raised {type(exc).__name__}: {exc}",
+        )]
+
+    xs = axis.grid(_GRID)
+    rows = probe.scalar_values(axis, xs)
+    feasible = [
+        x for x, row in zip(xs, rows)
+        if row is not None
+        and math.isfinite(row.get(column, math.inf))
+        and row[column] <= budget
+    ]
+    observed = {
+        "box": list(box),
+        "constraint": constraint,
+        "opt_best": result.best if result.feasible else None,
+        "opt_points": result.points,
+        "grid_feasible_max": max(feasible) if feasible else None,
+        "grid_points": len(xs),
+    }
+    violations: list[Violation] = []
+    if not feasible:
+        # Midpoint was feasible, so this cannot happen unless the grid
+        # itself broke; treat as a grid anomaly, not an opt violation.
+        return violations
+    if not result.feasible:
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-vs-grid",
+            params=dict(params),
+            observed=observed,
+            message="budgeted query reported infeasible although the "
+                    "box midpoint satisfies the budget",
+        ))
+        return violations
+    span = abs(box[1] - box[0]) or 1.0
+    if result.best < max(feasible) - tol.OPT_VS_GRID_REL * span:
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-vs-grid",
+            params=dict(params),
+            observed=observed,
+            message=(
+                f"bisection stopped at {axis_name}={result.best:.6g} but "
+                f"the grid already reaches {max(feasible):.6g} under "
+                f"{constraint}"
+            ),
+        ))
+    achieved = result.best_values.get(column)
+    if achieved is None or achieved > budget * (1.0 + tol.REL_SLACK):
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-infeasible-honest",
+            params=dict(params),
+            observed=observed,
+            message=(
+                f"winner violates its own constraint: "
+                f"{column}={achieved!r} > budget {budget:.6g}"
+            ),
+        ))
+    if result.points >= len(xs):
+        violations.append(Violation(
+            scenario=scenario,
+            invariant="opt-fewer-points",
+            params=dict(params),
+            observed=observed,
+            message=(
+                f"optimizer solved {result.points} points; the "
+                f"{len(xs)}-point grid it replaces is cheaper"
+            ),
+        ))
+    return violations
+
+
+def check_optimize(
+    points: int = 3,
+    seed: int = 0,
+    queries: Sequence[tuple[str, str, str, str]] | None = None,
+) -> list[Violation]:
+    """Run every query of :data:`OPT_QUERIES` (and, when ``queries`` is
+    not given, :data:`CONSTRAINED_QUERIES`) over ``points`` fuzzed
+    parameter sets each; returns all violations found.
+
+    Point ``j`` of a query depends only on ``(scenario, seed, j)`` --
+    the same prefix-stability discipline as the model fuzzer -- so any
+    reported violation replays from its ``params`` dict alone.
+    """
+    violations: list[Violation] = []
+    for scenario, mode, objective, axis_name in (queries or OPT_QUERIES):
+        for index, params in enumerate(
+            generate_points(scenario, points, seed)
+        ):
+            violations.extend(check_optimize_query(
+                scenario, mode, objective, axis_name, params,
+                seed=seed + index,
+            ))
+    if queries is None:
+        for scenario, axis_name, column in CONSTRAINED_QUERIES:
+            for index, params in enumerate(
+                generate_points(scenario, points, seed)
+            ):
+                violations.extend(check_constrained_query(
+                    scenario, axis_name, column, params,
+                    seed=seed + index,
+                ))
+    return violations

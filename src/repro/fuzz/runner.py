@@ -60,6 +60,7 @@ class FuzzReport:
     checked: int = 0
     rejected: int = 0
     sim_checked: int = 0
+    opt_checked: int = 0
     elapsed: float = 0.0
     points_per_second: float = 0.0
     budget_exhausted: bool = False
@@ -85,6 +86,7 @@ class FuzzReport:
             "checked": self.checked,
             "rejected": self.rejected,
             "sim_checked": self.sim_checked,
+            "opt_checked": self.opt_checked,
             "elapsed_seconds": round(self.elapsed, 3),
             "points_per_second": round(self.points_per_second, 1),
             "budget_exhausted": self.budget_exhausted,
@@ -160,6 +162,7 @@ def run_fuzz(
     scenarios: Sequence[str] | None = None,
     sim_points: int = 12,
     sim_cycles: int = 160,
+    opt_queries: int = 0,
     budget: float | None = None,
     shrink: bool = True,
     max_shrink: int = 8,
@@ -170,9 +173,12 @@ def run_fuzz(
 
     ``budget`` is a soft wall-clock limit in seconds: the campaign
     checks it between chunks and stops early (``budget_exhausted``)
-    rather than abandoning a chunk mid-solve.  Failures are shrunk to
-    minimal params (at most ``max_shrink`` of them, budget permitting)
-    and written as repro-case files into ``corpus_dir``.
+    rather than abandoning a chunk mid-solve.  ``opt_queries`` > 0 adds
+    the optimizer cross-check leg (:mod:`repro.fuzz.opt_invariants`):
+    that many fuzzed parameter sets per inverse query, each demanding
+    ``optimize()`` agree with a brute-force grid scan.  Failures are
+    shrunk to minimal params (at most ``max_shrink`` of them, budget
+    permitting) and written as repro-case files into ``corpus_dir``.
     """
     t0 = time.perf_counter()
     deadline = None if budget is None else t0 + float(budget)
@@ -216,14 +222,33 @@ def run_fuzz(
                 )
                 violations.append(violation)
 
+    if opt_queries > 0 and not report.budget_exhausted:
+        if deadline is not None and time.perf_counter() > deadline:
+            report.budget_exhausted = True
+        else:
+            from repro.fuzz.opt_invariants import (
+                CONSTRAINED_QUERIES,
+                OPT_QUERIES,
+                check_optimize,
+            )
+
+            report.opt_checked = opt_queries * (
+                len(OPT_QUERIES) + len(CONSTRAINED_QUERIES)
+            )
+            for violation in check_optimize(points=opt_queries, seed=seed):
+                report.violation_counts[violation.invariant] = (
+                    report.violation_counts.get(violation.invariant, 0) + 1
+                )
+                violations.append(violation)
+
     for i, violation in enumerate(violations):
         shrunk_evals = 0
-        # Shrinking replays through the scalar path, so a violation the
-        # sim cross-check found (stochastic, seeded differently) is
-        # recorded as-is.
+        # Shrinking replays through the scalar path, so violations the
+        # sim or optimizer cross-checks found (different harnesses,
+        # seeded differently) are recorded as-is.
         if shrink and i < max_shrink and not (
             deadline is not None and time.perf_counter() > deadline
-        ) and not violation.invariant.startswith("sim-vs-model"):
+        ) and not violation.invariant.startswith(("sim-vs-model", "opt-")):
             result = shrink_case(
                 violation.scenario, violation.params,
                 invariant=violation.invariant,

@@ -50,6 +50,8 @@ __all__ = [
     "as_progress",
     "current_metrics",
     "observe_batch_solve",
+    "observe_opt_query",
+    "observe_opt_step",
     "observe_scalar_solve",
     "telemetry",
 ]
@@ -152,4 +154,54 @@ def observe_batch_solve(
             iterations_mean=float(iter_arr.mean()),
             residual_trajectory=trajectory,
             **extra,
+        )
+
+
+def observe_opt_step(tel: Telemetry, **fields: object) -> None:
+    """Fold one optimizer iteration into a bundle (``opt.step`` event +
+    step counter); called from the search drivers' ``on_step`` hooks."""
+    if tel.metrics is not None:
+        tel.metrics.inc("opt.steps")
+    if tel.events is not None:
+        # The search drivers tag their payloads "kind": bisect/golden/...;
+        # remap so it cannot collide with the event's own kind field.
+        fields = dict(fields)
+        method = fields.pop("kind", None)
+        if method is not None:
+            fields["search"] = method
+        tel.events.emit("opt.step", **fields)
+
+
+def observe_opt_query(
+    tel: Telemetry,
+    scenario: str,
+    mode: str,
+    method: str,
+    solves: int,
+    points: int,
+    converged: bool,
+) -> None:
+    """Fold one completed inverse query into a bundle.
+
+    The headline statistic is ``opt.solves_per_query`` -- the number of
+    batch-solver dispatches one answer cost, the quantity
+    ``benchmarks/bench_opt.py`` compares against a full grid scan.
+    """
+    if tel.metrics is not None:
+        metrics = tel.metrics
+        metrics.inc("opt.queries")
+        metrics.inc("opt.solves", solves)
+        metrics.inc("opt.points", points)
+        metrics.inc("opt.converged" if converged else "opt.failed")
+        metrics.observe("opt.solves_per_query", solves)
+        metrics.observe("opt.points_per_query", points)
+    if tel.events is not None:
+        tel.events.emit(
+            "opt.query",
+            scenario=scenario,
+            mode=mode,
+            method=method,
+            solves=int(solves),
+            points=int(points),
+            converged=bool(converged),
         )

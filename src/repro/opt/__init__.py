@@ -1,0 +1,48 @@
+"""``repro.opt``: inverse queries over the batch solvers.
+
+The forward API answers "given parameters, what is R?"; this package
+answers the planner's inverse -- "what parameters minimise R under a
+budget?", "largest W that still meets the deadline?", "where is the
+contention knee?" -- with gradient-free searches whose every iteration
+is a single vectorized batch solve:
+
+* :func:`~repro.opt.scalar.bisect_boundary` -- feasibility-boundary
+  bisection on monotone axes, ``width`` probes per batch call;
+* :func:`~repro.opt.scalar.golden_min` -- golden-section minimisation
+  on unimodal axes;
+* :func:`~repro.opt.descent.pattern_search` -- batched compass descent
+  over multi-axis integer/continuous boxes;
+* :func:`~repro.opt.knee.find_knee` -- coarse-to-fine curvature search
+  for the knee of a batched response curve;
+* :func:`~repro.opt.optimizer.run_optimize` -- the router that picks a
+  search from the scenario's declared monotonicity hints and returns a
+  typed, JSON-round-trippable :class:`~repro.opt.result.OptResult`.
+
+The friendly entry points live on the facade:
+``scenario(...).optimize(minimize="R", over={"Ps": (1, 64)})`` and
+``Study.optimize(...)``.
+"""
+
+from repro.opt.descent import DescentResult, pattern_search
+from repro.opt.evaluate import BatchObjective
+from repro.opt.knee import find_knee
+from repro.opt.optimizer import build_axes, run_optimize
+from repro.opt.result import OptResult
+from repro.opt.scalar import SearchResult, bisect_boundary, golden_min
+from repro.opt.space import AxisSpec, Constraint, parse_constraints
+
+__all__ = [
+    "AxisSpec",
+    "BatchObjective",
+    "Constraint",
+    "DescentResult",
+    "OptResult",
+    "SearchResult",
+    "bisect_boundary",
+    "build_axes",
+    "find_knee",
+    "golden_min",
+    "parse_constraints",
+    "pattern_search",
+    "run_optimize",
+]

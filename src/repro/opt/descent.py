@@ -1,0 +1,156 @@
+"""Batched pattern search over multi-axis box-constrained spaces.
+
+Compass-style coordinate descent: from the incumbent, poll ``+step`` and
+``-step`` along every axis *in one batched solve*, move to the best
+improving candidate, and halve the steps when no poll improves.  No
+gradients, no per-axis serialization -- the whole neighbourhood is one
+candidate list, which is exactly the shape the batch kernels want.
+
+Integer axes keep their step on the lattice (never below 1) and are
+marked exhausted once a unit step stops helping; continuous axes stop at
+``xtol``.  Infeasible candidates (constraint violations, solver
+rejections) surface as ``inf`` objectives and simply lose the poll.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.opt.space import AxisSpec
+
+__all__ = ["DescentResult", "pattern_search"]
+
+
+@dataclass(frozen=True)
+class DescentResult:
+    """Outcome of one pattern search."""
+
+    x: Mapping[str, float] | None
+    fx: float | None
+    steps: int
+    converged: bool
+    history: tuple[float, ...]
+
+
+def _initial_steps(axes: Sequence[AxisSpec]) -> dict[str, float]:
+    steps: dict[str, float] = {}
+    for ax in axes:
+        span = ax.hi - ax.lo
+        step = span / 4.0
+        if ax.integer:
+            step = max(1.0, round(step))
+        steps[ax.name] = step
+    return steps
+
+
+def pattern_search(
+    evaluate: Callable[[Sequence[Mapping[str, float]]], Sequence[float]],
+    axes: Sequence[AxisSpec],
+    *,
+    start: Mapping[str, float] | None = None,
+    presample: int = 3,
+    xtol: float | None = None,
+    max_steps: int = 40,
+    on_step: Callable[[dict], None] | None = None,
+) -> DescentResult:
+    """Minimise ``evaluate`` over the box spanned by ``axes``.
+
+    ``evaluate`` receives a list of ``{axis: value}`` candidates and
+    returns one objective per candidate (``inf`` = infeasible).
+
+    ``presample`` > 0 opens with one batched coarse factorial sample
+    (``presample`` levels per axis, capped at 64 points) and starts the
+    descent from its best feasible point -- a cheap hedge against
+    landing the incumbent in a bad basin; ``start`` overrides it.
+    Pattern search is still a *local* method: on multimodal surfaces it
+    refines the best sampled basin rather than guaranteeing the global
+    optimum.
+    """
+    if not axes:
+        raise ValueError("pattern_search needs at least one axis")
+    xtol = 1e-4 if xtol is None else float(xtol)
+    by_name = {ax.name: ax for ax in axes}
+    history: list[float] = []
+    steps_taken = 0
+
+    def snap_point(point: Mapping[str, float]) -> dict[str, float]:
+        return {name: by_name[name].snap(v) for name, v in point.items()}
+
+    if start is not None:
+        current = snap_point(start)
+        current_f = list(evaluate([current]))[0]
+        steps_taken += 1
+    else:
+        levels = [ax.grid(max(2, presample)) for ax in axes]
+        candidates: list[dict[str, float]] = [{}]
+        for ax, vals in zip(axes, levels):
+            candidates = [
+                {**c, ax.name: v} for c in candidates for v in vals
+            ]
+            if len(candidates) > 64:
+                break
+        candidates = candidates[:64]
+        # Every candidate must bind all axes (the cap can cut mid-product).
+        candidates = [c for c in candidates if len(c) == len(axes)]
+        if not candidates:
+            candidates = [
+                {ax.name: ax.snap((ax.lo + ax.hi) / 2.0) for ax in axes}
+            ]
+        fs = list(evaluate(candidates))
+        steps_taken += 1
+        best_i = min(range(len(fs)), key=lambda i: fs[i])
+        current, current_f = dict(candidates[best_i]), fs[best_i]
+    history.append(current_f)
+
+    steps = _initial_steps(axes)
+    converged = False
+    while steps_taken < max_steps:
+        live = {
+            name: s
+            for name, s in steps.items()
+            if (by_name[name].integer and s >= 1.0)
+            or (not by_name[name].integer
+                and s > xtol * max(1.0, by_name[name].hi - by_name[name].lo))
+        }
+        if not live:
+            converged = True
+            break
+        poll: list[dict[str, float]] = []
+        for name, s in live.items():
+            for direction in (+1.0, -1.0):
+                cand = dict(current)
+                cand[name] = by_name[name].snap(current[name] + direction * s)
+                if cand != current and cand not in poll:
+                    poll.append(cand)
+        if not poll:
+            converged = True
+            break
+        fs = list(evaluate(poll))
+        steps_taken += 1
+        best_i = min(range(len(fs)), key=lambda i: fs[i])
+        if fs[best_i] < current_f:
+            current, current_f = dict(poll[best_i]), fs[best_i]
+        else:
+            for name in live:
+                s = steps[name] / 2.0
+                if by_name[name].integer:
+                    s = math.floor(s)
+                steps[name] = s
+        history.append(current_f)
+        if on_step is not None:
+            on_step(
+                {
+                    "kind": "descent",
+                    "step": steps_taken,
+                    "incumbent": current_f,
+                    "steps": dict(steps),
+                }
+            )
+
+    if not math.isfinite(current_f):
+        return DescentResult(None, None, steps_taken, False, tuple(history))
+    return DescentResult(
+        dict(current), float(current_f), steps_taken, converged, tuple(history)
+    )

@@ -1,0 +1,117 @@
+"""Knee localisation on a batched response curve.
+
+The paper's headline plots (fig 5.1 and friends) all share one shape: a
+response-time or runtime curve that is flat while contention is cheap
+and then turns hard once the queueing term takes over.  "Where is the
+knee?" is the capacity-planning question behind those figures.
+
+:func:`find_knee` answers it with coarse-to-fine batched grids: solve a
+whole grid in one batch call, normalise the window to the unit square
+(so the answer is scale-free in both axes), score interior points by
+discrete curvature (second differences of the normalised curve), and
+re-bracket around the sharpest bend.  Three rounds of a 9-point grid
+localise the knee to ~``span / 256`` for the cost of ~27 solved points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.opt.scalar import SearchResult, _fwd, _inv
+from repro.opt.space import AxisSpec
+
+__all__ = ["find_knee"]
+
+
+def _curvature(ts: Sequence[float], ys: Sequence[float]) -> list[float]:
+    """|second difference| of the curve normalised to the unit square.
+
+    ``ts`` must be evenly spaced (the grids we build are, in search
+    geometry).  Returns one score per *interior* point.
+    """
+    t_span = ts[-1] - ts[0] or 1.0
+    y_lo, y_hi = min(ys), max(ys)
+    y_span = (y_hi - y_lo) or 1.0
+    u = [(y - y_lo) / y_span for y in ys]
+    h = (ts[1] - ts[0]) / t_span
+    return [
+        abs(u[i + 1] - 2.0 * u[i] + u[i - 1]) / (h * h)
+        for i in range(1, len(ts) - 1)
+    ]
+
+
+def find_knee(
+    evaluate: Callable[[Sequence[float]], Sequence[float]],
+    axis: AxisSpec,
+    *,
+    grid: int = 9,
+    rounds: int = 3,
+    on_step: Callable[[dict], None] | None = None,
+) -> SearchResult:
+    """Locate the point of maximum curvature of ``evaluate`` over ``axis``.
+
+    Each round is one batched solve of a ``grid``-point window;
+    ``rounds`` rounds narrow the window by ``~(grid - 1) / 2`` each
+    time.  Returns a :class:`SearchResult` whose ``x`` is the knee and
+    ``fx`` the curve value there; ``converged`` is False when the curve
+    is too flat to rank (all curvature scores ~0) or a window solves
+    infeasible.
+    """
+    if grid < 5:
+        raise ValueError("knee grid needs at least 5 points")
+    lo, hi = axis.lo, axis.hi
+    history: list[float] = []
+    steps = 0
+    best_x: float | None = None
+    best_y: float | None = None
+
+    for _ in range(max(1, rounds)):
+        a, b = _fwd(axis, lo), _fwd(axis, hi)
+        ts = [a + (b - a) * i / (grid - 1) for i in range(grid)]
+        xs: list[float] = []
+        for t in ts:
+            x = axis.snap(_inv(axis, t))
+            if x not in xs:
+                xs.append(x)
+        if len(xs) < 5:
+            # Integer window exhausted below a rankable grid.
+            break
+        ys = list(evaluate(xs))
+        steps += 1
+        if not all(math.isfinite(y) for y in ys):
+            return SearchResult(None, None, steps, False, tuple(history), None)
+        ts = [_fwd(axis, x) for x in xs]
+        # On a log axis, score curvature in log-log space: a curve that
+        # ends asymptotically linear in x (R ~ W + contention) looks
+        # exponential against log-x and banks all its linear-space
+        # curvature in the top decade, while log-y turns it into the
+        # sigmoid whose bend is the transition the knee question means.
+        if axis.log and min(ys) > 0.0:
+            scores = _curvature(ts, [math.log(y) for y in ys])
+        else:
+            scores = _curvature(ts, ys)
+        k = max(range(len(scores)), key=lambda i: scores[i])
+        if scores[k] <= 1e-12:
+            # Flat window: no knee to localise.
+            return SearchResult(None, None, steps, False, tuple(history), (lo, hi))
+        best_x, best_y = xs[k + 1], ys[k + 1]
+        history.append(best_x)
+        if on_step is not None:
+            on_step(
+                {
+                    "kind": "knee",
+                    "step": steps,
+                    "bracket": (lo, hi),
+                    "incumbent": best_x,
+                }
+            )
+        new_lo, new_hi = xs[k], xs[k + 2]
+        if axis.exhausted(new_lo, new_hi) or (new_lo, new_hi) == (lo, hi):
+            lo, hi = new_lo, new_hi
+            break
+        lo, hi = new_lo, new_hi
+
+    if best_x is None:
+        return SearchResult(None, None, steps, False, tuple(history), (lo, hi))
+    return SearchResult(best_x, best_y, steps, True, tuple(history), (lo, hi))

@@ -1,0 +1,200 @@
+"""Typed result of one inverse query.
+
+:class:`OptResult` is to :func:`repro.opt.run_optimize` what
+:class:`repro.api.Solution` is to a single solve: a frozen record with
+the winning parameters, the objective trajectory, solve/point counts
+(the cost story -- how many batch calls and solved points the answer
+took versus a grid scan), a ``converged`` flag, and the same JSON
+round-trip contract so optimizer answers can be cached, diffed, and
+shipped as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+__all__ = ["OptResult"]
+
+
+def _freeze(mapping: Mapping[str, Any] | None) -> Mapping[str, Any]:
+    return MappingProxyType(dict(mapping or {}))
+
+
+@dataclass(frozen=True)
+class OptResult:
+    """Outcome of one ``optimize()`` / ``knee()`` query.
+
+    Attributes
+    ----------
+    scenario, backend, evaluator:
+        Where the solves ran (mirrors :class:`repro.api.Solution`).
+    mode:
+        ``"minimize"``, ``"maximize"`` or ``"knee"``.
+    objective:
+        The solved column being optimised (``R``, ``X`` ...) -- or the
+        parameter name itself for inverse queries like "largest W with
+        R <= budget".
+    method:
+        Which search ran: ``"boundary"`` (monotone hint, endpoints
+        only), ``"bisect"`` (feasibility boundary), ``"golden"``
+        (unimodal hint), ``"descent"`` (pattern search) or ``"knee"``.
+    over:
+        The search box, axis name -> ``(lo, hi)``.
+    constraints:
+        The ``subject_to`` predicates, as their source strings.
+    best_params:
+        Full resolved parameter dict of the winning point.
+    best_values:
+        Solved values at the winning point.
+    best:
+        Objective value at the winner (the axis value itself for
+        param-objective queries).
+    trajectory:
+        Best-objective-so-far after each optimizer step.
+    solves / points / steps:
+        Batch-solve calls issued, individual points solved, and
+        optimizer iterations taken.
+    converged:
+        True when the search met its tolerance (rather than hitting
+        ``max_solves`` or finding no feasible point).
+    """
+
+    scenario: str
+    backend: str
+    evaluator: str
+    mode: str
+    objective: str
+    method: str
+    over: Mapping[str, tuple[float, float]]
+    constraints: tuple[str, ...]
+    best_params: Mapping[str, Any]
+    best_values: Mapping[str, float]
+    best: float
+    trajectory: tuple[float, ...]
+    solves: int
+    points: int
+    steps: int
+    converged: bool
+    meta: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "over",
+            _freeze({k: (float(lo), float(hi))
+                     for k, (lo, hi) in dict(self.over).items()}),
+        )
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        object.__setattr__(self, "best_params", _freeze(self.best_params))
+        object.__setattr__(
+            self,
+            "best_values",
+            _freeze({k: float(v) for k, v in dict(self.best_values).items()}),
+        )
+        object.__setattr__(
+            self, "trajectory", tuple(float(v) for v in self.trajectory)
+        )
+        object.__setattr__(self, "meta", _freeze(self.meta))
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def argbest(self) -> dict[str, Any]:
+        """The winning values of just the searched axes (empty when the
+        query found no feasible point)."""
+        return {
+            name: self.best_params[name]
+            for name in self.over
+            if name in self.best_params
+        }
+
+    @property
+    def feasible(self) -> bool:
+        return bool(self.best_params) and math.isfinite(self.best)
+
+    def solution(self) -> "Any":
+        """The winning point as a :class:`repro.api.Solution`."""
+        from repro.api.solution import Solution
+
+        return Solution(
+            scenario=self.scenario,
+            backend=self.backend,
+            evaluator=self.evaluator,
+            params=dict(self.best_params),
+            values=dict(self.best_values),
+            meta={"opt": {"mode": self.mode, "method": self.method}},
+        )
+
+    def summary(self) -> str:
+        tail = "converged" if self.converged else "NOT converged"
+        if not self.feasible:
+            box = ", ".join(f"{k}" for k in self.over)
+            return (
+                f"{self.mode} {self.objective} over {{{box}}} -> "
+                f"no feasible point via {self.method} "
+                f"({self.solves} solves, {self.points} points, {tail})"
+            )
+        axes = ", ".join(f"{k}={v}" for k, v in self.argbest.items())
+        return (
+            f"{self.mode} {self.objective} over {{{axes}}} -> "
+            f"{self.best:.6g} via {self.method} "
+            f"({self.solves} solves, {self.points} points, {tail})"
+        )
+
+    # -- JSON round trip -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "evaluator": self.evaluator,
+            "mode": self.mode,
+            "objective": self.objective,
+            "method": self.method,
+            "over": {k: list(v) for k, v in self.over.items()},
+            "constraints": list(self.constraints),
+            "best_params": dict(self.best_params),
+            "best_values": dict(self.best_values),
+            "best": self.best,
+            "trajectory": list(self.trajectory),
+            "solves": self.solves,
+            "points": self.points,
+            "steps": self.steps,
+            "converged": self.converged,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OptResult":
+        return cls(
+            scenario=data["scenario"],
+            backend=data["backend"],
+            evaluator=data["evaluator"],
+            mode=data["mode"],
+            objective=data["objective"],
+            method=data["method"],
+            over={k: (v[0], v[1]) for k, v in data["over"].items()},
+            constraints=tuple(data["constraints"]),
+            best_params=data["best_params"],
+            best_values=data["best_values"],
+            best=float(data["best"]),
+            trajectory=tuple(data["trajectory"]),
+            solves=int(data["solves"]),
+            points=int(data["points"]),
+            steps=int(data["steps"]),
+            converged=bool(data["converged"]),
+            meta=data.get("meta", {}),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("indent", 2)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OptResult":
+        return cls.from_dict(json.loads(text))

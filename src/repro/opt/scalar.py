@@ -1,0 +1,258 @@
+"""Batched 1-D searches: bisection on a predicate boundary and
+golden-section minimisation.
+
+Both drivers speak to the model through a single callback -- for
+:func:`bisect_boundary` a *predicate* ``evaluate(xs) -> [bool, ...]``,
+for :func:`golden_min` an *objective* ``evaluate(xs) -> [float, ...]``
+(``inf`` marks an infeasible point) -- and both hand the callback whole
+candidate lists, so one optimizer iteration is one batched solve.
+Memoization is the callback's job (:class:`repro.opt.evaluate.BatchObjective`
+provides it); the drivers may freely re-offer endpoints.
+
+``bisect_boundary`` narrows with ``width`` interior probes per call
+rather than one midpoint: each batch call shrinks the bracket by a
+factor of ``width + 1``, so a 20 000-wide integer axis resolves in
+``ceil(log_5 20000) = 7`` solves at the default width of 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.opt.space import AxisSpec
+
+__all__ = ["SearchResult", "bisect_boundary", "golden_min"]
+
+#: Inverse golden ratio, the classic section fraction.
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+#: Default relative bracket tolerance (fraction of the initial span in
+#: search geometry) for continuous axes.
+_REL_XTOL = 1e-4
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one scalar search.
+
+    ``x`` is ``None`` when the search found no admissible point (e.g. a
+    bisection whose predicate fails everywhere).  ``history`` tracks the
+    incumbent per step: the best objective for minimisation, the best
+    admissible axis value for bisection.
+    """
+
+    x: float | None
+    fx: float | None
+    steps: int
+    converged: bool
+    history: tuple[float, ...]
+    bracket: tuple[float, float] | None = None
+
+
+def _fwd(axis: AxisSpec, x: float) -> float:
+    return math.log(x) if axis.log else x
+
+
+def _inv(axis: AxisSpec, t: float) -> float:
+    return math.exp(t) if axis.log else t
+
+
+def _probes(axis: AxisSpec, lo: float, hi: float, k: int) -> list[float]:
+    """Up to ``k`` snapped probe points strictly inside ``(lo, hi)``,
+    evenly spaced in search geometry."""
+    a, b = _fwd(axis, lo), _fwd(axis, hi)
+    out: list[float] = []
+    for i in range(k):
+        x = axis.snap(_inv(axis, a + (b - a) * (i + 1) / (k + 1)))
+        if lo < x < hi and x not in out:
+            out.append(x)
+    return out
+
+
+def _int_range(axis: AxisSpec, lo: float, hi: float) -> list[float]:
+    return [float(v) for v in range(math.ceil(lo), math.floor(hi) + 1)]
+
+
+def _xtol_for(axis: AxisSpec, xtol: float | None) -> float:
+    if xtol is not None:
+        return float(xtol)
+    return max(abs(axis.span()), 1.0) * _REL_XTOL
+
+
+def bisect_boundary(
+    evaluate: Callable[[Sequence[float]], Sequence[bool]],
+    axis: AxisSpec,
+    *,
+    want: str = "largest_true",
+    width: int = 4,
+    xtol: float | None = None,
+    max_steps: int = 60,
+    on_step: Callable[[dict], None] | None = None,
+) -> SearchResult:
+    """Locate the feasibility boundary of a monotone predicate.
+
+    ``want="largest_true"`` assumes the predicate holds on a prefix
+    ``[lo, x*]`` and finds the largest admissible ``x``;
+    ``"smallest_true"`` is the mirrored suffix case.  If the predicate
+    is not actually monotone the answer is the boundary of *some*
+    admissible run -- the caller is expected to have a monotonicity
+    hint (or to accept a local answer).
+    """
+    if want not in ("largest_true", "smallest_true"):
+        raise ValueError(f"want must be largest_true|smallest_true, not {want!r}")
+    largest = want == "largest_true"
+    xtol = _xtol_for(axis, xtol)
+    lo, hi = axis.snap(axis.lo), axis.snap(axis.hi)
+    history: list[float] = []
+
+    flags = list(evaluate([lo, hi]))
+    steps = 1
+    ok_lo, ok_hi = bool(flags[0]), bool(flags[-1])
+    # The sought endpoint admissible means the query is trivially solved
+    # -- whichever way the predicate runs (an `R <= budget` constraint
+    # can make either end of the axis the feasible side).
+    if largest and ok_hi:
+        return SearchResult(hi, None, steps, True, (hi,), (lo, hi))
+    if not largest and ok_lo:
+        return SearchResult(lo, None, steps, True, (lo,), (lo, hi))
+    if not (ok_lo or ok_hi):
+        # Predicate fails at both ends: any feasible run is interior and
+        # bisection cannot anchor on it.
+        return SearchResult(None, None, steps, False, (), None)
+
+    # Invariant: predicate True at t_side, False at f_side.
+    t_side, f_side = (lo, hi) if largest else (hi, lo)
+    history.append(t_side)
+    while steps < max_steps:
+        blo, bhi = min(t_side, f_side), max(t_side, f_side)
+        if axis.exhausted(blo, bhi) or abs(axis.span(blo, bhi)) <= xtol:
+            break
+        probes = _probes(axis, blo, bhi, width)
+        if not probes:
+            break
+        flags = list(evaluate(probes))
+        steps += 1
+        # Walk from the True side towards the False side, keeping the
+        # last admissible probe and the first inadmissible one.
+        ordered = probes if largest else list(reversed(probes))
+        oflags = flags if largest else list(reversed(flags))
+        for x, ok in zip(ordered, oflags):
+            if ok:
+                t_side = x
+            else:
+                f_side = x
+                break
+        history.append(t_side)
+        if on_step is not None:
+            on_step(
+                {
+                    "kind": "bisect",
+                    "step": steps,
+                    "bracket": (min(t_side, f_side), max(t_side, f_side)),
+                    "incumbent": t_side,
+                }
+            )
+    blo, bhi = min(t_side, f_side), max(t_side, f_side)
+    converged = axis.exhausted(blo, bhi) or abs(axis.span(blo, bhi)) <= xtol
+    return SearchResult(
+        t_side, None, steps, converged, tuple(history), (blo, bhi)
+    )
+
+
+def golden_min(
+    evaluate: Callable[[Sequence[float]], Sequence[float]],
+    axis: AxisSpec,
+    *,
+    xtol: float | None = None,
+    max_steps: int = 80,
+    on_step: Callable[[dict], None] | None = None,
+) -> SearchResult:
+    """Golden-section minimisation on a unimodal axis.
+
+    The opening call batches both section points with the endpoints;
+    after that each step evaluates one fresh point (memoized repeats are
+    free).  Integer axes finish exactly: once the bracket holds only a
+    handful of lattice points the remainder is solved in one final
+    batch call and the true argmin returned.
+    """
+    xtol = _xtol_for(axis, xtol)
+    a, b = _fwd(axis, axis.lo), _fwd(axis, axis.hi)
+    history: list[float] = []
+
+    def probe(t: float) -> float:
+        return axis.snap(_inv(axis, t))
+
+    x1, x2 = probe(b - (b - a) * _INVPHI), probe(a + (b - a) * _INVPHI)
+    xs = []
+    for x in (axis.snap(axis.lo), x1, x2, axis.snap(axis.hi)):
+        if x not in xs:
+            xs.append(x)
+    fs = list(evaluate(xs))
+    steps = 1
+    known = dict(zip(xs, fs))
+    best_x = min(known, key=lambda x: known[x])
+    history.append(known[best_x])
+    finished_exact = False
+
+    while steps < max_steps:
+        if axis.exhausted(_inv(axis, a), _inv(axis, b)) or (b - a) <= xtol:
+            break
+        if axis.integer:
+            remaining = _int_range(axis, _inv(axis, a), _inv(axis, b))
+            fresh = [x for x in remaining if x not in known]
+            if len(fresh) <= 6:
+                # Small integer bracket: finish exhaustively in one call.
+                if fresh:
+                    known.update(zip(fresh, evaluate(fresh)))
+                    steps += 1
+                in_bracket = {x: known[x] for x in remaining if x in known}
+                if in_bracket:
+                    best_x = min(in_bracket, key=lambda x: in_bracket[x])
+                history.append(known[best_x])
+                finished_exact = True
+                break
+        t1, t2 = b - (b - a) * _INVPHI, a + (b - a) * _INVPHI
+        x1, x2 = probe(t1), probe(t2)
+        fresh = [x for x in (x1, x2) if x not in known]
+        if fresh:
+            known.update(zip(fresh, evaluate(fresh)))
+            steps += 1
+        # (With no fresh points -- integer snapping collapsed both
+        # probes onto known lattice values -- the bracket still shrinks
+        # below, so the exhaustive small-bracket branch is reached.)
+        if known.get(x1, math.inf) <= known.get(x2, math.inf):
+            b = t2
+        else:
+            a = t1
+        cand = min(known, key=lambda x: known[x])
+        if known[cand] < known.get(best_x, math.inf):
+            best_x = cand
+        history.append(known[best_x])
+        if on_step is not None:
+            on_step(
+                {
+                    "kind": "golden",
+                    "step": steps,
+                    "bracket": (_inv(axis, a), _inv(axis, b)),
+                    "incumbent": known[best_x],
+                }
+            )
+
+    fx = known[best_x]
+    if not math.isfinite(fx):
+        return SearchResult(None, None, steps, False, tuple(history), None)
+    converged = (
+        finished_exact
+        or axis.exhausted(_inv(axis, a), _inv(axis, b))
+        or (b - a) <= xtol
+    )
+    return SearchResult(
+        best_x,
+        fx,
+        steps,
+        converged,
+        tuple(history),
+        (_inv(axis, a), _inv(axis, b)),
+    )

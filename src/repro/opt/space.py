@@ -1,0 +1,190 @@
+"""Search-space primitives for the optimization layer.
+
+An :class:`AxisSpec` is one box-constrained search axis -- a scenario
+parameter name plus numeric ``(lo, hi)`` bounds, with an ``integer``
+flag so the algorithms snap candidates onto the lattice the solvers
+actually accept (``Ps = 8``, never ``Ps = 7.63``), and a ``log`` flag
+for axes whose natural geometry is multiplicative (``W`` spans 1 to
+20000; bisecting in log-space keeps probes spread over the decades
+instead of crowding the top one).
+
+A :class:`Constraint` is one ``column <op> bound`` predicate over solved
+values (``R <= 1000``).  Constraints are parsed from the strings users
+pass to ``subject_to=`` and the CLI's ``--subject-to``; they evaluate
+against the values dict of a solved point, so any solution column
+(``R``, ``X``, ``C`` ...) can bound the search.
+
+These classes are deliberately dependency-free (no facade imports) so
+:mod:`repro.core.scaling` and the test suite can drive the raw
+algorithms without touching scenario machinery.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+__all__ = [
+    "AxisSpec",
+    "Constraint",
+    "parse_constraints",
+]
+
+
+@dataclass(frozen=True)
+class AxisSpec:
+    """One box-constrained search axis.
+
+    ``lo``/``hi`` are inclusive bounds.  ``integer`` axes snap every
+    candidate to the nearest in-range int; ``log`` axes tell the
+    algorithms to place probes uniformly in ``log(x)`` (requires
+    ``lo > 0``).
+    """
+
+    name: str
+    lo: float
+    hi: float
+    integer: bool = False
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lo), float(self.hi)
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise ValueError(f"axis {self.name!r}: bounds must be finite")
+        if lo > hi:
+            raise ValueError(
+                f"axis {self.name!r}: lo ({lo}) exceeds hi ({hi})"
+            )
+        if self.log and lo <= 0:
+            raise ValueError(
+                f"axis {self.name!r}: log axes need lo > 0, got {lo}"
+            )
+        if self.integer:
+            if math.ceil(lo) > math.floor(hi):
+                raise ValueError(
+                    f"axis {self.name!r}: no integers in [{lo}, {hi}]"
+                )
+            object.__setattr__(self, "lo", float(math.ceil(lo)))
+            object.__setattr__(self, "hi", float(math.floor(hi)))
+        else:
+            object.__setattr__(self, "lo", lo)
+            object.__setattr__(self, "hi", hi)
+
+    # -- geometry helpers ------------------------------------------------
+
+    def snap(self, x: float) -> float:
+        """Clip ``x`` into the box and round onto the integer lattice."""
+        x = min(max(float(x), self.lo), self.hi)
+        if self.integer:
+            x = float(round(x))
+            x = min(max(x, self.lo), self.hi)
+        return x
+
+    def value(self, x: float) -> float | int:
+        """``snap(x)`` as the Python type the schema expects."""
+        x = self.snap(x)
+        return int(x) if self.integer else x
+
+    def _fwd(self, x: float) -> float:
+        return math.log(x) if self.log else x
+
+    def _inv(self, t: float) -> float:
+        return math.exp(t) if self.log else t
+
+    def interior(self, fracs: Sequence[float]) -> list[float]:
+        """Snapped points at the given fractions of the (possibly log)
+        span, deduplicated and ordered."""
+        a, b = self._fwd(self.lo), self._fwd(self.hi)
+        out: list[float] = []
+        for f in fracs:
+            x = self.snap(self._inv(a + (b - a) * float(f)))
+            if x not in out:
+                out.append(x)
+        return sorted(out)
+
+    def grid(self, n: int) -> list[float]:
+        """``n`` snapped points spanning the box (endpoints included)."""
+        if n < 2:
+            return [self.snap(self.lo)]
+        return self.interior([i / (n - 1) for i in range(n)])
+
+    def span(self, lo: float | None = None, hi: float | None = None) -> float:
+        """Bracket width in search geometry (log-space for log axes)."""
+        a = self._fwd(self.lo if lo is None else lo)
+        b = self._fwd(self.hi if hi is None else hi)
+        return b - a
+
+    def exhausted(self, lo: float, hi: float) -> bool:
+        """True when an integer bracket has no untested interior point."""
+        return self.integer and (math.floor(hi) - math.ceil(lo)) <= 1
+
+
+_OPS: Mapping[str, Callable[[float, float], bool]] = {
+    "<=": lambda v, b: v <= b,
+    ">=": lambda v, b: v >= b,
+    "<": lambda v, b: v < b,
+    ">": lambda v, b: v > b,
+    "==": lambda v, b: v == b,
+}
+
+_CONSTRAINT_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|==|<|>)\s*([-+0-9.eE]+)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One ``column <op> bound`` predicate over solved values."""
+
+    column: str
+    op: str
+    bound: float
+    text: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            known = ", ".join(_OPS)
+            raise ValueError(f"unknown constraint op {self.op!r}; known: {known}")
+        if not self.text:
+            object.__setattr__(
+                self, "text", f"{self.column} {self.op} {self.bound:g}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Constraint":
+        m = _CONSTRAINT_RE.match(text)
+        if m is None:
+            raise ValueError(
+                f"cannot parse constraint {text!r}; expected e.g. 'R <= 1000'"
+            )
+        column, op, bound = m.groups()
+        return cls(column=column, op=op, bound=float(bound), text=text.strip())
+
+    def ok(self, values: Mapping[str, float]) -> bool:
+        if self.column not in values:
+            known = ", ".join(sorted(values))
+            raise KeyError(
+                f"constraint {self.text!r}: no column {self.column!r} in "
+                f"solved values (have: {known})"
+            )
+        v = float(values[self.column])
+        return math.isfinite(v) and _OPS[self.op](v, self.bound)
+
+
+def parse_constraints(
+    subject_to: str | Constraint | Sequence[str | Constraint] | None,
+) -> tuple[Constraint, ...]:
+    """Normalise ``subject_to=`` input to a tuple of constraints.
+
+    Accepts a single string/:class:`Constraint` or a sequence of them.
+    """
+    if subject_to is None:
+        return ()
+    if isinstance(subject_to, (str, Constraint)):
+        subject_to = [subject_to]
+    out = []
+    for item in subject_to:
+        out.append(item if isinstance(item, Constraint) else Constraint.parse(item))
+    return tuple(out)

@@ -137,6 +137,82 @@ class SweepResult:
             )
         return matches[0]
 
+    def best(
+        self,
+        *,
+        minimize: str | None = None,
+        maximize: str | None = None,
+        where: Callable[[PointRecord], bool] | None = None,
+        **equals: object,
+    ):
+        """The winning row as a typed :class:`~repro.api.Solution`.
+
+        The sweep-side sibling of ``scenario(...).optimize(...)``: pick
+        the record extremising one column -- ``minimize=``/``maximize=``
+        name any parameter or value column -- optionally restricted by a
+        ``where`` predicate and/or column equality tests (the same
+        filters :meth:`filter` takes).  Non-finite entries never win.
+
+        The evaluator name is reverse-looked-up in the scenario registry
+        so the Solution carries full provenance; for evaluators
+        registered outside the facade the scenario/backend fields fall
+        back to the evaluator name and ``"custom"``.
+        """
+        import math
+
+        from repro.api.solution import Solution
+
+        if (minimize is None) == (maximize is None):
+            raise ValueError("pass exactly one of minimize= or maximize=")
+        column = minimize if minimize is not None else maximize
+        pool = self.filter(where, **equals) if (where or equals) else self
+        if not pool.records:
+            raise ValueError(
+                f"best(): no records"
+                + (" match the filter" if (where or equals) else "")
+            )
+
+        def score(record: PointRecord) -> float:
+            try:
+                value = float(record[column])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                known = ", ".join(self.columns)
+                raise KeyError(
+                    f"best(): no numeric column {column!r}; "
+                    f"columns: {known}"
+                ) from None
+            if not math.isfinite(value):
+                return math.inf
+            return value if minimize is not None else -value
+
+        winner = min(pool.records, key=score)
+        if not math.isfinite(score(winner)):
+            raise ValueError(
+                f"best(): every candidate has non-finite {column!r}"
+            )
+        from repro.api.scenario import find_backend
+
+        found = find_backend(self.evaluator)
+        if found is not None:
+            scenario_name, role = found[0].name, found[1].role
+        else:
+            scenario_name, role = self.evaluator, "custom"
+        return Solution(
+            scenario=scenario_name,
+            backend=role,
+            evaluator=self.evaluator,
+            params=winner.params,
+            values=winner.values,
+            meta=dict(
+                winner.meta,
+                best={
+                    "column": column,
+                    "mode": "minimize" if minimize is not None else "maximize",
+                    "candidates": len(pool.records),
+                },
+            ),
+        )
+
     # -- export --------------------------------------------------------
     def to_csv(self, columns: Sequence[str] | None = None) -> str:
         from repro.experiments.common import to_csv

@@ -30,6 +30,7 @@ __all__ = [
     "BOUNDS_REL_SLACK",
     "CONTENTION_FLOOR",
     "GENERAL_BATCH_REL",
+    "OPT_VS_GRID_REL",
     "POPULATION_CONSERVATION_REL",
     "REL_SLACK",
     "SCHWEITZER_VS_BARD_REL_SLACK",
@@ -101,6 +102,17 @@ GENERAL_BATCH_REL = 1e-8
 
 #: Strict utilisation caps (Uq < 1, Us <= 1) get this much float slack.
 UTILISATION_SLACK = 1e-9
+
+#: Relative band for the optimizer-vs-grid invariant: the *objective
+#: value* found by ``repro.opt`` (bisection / golden-section / boundary
+#: pick, default tolerances) must come within this fraction of the
+#: brute-force argmin over a dense grid of the same box.  The default
+#: relative x-tolerance is 1e-4 of the span; on the steepest curves the
+#: fuzzer exercises (dR/dW ~ 2 near saturation) that x-error maps to
+#: ~1e-3 relative in R, and integer axes resolve exactly.  1e-2 leaves
+#: ~10x headroom while still failing instantly if a search direction or
+#: bracket update breaks (those land >10% off or at a box edge).
+OPT_VS_GRID_REL = 1e-2
 
 #: Signed percent band (model - sim) / sim for sampled-simulation
 #: all-to-all response times at fuzzing lengths (~160 request

@@ -1,0 +1,83 @@
+"""Fuzz streams replayed through the facade's sweep machinery."""
+
+import pytest
+
+from repro import scenario
+from repro.fuzz.bridge import _box_for, fuzz_axis, fuzz_studies, fuzz_study
+from repro.fuzz.generators import generate_points
+from repro.sweep import RandomAxis
+
+
+class TestFuzzStudy:
+    def test_replay_matches_direct_solve(self):
+        points = generate_points("alltoall", 6, seed=11)
+        result = fuzz_study("alltoall", 6, seed=11).analytic()
+        assert len(result) == len(points)
+        for record, params in zip(result.records, points):
+            direct = scenario("alltoall", **params).analytic()
+            assert record["R"] == pytest.approx(direct.R, rel=1e-12)
+
+    def test_rows_preserve_generation_order(self):
+        points = generate_points("workpile", 5, seed=3)
+        study = fuzz_study("workpile", 5, seed=3)
+        result = study.analytic()
+        assert [r.params["W"] for r in result] == [p["W"] for p in points]
+
+    def test_variable_shape_generator_rejected(self):
+        with pytest.raises(ValueError, match="fuzz_studies"):
+            fuzz_study("multiclass", 12, seed=0)
+
+    def test_study_name_carries_provenance(self):
+        study = fuzz_study("alltoall", 3, seed=7)
+        assert study.name == "fuzz-alltoall-s7/0"
+
+
+class TestFuzzStudies:
+    def test_groups_cover_every_point(self):
+        points = generate_points("multiclass", 12, seed=0)
+        studies = fuzz_studies("multiclass", 12, seed=0)
+        assert len(studies) > 1
+        total = sum(len(s.analytic()) for s in studies)
+        assert total == len(points)
+
+    def test_single_signature_yields_one_study(self):
+        assert len(fuzz_studies("sharedmem", 4, seed=1)) == 1
+
+
+class TestFuzzAxis:
+    def test_deterministic_over_declared_range(self):
+        one = fuzz_axis("alltoall", "W", 8, seed=5)
+        two = fuzz_axis("alltoall", "W", 8, seed=5)
+        assert isinstance(one, RandomAxis)
+        assert list(one.sample()) == list(two.sample())
+        assert all(0.0 <= w <= 20000.0 for w in one.sample())
+
+    def test_different_params_get_distinct_streams(self):
+        w = fuzz_axis("alltoall", "W", 8, seed=5)
+        p = fuzz_axis("alltoall", "P", 8, seed=5)
+        assert w.seed != p.seed
+
+    def test_integer_param_yields_integers(self):
+        axis = fuzz_axis("alltoall", "P", 8, seed=5)
+        assert all(v == int(v) for v in axis.sample())
+
+    def test_unknown_param_lists_schema(self):
+        with pytest.raises(KeyError, match="schema"):
+            fuzz_axis("alltoall", "nope", 4, seed=0)
+
+    def test_unranged_param_needs_span(self):
+        with pytest.raises(ValueError, match="span="):
+            fuzz_axis("nonblocking", "k", 4, seed=0)
+        axis = fuzz_axis("nonblocking", "k", 4, seed=0, span=(1, 16))
+        assert all(1 <= v <= 16 for v in axis.sample())
+
+
+class TestBoxFor:
+    def test_sub_box_stays_inside_declared_range(self):
+        for seed in range(5):
+            lo, hi = _box_for("alltoall", "W", seed)
+            assert 0.0 <= lo < hi <= 20000.0
+            assert hi - lo >= 0.4 * 20000.0
+
+    def test_deterministic(self):
+        assert _box_for("alltoall", "W", 9) == _box_for("alltoall", "W", 9)

@@ -1,0 +1,38 @@
+"""The optimizer invariant suite must hold (and stay deterministic)."""
+
+from repro.fuzz.opt_invariants import (
+    CONSTRAINED_QUERIES,
+    OPT_QUERIES,
+    check_optimize,
+    check_optimize_query,
+)
+
+
+class TestQueryTables:
+    def test_unconstrained_queries_well_formed(self):
+        for scenario_name, mode, objective, axis in OPT_QUERIES:
+            assert mode in ("minimize", "maximize")
+            assert isinstance(objective, str) and isinstance(axis, str)
+            assert scenario_name
+
+    def test_constrained_queries_well_formed(self):
+        for scenario_name, axis, column in CONSTRAINED_QUERIES:
+            assert scenario_name and axis and column
+
+
+class TestSuite:
+    def test_clean_on_default_seed(self):
+        assert check_optimize(points=2, seed=0) == []
+
+    def test_deterministic(self):
+        first = check_optimize(points=1, seed=42)
+        second = check_optimize(points=1, seed=42)
+        assert first == second
+
+    def test_single_query_reports_no_violations(self):
+        violations = check_optimize_query(
+            "alltoall", "minimize", "R", "W",
+            {"P": 32, "St": 10.0, "So": 131.0, "C2": 1.0},
+            seed=0,
+        )
+        assert violations == []

@@ -38,6 +38,7 @@ def test_examples_directory_complete():
         "scaling_study",
         "shared_memory_study",
         "nonblocking_study",
+        "capacity_planning",
     } <= names
 
 
@@ -81,3 +82,10 @@ def test_nonblocking_study(capsys):
     out = run_example("nonblocking_study", capsys)
     assert "Critical window" in out
     assert "speedup vs blocking" in out
+
+
+def test_capacity_planning(capsys):
+    out = run_example("capacity_planning", capsys)
+    assert "Largest W with R <= 2000" in out
+    assert "W_knee" in out
+    assert "Runtime-optimal machine size" in out

@@ -1,0 +1,83 @@
+"""Smoke tests for the ``optimize`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+ALLTOALL = ["P=32", "St=10", "So=131", "C2=1"]
+WORKPILE = ["P=32", "St=10", "So=131", "C2=1", "W=250"]
+
+
+class TestOptimizeCommand:
+    def test_golden_query_prints_summary(self, capsys):
+        code = main(["optimize", "workpile", "maximize=X",
+                     "over.Ps=1:31", *WORKPILE])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario workpile / analytic" in out
+        assert "golden" in out
+        assert "Ps=9" in out
+        assert "solves" in out and "points" in out
+
+    def test_budget_query_reports_constraint(self, capsys):
+        code = main(["optimize", "alltoall", "maximize=W",
+                     "over.W=1:20000", *ALLTOALL,
+                     "--subject-to", "R <= 2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subject to: R <= 2000" in out
+        assert "R" in out  # winner's solved columns are listed
+
+    def test_infeasible_exits_nonzero(self, capsys):
+        code = main(["optimize", "alltoall", "maximize=W",
+                     "over.W=1:20000", *ALLTOALL,
+                     "--subject-to", "R <= 0.001"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no feasible point" in out
+
+    def test_out_writes_round_trippable_json(self, tmp_path, capsys):
+        code = main(["optimize", "workpile", "maximize=X",
+                     "over.Ps=1:31", *WORKPILE,
+                     "--out", str(tmp_path)])
+        assert code == 0
+        blob = json.loads(
+            (tmp_path / "workpile_optimize.json").read_text()
+        )
+        assert blob["scenario"] == "workpile"
+        assert blob["method"] == "golden"
+        assert blob["best_params"]["Ps"] == 9
+
+    def test_metrics_snapshot_written(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        code = main(["optimize", "workpile", "maximize=X",
+                     "over.Ps=1:31", *WORKPILE,
+                     "--metrics", str(path)])
+        assert code == 0
+        blob = json.loads(path.read_text())
+        assert blob["metrics"]["counters"]["opt.queries"] == 1
+
+    def test_two_modes_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["optimize", "alltoall", "minimize=R", "maximize=X",
+                  "over.W=1:100", *ALLTOALL])
+        assert "exactly one objective" in capsys.readouterr().err
+
+    def test_missing_axis_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["optimize", "alltoall", "minimize=R", *ALLTOALL])
+        assert "over.NAME=LO:HI" in capsys.readouterr().err
+
+    def test_bad_range_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["optimize", "alltoall", "minimize=R", "over.W=17",
+                  *ALLTOALL])
+        assert "LO:HI" in capsys.readouterr().err
+
+    def test_bare_token_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["optimize", "alltoall", "minimize=R", "over.W=1:10",
+                  "oops"])
+        assert "KEY=VALUE" in capsys.readouterr().err

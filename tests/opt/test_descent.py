@@ -1,0 +1,80 @@
+"""Pattern search on synthetic multi-axis objectives."""
+
+import math
+
+import pytest
+
+from repro.opt.descent import pattern_search
+from repro.opt.space import AxisSpec
+
+
+def batched(fn):
+    def evaluate(cands):
+        return [fn(c) for c in cands]
+
+    return evaluate
+
+
+class TestPatternSearch:
+    def test_two_axis_quadratic(self):
+        target = {"a": 3.0, "b": -2.0}
+        res = pattern_search(
+            batched(lambda c: (c["a"] - 3.0) ** 2 + (c["b"] + 2.0) ** 2),
+            [AxisSpec("a", -10.0, 10.0), AxisSpec("b", -10.0, 10.0)],
+        )
+        assert res.converged
+        for name in target:
+            assert res.x[name] == pytest.approx(target[name], abs=0.05)
+
+    def test_integer_axis_lands_on_lattice(self):
+        res = pattern_search(
+            batched(lambda c: (c["P"] - 13) ** 2 + (c["w"] - 0.5) ** 2),
+            [AxisSpec("P", 2, 64, integer=True), AxisSpec("w", 0.0, 1.0)],
+        )
+        assert res.converged
+        assert res.x["P"] == 13.0
+        assert res.x["P"] == int(res.x["P"])
+
+    def test_start_overrides_presample(self):
+        calls = []
+
+        def evaluate(cands):
+            calls.append(list(cands))
+            return [(c["a"] - 1.0) ** 2 for c in cands]
+
+        res = pattern_search(
+            evaluate, [AxisSpec("a", -5.0, 5.0)], start={"a": 0.9}
+        )
+        assert calls[0] == [{"a": 0.9}]
+        assert res.converged
+
+    def test_infeasible_region_avoided(self):
+        def fn(c):
+            if c["a"] > 2.0:
+                return math.inf
+            return (c["a"] - 5.0) ** 2  # true min sits outside feasibility
+
+        res = pattern_search(batched(fn), [AxisSpec("a", 0.0, 10.0)])
+        assert res.converged
+        assert res.x["a"] <= 2.0
+        assert res.x["a"] == pytest.approx(2.0, abs=0.05)
+
+    def test_everything_infeasible_reports_failure(self):
+        res = pattern_search(
+            batched(lambda c: math.inf), [AxisSpec("a", 0.0, 1.0)]
+        )
+        assert res.x is None and not res.converged
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            pattern_search(batched(lambda c: 0.0), [])
+
+    def test_max_steps_bounds_batch_calls(self):
+        count = {"calls": 0}
+
+        def evaluate(cands):
+            count["calls"] += 1
+            return [abs(c["a"]) for c in cands]
+
+        pattern_search(evaluate, [AxisSpec("a", -1e9, 1e9)], max_steps=6)
+        assert count["calls"] <= 6

@@ -1,0 +1,131 @@
+"""Scalar search drivers on synthetic functions (no solver involved)."""
+
+import math
+
+import pytest
+
+from repro.opt.scalar import bisect_boundary, golden_min
+from repro.opt.space import AxisSpec
+
+
+class Counter:
+    """Wraps a scalar function as a batched callback, counting calls."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+        self.points = 0
+
+    def __call__(self, xs):
+        self.calls += 1
+        self.points += len(xs)
+        return [self.fn(x) for x in xs]
+
+
+class TestBisectBoundary:
+    def test_largest_true_finds_threshold(self):
+        ev = Counter(lambda x: x <= 1313.0)
+        res = bisect_boundary(ev, AxisSpec("W", 0.0, 20000.0))
+        assert res.converged
+        assert res.x == pytest.approx(1313.0, abs=20000.0 * 1e-4)
+        assert res.x <= 1313.0  # the returned point is always admissible
+
+    def test_smallest_true_mirrors(self):
+        ev = Counter(lambda x: x >= 777.0)
+        res = bisect_boundary(ev, AxisSpec("W", 0.0, 20000.0),
+                              want="smallest_true")
+        assert res.converged
+        assert res.x >= 777.0
+        assert res.x == pytest.approx(777.0, abs=20000.0 * 1e-4)
+
+    def test_integer_axis_resolves_exactly(self):
+        ev = Counter(lambda x: x <= 37)
+        res = bisect_boundary(ev, AxisSpec("k", 1, 512, integer=True))
+        assert res.converged
+        assert res.x == 37.0
+
+    def test_wide_axis_costs_logarithmic_solves(self):
+        ev = Counter(lambda x: x <= 12345)
+        res = bisect_boundary(ev, AxisSpec("W", 0.0, 20000.0), width=4)
+        assert res.converged
+        # bracket shrinks x5 per call: ceil(log5(1e4)) + endpoints ~ 7
+        assert ev.calls <= 8
+
+    def test_all_true_returns_favoured_endpoint(self):
+        res = bisect_boundary(Counter(lambda x: True),
+                              AxisSpec("W", 0.0, 100.0))
+        assert (res.x, res.converged) == (100.0, True)
+        res = bisect_boundary(Counter(lambda x: True),
+                              AxisSpec("W", 0.0, 100.0),
+                              want="smallest_true")
+        assert (res.x, res.converged) == (0.0, True)
+
+    def test_suffix_feasible_largest_true_is_trivial(self):
+        # Feasibility running the "wrong" way is solved at the endpoint.
+        res = bisect_boundary(Counter(lambda x: x >= 50.0),
+                              AxisSpec("W", 0.0, 100.0))
+        assert (res.x, res.converged) == (100.0, True)
+
+    def test_all_false_is_not_converged(self):
+        res = bisect_boundary(Counter(lambda x: False),
+                              AxisSpec("W", 0.0, 100.0))
+        assert res.x is None and not res.converged
+
+    def test_bad_want_rejected(self):
+        with pytest.raises(ValueError, match="largest_true"):
+            bisect_boundary(Counter(lambda x: True),
+                            AxisSpec("W", 0.0, 1.0), want="best")
+
+    def test_on_step_sees_shrinking_bracket(self):
+        widths = []
+        bisect_boundary(
+            Counter(lambda x: x <= 400.0),
+            AxisSpec("W", 0.0, 20000.0),
+            on_step=lambda info: widths.append(
+                info["bracket"][1] - info["bracket"][0]
+            ),
+        )
+        assert widths == sorted(widths, reverse=True)
+
+
+class TestGoldenMin:
+    def test_continuous_quadratic(self):
+        ev = Counter(lambda x: (x - 3.21) ** 2)
+        res = golden_min(ev, AxisSpec("W", 0.0, 10.0))
+        assert res.converged
+        assert res.x == pytest.approx(3.21, abs=10.0 * 1e-3)
+
+    def test_integer_axis_finishes_exactly(self):
+        ev = Counter(lambda x: (x - 9) ** 2)
+        res = golden_min(ev, AxisSpec("Ps", 1, 64, integer=True))
+        assert res.converged
+        assert res.x == 9.0 and res.fx == 0.0
+
+    def test_minimum_at_box_edge(self):
+        res = golden_min(Counter(lambda x: x), AxisSpec("W", 2.0, 50.0))
+        assert res.converged
+        assert res.x == pytest.approx(2.0, abs=0.1)
+
+    def test_log_axis_resolves_small_minimum(self):
+        # In linear geometry the first section point of [1, 1e4] is
+        # ~3820, uselessly far from a minimum at 30; log geometry nails it.
+        ev = Counter(lambda x: (math.log(x) - math.log(30.0)) ** 2)
+        res = golden_min(ev, AxisSpec("W", 1.0, 10000.0, log=True))
+        assert res.converged
+        assert res.x == pytest.approx(30.0, rel=0.05)
+
+    def test_all_infinite_reports_failure(self):
+        res = golden_min(Counter(lambda x: math.inf),
+                         AxisSpec("W", 0.0, 1.0))
+        assert res.x is None and not res.converged
+
+    def test_history_is_monotone_nonincreasing(self):
+        res = golden_min(Counter(lambda x: (x - 7.0) ** 2),
+                         AxisSpec("W", 0.0, 10.0))
+        assert list(res.history) == sorted(res.history, reverse=True)
+
+    def test_max_steps_caps_calls(self):
+        ev = Counter(lambda x: (x - 3.0) ** 2)
+        res = golden_min(ev, AxisSpec("W", 0.0, 1e9), max_steps=5)
+        assert ev.calls <= 5
+        assert not res.converged

@@ -1,0 +1,59 @@
+"""optimal_processors_search vs the exhaustive runtime scan."""
+
+import pytest
+
+from repro.core.params import MachineParams
+from repro.core.scaling import (
+    matvec_spec,
+    optimal_processors,
+    optimal_processors_search,
+)
+
+
+def machine(handler_time, latency=100.0):
+    return MachineParams(latency=latency, handler_time=handler_time,
+                         processors=2)
+
+
+class TestAgainstExhaustiveScan:
+    def test_interior_argmin_found_exactly(self):
+        # Contention knee well inside the range: golden section must
+        # land on the same lattice point as scanning all 255 counts.
+        spec = matvec_spec(2048)
+        m = machine(400.0, latency=200.0)
+        exact = optimal_processors(spec, m, range(2, 257))
+        got = optimal_processors_search(spec, m, p_range=(2, 256))
+        assert got.processors == exact.processors == 7
+        assert got.runtime == exact.runtime
+        assert got.meta["search_points"] < 255 // 4
+
+    def test_edge_argmin_found_exactly(self):
+        # Communication dominates from the start: P=2 is already best.
+        spec = matvec_spec(512)
+        m = machine(400.0)
+        exact = optimal_processors(spec, m, range(2, 257))
+        got = optimal_processors_search(spec, m, p_range=(2, 256))
+        assert got.processors == exact.processors == 2
+        assert got.runtime == exact.runtime
+
+    def test_flat_plateau_within_rounding_jitter(self):
+        # Documented caveat: integer message rounding makes this curve's
+        # tail jitter by <1%, so the search may stop anywhere on the
+        # plateau -- but its runtime must stay within that jitter.
+        spec = matvec_spec(1024)
+        m = machine(200.0)
+        exact = optimal_processors(spec, m, range(2, 257))
+        got = optimal_processors_search(spec, m, p_range=(2, 256))
+        assert got.runtime == pytest.approx(exact.runtime, rel=5e-3)
+
+    def test_meta_records_search_cost(self):
+        got = optimal_processors_search(matvec_spec(512), machine(400.0),
+                                        p_range=(2, 256))
+        assert got.meta["search_converged"] is True
+        assert 0 < got.meta["search_solves"] <= 24
+        assert got.meta["search_points"] >= got.meta["search_solves"]
+
+    def test_processor_floor_enforced(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            optimal_processors_search(matvec_spec(512), machine(400.0),
+                                      p_range=(1, 64))

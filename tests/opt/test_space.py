@@ -1,0 +1,105 @@
+"""Search-space primitives: AxisSpec geometry and Constraint parsing."""
+
+import math
+
+import pytest
+
+from repro.opt.space import AxisSpec, Constraint, parse_constraints
+
+
+class TestAxisSpec:
+    def test_snap_clips_and_rounds(self):
+        ax = AxisSpec("Ps", 1, 64, integer=True)
+        assert ax.snap(7.6) == 8.0
+        assert ax.snap(-3) == 1.0
+        assert ax.snap(900) == 64.0
+
+    def test_value_returns_schema_type(self):
+        assert AxisSpec("Ps", 1, 64, integer=True).value(7.6) == 8
+        assert isinstance(AxisSpec("Ps", 1, 64, integer=True).value(7.6), int)
+        assert AxisSpec("W", 0.0, 10.0).value(7.6) == 7.6
+
+    def test_integer_bounds_tighten_to_lattice(self):
+        ax = AxisSpec("P", 1.5, 9.5, integer=True)
+        assert (ax.lo, ax.hi) == (2.0, 9.0)
+
+    def test_no_integers_in_box_rejected(self):
+        with pytest.raises(ValueError, match="no integers"):
+            AxisSpec("P", 3.2, 3.8, integer=True)
+
+    def test_lo_above_hi_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            AxisSpec("W", 10.0, 1.0)
+
+    def test_log_axis_needs_positive_lo(self):
+        with pytest.raises(ValueError, match="lo > 0"):
+            AxisSpec("W", 0.0, 100.0, log=True)
+
+    def test_log_grid_spreads_over_decades(self):
+        ax = AxisSpec("W", 1.0, 10000.0, log=True)
+        xs = ax.grid(5)
+        assert xs == pytest.approx([1.0, 10.0, 100.0, 1000.0, 10000.0])
+
+    def test_linear_grid_includes_endpoints(self):
+        xs = AxisSpec("W", 0.0, 8.0).grid(5)
+        assert xs == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_integer_grid_dedupes_snapped_points(self):
+        xs = AxisSpec("P", 2, 5, integer=True).grid(33)
+        assert xs == [2.0, 3.0, 4.0, 5.0]
+
+    def test_span_in_search_geometry(self):
+        assert AxisSpec("W", 1.0, 100.0, log=True).span() == pytest.approx(
+            math.log(100.0)
+        )
+        assert AxisSpec("W", 0.0, 100.0).span(25.0, 75.0) == 50.0
+
+    def test_exhausted_only_for_integer_brackets(self):
+        ax = AxisSpec("P", 2, 64, integer=True)
+        assert ax.exhausted(7.0, 8.0)
+        assert not ax.exhausted(7.0, 9.0)
+        assert not AxisSpec("W", 0.0, 1.0).exhausted(0.4, 0.4001)
+
+
+class TestConstraint:
+    def test_parse_roundtrips_text(self):
+        c = Constraint.parse("R <= 1000")
+        assert (c.column, c.op, c.bound) == ("R", "<=", 1000.0)
+        assert c.text == "R <= 1000"
+
+    @pytest.mark.parametrize("op", ["<=", ">=", "<", ">", "=="])
+    def test_all_ops_parse(self, op):
+        assert Constraint.parse(f"X {op} 0.5").op == op
+
+    def test_scientific_bound(self):
+        assert Constraint.parse("X >= 1e-3").bound == 1e-3
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            Constraint.parse("R ~ 1000")
+
+    def test_ok_evaluates(self):
+        c = Constraint.parse("R <= 1000")
+        assert c.ok({"R": 999.0})
+        assert not c.ok({"R": 1000.1})
+
+    def test_non_finite_never_satisfies(self):
+        assert not Constraint.parse("R <= 1000").ok({"R": math.nan})
+        assert not Constraint.parse("R >= 0").ok({"R": math.inf})
+
+    def test_unknown_column_names_available(self):
+        with pytest.raises(KeyError, match="R, X"):
+            Constraint.parse("Z <= 1").ok({"R": 1.0, "X": 2.0})
+
+
+class TestParseConstraints:
+    def test_none_is_empty(self):
+        assert parse_constraints(None) == ()
+
+    def test_single_string(self):
+        (c,) = parse_constraints("R <= 10")
+        assert c.column == "R"
+
+    def test_mixed_sequence(self):
+        out = parse_constraints(["R <= 10", Constraint("X", ">=", 0.1)])
+        assert [c.column for c in out] == ["R", "X"]

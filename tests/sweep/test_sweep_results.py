@@ -99,3 +99,68 @@ class TestExport:
     def test_record_getitem_prefers_values(self):
         record = PointRecord(index=0, params={"x": 1}, values={"x": 2})
         assert record["x"] == 2
+
+
+class TestBest:
+    def test_minimize_and_maximize(self):
+        low = _result().best(minimize="R")
+        high = _result().best(maximize="R")
+        assert (low.params["W"], low.R) == (2, 502.0)
+        assert (high.params["W"], high.R) == (1024, 1524.0)
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            _result().best()
+        with pytest.raises(ValueError, match="exactly one"):
+            _result().best(minimize="R", maximize="X")
+
+    def test_where_and_equals_filters(self):
+        capped = _result().best(maximize="R", where=lambda r: r["W"] < 100)
+        assert capped.params["W"] == 64
+        pinned = _result().best(minimize="R", W=1024)
+        assert pinned.params["W"] == 1024
+
+    def test_empty_filter_raises(self):
+        with pytest.raises(ValueError, match="match the filter"):
+            _result().best(minimize="R", W=3)
+
+    def test_non_finite_never_wins(self):
+        records = tuple(
+            PointRecord(index=i, params={"W": w},
+                        values={"R": r})
+            for i, (w, r) in enumerate(
+                [(1, float("nan")), (2, 7.0), (3, float("inf"))]
+            )
+        )
+        result = SweepResult(spec_name="demo", evaluator="alltoall-model",
+                             records=records, metadata={})
+        assert result.best(minimize="R").params["W"] == 2
+        assert result.best(maximize="R").params["W"] == 2
+
+    def test_all_non_finite_raises(self):
+        records = (PointRecord(index=0, params={"W": 1},
+                               values={"R": float("nan")}),)
+        result = SweepResult(spec_name="demo", evaluator="alltoall-model",
+                             records=records, metadata={})
+        with pytest.raises(ValueError, match="non-finite"):
+            result.best(minimize="R")
+
+    def test_unknown_column_lists_known(self):
+        with pytest.raises(KeyError, match="columns: W, P, R, X"):
+            _result().best(minimize="nope")
+
+    def test_provenance_meta_and_registry_lookup(self):
+        sol = _result().best(minimize="R")
+        assert sol.scenario == "alltoall"
+        assert sol.backend == "analytic"
+        assert sol.meta["best"] == {
+            "column": "R", "mode": "minimize", "candidates": 3,
+        }
+
+    def test_unregistered_evaluator_falls_back_to_custom(self):
+        result = SweepResult(
+            spec_name="demo", evaluator="bespoke-model",
+            records=_result().records, metadata={},
+        )
+        sol = result.best(minimize="R")
+        assert (sol.scenario, sol.backend) == ("bespoke-model", "custom")

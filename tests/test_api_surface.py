@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.experiments",
     "repro.fuzz",
+    "repro.opt",
     "repro.validation",
 ]
 
@@ -35,9 +36,11 @@ MODULES = [
     "repro.core.shared_memory",
     "repro.core.solver",
     "repro.experiments.common",
+    "repro.fuzz.bridge",
     "repro.fuzz.cases",
     "repro.fuzz.generators",
     "repro.fuzz.invariants",
+    "repro.fuzz.opt_invariants",
     "repro.fuzz.runner",
     "repro.fuzz.shrinker",
     "repro.mva.amva",
@@ -50,6 +53,13 @@ MODULES = [
     "repro.mva.multiclass",
     "repro.mva.network",
     "repro.mva.residual",
+    "repro.opt.descent",
+    "repro.opt.evaluate",
+    "repro.opt.knee",
+    "repro.opt.optimizer",
+    "repro.opt.result",
+    "repro.opt.scalar",
+    "repro.opt.space",
     "repro.sim.distributions",
     "repro.sim.engine",
     "repro.sim.machine",
