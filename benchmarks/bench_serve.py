@@ -1,0 +1,190 @@
+"""Benchmark: the serve layer's overhead over direct library calls.
+
+Three numbers pin the service's production story:
+
+- **Served sweep throughput**: submitting a 400-point multi-class AMVA
+  grid over HTTP and fetching the result must deliver >= 0.8x the
+  points/sec of calling :func:`run_sweep` directly -- the JSON + socket
+  + scheduling overhead has to stay small next to the warm batched
+  solve (measured ~0.95x on the reference container).
+- **Warm point latency**: a cache-hit point query over HTTP must answer
+  in single-digit milliseconds (asserted < 50 ms mean to survive noisy
+  CI runners).
+- **Coalescing ratio**: N concurrent identical uncached queries must
+  collapse onto one evaluation -- (N-1)/N of the requests deduped, and
+  exactly one cache write per round.
+
+The gated ``speedup`` is the served/direct throughput ratio; it is a
+same-machine ratio, so it transfers across runners.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.serve import Client, SweepService, make_server, serve_forever
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.spec import GridAxis
+
+_THROUGHPUT_FLOOR = 0.8
+_LATENCY_CEILING_S = 0.05
+_COALESCE_CLIENTS = 8
+
+
+def _grid_400() -> SweepSpec:
+    """A 20x20 near-balanced multi-class AMVA grid: slow convergence
+    (~750 Picard iterations/point) makes the solve dominate, which is
+    the regime the throughput contract speaks to."""
+    pops = tuple(int(n) for n in np.linspace(4, 120, 20).round())
+    thinks = tuple(float(z) for z in np.linspace(0.0, 8.0, 20))
+    return SweepSpec(
+        name="bench/serve-multiclass",
+        evaluator="multiclass-mva",
+        base={"N1": 20, "Z1": 1.0, "D0_0": 1.0, "D0_1": 0.95,
+              "D1_0": 0.9, "D1_1": 1.0, "method": "schweitzer"},
+        axes=(GridAxis("Z0", thinks), GridAxis("N0", pops)),
+    )
+
+
+class _LiveServer:
+    """One HTTP server + client per benchmark, torn down deterministically."""
+
+    def __init__(self, cache=None) -> None:
+        self.service = SweepService(cache, workers=2)
+        self.server = make_server(self.service, port=0)
+        serve_forever(self.server, in_thread=True)
+        host, port = self.server.server_address[:2]
+        self.client = Client(f"http://{host}:{port}", timeout=120.0)
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+
+
+def _best_of(func, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_served_sweep_throughput(benchmark):
+    """Submit+fetch over HTTP keeps >= 0.8x direct run_sweep throughput."""
+    spec = _grid_400()
+    n_points = 400
+    direct_elapsed, direct = _best_of(lambda: run_sweep(spec))
+
+    live = _LiveServer()
+    try:
+        def served_round():
+            job = live.client.submit(spec)
+            return live.client.result(job)
+
+        served = benchmark.pedantic(served_round, iterations=1, rounds=3)
+        served_elapsed, _ = _best_of(served_round, repeats=1)
+        served_elapsed = min(served_elapsed, benchmark.stats.stats.min)
+    finally:
+        live.close()
+
+    assert len(served) == len(direct) == n_points
+    assert [r.params for r in served] == [r.params for r in direct]
+    assert np.allclose(
+        [[r.values[k] for k in sorted(r.values)] for r in served],
+        [[r.values[k] for k in sorted(r.values)] for r in direct],
+        rtol=0, atol=0,
+    ), "served sweep values diverge from direct run_sweep"
+
+    ratio = direct_elapsed / served_elapsed
+    benchmark.extra_info["points"] = n_points
+    benchmark.extra_info["direct_points_per_second"] = (
+        n_points / direct_elapsed
+    )
+    benchmark.extra_info["served_points_per_second"] = (
+        n_points / served_elapsed
+    )
+    benchmark.extra_info["speedup"] = ratio
+    assert ratio >= _THROUGHPUT_FLOOR, (
+        f"served sweep ran at {ratio:.2f}x direct throughput "
+        f"({served_elapsed:.3f}s served vs {direct_elapsed:.3f}s direct; "
+        f"floor {_THROUGHPUT_FLOOR}x) on {n_points} points"
+    )
+
+
+def test_warm_point_latency(benchmark, tmp_path):
+    """A cache-hit point query over HTTP answers in milliseconds."""
+    live = _LiveServer(tmp_path / "cache.sqlite")
+    params = {"P": 32, "St": 40.0, "So": 200.0, "W": 1000.0}
+    try:
+        cold = live.client.point(scenario="alltoall", **params)
+        assert cold.meta["cached"] is False
+
+        warm = benchmark(
+            lambda: live.client.point(scenario="alltoall", **params)
+        )
+        mean_latency = benchmark.stats.stats.mean
+    finally:
+        live.close()
+
+    assert warm.meta["cached"] is True
+    assert warm.values == cold.values
+    benchmark.extra_info["mean_latency_ms"] = mean_latency * 1e3
+    assert mean_latency < _LATENCY_CEILING_S, (
+        f"warm point query took {mean_latency * 1e3:.1f} ms mean "
+        f"(ceiling {_LATENCY_CEILING_S * 1e3:.0f} ms)"
+    )
+
+
+def test_coalescing_ratio(benchmark, tmp_path):
+    """N identical concurrent queries -> 1 evaluation, (N-1)/N deduped."""
+    n = _COALESCE_CLIENTS
+    service = SweepService(tmp_path / "cache.sqlite", workers=4)
+    rounds = iter(range(1000))
+
+    def storm():
+        # A fresh W each round keeps the point uncached, so every round
+        # exercises the full singleflight path, not the warm-hit path.
+        params = {"P": 4, "St": 40.0, "So": 200.0, "C2": 0.0,
+                  "W": 100.0 + next(rounds), "cycles": 20, "seed": 1}
+        before_writes = service.cache.stats.writes
+        before_coalesced = service.metrics_snapshot()["counters"].get(
+            "serve.coalesced", 0
+        )
+        barrier = threading.Barrier(n)
+
+        def query():
+            barrier.wait()
+            service.point("alltoall-sim", params)
+
+        threads = [threading.Thread(target=query) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        writes = service.cache.stats.writes - before_writes
+        coalesced = service.metrics_snapshot()["counters"][
+            "serve.coalesced"
+        ] - before_coalesced
+        return writes, coalesced
+
+    try:
+        writes, coalesced = benchmark.pedantic(
+            storm, iterations=1, rounds=3
+        )
+    finally:
+        service.close()
+
+    ratio = coalesced / n
+    benchmark.extra_info["clients"] = n
+    benchmark.extra_info["coalescing_ratio"] = ratio
+    assert writes == 1, (
+        f"{n} identical concurrent queries produced {writes} cache "
+        "writes; singleflight must collapse them to exactly 1"
+    )
+    assert coalesced == n - 1, (
+        f"expected {n - 1} coalesced followers, counted {coalesced}"
+    )

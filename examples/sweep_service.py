@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Sweep service tour: one server, many clients, one shared cache.
+
+The :mod:`repro.serve` walkthrough -- also the CI ``serve`` job's
+end-to-end check.  Against a live server (its own, or one you started
+with ``lopc-repro serve``) it runs the full protocol surface:
+
+1. an analytic **point query** (answered inline from the warm batch
+   kernels, cached for every later client);
+2. the same query again, verifying it now comes back ``cached``;
+3. a simulation **sweep job** -- submit, watch status, fetch the
+   finished :class:`~repro.sweep.SweepResult` -- and a cross-check
+   that the served result matches a direct in-process ``run_sweep``;
+4. an **optimize query** (the inverse-question API over HTTP);
+5. the **cache stats** endpoint, proving the server actually wrote
+   and re-served records.
+
+Run:  python examples/sweep_service.py            (self-hosted server)
+      python examples/sweep_service.py --url http://127.0.0.1:8421
+"""
+
+import argparse
+import sys
+
+SIM_SPEC = {
+    "name": "service-demo",
+    "evaluator": "alltoall-sim",
+    "seed": 11,
+    "base": {"P": 4, "St": 40.0, "So": 200.0, "C2": 0.0, "cycles": 60},
+    "axes": [
+        {"type": "grid", "name": "W", "values": [250.0, 500.0, 1000.0]}
+    ],
+}
+
+POINT = {"P": 32, "St": 40.0, "So": 200.0, "W": 1000.0}
+
+
+def run(client) -> None:
+    from repro.sweep.runner import run_sweep
+    from repro.sweep.spec import SweepSpec
+
+    health = client.health()
+    print(f"server: {health['protocol']} -- workers={health['workers']}, "
+          f"cache={health['cache']}")
+
+    # 1-2. Point query, cold then warm.
+    cold = client.point(scenario="alltoall", **POINT)
+    warm = client.point(scenario="alltoall", **POINT)
+    assert warm.meta["cached"] and warm.values == cold.values
+    print(f"point query: R={cold.R:.1f} cycles "
+          f"(cold), R={warm.R:.1f} (warm, served from cache)")
+
+    # 3. Async sim sweep: submit -> status -> fetch.
+    job = client.submit(SIM_SPEC)
+    print(f"sweep job {job} submitted ({SIM_SPEC['evaluator']}, "
+          f"{len(SIM_SPEC['axes'][0]['values'])} points)")
+    result = client.wait(job, timeout=120.0)
+    status = client.status(job)
+    print(f"sweep job {job}: {status['state']} "
+          f"[{status['progress']['done']}/{status['progress']['total']} "
+          f"points, route {status['route']}, "
+          f"{len(status['stream']['events'])} event(s) streamed]")
+    direct = run_sweep(SweepSpec.from_json_dict(SIM_SPEC))
+    assert [r.values for r in result] == [r.values for r in direct], (
+        "served sweep diverged from direct run_sweep"
+    )
+    print("served result == direct run_sweep: "
+          + ", ".join(f"W={r.params['W']:g} -> R={r.values['R']:.1f}"
+                      for r in result))
+
+    # 4. Inverse query over HTTP.
+    opt = client.optimize(
+        "alltoall", {"P": 32, "St": 40.0, "So": 200.0},
+        minimize="R", over={"W": [100.0, 2000.0]},
+    )
+    assert opt.feasible
+    print(f"optimize: {opt.summary()}")
+
+    # 5. The shared cache saw every record exactly once.
+    stats = client.cache_stats()
+    print(f"cache: {stats['backend']} with {stats['records']} record(s), "
+          f"{stats['stats']['hits']} hit(s) / "
+          f"{stats['stats']['misses']} miss(es) / "
+          f"{stats['stats']['writes']} write(s)")
+    assert stats["stats"]["writes"] >= 1
+    assert stats["stats"]["hits"] >= 1  # the warm point query
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", default=None,
+                        help="talk to a running lopc-repro serve instance "
+                             "(default: self-host one in-process)")
+    args = parser.parse_args()
+
+    from repro.serve import Client
+
+    if args.url:
+        run(Client(args.url, timeout=120.0))
+        return 0
+
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import SweepService, make_server, serve_forever
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SweepService(Path(tmp) / "cache.sqlite", workers=2)
+        server = make_server(service, port=0)
+        serve_forever(server, in_thread=True)
+        host, port = server.server_address[:2]
+        try:
+            run(Client(f"http://{host}:{port}", timeout=120.0))
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

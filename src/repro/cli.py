@@ -22,6 +22,15 @@ Usage::
     lopc-repro fuzz [--points 2000] [--seed S] [--scenario NAME ...]
                     [--budget SECONDS] [--report FILE] [--corpus DIR]
                     [--sim-points N] [--opt-queries N] [--no-shrink]
+    lopc-repro serve [--host H] [--port P] [--workers N]
+                     [--cache-dir D] [--cache-backend sqlite|files]
+    lopc-repro submit spec.json --url http://H:P [--warm-start] [--wait]
+    lopc-repro status JOB --url http://H:P [--since N]
+    lopc-repro fetch JOB --url http://H:P [--out results/]
+    lopc-repro query alltoall P=32 St=40 So=200 W=1000 --url http://H:P
+    lopc-repro query alltoall minimize=R over.W=100:20000 P=32 ... \\
+                    --url http://H:P
+    lopc-repro cache migrate SRC DST
 
 ``--fast`` shrinks simulation lengths (for smoke testing); published
 numbers should use the defaults.  With ``--out``, each experiment writes
@@ -59,6 +68,14 @@ of seeded random networks through the batch kernels with bulk invariant
 checks, a sampled simulation cross-check, shrinking of failures to
 minimal params, and an optional JSON report / repro-case corpus for CI.
 Exit code 1 means at least one invariant violated.
+
+``serve`` starts the long-lived query/sweep service
+(:mod:`repro.serve`, wire protocol ``lopc-serve/1``); ``submit`` /
+``status`` / ``fetch`` / ``query`` are its client verbs, each taking
+``--url``.  Every ``--cache-dir`` flag pairs with ``--cache-backend
+sqlite|files`` (a ``*.sqlite`` path implies sqlite), and ``cache
+migrate SRC DST`` converts a cache between the two backends with
+byte-exact verification.
 """
 
 from __future__ import annotations
@@ -124,7 +141,7 @@ def _experiment_kwargs(
     if getattr(args, "seed", None) is not None and "seed" in accepted:
         kwargs["seed"] = args.seed
     if getattr(args, "cache_dir", None) is not None and "cache" in accepted:
-        kwargs["cache"] = args.cache_dir
+        kwargs["cache"] = _cache_from_args(args)
     return kwargs
 
 
@@ -145,6 +162,16 @@ def _run_one(experiment_id: str, args: argparse.Namespace) -> bool:
     if args.out is not None:
         _write_outputs(result, args.out)
     return result.all_checks_passed
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """``--cache-dir``/``--cache-backend`` as one cache backend (or None)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        return None
+    from repro.sweep.cache import coerce_cache
+
+    return coerce_cache(cache_dir, getattr(args, "cache_backend", None))
 
 
 def _telemetry_kwargs(args: argparse.Namespace) -> dict[str, object]:
@@ -193,7 +220,7 @@ def _run_sweep_file(args: argparse.Namespace) -> int:
     spec = SweepSpec.from_file(args.spec)
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
-    result = run_sweep(spec, cache=args.cache_dir,
+    result = run_sweep(spec, cache=_cache_from_args(args),
                        jobs=args.jobs if args.jobs is not None else 1,
                        warm_start=args.warm_start,
                        **_telemetry_kwargs(args))
@@ -258,7 +285,8 @@ def _run_scenario(args: argparse.Namespace,
 
     if axes:
         study = sc.study(jobs=args.jobs if args.jobs is not None else 1,
-                         cache=args.cache_dir, seed=args.seed, **axes)
+                         cache=_cache_from_args(args), seed=args.seed,
+                         **axes)
         result = study.run(args.backend, warm_start=args.warm_start,
                            **_telemetry_kwargs(args))
         print(format_table(result.to_experiment_result()))
@@ -376,6 +404,7 @@ def _run_optimize(args: argparse.Namespace,
 def _run_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import run_fuzz
 
+    cache = _cache_from_args(args)
     report = run_fuzz(
         points=args.points,
         seed=args.seed,
@@ -386,6 +415,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         corpus_dir=args.corpus,
         report_path=args.report,
+        cache=cache,
     )
     width = max((len(n) for n in report.scenarios), default=8)
     for name, entry in report.scenarios.items():
@@ -403,6 +433,10 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         f"({report.points_per_second:.0f} points/s)"
         + (" [budget exhausted]" if report.budget_exhausted else "")
     )
+    if cache is not None:
+        stats = cache.stats
+        print(f"sim cache: {stats.hits} hit(s) / {stats.misses} miss(es) "
+              f"/ {stats.writes} write(s)")
     for case in report.cases:
         print(f"  VIOLATION {case['scenario']}/{case['invariant']}: "
               f"{case['message']}")
@@ -414,6 +448,202 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``serve``: boot the long-lived HTTP query/sweep service."""
+    from repro.serve import PROTOCOL, SweepService, make_server
+
+    service = SweepService(
+        _cache_from_args(args),
+        workers=args.workers,
+        batch_window=args.batch_window,
+    )
+    server = make_server(service, args.host, args.port,
+                         quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    cache_name = (
+        type(service.cache).__name__ if service.cache is not None else "none"
+    )
+    print(f"{PROTOCOL} listening on http://{host}:{port} "
+          f"(workers={service.workers}, cache={cache_name})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve import Client
+
+    return Client(args.url, timeout=args.timeout)
+
+
+def _print_sweep_result(result, out: Path | None, stem: str) -> None:
+    print(format_table(result.to_experiment_result()))
+    print(f"\n({result.spec_name}: {result.summary()})\n")
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{stem}.csv").write_text(result.to_csv())
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """``submit``: send a sweep spec to a server; prints the job id."""
+    from repro.sweep import SweepSpec
+
+    spec = SweepSpec.from_file(args.spec)
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    client = _serve_client(args)
+    job_id = client.submit(spec, warm_start=args.warm_start)
+    print(job_id)
+    if args.wait:
+        result = client.wait(job_id, timeout=args.timeout)
+        stem = spec.name.replace(".", "_").replace("/", "_")
+        _print_sweep_result(result, args.out, stem)
+    return 0
+
+
+def _print_job_status(status: dict) -> None:
+    progress = status.get("progress") or {}
+    line = (f"{status['job']}: {status['state']}  "
+            f"[{progress.get('done', 0)}/{progress.get('total', '?')} "
+            f"points, route {status.get('route', '?')}]")
+    if status.get("elapsed") is not None:
+        line += f" in {status['elapsed']:.2f}s"
+    if status.get("error"):
+        line += f"  error: {status['error']}"
+    print(line)
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    """``status``: one job (with event stream) or all jobs."""
+    client = _serve_client(args)
+    if not args.job:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for status in jobs:
+            _print_job_status(status)
+        return 0
+    status = client.status(args.job, since=args.since)
+    _print_job_status(status)
+    stream = status.get("stream") or {}
+    for event in stream.get("events", ()):
+        fields = ", ".join(
+            f"{k}={v}" for k, v in event.items()
+            if k not in ("kind", "time") and not isinstance(v, (dict, list))
+        )
+        print(f"  {event.get('kind', '?'):<16} {fields}")
+    if stream.get("events"):
+        print(f"  (next --since {stream.get('next')})")
+    return 1 if status["state"] == "error" else 0
+
+
+def _run_fetch(args: argparse.Namespace) -> int:
+    """``fetch``: download a finished job's SweepResult and render it."""
+    client = _serve_client(args)
+    if args.wait:
+        result = client.wait(args.job, timeout=args.timeout)
+    else:
+        result = client.result(args.job)
+    stem = result.spec_name.replace(".", "_").replace("/", "_")
+    _print_sweep_result(result, args.out, stem)
+    return 0
+
+
+def _run_query(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    """``query``: point or inverse query against a server.
+
+    Plain ``KEY=VALUE`` tokens make a point query (one Solution);
+    ``minimize=``/``maximize=``/``knee=`` plus ``over.NAME=LO:HI``
+    tokens make it an optimize query (one OptResult) -- the same token
+    grammar as the in-process ``optimize`` subcommand.
+    """
+    from repro.api import get_scenario_class
+
+    cls = get_scenario_class(args.name)
+    mode: dict[str, str] = {}
+    over: dict[str, tuple[object, object]] = {}
+    params: dict[str, object] = {}
+    for item in args.tokens:
+        key, sep, text = item.partition("=")
+        if not sep:
+            parser.error(f"query arguments are KEY=VALUE, got {item!r}")
+        if key in ("minimize", "maximize", "knee"):
+            mode[key] = text
+        elif key.startswith("over."):
+            axis = key[len("over."):]
+            lo_text, sep2, hi_text = text.partition(":")
+            if not sep2:
+                parser.error(
+                    f"over.{axis} takes LO:HI (a search range), got {item!r}"
+                )
+            over[axis] = (cls.parse_value(axis, lo_text),
+                          cls.parse_value(axis, hi_text))
+        else:
+            params[key] = cls.parse_value(key, text)
+    if len(mode) > 1:
+        parser.error("pass at most one of minimize=/maximize=/knee=")
+    if bool(mode) != bool(over):
+        if mode:
+            parser.error("an inverse query needs a search axis: "
+                         "over.NAME=LO:HI")
+        parser.error("over.NAME=LO:HI needs an objective: minimize=COL, "
+                     "maximize=COL or knee=COL")
+    client = _serve_client(args)
+
+    if mode:
+        result = client.optimize(
+            args.name, params, **mode, over=over,
+            subject_to=args.subject_to or None, backend=args.backend,
+        )
+        print(f"scenario {result.scenario} / {result.backend} "
+              f"(evaluator {result.evaluator})")
+        print(result.summary())
+        if result.feasible:
+            width = max(len(c) for c in result.best_values)
+            for column in sorted(result.best_values):
+                print(f"  {column:<{width}}  "
+                      f"{result.best_values[column]:.6f}")
+        else:
+            print("no feasible point in the search box")
+        return 0 if result.feasible else 1
+
+    solution = client.point(scenario=args.name, backend=args.backend,
+                            **params)
+    print(f"scenario {solution.scenario} / {solution.backend} "
+          f"(evaluator {solution.evaluator})"
+          + ("  [cached]" if solution.meta.get("cached") else ""))
+    width = max(len(c) for c in solution.columns)
+    for column in solution.columns:
+        value = solution.values[column]
+        rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+        print(f"  {column:<{width}}  {rendered}")
+    return 0
+
+
+def _run_cache(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    """``cache migrate``: verified conversion between cache backends."""
+    if args.cache_command == "migrate":
+        from repro.serve import migrate_cache
+
+        report = migrate_cache(
+            args.src, args.dst,
+            source_backend=args.src_backend,
+            destination_backend=args.dst_backend,
+        )
+        print(report.summary())
+        return 0
+    parser.error(f"unknown cache command {args.cache_command!r}")
+    return 2  # pragma: no cover
+
+
 def _render_stats_section(title: str, rows: list[tuple[str, str]]) -> None:
     if not rows:
         return
@@ -421,6 +651,51 @@ def _render_stats_section(title: str, rows: list[tuple[str, str]]) -> None:
     print(f"{title}:")
     for name, rendered in rows:
         print(f"  {name:<{width}}  {rendered}")
+
+
+def _render_serve_stats(registry: dict) -> None:
+    """The serve-side view: endpoints, coalescing, queue, route split."""
+    counters = registry.get("counters", {})
+    gauges = registry.get("gauges", {})
+    if not any(name.startswith("serve.") for name in counters) and not any(
+        name.startswith("serve.") for name in gauges
+    ):
+        return
+    prefix = "serve.requests."
+    requests = {
+        name[len(prefix):]: count
+        for name, count in counters.items() if name.startswith(prefix)
+    }
+    if requests:
+        total = sum(requests.values())
+        print(f"serve requests: {total:,} total — " + ", ".join(
+            f"{count} {endpoint}"
+            for endpoint, count in sorted(
+                requests.items(), key=lambda kv: -kv[1]
+            )
+        ))
+    coalesced = counters.get("serve.coalesced", 0)
+    merged = counters.get("serve.batch.merged", 0)
+    solves = counters.get("serve.batch.solves", 0)
+    batch_requests = counters.get("serve.batch.requests", 0)
+    if coalesced or merged or solves:
+        line = f"serve coalescing: {coalesced:,} deduped in-flight"
+        if batch_requests:
+            line += (f", {batch_requests:,} batched request(s) in "
+                     f"{solves:,} kernel solve(s) ({merged:,} merged)")
+        print(line)
+    routes = {
+        name.rsplit(".", 1)[-1]: count
+        for name, count in counters.items()
+        if name.startswith("serve.jobs.route.")
+    }
+    if routes:
+        print("serve jobs: " + ", ".join(
+            f"{count} {route}" for route, count in sorted(routes.items())
+        ))
+    high_water = gauges.get("serve.jobs.queue_depth_high_water")
+    if high_water is not None:
+        print(f"serve queue depth high-water: {high_water:g}")
 
 
 def _run_stats(args: argparse.Namespace) -> int:
@@ -460,6 +735,7 @@ def _run_stats(args: argparse.Namespace) -> int:
     ):
         print("(no metrics recorded)")
         return 0
+    _render_serve_stats(registry)
     _render_stats_section("counters", [
         (name, f"{value:,}")
         for name, value in sorted(registry.get("counters", {}).items())
@@ -513,6 +789,24 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                         help="content-addressed result cache directory "
                              "(reuse + resume)")
+    _add_cache_backend_option(parser)
+
+
+def _add_cache_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-backend", default=None,
+                        choices=("sqlite", "files"),
+                        help="cache store for --cache-dir: one sqlite "
+                             "database (safe under concurrent writers) or "
+                             "one JSON file per record (default: files, "
+                             "or sqlite for *.sqlite paths)")
+
+
+def _add_client_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", required=True, metavar="URL",
+                        help="server base URL, e.g. http://127.0.0.1:8421")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="request / wait timeout (default: 120)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -547,6 +841,7 @@ def main(argv: list[str] | None = None) -> int:
                          help="spec-level seed (derives per-point seeds)")
     sweep_p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                          help="content-addressed result cache directory")
+    _add_cache_backend_option(sweep_p)
     sweep_p.add_argument("--warm-start", action="store_true",
                          help="seed each solve from neighbouring sweep "
                               "points (same results and cache keys, "
@@ -584,6 +879,7 @@ def main(argv: list[str] | None = None) -> int:
     scenario_p.add_argument("--cache-dir", type=Path, default=None,
                             metavar="DIR",
                             help="content-addressed result cache directory")
+    _add_cache_backend_option(scenario_p)
     scenario_p.add_argument("--warm-start", action="store_true",
                             help="seed each solve from neighbouring sweep "
                                  "points (same results and cache keys, "
@@ -661,6 +957,104 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: 0, disabled)")
     fuzz_p.add_argument("--no-shrink", action="store_true",
                         help="report raw failing params without shrinking")
+    fuzz_p.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="share the sweep result cache for the sampled "
+                             "simulation cross-checks")
+    _add_cache_backend_option(fuzz_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="start the long-lived HTTP query/sweep service (repro.serve)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8421, metavar="P",
+                         help="bind port; 0 picks a free one "
+                              "(default: 8421)")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker threads for sim points and pool jobs "
+                              "(default: 2)")
+    serve_p.add_argument("--cache-dir", type=Path, default=None,
+                         metavar="DIR",
+                         help="shared content-addressed result cache "
+                              "(recommended: a *.sqlite path)")
+    _add_cache_backend_option(serve_p)
+    serve_p.add_argument("--batch-window", type=float, default=0.002,
+                         metavar="SECONDS",
+                         help="co-arrival window merged into one batched "
+                              "kernel solve (default: 0.002)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request to stderr")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep spec to a server; prints the job id"
+    )
+    submit_p.add_argument("spec", type=Path, help="SweepSpec JSON file")
+    submit_p.add_argument("--seed", type=int, default=None, metavar="S",
+                          help="spec-level seed (derives per-point seeds)")
+    submit_p.add_argument("--warm-start", action="store_true",
+                          help="ask the server to warm-start the solves")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until done and print the result")
+    submit_p.add_argument("--out", type=Path, default=None,
+                          help="with --wait: directory for the .csv export")
+    _add_client_options(submit_p)
+
+    status_p = sub.add_parser(
+        "status", help="show job status (all jobs when JOB is omitted)"
+    )
+    status_p.add_argument("job", nargs="?", default=None,
+                          help="job id from `submit`")
+    status_p.add_argument("--since", type=int, default=0, metavar="N",
+                          help="stream progress events from sequence N")
+    _add_client_options(status_p)
+
+    fetch_p = sub.add_parser(
+        "fetch", help="download a finished sweep job's result"
+    )
+    fetch_p.add_argument("job", help="job id from `submit`")
+    fetch_p.add_argument("--wait", action="store_true",
+                         help="poll until the job completes first")
+    fetch_p.add_argument("--out", type=Path, default=None,
+                         help="directory for the .csv export")
+    _add_client_options(fetch_p)
+
+    query_p = sub.add_parser(
+        "query",
+        help="query a scenario point (or inverse query) on a server",
+    )
+    query_p.add_argument("name", help="scenario name (see scenario --list)")
+    query_p.add_argument(
+        "tokens", nargs="*", metavar="TOKEN",
+        help="KEY=VALUE parameters; add minimize=COL/maximize=COL/knee=COL "
+             "and over.NAME=LO:HI to make it an inverse query",
+    )
+    query_p.add_argument("--backend", default="analytic",
+                         help="backend role (default: analytic)")
+    query_p.add_argument("--subject-to", action="append", metavar="PRED",
+                         help="inverse-query constraint like 'R <= 1000' "
+                              "(repeatable)")
+    _add_client_options(query_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="cache maintenance (migrate between backends)"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    migrate_p = cache_sub.add_parser(
+        "migrate",
+        help="copy a cache to another backend with byte-exact verification",
+    )
+    migrate_p.add_argument("src", type=Path,
+                           help="source cache (directory or *.sqlite)")
+    migrate_p.add_argument("dst", type=Path,
+                           help="destination cache (directory or *.sqlite)")
+    migrate_p.add_argument("--src-backend", default=None,
+                           choices=("sqlite", "files"),
+                           help="source backend when the path is ambiguous")
+    migrate_p.add_argument("--dst-backend", default=None,
+                           choices=("sqlite", "files"),
+                           help="destination backend when the path is "
+                                "ambiguous")
 
     args = parser.parse_args(argv)
 
@@ -696,6 +1090,27 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command in ("submit", "status", "fetch", "query"):
+        from repro.serve import ServeError
+
+        handlers = {
+            "submit": lambda: _run_submit(args),
+            "status": lambda: _run_status(args),
+            "fetch": lambda: _run_fetch(args),
+            "query": lambda: _run_query(args, parser),
+        }
+        try:
+            return handlers[args.command]()
+        except (ServeError, TimeoutError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "cache":
+        return _run_cache(args, parser)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -893,18 +893,58 @@ def check_scenario(
 # ---------------------------------------------------------------------------
 # Sampled simulation cross-check
 # ---------------------------------------------------------------------------
+def _measured_values(
+    evaluator: str,
+    sim_params: "dict[str, object]",
+    cache: object,
+) -> "dict[str, object]":
+    """Sim values for one cross-check point, via the shared sweep cache.
+
+    Routes the measurement through :func:`~repro.sweep.evaluators.
+    evaluate_point` with the evaluator's declared defaults merged, and
+    stores the standard record shape under the standard
+    :func:`~repro.sweep.cache.point_key` -- so fuzz cross-checks,
+    sweeps, and the serve layer all share records.  The evaluator
+    builds its simulator config exactly as the direct path does
+    (same ``MachineConfig``, same ``run_*`` defaults), so the values
+    are bit-identical either way.
+    """
+    from repro.sweep.cache import SOLVER_VERSION, point_key
+    from repro.sweep.evaluators import evaluate_point, evaluator_defaults
+
+    full = evaluator_defaults(evaluator)
+    full.update(sim_params)
+    key = point_key(evaluator, full)
+    record = cache.get(key)
+    if record is None:
+        record = evaluate_point((evaluator, full))
+        cache.put(key, {
+            "evaluator": evaluator,
+            "params": full,
+            "values": record["values"],
+            "meta": record["meta"],
+            "solver_version": SOLVER_VERSION,
+        })
+    return record["values"]
+
+
 def check_sim_point(
     name: str,
     params: Mapping[str, object],
     *,
     cycles: int = 160,
     seed: int = 0,
+    cache: object = None,
 ) -> PointResult:
     """Simulate one point and check it against the analytic model.
 
     Only the cycle-driven scenarios with a measured counterpart
     (``alltoall``, ``workpile``) participate; bands live in
-    :mod:`repro.validation.tolerances`.
+    :mod:`repro.validation.tolerances`.  With a ``cache`` (any
+    :class:`~repro.sweep.cache.CacheBackend`), the measurement rides
+    the registered sim evaluator and the shared content-addressed
+    record store, so repeated campaigns skip already-simulated points;
+    the values are bit-identical to the direct path.
     """
     from repro.sim.machine import MachineConfig
 
@@ -921,19 +961,30 @@ def check_sim_point(
 
         machine = machine_from_params(params)
         model = AllToAllModel(machine).solve_work(float(params["W"]))
-        measured = run_alltoall(config, work=float(params["W"]),
-                                cycles=cycles)
-        pct = 100.0 * (
-            model.response_time - measured.response_time
-        ) / measured.response_time
+        if cache is not None:
+            values = _measured_values("alltoall-sim", {
+                "P": int(params["P"]),
+                "St": float(params["St"]),
+                "So": float(params["So"]),
+                "C2": float(params.get("C2", 0.0)),
+                "W": float(params["W"]),
+                "cycles": int(cycles),
+                "seed": int(seed),
+            }, cache)
+            sim_R = float(values["R"])
+        else:
+            measured = run_alltoall(config, work=float(params["W"]),
+                                    cycles=cycles)
+            sim_R = measured.response_time
+        pct = 100.0 * (model.response_time - sim_R) / sim_R
         lo, hi = tol.SIM_RESPONSE_PCT_BAND
         c.check(
             "sim-vs-model-response",
             lo <= pct <= hi,
             f"model R={model.response_time:.6g} vs sim "
-            f"R={measured.response_time:.6g} ({pct:+.1f}% outside "
+            f"R={sim_R:.6g} ({pct:+.1f}% outside "
             f"[{lo:+.1f}%, {hi:+.1f}%])",
-            model_R=model.response_time, sim_R=measured.response_time,
+            model_R=model.response_time, sim_R=sim_R,
             pct=pct, cycles=cycles, sim_seed=seed,
         )
     elif name == "workpile":
@@ -943,19 +994,31 @@ def check_sim_point(
         model = ClientServerModel(machine, work=float(params["W"])).solve(
             int(params["Ps"])
         )
-        measured = run_workpile(config, servers=int(params["Ps"]),
-                                work=float(params["W"]), chunks=cycles)
-        pct = 100.0 * (
-            model.throughput - measured.throughput
-        ) / measured.throughput
+        if cache is not None:
+            values = _measured_values("workpile-sim", {
+                "P": int(params["P"]),
+                "St": float(params["St"]),
+                "So": float(params["So"]),
+                "C2": float(params.get("C2", 0.0)),
+                "W": float(params["W"]),
+                "Ps": int(params["Ps"]),
+                "chunks": int(cycles),
+                "seed": int(seed),
+            }, cache)
+            sim_X = float(values["X"])
+        else:
+            measured = run_workpile(config, servers=int(params["Ps"]),
+                                    work=float(params["W"]), chunks=cycles)
+            sim_X = measured.throughput
+        pct = 100.0 * (model.throughput - sim_X) / sim_X
         lo, hi = tol.SIM_THROUGHPUT_PCT_BAND
         c.check(
             "sim-vs-model-throughput",
             lo <= pct <= hi,
             f"model X={model.throughput:.6g} vs sim "
-            f"X={measured.throughput:.6g} ({pct:+.1f}% outside "
+            f"X={sim_X:.6g} ({pct:+.1f}% outside "
             f"[{lo:+.1f}%, {hi:+.1f}%])",
-            model_X=model.throughput, sim_X=measured.throughput,
+            model_X=model.throughput, sim_X=sim_X,
             pct=pct, chunks=cycles, sim_seed=seed,
         )
     else:

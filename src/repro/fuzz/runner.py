@@ -168,6 +168,7 @@ def run_fuzz(
     max_shrink: int = 8,
     corpus_dir: Path | str | None = None,
     report_path: Path | str | None = None,
+    cache: object = None,
 ) -> FuzzReport:
     """Run one fuzzing campaign; returns (and optionally writes) the report.
 
@@ -179,8 +180,17 @@ def run_fuzz(
     ``optimize()`` agree with a brute-force grid scan.  Failures are
     shrunk to minimal params (at most ``max_shrink`` of them, budget
     permitting) and written as repro-case files into ``corpus_dir``.
+
+    ``cache`` (a backend instance, directory, or ``*.sqlite`` path; see
+    :func:`~repro.sweep.cache.coerce_cache`) routes the sampled
+    simulation cross-checks through the shared content-addressed record
+    store, so repeated campaigns -- and sweeps and the serve layer --
+    reuse each other's simulated points bit-identically.
     """
+    from repro.sweep.cache import coerce_cache
+
     t0 = time.perf_counter()
+    sim_cache = coerce_cache(cache)
     deadline = None if budget is None else t0 + float(budget)
     names = tuple(scenarios) if scenarios else FUZZ_SCENARIOS
     report = FuzzReport(seed=int(seed), requested=int(points))
@@ -209,6 +219,7 @@ def run_fuzz(
             result = check_sim_point(
                 name, params, cycles=sim_cycles,
                 seed=derive_point_seed(seed, params),
+                cache=sim_cache,
             )
             report.sim_checked += 1
             for invariant in result.counts:

@@ -1,0 +1,236 @@
+"""JSON-over-HTTP front end for :class:`~repro.serve.SweepService`.
+
+A deliberately small protocol (``lopc-serve/1``) on the stdlib
+:class:`~http.server.ThreadingHTTPServer` -- every request handler
+thread talks to the one shared service, which is where all concurrency
+control (singleflight, batch window, worker pool) lives.
+
+Routes (all bodies and responses are JSON)::
+
+    GET  /v1/health            liveness + protocol version
+    POST /v1/point             {"scenario", "backend"?, "params"?} or
+                               {"evaluator", "params"} -> Solution
+    POST /v1/sweep             {"spec": <SweepSpec JSON>,
+                                "warm_start"?} -> job status
+    GET  /v1/jobs              all job statuses
+    GET  /v1/jobs/<id>?since=N status + event records [since:]
+    GET  /v1/jobs/<id>/result  SweepResult (409 until done)
+    POST /v1/optimize          {"scenario", "params"?, "query"}
+                               -> OptResult
+    GET  /v1/cache/stats       backend, record count, hit/miss/write
+    GET  /metrics              obs MetricsRegistry snapshot
+
+Errors are ``{"error": <message>}`` with a 4xx/5xx status; bad input
+(unknown scenario/evaluator/job, malformed JSON, invalid parameters)
+is 400/404, evaluation failures are 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.service import SweepService
+
+__all__ = ["PROTOCOL", "ServeHTTPServer", "make_server", "serve_forever"]
+
+#: Wire-protocol version tag (bump on incompatible endpoint changes).
+PROTOCOL = "lopc-serve/1"
+
+#: Request body ceiling -- a sweep spec is a few KB; anything larger
+#: is a mistake or abuse.
+MAX_BODY = 4 * 1024 * 1024
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threading server carrying the shared service instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address: "tuple[str, int]",
+                 service: SweepService, *, quiet: bool = True) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServeHTTPServer
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt: str, *args: object) -> None:
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, payload: object) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY:
+            raise ValueError(f"request body exceeds {MAX_BODY} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler, *args) -> None:
+        service = self.server.service
+        try:
+            handler(service, *args)
+        except (KeyError, ValueError, TypeError) as exc:
+            status = 404 if isinstance(exc, KeyError) else 400
+            self._error(status, str(exc).strip("'\""))
+        except BrokenPipeError:  # client went away mid-reply
+            pass
+        except Exception as exc:  # evaluation / internal failure
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    # -- routing -------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = parse_qs(split.query)
+        if parts == ["v1", "health"]:
+            self._dispatch(self._health)
+        elif parts == ["metrics"]:
+            self._dispatch(self._metrics)
+        elif parts == ["v1", "cache", "stats"]:
+            self._dispatch(self._cache_stats)
+        elif parts == ["v1", "jobs"]:
+            self._dispatch(self._jobs)
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._dispatch(self._job_status, parts[2], query)
+        elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+              and parts[3] == "result"):
+            self._dispatch(self._job_result, parts[2])
+        else:
+            self._error(404, f"no such endpoint: GET {split.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        if parts == ["v1", "point"]:
+            self._dispatch(self._point)
+        elif parts == ["v1", "sweep"]:
+            self._dispatch(self._sweep)
+        elif parts == ["v1", "optimize"]:
+            self._dispatch(self._optimize)
+        else:
+            self._error(404, f"no such endpoint: POST {split.path}")
+
+    # -- endpoints -----------------------------------------------------
+    def _health(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.health")
+        cache = service.cache
+        self._reply(200, {
+            "ok": True,
+            "protocol": PROTOCOL,
+            "workers": service.workers,
+            "cache": type(cache).__name__ if cache is not None else None,
+            "uptime": max(0.0, time.time() - service.started_at),
+        })
+
+    def _metrics(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.metrics")
+        self._reply(200, service.metrics_snapshot())
+
+    def _cache_stats(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.cache_stats")
+        self._reply(200, service.cache_stats())
+
+    def _point(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.point")
+        body = self._body()
+        solution = service.solution(
+            scenario=body.get("scenario"),
+            backend=body.get("backend", "analytic"),
+            evaluator=body.get("evaluator"),
+            params=body.get("params") or {},
+        )
+        self._reply(200, solution.to_dict())
+
+    def _sweep(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.sweep")
+        body = self._body()
+        if "spec" not in body:
+            raise ValueError('sweep submit needs a "spec" object')
+        from repro.sweep.spec import SweepSpec
+
+        spec = SweepSpec.from_json_dict(body["spec"])
+        job = service.submit_sweep(
+            spec, warm_start=bool(body.get("warm_start", False))
+        )
+        self._reply(200, job.status())
+
+    def _jobs(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.jobs")
+        self._reply(200, {"jobs": [job.status() for job in service.jobs()]})
+
+    def _job_status(self, service: SweepService, job_id: str,
+                    query: dict) -> None:
+        service.metrics.inc("serve.requests.status")
+        job = service.job(job_id)
+        since = int(query.get("since", ["0"])[0])
+        events, next_seq = job.events_since(since)
+        payload = job.status()
+        payload["stream"] = {"events": events, "next": next_seq}
+        self._reply(200, payload)
+
+    def _job_result(self, service: SweepService, job_id: str) -> None:
+        service.metrics.inc("serve.requests.result")
+        job = service.job(job_id)
+        if job.state == "error":
+            self._error(500, job.error or "job failed")
+        elif job.result is None:
+            self._error(
+                409, f"job {job_id} is {job.state}; result not ready"
+            )
+        else:
+            self._reply(200, job.result.to_dict())
+
+    def _optimize(self, service: SweepService) -> None:
+        service.metrics.inc("serve.requests.optimize")
+        body = self._body()
+        if "scenario" not in body:
+            raise ValueError('optimize needs a "scenario" name')
+        result = service.optimize(
+            body["scenario"],
+            body.get("params") or {},
+            body.get("query") or {},
+        )
+        self._reply(200, result.to_dict())
+
+
+def make_server(service: SweepService, host: str = "127.0.0.1",
+                port: int = 0, *, quiet: bool = True) -> ServeHTTPServer:
+    """A bound (not yet serving) server; ``port=0`` picks a free port."""
+    return ServeHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve_forever(server: ServeHTTPServer,
+                  in_thread: bool = False) -> "threading.Thread | None":
+    """Run the accept loop, optionally on a daemon thread (for tests)."""
+    if not in_thread:
+        server.serve_forever()
+        return None
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    return thread

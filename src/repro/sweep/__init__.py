@@ -47,9 +47,12 @@ Quick start
 
 from repro.sweep.cache import (
     SOLVER_VERSION,
+    CacheBackend,
     CacheStats,
     ResultCache,
+    SqliteCache,
     canonical_json,
+    coerce_cache,
     point_key,
 )
 from repro.sweep.evaluators import (
@@ -78,6 +81,7 @@ from repro.sweep.spec import (
 )
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
     "GridAxis",
     "ParallelExecutor",
@@ -86,11 +90,13 @@ __all__ = [
     "ResultCache",
     "SOLVER_VERSION",
     "SerialExecutor",
+    "SqliteCache",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
     "ZipAxis",
     "canonical_json",
+    "coerce_cache",
     "derive_point_seed",
     "evaluate_batch",
     "evaluate_batch_warm",

@@ -1,10 +1,25 @@
-"""Content-addressed on-disk cache for sweep point results.
+"""Content-addressed cache backends for sweep point results.
 
 A point's cache key is the SHA-256 of the canonical JSON of
-``(evaluator, params, versions)``.  Records are stored one JSON file per
-key under a two-level fan-out (``root/ab/abcdef....json``) and written
-atomically (temp file + :func:`os.replace`), so an interrupted sweep
-leaves only complete records and simply resumes on the next run.
+``(evaluator, params, versions)``.  Two interchangeable backends store
+the records:
+
+:class:`ResultCache`
+    One JSON file per key under a two-level fan-out
+    (``root/ab/abcdef....json``), written atomically (temp file +
+    :func:`os.replace`), so an interrupted sweep leaves only complete
+    records and simply resumes on the next run.
+:class:`SqliteCache`
+    One WAL-mode sqlite table keyed on the same hashes -- the
+    concurrency-safe store the :mod:`repro.serve` service shares across
+    clients.  Record JSON is byte-identical to the file backend's
+    (same ``json.dumps`` settings), so :func:`repro.serve.migrate_cache`
+    can convert either direction losslessly.
+
+Both satisfy the :class:`CacheBackend` protocol the sweep runner
+programs against; :func:`coerce_cache` turns user-facing cache
+spellings (an instance, a directory, a ``*.sqlite`` path, ``None``)
+into a backend.
 
 The key deliberately excludes the sweep's *name*: two different sweeps
 that evaluate the same point (Figures 5-2 and 5-3 share their simulator
@@ -17,19 +32,27 @@ from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from hashlib import sha256
 from pathlib import Path
-from typing import Mapping
+from typing import Iterator, Mapping, Protocol, runtime_checkable
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
     "ResultCache",
     "SOLVER_VERSION",
+    "SqliteCache",
     "canonical_json",
+    "coerce_cache",
     "point_key",
 ]
+
+#: Path suffixes routed to :class:`SqliteCache` by :func:`coerce_cache`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
 
 #: Version of the model/simulator semantics baked into cache keys.
 #: Bump on any change that alters solver or simulator *results*.
@@ -71,6 +94,33 @@ class CacheStats:
 
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Fold per-worker counters into campaign totals."""
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writes=self.writes + other.writes,
+        )
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the sweep runner (and the serve layer) need from a cache.
+
+    Both built-in backends additionally offer ``keys()`` / ``raw(key)``
+    (iteration and byte-exact record text, which the migration tool
+    verifies against) and ``clear()``, but the runner itself only ever
+    calls the members below.
+    """
+
+    stats: CacheStats
+
+    def get(self, key: str) -> dict | None: ...
+
+    def put(self, key: str, record: Mapping[str, object]) -> None: ...
 
 
 @dataclass
@@ -133,6 +183,18 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def keys(self) -> Iterator[str]:
+        """Every stored record key (unordered)."""
+        for path in self.root.glob("*/*.json"):
+            yield path.stem
+
+    def raw(self, key: str) -> str | None:
+        """The exact serialized record text (no stats), or None."""
+        try:
+            return self._path(key).read_text()
+        except OSError:
+            return None
+
     def clear(self) -> int:
         """Delete every record; returns the number removed."""
         removed = 0
@@ -149,3 +211,167 @@ class ResultCache:
         if cache is None or isinstance(cache, cls):
             return cache
         return cls(Path(cache))
+
+
+class SqliteCache:
+    """Sqlite-backed record store safe under concurrent writers.
+
+    One WAL-mode table keyed on :func:`point_key` hashes.  The stored
+    record text is byte-identical to what :class:`ResultCache` writes
+    (same ``json.dumps`` settings), so the two backends interchange
+    losslessly via :func:`repro.serve.migrate_cache`.
+
+    Concurrency contract:
+
+    * *threads* may share one instance -- connections are per-thread
+      (sqlite objects must not cross threads) and the stats counters
+      are lock-guarded;
+    * *processes* each open their own instance on the same path; WAL
+      journaling plus a busy timeout serialises writers without torn
+      records, and identical-content rewrites are last-writer-wins.
+
+    ``synchronous=NORMAL`` is the WAL-recommended setting: an OS crash
+    can lose the tail of recently-acknowledged writes but never
+    corrupts the store -- the right trade for a cache whose records are
+    recomputable by definition.
+    """
+
+    def __init__(self, path: "str | Path",
+                 stats: CacheStats | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.stats = stats if stats is not None else CacheStats()
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        self._conn()  # create the table eagerly; fail fast on bad paths
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(
+                self.path, timeout=30.0, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS records ("
+                "key TEXT PRIMARY KEY, record TEXT NOT NULL)"
+            )
+            self._local.conn = conn
+        return conn
+
+    def get(self, key: str) -> dict | None:
+        """The record stored under ``key``, or None (counted hit/miss).
+
+        Mirrors :meth:`ResultCache.get`: a record that fails to parse
+        (foreign writer, disk trouble) is dropped and counted a miss so
+        the point is simply recomputed.
+        """
+        row = self._conn().execute(
+            "SELECT record FROM records WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            with self._stats_lock:
+                self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(row[0])
+        except json.JSONDecodeError:
+            self._conn().execute(
+                "DELETE FROM records WHERE key = ?", (key,)
+            )
+            with self._stats_lock:
+                self.stats.misses += 1
+            return None
+        with self._stats_lock:
+            self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Mapping[str, object]) -> None:
+        """Persist ``record`` under ``key`` (atomic; upsert on replays)."""
+        data = json.dumps(record, sort_keys=True, allow_nan=False)
+        self._conn().execute(
+            "INSERT INTO records (key, record) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET record = excluded.record",
+            (key, data),
+        )
+        with self._stats_lock:
+            self.stats.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn().execute(
+            "SELECT 1 FROM records WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return int(self._conn().execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()[0])
+
+    def keys(self) -> Iterator[str]:
+        """Every stored record key (unordered)."""
+        for (key,) in self._conn().execute("SELECT key FROM records"):
+            yield key
+
+    def raw(self, key: str) -> str | None:
+        """The exact serialized record text (no stats), or None."""
+        row = self._conn().execute(
+            "SELECT record FROM records WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        cursor = self._conn().execute("DELETE FROM records")
+        return cursor.rowcount
+
+    def close(self) -> None:
+        """Close this thread's connection (others close on thread exit)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    @classmethod
+    def coerce(
+        cls, cache: "SqliteCache | str | Path | None"
+    ) -> "SqliteCache | None":
+        """Accept a cache instance, a database path, or None."""
+        if cache is None or isinstance(cache, cls):
+            return cache
+        return cls(Path(cache))
+
+
+def coerce_cache(
+    cache: "CacheBackend | str | Path | None",
+    backend: str | None = None,
+) -> "CacheBackend | None":
+    """Turn any user-facing cache spelling into a backend instance.
+
+    ``None`` and ready-made backends (anything with ``get``/``put`` and
+    ``stats``) pass through.  A path becomes a :class:`SqliteCache` when
+    ``backend="sqlite"`` or its suffix is one of
+    :data:`SQLITE_SUFFIXES`, else a :class:`ResultCache` directory
+    (``backend="files"``, or unstated).  This is the coercion behind
+    ``run_sweep(cache=...)``, ``Study(cache=...)`` and the CLI's
+    ``--cache-dir``/``--cache-backend`` flags.
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, (ResultCache, SqliteCache)):
+        return cache
+    if not isinstance(cache, (str, Path)) and isinstance(cache, CacheBackend):
+        return cache
+    path = Path(cache)
+    if backend not in (None, "sqlite", "files"):
+        raise ValueError(
+            f"unknown cache backend {backend!r}; pick 'sqlite' or 'files'"
+        )
+    if backend == "sqlite" or (
+        backend is None and path.suffix in SQLITE_SUFFIXES
+    ):
+        if path.suffix not in SQLITE_SUFFIXES:
+            path = path / "cache.sqlite"
+        return SqliteCache(path)
+    return ResultCache(path)

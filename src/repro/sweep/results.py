@@ -9,17 +9,25 @@ need (column extraction, filtering, grouping, CSV export) and a bridge
 into the existing :class:`~repro.experiments.common.ExperimentResult`
 machinery so sweep output renders through ``format_table`` like every
 other artifact.
+
+Results also round-trip through JSON (:meth:`SweepResult.to_json` /
+:meth:`SweepResult.from_json`, format tag ``lopc-sweep-result/1``) --
+this is the wire format :mod:`repro.serve` ships sweep results over.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 if TYPE_CHECKING:  # imported lazily at runtime (experiments import sweep)
     from repro.experiments.common import ExperimentResult, ShapeCheck
 
-__all__ = ["PointRecord", "SweepResult"]
+__all__ = ["PointRecord", "RESULT_FORMAT", "SweepResult"]
+
+#: Wire-format tag stamped into :meth:`SweepResult.to_dict` payloads.
+RESULT_FORMAT = "lopc-sweep-result/1"
 
 
 @dataclass(frozen=True)
@@ -48,6 +56,24 @@ class PointRecord:
         if name in self.values:
             return self.values[name]
         return self.params[name]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return {
+            "index": self.index,
+            "params": dict(self.params),
+            "values": dict(self.values),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PointRecord":
+        return cls(
+            index=int(payload["index"]),  # type: ignore[arg-type]
+            params=dict(payload.get("params", {})),  # type: ignore[arg-type]
+            values=dict(payload.get("values", {})),  # type: ignore[arg-type]
+            meta=dict(payload.get("meta", {})),  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)
@@ -212,6 +238,43 @@ class SweepResult:
                 },
             ),
         )
+
+    # -- wire format ---------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping tagged ``lopc-sweep-result/1``."""
+        return {
+            "format": RESULT_FORMAT,
+            "spec_name": self.spec_name,
+            "evaluator": self.evaluator,
+            "records": [record.to_dict() for record in self.records],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepResult":
+        tag = payload.get("format", RESULT_FORMAT)
+        if tag != RESULT_FORMAT:
+            raise ValueError(
+                f"unsupported sweep-result format {tag!r} "
+                f"(expected {RESULT_FORMAT!r})"
+            )
+        return cls(
+            spec_name=str(payload["spec_name"]),
+            evaluator=str(payload["evaluator"]),
+            records=tuple(
+                PointRecord.from_dict(rec)
+                for rec in payload.get("records", ())  # type: ignore[union-attr]
+            ),
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize for transport/storage (inverse of :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_dict(json.loads(text))
 
     # -- export --------------------------------------------------------
     def to_csv(self, columns: Sequence[str] | None = None) -> str:

@@ -44,7 +44,13 @@ import numpy as np
 
 from repro.obs import EventLog, MetricsRegistry, Telemetry, as_progress
 from repro.obs import context as _obs_context
-from repro.sweep.cache import SOLVER_VERSION, ResultCache, point_key
+from repro.sweep.cache import (
+    SOLVER_VERSION,
+    CacheBackend,
+    ResultCache,
+    coerce_cache,
+    point_key,
+)
 from repro.sweep.evaluators import (
     evaluate_batch,
     evaluate_batch_warm,
@@ -60,7 +66,7 @@ from repro.sweep.spec import SweepSpec
 
 __all__ = ["run_sweep"]
 
-CacheLike = Union[ResultCache, str, Path, None]
+CacheLike = Union[CacheBackend, ResultCache, str, Path, None]
 
 #: Target number of progress updates over a sweep's cache misses.
 _PROGRESS_CHUNKS = 20
@@ -598,10 +604,14 @@ def run_sweep(
         The sweep description.  ``spec.evaluator`` must be registered
         (checked up front, before any work is dispatched).
     cache:
-        A :class:`ResultCache`, a cache *directory*, or ``None`` (no
-        caching).  Pass an instance to read hit/miss statistics after
-        the run -- they accumulate on ``cache.stats`` and the run's
-        share lands in the result metadata.
+        A cache backend (:class:`ResultCache`,
+        :class:`~repro.sweep.cache.SqliteCache`, or anything satisfying
+        :class:`~repro.sweep.cache.CacheBackend`), a cache *directory*,
+        a ``*.sqlite`` path, or ``None`` (no caching); see
+        :func:`~repro.sweep.cache.coerce_cache`.  Pass an instance to
+        read hit/miss statistics after the run -- they accumulate on
+        ``cache.stats`` and the run's share lands in the result
+        metadata.
     jobs:
         Worker processes for cache-miss evaluation.  ``1`` (default)
         runs serially in-process; ``0`` means one worker per CPU.
@@ -673,7 +683,7 @@ def _run_sweep(
     use_batch = batch and executor is None
     if executor is None:
         executor = get_executor(jobs)
-    store = ResultCache.coerce(cache)
+    store = coerce_cache(cache)
     registry = tel.metrics if tel is not None else None
 
     started = time.perf_counter()

@@ -1,0 +1,252 @@
+"""Backend-parity and concurrency tests for the two cache stores.
+
+Every behavioural test here runs against *both* backends through one
+parameterized fixture: the sqlite store must pass the identical
+bit-identity and cache-key expectations the file backend does, and on
+top of that survive concurrent writers (threads sharing one instance,
+processes sharing one path) without torn records.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.sweep.cache import (
+    SOLVER_VERSION,
+    CacheStats,
+    ResultCache,
+    SqliteCache,
+    coerce_cache,
+    point_key,
+)
+
+
+@pytest.fixture(params=["files", "sqlite"])
+def backend(request, tmp_path):
+    """One fresh cache of each backend kind, plus a same-kind factory."""
+    count = iter(range(100))
+
+    def make():
+        n = next(count)
+        if request.param == "files":
+            return ResultCache(tmp_path / f"files-{n}")
+        return SqliteCache(tmp_path / f"cache-{n}.sqlite")
+
+    return request.param, make
+
+
+def _record(w: float) -> dict:
+    return {
+        "evaluator": "ev",
+        "params": {"W": w, "P": 8},
+        "values": {"R": 0.1 + 0.2 + w},
+        "meta": {"wall_time": 0.01},
+        "solver_version": SOLVER_VERSION,
+    }
+
+
+class TestBackendParity:
+    def test_round_trip(self, backend):
+        _, make = backend
+        cache = make()
+        key = point_key("ev", {"W": 1})
+        cache.put(key, _record(1.0))
+        assert cache.get(key) == _record(1.0)
+        assert key in cache
+        assert len(cache) == 1
+        assert list(cache.keys()) == [key]
+
+    def test_miss_and_hit_stats(self, backend):
+        _, make = backend
+        cache = make()
+        key = point_key("ev", {"W": 1})
+        assert cache.get(key) is None
+        cache.put(key, _record(1.0))
+        cache.get(key)
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_float_values_round_trip_exactly(self, backend):
+        _, make = backend
+        cache = make()
+        key = point_key("ev", {})
+        cache.put(key, _record(0.0))
+        assert cache.get(key)["values"]["R"] == 0.1 + 0.2
+
+    def test_overwrite_is_upsert(self, backend):
+        _, make = backend
+        cache = make()
+        key = point_key("ev", {"W": 1})
+        cache.put(key, _record(1.0))
+        cache.put(key, _record(2.0))
+        assert len(cache) == 1
+        assert cache.get(key) == _record(2.0)
+
+    def test_clear(self, backend):
+        _, make = backend
+        cache = make()
+        for w in range(3):
+            cache.put(point_key("ev", {"W": w}), _record(float(w)))
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_raw_is_canonical_record_text(self, backend):
+        """``raw`` returns exactly what a fresh ``json.dumps`` would."""
+        _, make = backend
+        cache = make()
+        key = point_key("ev", {"W": 3})
+        cache.put(key, _record(3.0))
+        assert cache.raw(key) == json.dumps(
+            _record(3.0), sort_keys=True, allow_nan=False
+        )
+        assert cache.raw("0" * 64) is None
+
+
+class TestByteIdentityAcrossBackends:
+    def test_both_backends_store_identical_bytes(self, tmp_path):
+        """The migration contract: same record -> same stored text."""
+        files = ResultCache(tmp_path / "files")
+        sqlite = SqliteCache(tmp_path / "cache.sqlite")
+        for w in (0.0, 1e-9, 0.1 + 0.2, 1e300):
+            key = point_key("ev", {"W": w})
+            files.put(key, _record(w))
+            sqlite.put(key, _record(w))
+            assert files.raw(key) == sqlite.raw(key)
+        assert set(files.keys()) == set(sqlite.keys())
+
+
+class TestSqliteCorruption:
+    def test_corrupt_record_is_a_miss_and_removed(self, tmp_path):
+        cache = SqliteCache(tmp_path / "cache.sqlite")
+        key = point_key("ev", {"W": 1})
+        cache.put(key, _record(1.0))
+        cache._conn().execute(
+            "UPDATE records SET record = '{truncated' WHERE key = ?", (key,)
+        )
+        assert cache.get(key) is None
+        assert key not in cache
+
+
+class TestCoerce:
+    def test_none_and_instances_pass_through(self, tmp_path):
+        assert coerce_cache(None) is None
+        files = ResultCache(tmp_path / "f")
+        sqlite = SqliteCache(tmp_path / "c.sqlite")
+        assert coerce_cache(files) is files
+        assert coerce_cache(sqlite) is sqlite
+
+    def test_suffix_routes_to_sqlite(self, tmp_path):
+        for suffix in (".sqlite", ".sqlite3", ".db"):
+            cache = coerce_cache(tmp_path / f"store{suffix}")
+            assert isinstance(cache, SqliteCache)
+
+    def test_plain_path_routes_to_files(self, tmp_path):
+        assert isinstance(coerce_cache(tmp_path / "dir"), ResultCache)
+
+    def test_backend_hint_overrides_plain_path(self, tmp_path):
+        cache = coerce_cache(tmp_path / "dir", "sqlite")
+        assert isinstance(cache, SqliteCache)
+        assert cache.path == tmp_path / "dir" / "cache.sqlite"
+        assert isinstance(coerce_cache(tmp_path / "dir2", "files"),
+                          ResultCache)
+
+    def test_unknown_backend_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            coerce_cache(tmp_path / "dir", "redis")
+
+
+def _write_burst(cache, worker: int, keys: "list[str]") -> None:
+    for i, key in enumerate(keys):
+        cache.put(key, {
+            "evaluator": "ev",
+            "params": {"worker": worker, "i": i},
+            "values": {"R": float(worker * 1000 + i)},
+            "meta": {},
+            "solver_version": SOLVER_VERSION,
+        })
+
+
+class TestConcurrentThreads:
+    @pytest.mark.parametrize("kind", ["files", "sqlite"])
+    def test_no_torn_records_under_thread_contention(self, tmp_path, kind):
+        """8 threads hammer one instance; every record parses whole."""
+        if kind == "files":
+            cache = ResultCache(tmp_path / "files")
+        else:
+            cache = SqliteCache(tmp_path / "cache.sqlite")
+        shared = [point_key("ev", {"k": k}) for k in range(10)]
+        threads = [
+            threading.Thread(target=_write_burst, args=(cache, w, shared))
+            for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == len(shared)
+        assert cache.stats.writes == 8 * len(shared)
+        for key in shared:
+            record = json.loads(cache.raw(key))  # parses -> not torn
+            assert set(record) == {
+                "evaluator", "params", "values", "meta", "solver_version"
+            }
+
+    def test_last_writer_wins_on_same_key(self, tmp_path):
+        """Racing writers leave exactly one *complete* racer's record."""
+        cache = SqliteCache(tmp_path / "cache.sqlite")
+        key = point_key("ev", {"shared": True})
+        barrier = threading.Barrier(8)
+
+        def write(worker: int) -> None:
+            barrier.wait()
+            cache.put(key, {"values": {"worker": worker}})
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        winner = cache.get(key)["values"]["worker"]
+        assert winner in range(8)
+        assert len(cache) == 1
+
+    def test_per_worker_stats_sum(self, tmp_path):
+        """Separate instances on one path fold stats via CacheStats.__add__."""
+        path = tmp_path / "cache.sqlite"
+        workers = [SqliteCache(path) for _ in range(3)]
+        for w, cache in enumerate(workers):
+            _write_burst(cache, w, [point_key("ev", {"w": w, "k": k})
+                                    for k in range(5)])
+            cache.get(point_key("ev", {"w": w, "k": 0}))
+            cache.get(point_key("ev", {"missing": w}))
+        total = sum((c.stats for c in workers), CacheStats())
+        assert total.as_dict() == {"hits": 3, "misses": 3, "writes": 15}
+        assert len(workers[0]) == 15
+
+
+def _process_burst(path: str, worker: int) -> int:
+    """Top-level so it pickles into a child process."""
+    cache = SqliteCache(path)
+    _write_burst(cache, worker,
+                 [point_key("ev", {"w": worker, "k": k}) for k in range(25)])
+    return cache.stats.writes
+
+
+class TestConcurrentProcesses:
+    def test_multiprocess_writers_leave_complete_store(self, tmp_path):
+        """4 processes share one database file; WAL serialises writers."""
+        path = str(tmp_path / "cache.sqlite")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            writes = pool.starmap(
+                _process_burst, [(path, w) for w in range(4)]
+            )
+        assert writes == [25, 25, 25, 25]
+        cache = SqliteCache(path)
+        assert len(cache) == 100
+        for key in cache.keys():
+            json.loads(cache.raw(key))  # every record parses whole

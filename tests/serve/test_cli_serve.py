@@ -1,0 +1,107 @@
+"""CLI-level tests of the serve verbs that don't need a live server.
+
+The full serve/submit/status/fetch/query loop over a real socket is the
+CI ``serve`` job's e2e script (``examples/sweep_service.py``); here we
+cover the pieces that run in-process: ``cache migrate``, the serve
+counters in ``stats``, and parser wiring of the new flags.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep.cache import ResultCache, SqliteCache, point_key
+
+
+@pytest.fixture
+def filled_files_cache(tmp_path):
+    cache = ResultCache(tmp_path / "files")
+    for w in range(4):
+        cache.put(point_key("ev", {"W": w}), {
+            "evaluator": "ev", "params": {"W": w},
+            "values": {"R": float(w)}, "meta": {}, "solver_version": "2",
+        })
+    return tmp_path / "files"
+
+
+class TestCacheMigrateVerb:
+    def test_migrate_files_to_sqlite(self, filled_files_cache, tmp_path,
+                                     capsys):
+        destination = tmp_path / "copy.sqlite"
+        code = main(["cache", "migrate", str(filled_files_cache),
+                     str(destination)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 record(s) copied" in out
+        assert "4 verified byte-identical" in out
+        assert len(SqliteCache(destination)) == 4
+
+    def test_migrate_with_backend_hints(self, filled_files_cache, tmp_path,
+                                        capsys):
+        destination = tmp_path / "plain-dir"
+        code = main(["cache", "migrate", str(filled_files_cache),
+                     str(destination), "--dst-backend", "sqlite"])
+        assert code == 0
+        assert (destination / "cache.sqlite").exists()
+
+
+class TestServeStatsRendering:
+    def test_stats_renders_serve_counters(self, tmp_path, capsys):
+        metrics = {
+            "counters": {
+                "serve.requests.point": 5,
+                "serve.requests.sweep": 1,
+                "serve.coalesced": 3,
+                "serve.batch.requests": 4,
+                "serve.batch.solves": 2,
+                "serve.batch.merged": 2,
+                "serve.jobs.route.inline": 1,
+                "serve.jobs.route.pool": 2,
+            },
+            "gauges": {"serve.jobs.queue_depth_high_water": 2},
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(metrics))
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve requests: 6 total" in out
+        assert "5 point" in out
+        assert "3 deduped in-flight" in out
+        assert "4 batched request(s) in 2 kernel solve(s) (2 merged)" in out
+        assert "serve jobs: 1 inline, 2 pool" in out
+        assert "serve queue depth high-water: 2" in out
+
+    def test_stats_without_serve_counters_stays_quiet(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"counters": {"points.evaluated": 3}}))
+        assert main(["stats", str(path)]) == 0
+        assert "serve" not in capsys.readouterr().out
+
+
+class TestParserWiring:
+    def test_serve_flags_parse(self, capsys):
+        # --help exits 0 and mentions the serve-specific options.
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--help"])
+        assert exit_info.value.code == 0
+        text = capsys.readouterr().out
+        for flag in ("--cache-backend", "--workers", "--batch-window",
+                     "--port"):
+            assert flag in text
+
+    @pytest.mark.parametrize("verb", ["submit", "status", "fetch", "query"])
+    def test_client_verbs_require_url(self, verb, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main([verb, "--help"])
+        assert exit_info.value.code == 0
+        assert "--url" in capsys.readouterr().out
+
+    def test_cache_backend_choices_are_validated(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(tmp_path / "spec.json"),
+                  "--cache-backend", "redis"])
+        assert "invalid choice" in capsys.readouterr().err

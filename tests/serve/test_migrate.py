@@ -1,0 +1,87 @@
+"""Tests of the verified byte-exact cache migration tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import migrate_cache
+from repro.sweep.cache import (
+    SOLVER_VERSION,
+    ResultCache,
+    SqliteCache,
+    point_key,
+)
+
+
+def _fill(cache, count: int = 5) -> "list[str]":
+    keys = []
+    for w in range(count):
+        key = point_key("ev", {"W": float(w)})
+        cache.put(key, {
+            "evaluator": "ev",
+            "params": {"W": float(w)},
+            "values": {"R": 0.1 + 0.2 + w},
+            "meta": {"wall_time": 0.01},
+            "solver_version": SOLVER_VERSION,
+        })
+        keys.append(key)
+    return keys
+
+
+class TestMigration:
+    @pytest.mark.parametrize("direction", ["files->sqlite", "sqlite->files"])
+    def test_migration_is_byte_exact_both_ways(self, tmp_path, direction):
+        files = ResultCache(tmp_path / "files")
+        sqlite = SqliteCache(tmp_path / "cache.sqlite")
+        src, dst = ((files, sqlite) if direction == "files->sqlite"
+                    else (sqlite, files))
+        keys = _fill(src)
+        report = migrate_cache(src, dst)
+        assert (report.copied, report.skipped, report.verified) == (5, 0, 5)
+        for key in keys:
+            assert dst.raw(key) == src.raw(key)
+        assert set(dst.keys()) == set(src.keys())
+
+    def test_rerun_skips_identical_records(self, tmp_path):
+        files = ResultCache(tmp_path / "files")
+        sqlite = SqliteCache(tmp_path / "cache.sqlite")
+        _fill(files)
+        migrate_cache(files, sqlite)
+        report = migrate_cache(files, sqlite)
+        assert (report.copied, report.skipped) == (0, 5)
+        assert report.verified == 5
+
+    def test_differing_destination_record_is_overwritten(self, tmp_path):
+        files = ResultCache(tmp_path / "files")
+        sqlite = SqliteCache(tmp_path / "cache.sqlite")
+        keys = _fill(files)
+        sqlite.put(keys[0], {"values": {"R": -1.0}})  # stale divergence
+        report = migrate_cache(files, sqlite)
+        assert report.copied == 5  # includes the corrected record
+        assert sqlite.raw(keys[0]) == files.raw(keys[0])
+
+    def test_paths_are_coerced_by_hint_and_suffix(self, tmp_path):
+        files = ResultCache(tmp_path / "files")
+        _fill(files, count=2)
+        report = migrate_cache(tmp_path / "files",
+                               tmp_path / "copy.sqlite")
+        assert report.copied == 2
+        assert "SqliteCache" in report.destination
+        back = migrate_cache(tmp_path / "copy.sqlite",
+                             tmp_path / "round-trip",
+                             destination_backend="files")
+        assert back.copied == 2
+        assert "ResultCache" in back.destination
+
+    def test_none_cache_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="concrete"):
+            migrate_cache(None, tmp_path / "x.sqlite")
+
+    def test_summary_mentions_counts_and_backends(self, tmp_path):
+        files = ResultCache(tmp_path / "files")
+        _fill(files, count=3)
+        report = migrate_cache(files, tmp_path / "copy.sqlite")
+        text = report.summary()
+        assert "3 record(s) copied" in text
+        assert "3 verified byte-identical" in text
+        assert "ResultCache" in text and "SqliteCache" in text

@@ -1,0 +1,262 @@
+"""In-process tests of SweepService: coalescing, batching, scheduling."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import SweepService
+from repro.sweep.cache import SqliteCache
+from repro.sweep.spec import SweepSpec
+
+
+def _spec(evaluator: str, values=(1.0, 2.0), **base) -> SweepSpec:
+    return SweepSpec.from_json_dict({
+        "name": "svc-test",
+        "evaluator": evaluator,
+        "base": base,
+        "axes": [{"type": "grid", "name": "W", "values": list(values)}],
+    })
+
+
+class TestSingleflight:
+    def test_concurrent_identical_queries_evaluate_once(
+        self, tmp_path, make_evaluator
+    ):
+        """The acceptance criterion: N identical concurrent queries ->
+        exactly one evaluation, one cache write, N-1 coalesced."""
+        name, calls = make_evaluator(delay=0.05)
+        n = 6
+        with SweepService(tmp_path / "cache.sqlite", workers=4) as service:
+            barrier = threading.Barrier(n)
+            outcomes: list = [None] * n
+
+            def query(i: int) -> None:
+                barrier.wait()
+                outcomes[i] = service.point(name, {"W": 10.0})
+
+            threads = [threading.Thread(target=query, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert calls["point"] == 1
+            assert service.cache.stats.writes == 1
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serve.coalesced"] == n - 1
+            assert all(o.values == {"R": 20.0} for o in outcomes)
+            assert sum(o.coalesced for o in outcomes) == n - 1
+
+    def test_warm_hit_skips_evaluation(self, tmp_path, make_evaluator):
+        name, calls = make_evaluator()
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            first = service.point(name, {"W": 3.0})
+            second = service.point(name, {"W": 3.0})
+        assert calls["point"] == 1
+        assert (first.cached, second.cached) == (False, True)
+        assert second.values == first.values
+        assert service.cache.stats.as_dict() == {
+            "hits": 1, "misses": 1, "writes": 1,
+        }
+
+    def test_served_points_share_sweep_cache_records(
+        self, tmp_path, make_evaluator
+    ):
+        """Point queries key exactly as the sweep runner keys (defaults
+        merged first), so a sweep warms the serve path and vice versa."""
+        name, calls = make_evaluator(defaults={"P": 8}, batch=True)
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            job = service.submit_sweep(_spec(name, values=(5.0,), P=8))
+            assert job.state == "done"  # batch-capable -> inline
+            outcome = service.point(name, {"W": 5.0})  # P=8 via defaults
+        assert outcome.cached is True
+        assert calls["point"] == 0  # the sweep's record was reused
+        assert calls["batch"] >= 1
+
+    def test_evaluation_error_propagates_to_all_waiters(
+        self, tmp_path, make_evaluator
+    ):
+        name, _ = make_evaluator(delay=0.05, fail=True)
+        with SweepService(tmp_path / "cache.sqlite", workers=2) as service:
+            barrier = threading.Barrier(3)
+            errors: list = []
+
+            def query() -> None:
+                barrier.wait()
+                try:
+                    service.point(name, {"W": 1.0})
+                except RuntimeError as exc:
+                    errors.append(str(exc))
+
+            threads = [threading.Thread(target=query) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(errors) == 3
+            assert service.cache.stats.writes == 0
+            # The failed key is released: a later query retries fresh.
+            with pytest.raises(RuntimeError):
+                service.point(name, {"W": 1.0})
+
+    def test_unknown_evaluator_rejected_before_any_work(self, tmp_path):
+        with SweepService(tmp_path / "c.sqlite") as service:
+            with pytest.raises(KeyError, match="unknown evaluator"):
+                service.point("no-such-evaluator", {})
+
+
+class TestBatchWindow:
+    def test_coarriving_distinct_points_merge_into_one_solve(
+        self, tmp_path, make_evaluator
+    ):
+        """Distinct batch-capable misses inside one window share a
+        single ``evaluate_batch`` call."""
+        name, calls = make_evaluator(batch=True)
+        n = 5
+        with SweepService(
+            tmp_path / "cache.sqlite", workers=4, batch_window=0.25
+        ) as service:
+            barrier = threading.Barrier(n)
+            results: list = [None] * n
+
+            def query(i: int) -> None:
+                barrier.wait()
+                results[i] = service.point(name, {"W": float(i)})
+
+            threads = [threading.Thread(target=query, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert calls["batch"] == 1
+            assert calls["point"] == 0  # scalar path never used
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serve.batch.requests"] == n
+            assert counters["serve.batch.solves"] == 1
+            assert counters["serve.batch.merged"] == n - 1
+            assert [r.values["R"] for r in results] == [
+                2.0 * i for i in range(n)
+            ]
+            assert service.cache.stats.writes == n
+
+
+class TestScheduling:
+    def test_batch_capable_sweep_runs_inline(self, tmp_path, make_evaluator):
+        name, calls = make_evaluator(batch=True)
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            job = service.submit_sweep(_spec(name))
+            assert job.route == "inline"
+            assert job.state == "done"  # finished at submit time
+            assert job.result is not None
+            assert calls["batch"] >= 1  # chunking may split the grid
+            assert calls["point"] == 0  # the scalar path is never used
+            counters = service.metrics_snapshot()["counters"]
+            assert counters["serve.jobs.route.inline"] == 1
+
+    def test_plain_evaluator_sweep_runs_on_pool(
+        self, tmp_path, make_evaluator
+    ):
+        name, calls = make_evaluator(delay=0.02)
+        with SweepService(tmp_path / "cache.sqlite", workers=2) as service:
+            job = service.submit_sweep(_spec(name))
+            assert job.route == "pool"
+            deadline = threading.Event()
+            for _ in range(200):
+                if job.state in ("done", "error"):
+                    break
+                deadline.wait(0.05)
+            assert job.state == "done"
+            assert calls["point"] == 2
+            assert [r["R"] for r in job.result] == [2.0, 4.0]
+            gauges = service.metrics_snapshot()["gauges"]
+            assert gauges["serve.jobs.queue_depth_high_water"] >= 1
+            assert job.status()["progress"] == {"done": 2, "total": 2}
+            events, next_seq = job.events_since(0)
+            kinds = [e["kind"] for e in events]
+            assert kinds[0] == "sweep.start"
+            assert kinds[-1] == "sweep.finish"
+            assert next_seq == len(events)
+
+    def test_unknown_job_raises_keyerror(self, tmp_path):
+        with SweepService(tmp_path / "c.sqlite") as service:
+            with pytest.raises(KeyError, match="unknown job"):
+                service.job("job-9999")
+
+    def test_failing_sweep_lands_in_error_state(
+        self, tmp_path, make_evaluator
+    ):
+        name, _ = make_evaluator(fail=True)
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            job = service.submit_sweep(_spec(name))
+            for _ in range(200):
+                if job.state in ("done", "error"):
+                    break
+                threading.Event().wait(0.05)
+            assert job.state == "error"
+            assert "synthetic evaluator failure" in job.error
+
+
+class TestSolutionFacade:
+    def test_scenario_path_matches_direct_facade(self, tmp_path):
+        from repro.api import scenario
+
+        direct = scenario("alltoall", P=8, St=40.0, So=200.0,
+                          W=500.0).analytic()
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            served = service.solution(
+                scenario="alltoall",
+                params={"P": 8, "St": 40.0, "So": 200.0, "W": 500.0},
+            )
+        assert served.values == direct.values
+        assert served.evaluator == direct.evaluator
+        assert served.meta["cached"] is False
+        assert "key" in served.meta
+
+    def test_evaluator_path_resolves_scenario_provenance(self, tmp_path):
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            served = service.solution(
+                evaluator="alltoall-model",
+                params={"P": 8, "St": 40.0, "So": 200.0, "W": 500.0},
+            )
+        assert (served.scenario, served.backend) == ("alltoall", "analytic")
+
+    def test_requires_exactly_one_of_scenario_or_evaluator(self, tmp_path):
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            with pytest.raises(ValueError, match="exactly one"):
+                service.solution()
+            with pytest.raises(ValueError, match="exactly one"):
+                service.solution(scenario="alltoall",
+                                 evaluator="alltoall-model")
+
+
+class TestIntrospection:
+    def test_cache_stats_shape(self, tmp_path):
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            stats = service.cache_stats()
+            assert stats["backend"] == "SqliteCache"
+            assert stats["records"] == 0
+            assert stats["stats"] == {"hits": 0, "misses": 0, "writes": 0}
+            assert stats["location"].endswith("cache.sqlite")
+        with SweepService() as bare:
+            assert bare.cache_stats()["backend"] is None
+
+    def test_cache_backend_hint(self, tmp_path):
+        with SweepService(
+            tmp_path / "store", cache_backend="sqlite"
+        ) as service:
+            assert isinstance(service.cache, SqliteCache)
+
+    def test_optimize_coerces_over_ranges(self, tmp_path):
+        with SweepService(tmp_path / "cache.sqlite") as service:
+            result = service.optimize(
+                "alltoall",
+                {"P": 8, "St": 40.0, "So": 200.0},
+                {"minimize": "R", "over": {"W": [100.0, 1000.0]}},
+            )
+        assert result.feasible
+        assert 100.0 <= result.argbest["W"] <= 1000.0

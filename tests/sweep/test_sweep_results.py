@@ -1,5 +1,7 @@
 """Tests for the SweepResult columnar store."""
 
+import json
+
 import pytest
 
 from repro.experiments.common import ShapeCheck, format_table
@@ -164,3 +166,46 @@ class TestBest:
         )
         sol = result.best(minimize="R")
         assert (sol.scenario, sol.backend) == ("bespoke-model", "custom")
+
+
+class TestJsonRoundTrip:
+    """The serve wire format: to_dict/from_dict must be lossless."""
+
+    def test_to_dict_carries_format_tag(self):
+        data = _result().to_dict()
+        assert data["format"] == "lopc-sweep-result/1"
+        assert data["spec_name"] == "demo"
+        assert len(data["records"]) == 3
+
+    def test_round_trip_is_lossless(self):
+        original = _result()
+        clone = SweepResult.from_dict(original.to_dict())
+        assert clone.spec_name == original.spec_name
+        assert clone.evaluator == original.evaluator
+        assert clone.metadata == original.metadata
+        for a, b in zip(clone.records, original.records):
+            assert (a.index, a.params, a.values, a.meta) == (
+                b.index, b.params, b.values, b.meta
+            )
+
+    def test_json_text_round_trip(self):
+        original = _result()
+        clone = SweepResult.from_json(original.to_json())
+        assert clone.to_dict() == original.to_dict()
+        # The wire text itself is plain JSON.
+        assert json.loads(original.to_json())["evaluator"] == "alltoall-model"
+
+    def test_unknown_format_is_rejected(self):
+        data = _result().to_dict()
+        data["format"] = "lopc-sweep-result/999"
+        with pytest.raises(ValueError, match="format"):
+            SweepResult.from_dict(data)
+
+    def test_float_values_survive_exactly(self):
+        record = PointRecord(index=0, params={"W": 0.1 + 0.2},
+                             values={"R": 1e-17})
+        result = SweepResult(spec_name="f", evaluator="alltoall-model",
+                             records=(record,), metadata={})
+        clone = SweepResult.from_json(result.to_json())
+        assert clone.records[0].params["W"] == 0.1 + 0.2
+        assert clone.records[0].values["R"] == 1e-17
